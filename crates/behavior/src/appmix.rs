@@ -1,0 +1,352 @@
+//! Application-category mixes per year and usage context.
+//!
+//! The paper's Tables 6/7 break application traffic down by network type ×
+//! location (cellular at home, cellular elsewhere, WiFi at home, WiFi in
+//! public). Users pick different apps in different contexts — video and
+//! large downloads migrate to free, fast WiFi; online-storage sync
+//! (productivity) is WiFi-gated by the apps themselves. We encode each
+//! year×context RX mix directly (calibrated to Table 6), tilt it by
+//! per-user affinities, and derive TX from per-category upload/download
+//! ratios (productivity and photo are upload-heavy, video is almost pure
+//! download), which reproduces the Table 7 rankings.
+
+use crate::persona::Persona;
+use mobitrace_model::{AppBin, AppCategory, Year};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Usage context of a traffic bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppContext {
+    /// Cellular interface while at home (mostly users without home APs).
+    CellHome,
+    /// Cellular interface away from home.
+    CellOther,
+    /// WiFi at home.
+    WifiHome,
+    /// WiFi on a public provider network.
+    WifiPublic,
+    /// WiFi at the office or a shop AP.
+    WifiOther,
+}
+
+impl AppContext {
+    /// All contexts.
+    pub const ALL: [AppContext; 5] = [
+        AppContext::CellHome,
+        AppContext::CellOther,
+        AppContext::WifiHome,
+        AppContext::WifiPublic,
+        AppContext::WifiOther,
+    ];
+}
+
+/// Upload bytes generated per download byte for each category.
+pub fn tx_ratio(c: AppCategory) -> f64 {
+    use AppCategory::*;
+    match c {
+        Browser => 0.12,
+        Social => 0.55,
+        Video => 0.08,
+        Communication => 0.50,
+        News => 0.05,
+        Game => 0.25,
+        Music => 0.03,
+        Travel => 0.15,
+        Shopping => 0.12,
+        Downloading => 0.01,
+        Entertainment => 0.15,
+        Tools => 0.20,
+        Productivity => 1.80, // online-storage sync uploads
+        Lifestyle => 0.12,
+        Health => 0.30,
+        Business => 0.60,
+        Books => 0.03,
+        Education => 0.05,
+        Finance => 0.30,
+        Maps => 0.15,
+        Photography => 1.20, // photo backup
+        Weather => 0.05,
+        Personalization => 0.05,
+        Sports => 0.05,
+        Medical => 0.10,
+        Other => 0.20,
+    }
+}
+
+/// RX category weights for one year and context. Head entries are
+/// transcribed from Table 6; the remaining mass is spread over a long tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppMix {
+    /// Which year this mix describes.
+    pub year: Year,
+    weights: [[f64; 26]; 5],
+}
+
+impl AppMix {
+    /// The calibrated mix for a campaign year.
+    pub fn for_year(year: Year) -> AppMix {
+        use AppCategory::*;
+        let mut weights = [[0.0; 26]; 5];
+        // (context, head categories with Table 6 RX percentages)
+        let heads: [(AppContext, &[(AppCategory, f64)]); 5] = match year {
+            Year::Y2013 => [
+                (
+                    AppContext::CellHome,
+                    &[(Browser, 38.0), (Social, 7.3), (Communication, 6.2), (Video, 5.7), (News, 2.0)][..],
+                ),
+                (
+                    AppContext::CellOther,
+                    &[(Browser, 38.5), (Communication, 7.7), (Social, 7.6), (News, 2.6), (Video, 2.1)][..],
+                ),
+                (
+                    AppContext::WifiHome,
+                    &[(Browser, 28.0), (Social, 6.8), (Communication, 4.3), (Video, 4.0), (News, 3.5), (Productivity, 2.2)][..],
+                ),
+                (
+                    AppContext::WifiPublic,
+                    &[(Browser, 44.1), (Social, 4.0), (Lifestyle, 3.3), (Communication, 3.0), (News, 2.9)][..],
+                ),
+                (
+                    AppContext::WifiOther,
+                    &[(Browser, 35.0), (Communication, 7.0), (Social, 6.0), (Business, 3.0), (News, 3.0)][..],
+                ),
+            ],
+            Year::Y2014 => [
+                (
+                    AppContext::CellHome,
+                    &[(Browser, 36.4), (Video, 7.4), (Communication, 7.4), (Social, 6.3), (News, 6.2)][..],
+                ),
+                (
+                    AppContext::CellOther,
+                    &[(Browser, 31.4), (Communication, 9.9), (Video, 8.0), (News, 6.6), (Game, 6.3)][..],
+                ),
+                (
+                    AppContext::WifiHome,
+                    &[(Video, 30.4), (Browser, 20.7), (Communication, 6.5), (News, 6.0), (Downloading, 4.7), (Productivity, 4.0)][..],
+                ),
+                (
+                    AppContext::WifiPublic,
+                    &[(Downloading, 22.5), (Browser, 21.9), (Video, 13.8), (Lifestyle, 4.9), (Health, 3.2)][..],
+                ),
+                (
+                    AppContext::WifiOther,
+                    &[(Browser, 30.0), (Communication, 8.0), (Video, 6.0), (Business, 4.0), (Productivity, 4.0)][..],
+                ),
+            ],
+            Year::Y2015 => [
+                (
+                    AppContext::CellHome,
+                    &[(Browser, 28.3), (Video, 11.0), (Communication, 9.5), (Social, 7.9), (News, 5.8)][..],
+                ),
+                (
+                    AppContext::CellOther,
+                    &[(Browser, 28.3), (Communication, 12.7), (Video, 12.0), (News, 7.6), (Social, 6.9)][..],
+                ),
+                (
+                    AppContext::WifiHome,
+                    &[(Video, 25.4), (Browser, 20.0), (Downloading, 11.1), (Communication, 7.4), (Social, 4.7), (Productivity, 3.5)][..],
+                ),
+                (
+                    AppContext::WifiPublic,
+                    &[(Browser, 24.0), (Video, 19.6), (Downloading, 9.9), (Lifestyle, 4.1), (Communication, 3.6)][..],
+                ),
+                (
+                    AppContext::WifiOther,
+                    &[(Browser, 28.0), (Communication, 9.0), (Video, 8.0), (Productivity, 5.0), (Business, 4.0)][..],
+                ),
+            ],
+        };
+        for (ctx, head) in heads {
+            let w = &mut weights[ctx as usize];
+            let mut used = 0.0;
+            for &(cat, pct) in head {
+                w[cat.index()] = pct;
+                used += pct;
+            }
+            // Spread the remaining mass across all untouched categories.
+            let rest = (100.0 - used).max(0.0);
+            let untouched = 26 - head.len();
+            for (i, slot) in w.iter_mut().enumerate() {
+                if *slot == 0.0 {
+                    // Mild structure in the tail: social/game/music heavier
+                    // than medical/personalization.
+                    let tail_bias = match AppCategory::ALL[i] {
+                        Social | Game | Music | Shopping => 2.0,
+                        Tools | Entertainment | Maps | Photography => 1.5,
+                        _ => 0.8,
+                    };
+                    *slot = rest * tail_bias / (untouched as f64 * 1.2);
+                }
+            }
+            // Normalise to 1.
+            let total: f64 = w.iter().sum();
+            for slot in w.iter_mut() {
+                *slot /= total;
+            }
+        }
+        AppMix { year, weights }
+    }
+
+    /// Normalised RX weights for a context.
+    pub fn weights(&self, ctx: AppContext) -> &[f64; 26] {
+        &self.weights[ctx as usize]
+    }
+
+    /// Split a bin's download volume across categories for one user.
+    ///
+    /// Draws 1–4 active categories from the context mix tilted by the
+    /// user's affinities, allocates the volume across them, and derives
+    /// uploads from the per-category [`tx_ratio`]. Returns the per-category
+    /// bins plus the total TX volume.
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ctx: AppContext,
+        persona: &Persona,
+        rx_bytes: u64,
+    ) -> (Vec<AppBin>, u64) {
+        if rx_bytes == 0 {
+            return (Vec::new(), 0);
+        }
+        let w = self.weights(ctx);
+        // Tilted weights.
+        let tilted: Vec<f64> = (0..26).map(|i| w[i] * persona.app_affinity[i]).collect();
+        let total: f64 = tilted.iter().sum();
+        let n_active = 1 + rng.gen_range(0..4).min(rng.gen_range(0..4));
+        let mut picks: Vec<usize> = Vec::with_capacity(n_active);
+        for _ in 0..n_active {
+            let mut x = rng.gen_range(0.0..total);
+            for (i, &tw) in tilted.iter().enumerate() {
+                if x < tw {
+                    if !picks.contains(&i) {
+                        picks.push(i);
+                    }
+                    break;
+                }
+                x -= tw;
+            }
+        }
+        if picks.is_empty() {
+            picks.push(0);
+        }
+        // Allocate volume proportionally to the tilted weights of the picks.
+        let pick_total: f64 = picks.iter().map(|&i| tilted[i]).sum();
+        let mut bins = Vec::with_capacity(picks.len());
+        let mut tx_total = 0u64;
+        let mut assigned = 0u64;
+        for (k, &i) in picks.iter().enumerate() {
+            let share = if k + 1 == picks.len() {
+                rx_bytes - assigned
+            } else {
+                ((tilted[i] / pick_total) * rx_bytes as f64) as u64
+            };
+            assigned += share;
+            let cat = AppCategory::ALL[i];
+            let tx = (share as f64 * tx_ratio(cat)) as u64;
+            tx_total += tx;
+            if share > 0 || tx > 0 {
+                bins.push(AppBin { category: cat, rx_bytes: share, tx_bytes: tx });
+            }
+        }
+        (bins, tx_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BehaviorParams;
+    use mobitrace_geo::{DensitySurface, Grid};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_persona(seed: u64) -> Persona {
+        let params = BehaviorParams::for_year(Year::Y2015);
+        let grid = Grid::greater_tokyo();
+        let res = DensitySurface::residential();
+        let off = DensitySurface::office();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Persona::sample(&mut rng, &params, 0, &grid, &res, &off)
+    }
+
+    #[test]
+    fn weights_normalised() {
+        for y in Year::ALL {
+            let mix = AppMix::for_year(y);
+            for ctx in AppContext::ALL {
+                let s: f64 = mix.weights(ctx).iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "{y} {ctx:?}: {s}");
+                assert!(mix.weights(ctx).iter().all(|&v| v > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn table6_heads_preserved() {
+        // 2015 WiFi-home: video leads browser; 2013 WiFi-public: browser
+        // dominates (44%).
+        let m15 = AppMix::for_year(Year::Y2015);
+        let wh = m15.weights(AppContext::WifiHome);
+        assert!(wh[AppCategory::Video.index()] > wh[AppCategory::Browser.index()]);
+        let m13 = AppMix::for_year(Year::Y2013);
+        let wp = m13.weights(AppContext::WifiPublic);
+        assert!(wp[AppCategory::Browser.index()] > 0.35);
+    }
+
+    #[test]
+    fn video_migrates_to_wifi_over_years() {
+        let video = AppCategory::Video.index();
+        let v13 = AppMix::for_year(Year::Y2013).weights(AppContext::WifiHome)[video];
+        let v15 = AppMix::for_year(Year::Y2015).weights(AppContext::WifiHome)[video];
+        assert!(v15 > v13 * 3.0, "wifi-home video {v13} → {v15}");
+    }
+
+    #[test]
+    fn split_conserves_rx_volume() {
+        let mix = AppMix::for_year(Year::Y2015);
+        let p = test_persona(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for rx in [1u64, 999, 100_000, 50_000_000] {
+            let (bins, _) = mix.split(&mut rng, AppContext::WifiHome, &p, rx);
+            let total: u64 = bins.iter().map(|b| b.rx_bytes).sum();
+            assert_eq!(total, rx, "rx {rx}");
+        }
+    }
+
+    #[test]
+    fn split_zero_is_empty() {
+        let mix = AppMix::for_year(Year::Y2013);
+        let p = test_persona(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (bins, tx) = mix.split(&mut rng, AppContext::CellOther, &p, 0);
+        assert!(bins.is_empty());
+        assert_eq!(tx, 0);
+    }
+
+    #[test]
+    fn aggregate_tx_rx_ratio_plausible() {
+        // Aggregate TX should land near the paper's ~1:5 TX:RX.
+        let mix = AppMix::for_year(Year::Y2015);
+        let p = test_persona(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (mut rx_sum, mut tx_sum) = (0u64, 0u64);
+        for _ in 0..2000 {
+            let (_, tx) = mix.split(&mut rng, AppContext::CellOther, &p, 1_000_000);
+            rx_sum += 1_000_000;
+            tx_sum += tx;
+        }
+        let ratio = tx_sum as f64 / rx_sum as f64;
+        assert!((0.08..0.45).contains(&ratio), "TX/RX {ratio}");
+    }
+
+    #[test]
+    fn productivity_dominates_wifi_home_tx() {
+        // Table 7 (2014 WiFi-home): productivity is the top TX category.
+        let mix = AppMix::for_year(Year::Y2014);
+        let w = mix.weights(AppContext::WifiHome);
+        let tx_share = |c: AppCategory| w[c.index()] * tx_ratio(c);
+        assert!(tx_share(AppCategory::Productivity) > tx_share(AppCategory::Browser));
+        assert!(tx_share(AppCategory::Productivity) > tx_share(AppCategory::Video));
+    }
+}

@@ -1,0 +1,72 @@
+//! User demographics (Table 2).
+//!
+//! Each campaign recruited an independent panel whose occupation mix the
+//! paper reports. We sample occupations from exactly those marginals, so
+//! the Table 2 reproduction is a direct read-back of the population and
+//! downstream schedules inherit realistic commuter shares.
+
+use mobitrace_model::{Occupation, Year};
+use rand::Rng;
+
+/// Occupation shares (percent) per campaign year, in `Occupation::ALL`
+/// order — transcribed from Table 2 of the paper.
+pub fn occupation_shares(year: Year) -> [f64; 10] {
+    match year {
+        Year::Y2013 => [2.1, 20.0, 16.7, 12.8, 2.4, 6.1, 9.0, 15.0, 9.6, 6.3],
+        Year::Y2014 => [3.4, 20.1, 14.7, 13.7, 2.0, 6.7, 10.1, 14.2, 8.3, 6.8],
+        Year::Y2015 => [2.4, 23.6, 16.6, 13.2, 2.8, 5.6, 10.6, 13.3, 2.7, 7.1],
+    }
+}
+
+/// Sample an occupation from the year's panel mix.
+pub fn sample_occupation<R: Rng + ?Sized>(rng: &mut R, year: Year) -> Occupation {
+    let shares = occupation_shares(year);
+    let total: f64 = shares.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &s) in shares.iter().enumerate() {
+        if x < s {
+            return Occupation::ALL[i];
+        }
+        x -= s;
+    }
+    Occupation::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shares_sum_to_about_100() {
+        for y in Year::ALL {
+            let total: f64 = occupation_shares(y).iter().sum();
+            assert!((total - 100.0).abs() < 2.5, "{y}: {total}"); // Table 2 itself sums to ~98-100
+        }
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 50_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            let occ = sample_occupation(&mut rng, Year::Y2013);
+            counts[Occupation::ALL.iter().position(|&o| o == occ).unwrap()] += 1;
+        }
+        let shares = occupation_shares(Year::Y2013);
+        let total: f64 = shares.iter().sum();
+        for i in 0..10 {
+            let got = counts[i] as f64 / n as f64;
+            let want = shares[i] / total;
+            assert!((got - want).abs() < 0.01, "{:?}: {got} vs {want}", Occupation::ALL[i]);
+        }
+    }
+
+    #[test]
+    fn student_share_collapses_in_2015() {
+        // Table 2: students drop from 9.6% (2013) to 2.7% (2015).
+        assert!(occupation_shares(Year::Y2015)[8] < occupation_shares(Year::Y2013)[8] / 2.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # mobitrace-behavior
+//!
+//! The population model: who the ~1600 recruited users are and how they
+//! behave. Demographics follow the paper's Table 2; each user gets a
+//! [`Persona`] (OS, home/office geography, WiFi attitude, traffic appetite,
+//! app-category affinities), a daily [`schedule`], a traffic [`demand`]
+//! process calibrated to the paper's Table 3 volumes, an app-mix model
+//! behind Tables 6/7, an iOS-update adoption model (§3.7) and a survey
+//! response model (Tables 8/9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appmix;
+pub mod demand;
+pub mod demographics;
+pub mod params;
+pub mod persona;
+pub mod schedule;
+pub mod survey;
+pub mod update;
+
+pub use appmix::{AppContext, AppMix};
+pub use demand::DemandModel;
+pub use demographics::sample_occupation;
+pub use params::BehaviorParams;
+pub use persona::{Persona, WifiAttitude};
+pub use schedule::{Activity, DaySchedule};
+pub use survey::SurveyModel;
+pub use update::UpdateModel;

@@ -1,0 +1,344 @@
+//! Daily activity schedules.
+//!
+//! A [`DaySchedule`] assigns one [`Activity`] to each 10-minute bin of a
+//! day, generated per user per day from the persona's occupation: commuters
+//! ride trains into downtown in the 7–9 am peak and return in the evening,
+//! housewives run late-morning errands, students keep school hours, and
+//! everyone's evening stretches towards the 11 pm–1 am WiFi peak the paper
+//! observes. Sleep that starts after midnight carries over into the next
+//! day's early bins so post-midnight activity (Fig. 2/6) survives.
+
+use crate::persona::Persona;
+use mobitrace_geo::{GeoPoint, PoiSet};
+use mobitrace_model::{Occupation, Weekday, BINS_PER_DAY, BIN_MINUTES};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a user is doing in one 10-minute bin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Asleep at home (phone idle, background traffic only).
+    Asleep,
+    /// Awake at home.
+    AtHome,
+    /// On the commute; `progress` ∈ [0, 1] along the path,
+    /// `to_work == false` on the way home.
+    Commute {
+        /// Fraction of the path travelled.
+        progress: f64,
+        /// Direction.
+        to_work: bool,
+    },
+    /// At the workplace/school.
+    AtWork,
+    /// Out in a public space (lunch, errand, leisure) at a specific spot.
+    Out {
+        /// Where.
+        spot: GeoPoint,
+    },
+}
+
+impl Activity {
+    /// Relative phone-usage weight of the activity (commuters on Tokyo
+    /// trains are famously heads-down).
+    pub fn usage_weight(self) -> f64 {
+        match self {
+            Activity::Asleep => 0.03,
+            Activity::AtHome => 1.0,
+            Activity::Commute { .. } => 1.5,
+            Activity::AtWork => 0.45,
+            Activity::Out { .. } => 1.1,
+        }
+    }
+}
+
+/// One day of activities, one entry per 10-minute bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaySchedule {
+    /// Activities, `BINS_PER_DAY` entries.
+    pub slots: Vec<Activity>,
+    /// Minutes past the *following* midnight the user stays up (carried
+    /// into the next day's schedule as awake-at-home time).
+    pub carryover_min: u32,
+}
+
+impl DaySchedule {
+    /// Activity of a bin.
+    pub fn at_bin(&self, bin: u32) -> Activity {
+        self.slots[bin as usize % self.slots.len()]
+    }
+
+    /// Generate a day.
+    ///
+    /// `carryover_min` is the previous day's late-night overflow; `pois`
+    /// supplies leisure destinations (stations, shopping streets).
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        persona: &Persona,
+        weekday: Weekday,
+        carryover_min: u32,
+        pois: &PoiSet,
+    ) -> DaySchedule {
+        let mut slots = vec![Activity::Asleep; BINS_PER_DAY as usize];
+        let workday = !weekday.is_weekend() && persona.occupation.commutes();
+
+        // Wake and sleep anchors (minutes of day).
+        let (wake, sleep_start) = if workday {
+            (
+                jitter(rng, 390.0, 30.0, 300, 540), // ~6:30
+                jitter(rng, 1440.0, 50.0, 1320, 1560), // ~24:00, may cross midnight
+            )
+        } else {
+            (
+                jitter(rng, 510.0, 45.0, 360, 660), // ~8:30
+                jitter(rng, 1450.0, 55.0, 1320, 1580),
+            )
+        };
+
+        // Late-night carryover from yesterday: awake at home after midnight.
+        fill(&mut slots, 0, carryover_min, Activity::AtHome);
+        // Awake at home from wake onwards (later segments overwrite).
+        fill(&mut slots, wake, 1440, Activity::AtHome);
+        let carryover_min = sleep_start.saturating_sub(1440).min(150);
+        if sleep_start < 1440 {
+            fill(&mut slots, sleep_start, 1440, Activity::Asleep);
+        }
+
+        if workday {
+            let commute_min = persona
+                .commute
+                .as_ref()
+                .map(|c| c.minutes)
+                .unwrap_or(30)
+                .clamp(10, 120);
+            let leave = wake + jitter(rng, 70.0, 20.0, 30, 150);
+            let arrive = leave + commute_min;
+            // Work end varies by occupation; engineers/office stay later.
+            let work_end_mean = match persona.occupation {
+                Occupation::Engineer | Occupation::OfficeWorker => 1110.0, // 18:30
+                Occupation::PartTimer => 960.0,                            // 16:00
+                Occupation::Student => 970.0,
+                _ => 1080.0,
+            };
+            let work_end = jitter(rng, work_end_mean, 50.0, arrive + 120, 1380);
+            fill_commute(&mut slots, leave, arrive, true);
+            fill(&mut slots, arrive, work_end, Activity::AtWork);
+            // Lunch out with 50% probability — half the time at the
+            // station/shopping POI near the office, where public WiFi is.
+            if rng.gen_bool(0.5) {
+                if let Some(office) = persona.office {
+                    let spot = if rng.gen_bool(0.35) {
+                        pois.nearest(office)
+                    } else {
+                        near(rng, office, 0.4)
+                    };
+                    fill(&mut slots, 720, 770, Activity::Out { spot });
+                }
+            }
+            let back_home = work_end + commute_min;
+            fill_commute(&mut slots, work_end, back_home, false);
+            // Evening outing (drinks, gym, shopping) on 25% of workdays.
+            if rng.gen_bool(0.25) {
+                let spot = if rng.gen_bool(0.6) {
+                    pois.sample_point(rng)
+                } else {
+                    near(rng, persona.home, 1.5)
+                };
+                let start = back_home.max(1140);
+                let end = (start + jitter(rng, 100.0, 30.0, 40, 180)).min(1420);
+                fill(&mut slots, start, end, Activity::Out { spot });
+            }
+            // Re-assert sleep after all segments.
+            if sleep_start < 1440 {
+                fill(&mut slots, sleep_start, 1440, Activity::Asleep);
+            }
+        } else {
+            // Non-workday: housewives errand late morning; everyone may
+            // head out for leisure in the afternoon.
+            if persona.occupation == Occupation::Housewife || rng.gen_bool(0.35) {
+                let spot = near(rng, persona.home, 2.0);
+                let start = jitter(rng, 630.0, 40.0, 540, 720);
+                fill(&mut slots, start, start + 80, Activity::Out { spot });
+            }
+            if rng.gen_bool(if weekday.is_weekend() { 0.55 } else { 0.25 }) {
+                let spot = if rng.gen_bool(0.55) {
+                    pois.sample_point(rng)
+                } else {
+                    near(rng, persona.home, 3.0)
+                };
+                let start = jitter(rng, 840.0, 80.0, 720, 1100);
+                let end = start + jitter(rng, 150.0, 50.0, 60, 280);
+                fill(&mut slots, start, end.min(1420), Activity::Out { spot });
+            }
+            if sleep_start < 1440 {
+                fill(&mut slots, sleep_start, 1440, Activity::Asleep);
+            }
+        }
+
+        DaySchedule { slots, carryover_min }
+    }
+}
+
+/// Clamp-jittered Gaussian in minutes.
+fn jitter<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64, lo: u32, hi: u32) -> u32 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + sigma * z).clamp(lo as f64, hi as f64) as u32
+}
+
+/// Random spot within `radius_km` of a centre.
+fn near<R: Rng + ?Sized>(rng: &mut R, centre: GeoPoint, radius_km: f64) -> GeoPoint {
+    let r = radius_km * rng.gen_range(0.0f64..1.0).sqrt();
+    let theta = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+    centre.offset_km(r * theta.cos(), r * theta.sin())
+}
+
+fn fill(slots: &mut [Activity], from_min: u32, to_min: u32, act: Activity) {
+    let len = slots.len();
+    let from = ((from_min / BIN_MINUTES) as usize).min(len);
+    let to = (to_min.div_ceil(BIN_MINUTES) as usize).min(len);
+    for s in &mut slots[from.min(to)..to] {
+        *s = act;
+    }
+}
+
+fn fill_commute(slots: &mut [Activity], from_min: u32, to_min: u32, to_work: bool) {
+    if to_min <= from_min {
+        return;
+    }
+    let len = slots.len();
+    let from = ((from_min / BIN_MINUTES) as usize).min(len);
+    let to = (to_min.div_ceil(BIN_MINUTES) as usize).min(len);
+    let n = to.saturating_sub(from).max(1);
+    for (k, s) in slots[from.min(to)..to].iter_mut().enumerate() {
+        let progress = (k as f64 + 0.5) / n as f64;
+        *s = Activity::Commute { progress, to_work };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BehaviorParams;
+    use mobitrace_geo::{DensitySurface, Grid};
+    use mobitrace_model::Year;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_persona(seed: u64, year: Year) -> Persona {
+        let params = BehaviorParams::for_year(year);
+        let grid = Grid::greater_tokyo();
+        let res = DensitySurface::residential();
+        let off = DensitySurface::office();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Draw until we get a commuting office worker for workday tests.
+        loop {
+            let p = Persona::sample(&mut rng, &params, 0, &grid, &res, &off);
+            if p.occupation == Occupation::OfficeWorker {
+                return p;
+            }
+        }
+    }
+
+    fn public() -> PoiSet {
+        use rand::SeedableRng;
+        PoiSet::generate(80, &mut rand_chacha::ChaCha8Rng::seed_from_u64(999))
+    }
+
+    #[test]
+    fn workday_contains_work_and_commute() {
+        let p = sample_persona(1, Year::Y2015);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let s = DaySchedule::generate(&mut rng, &p, Weekday::Tue, 0, &public());
+        assert_eq!(s.slots.len(), BINS_PER_DAY as usize);
+        let works = s.slots.iter().filter(|a| matches!(a, Activity::AtWork)).count();
+        let commutes = s
+            .slots
+            .iter()
+            .filter(|a| matches!(a, Activity::Commute { .. }))
+            .count();
+        assert!(works >= 30, "work bins {works}"); // ≥ 5 hours
+        assert!(commutes >= 2, "commute bins {commutes}");
+        // Morning commute heads to work; evening heads home.
+        let first = s
+            .slots
+            .iter()
+            .find_map(|a| match a {
+                Activity::Commute { to_work, .. } => Some(*to_work),
+                _ => None,
+            })
+            .unwrap();
+        assert!(first);
+    }
+
+    #[test]
+    fn weekend_has_no_work() {
+        let p = sample_persona(3, Year::Y2013);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let s = DaySchedule::generate(&mut rng, &p, Weekday::Sun, 0, &public());
+        assert!(!s.slots.iter().any(|a| matches!(a, Activity::AtWork)));
+        assert!(!s.slots.iter().any(|a| matches!(a, Activity::Commute { .. })));
+    }
+
+    #[test]
+    fn night_bins_are_asleep() {
+        let p = sample_persona(5, Year::Y2014);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let s = DaySchedule::generate(&mut rng, &p, Weekday::Wed, 0, &public());
+        // 3:00–5:00 should be asleep for practically everyone.
+        for bin in 18..30 {
+            assert_eq!(s.at_bin(bin), Activity::Asleep, "bin {bin}");
+        }
+    }
+
+    #[test]
+    fn carryover_keeps_user_up_past_midnight() {
+        let p = sample_persona(7, Year::Y2015);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let s = DaySchedule::generate(&mut rng, &p, Weekday::Fri, 60, &public());
+        // First 60 minutes = 6 bins awake at home.
+        for bin in 0..6 {
+            assert_eq!(s.at_bin(bin), Activity::AtHome, "bin {bin}");
+        }
+    }
+
+    #[test]
+    fn some_evenings_run_past_midnight() {
+        let p = sample_persona(9, Year::Y2015);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut carried = 0;
+        for day in 0..40 {
+            let wd = Weekday::from_index(day % 7);
+            let s = DaySchedule::generate(&mut rng, &p, wd, 0, &public());
+            if s.carryover_min > 0 {
+                carried += 1;
+            }
+        }
+        assert!(carried > 5, "only {carried}/40 late nights");
+    }
+
+    #[test]
+    fn commute_progress_monotone() {
+        let p = sample_persona(11, Year::Y2015);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let s = DaySchedule::generate(&mut rng, &p, Weekday::Mon, 0, &public());
+        let mut last = -1.0;
+        for a in &s.slots {
+            if let Activity::Commute { progress, to_work: true } = a {
+                assert!(*progress > last, "morning progress not monotone");
+                last = *progress;
+            }
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn usage_weights_rank_sensibly() {
+        assert!(Activity::Asleep.usage_weight() < Activity::AtWork.usage_weight());
+        assert!(
+            Activity::AtWork.usage_weight()
+                < Activity::Commute { progress: 0.5, to_work: true }.usage_weight()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! One bench per paper table: times the analysis that regenerates it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobitrace_bench::bench_set;
+use mobitrace_core::AnalysisContext;
+use mobitrace_model::Year;
+use mobitrace_report::{run_experiment, CampaignSet};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let set: CampaignSet = bench_set();
+    let ctxs = set.contexts();
+    let mut group = c.benchmark_group("paper_tables");
+    group.sample_size(20);
+    for id in [
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    ] {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(id, &set, &ctxs).expect("known id")))
+        });
+    }
+    // The shared preprocessing the tables build on.
+    group.bench_function("analysis_context_2015", |b| {
+        b.iter(|| black_box(AnalysisContext::new(set.year(Year::Y2015))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

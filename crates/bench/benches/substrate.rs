@@ -1,0 +1,168 @@
+//! Ablation benches for the substrate design choices DESIGN.md calls out:
+//! the wire codec, server ingest, spatial-index scans, the classification
+//! heuristics, counter-delta cleaning, RNG stream derivation, and the
+//! simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobitrace_bench::{bench_set, BENCH_SEED};
+use mobitrace_collector::{decode_frame, encode_frame, CollectionServer};
+use mobitrace_deploy::world::WorldSpec;
+use mobitrace_deploy::{ApWorld, DeployParams};
+use mobitrace_geo::{DensitySurface, Grid, PoiSet};
+use mobitrace_model::*;
+use mobitrace_sim::{run_campaign, CampaignConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn sample_record(seq: u32) -> Record {
+    let mut counters = CounterSnapshot::default();
+    counters.lte.add(ByteCount::mb(3), ByteCount::kb(500));
+    counters.wifi.add(ByteCount::mb(11), ByteCount::mb(2));
+    Record {
+        device: DeviceId(seq % 500),
+        os: Os::Android,
+        seq,
+        time: SimTime::from_minutes(seq * 10),
+        boot_epoch: 0,
+        counters,
+        wifi: WifiState::Associated(AssocInfo {
+            bssid: Bssid::from_u64(u64::from(seq)),
+            essid: Essid::new("aterm-0a1b2c"),
+            band: Band::Ghz24,
+            channel: Channel(6),
+            rssi: Dbm::new(-57),
+        }),
+        scan: ScanSummary { n24_all: 9, n24_strong: 3, ..ScanSummary::default() },
+        apps: vec![AppCounter {
+            category: AppCategory::Video,
+            counters: TrafficCounters {
+                rx_bytes: 1 << 20,
+                tx_bytes: 1 << 14,
+                rx_pkts: 1200,
+                tx_pkts: 90,
+            },
+        }],
+        geo: CellId::new(12, 8),
+        battery_pct: 77,
+        tethering: false,
+        os_version: OsVersion::new(4, 4),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let record = sample_record(7);
+    let frame = encode_frame(&record);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_frame", |b| b.iter(|| black_box(encode_frame(&record))));
+    group.bench_function("decode_frame", |b| {
+        b.iter(|| black_box(decode_frame(&frame).expect("valid frame")))
+    });
+    group.finish();
+}
+
+fn bench_server_ingest(c: &mut Criterion) {
+    let frames: Vec<_> = (0..1000u32).map(|s| encode_frame(&sample_record(s))).collect();
+    let mut group = c.benchmark_group("server");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("ingest_1000_frames", |b| {
+        b.iter(|| {
+            let server = CollectionServer::new();
+            for f in &frames {
+                let _ = server.ingest(f);
+            }
+            black_box(server.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_world(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    let res = DensitySurface::residential();
+    let homes: Vec<(u32, mobitrace_geo::GeoPoint)> =
+        (0..80).map(|k| (k, res.sample_point(&mut rng))).collect();
+    let pois = PoiSet::generate(40, &mut rng);
+    let spec = WorldSpec {
+        params: DeployParams::for_year(Year::Y2015),
+        participant_homes: homes,
+        office_sites: vec![],
+        pois,
+        n_participants: 100,
+        fon_home_share: 0.03,
+    };
+    let world = ApWorld::generate(&spec, &mut rng);
+    let grid = Grid::greater_tokyo();
+    let probe = grid.centre_of(CellId::new(15, 12));
+    let mut group = c.benchmark_group("world");
+    group.bench_function("generate_100_user_world", |b| {
+        b.iter_batched(
+            || ChaCha8Rng::seed_from_u64(BENCH_SEED),
+            |mut r| black_box(ApWorld::generate(&spec, &mut r)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("scan_query", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(world.scan(probe, &mut r)))
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let set = bench_set();
+    let ds = set.year(Year::Y2015);
+    let mut group = c.benchmark_group("classification");
+    group.sample_size(20);
+    group.bench_function("ap_classify_2015", |b| {
+        b.iter(|| black_box(mobitrace_core::apclass::classify(ds)))
+    });
+    group.bench_function("user_days_2015", |b| {
+        b.iter(|| black_box(mobitrace_core::daily::user_days(ds)))
+    });
+    group.finish();
+}
+
+/// Ablation: per-device ChaCha streams vs a single shared stream would
+/// serialise the simulator; measure the stream-derivation cost that buys
+/// the parallelism.
+fn bench_rng_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("derive_device_stream", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                BENCH_SEED ^ (u64::from(i) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            black_box(rng.gen::<u64>())
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("campaign_30_users_4_days", |b| {
+        b.iter(|| {
+            let mut cfg = CampaignConfig::scaled(Year::Y2014, 0.017);
+            cfg.days = 4;
+            cfg.seed = BENCH_SEED;
+            black_box(run_campaign(&cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_server_ingest,
+    bench_world,
+    bench_classification,
+    bench_rng_streams,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! # mobitrace-bench
+//!
+//! Criterion benchmark harness. Three suites:
+//!
+//! - `paper_tables` — the analysis behind every table (Tables 1–9);
+//! - `paper_figures` — the analysis behind every figure (Figs. 1–19) plus
+//!   the in-text estimates;
+//! - `substrate` — ablation benches for the design choices DESIGN.md calls
+//!   out: wire-codec throughput, server ingest, spatial-index scans,
+//!   AP-classification passes, counter-delta cleaning and campaign
+//!   simulation itself.
+//!
+//! Datasets are simulated once per suite (outside the timed loops) at a
+//! small scale; the timed code is the *analysis*, which is what a consumer
+//! of this library runs repeatedly.
+
+#![forbid(unsafe_code)]
+
+use mobitrace_report::CampaignSet;
+
+/// Campaign scale used by the benches: big enough that analyses measure
+/// real work, small enough that suite setup stays in seconds.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// Seed for bench datasets (fixed: benches must compare like with like).
+pub const BENCH_SEED: u64 = 0xBEEF;
+
+/// Simulate the bench campaign set once.
+pub fn bench_set() -> CampaignSet {
+    CampaignSet::simulate(BENCH_SCALE, BENCH_SEED)
+}

@@ -1,0 +1,280 @@
+//! The soft bandwidth cap.
+//!
+//! "A typical bandwidth cap begins after 1 GB is received over the previous
+//! three days. The download speed of users over the cap will be limited
+//! (e.g., 128 kbps) during peak hours for the next few days." (§3.8)
+//!
+//! [`CapPolicy`] encodes the rule; [`CapTracker`] is the per-subscriber
+//! enforcement state machine the simulator consults before sizing a
+//! cellular transfer. Because the throttle applies only during peak hours,
+//! users who shift downloads off-peak legitimately escape punishment — the
+//! effect the paper observes for "potentially capped but not penalized"
+//! users.
+
+use mobitrace_model::{ByteCount, DataRate, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Daily hours during which an over-cap subscriber is throttled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeakHours {
+    /// Half-open hour ranges `[start, end)` in local time.
+    pub ranges: Vec<(u32, u32)>,
+}
+
+impl PeakHours {
+    /// The default enforcement window: morning commute and the long
+    /// evening peak.
+    pub fn standard() -> PeakHours {
+        PeakHours { ranges: vec![(7, 9), (17, 24)] }
+    }
+
+    /// Is the given hour inside a peak range?
+    pub fn contains(&self, hour: u32) -> bool {
+        let h = hour % 24;
+        self.ranges.iter().any(|&(s, e)| (s..e).contains(&h))
+    }
+}
+
+/// A carrier's soft-cap policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapPolicy {
+    /// Download volume over the trailing window that triggers the cap.
+    pub threshold: ByteCount,
+    /// Length of the trailing window in days.
+    pub window_days: u32,
+    /// Throttled rate while capped in peak hours.
+    pub throttle: DataRate,
+    /// When during the day throttling is enforced.
+    pub peak: PeakHours,
+    /// Marker for the February 2015 relaxation.
+    relaxed: bool,
+}
+
+impl CapPolicy {
+    /// A custom policy (for what-if experiments).
+    pub fn custom(
+        threshold: ByteCount,
+        window_days: u32,
+        throttle: DataRate,
+        peak: PeakHours,
+    ) -> CapPolicy {
+        CapPolicy { threshold, window_days, throttle, peak, relaxed: true }
+    }
+
+    /// The standard 2013/2014 policy: 1 GB over 3 days → 128 kbps in peak
+    /// hours.
+    pub fn standard() -> CapPolicy {
+        CapPolicy {
+            threshold: ByteCount::gb(1),
+            window_days: 3,
+            throttle: DataRate::kbps(128.0),
+            peak: PeakHours::standard(),
+            relaxed: false,
+        }
+    }
+
+    /// The relaxed policy two carriers adopted in February 2015: a higher
+    /// trigger and a gentler throttle, shrinking the capped-vs-others gap
+    /// the paper measures in Fig. 19 (median gap 0.29 → 0.15).
+    pub fn relaxed_2015() -> CapPolicy {
+        CapPolicy {
+            threshold: ByteCount::gb(3),
+            window_days: 3,
+            throttle: DataRate::kbps(300.0),
+            peak: PeakHours::standard(),
+            relaxed: true,
+        }
+    }
+
+    /// Was this the relaxed 2015 policy?
+    pub fn is_relaxed(&self) -> bool {
+        self.relaxed
+    }
+}
+
+/// Per-subscriber enforcement state.
+///
+/// The carrier meters *cellular downlink* volume per calendar day; at any
+/// instant the subscriber is capped if the sum over the previous
+/// `window_days` complete days reached the threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapTracker {
+    policy: CapPolicy,
+    /// Daily cellular downlink volumes: `seed_len` pre-campaign days
+    /// followed by campaign days.
+    daily: Vec<ByteCount>,
+    /// Number of pre-campaign seed days at the front of `daily`.
+    seed_len: usize,
+}
+
+impl CapTracker {
+    /// New tracker under a policy. `pre_campaign` seeds the days *before*
+    /// day 0 (most recent last) so a heavy hitter can already be capped on
+    /// the first campaign day.
+    pub fn new(policy: CapPolicy, pre_campaign: &[ByteCount]) -> CapTracker {
+        CapTracker { policy, daily: pre_campaign.to_vec(), seed_len: pre_campaign.len() }
+    }
+
+    /// Number of pre-campaign seed days.
+    fn seed_days(&self) -> usize {
+        self.seed_len
+    }
+
+    /// Record cellular downlink volume at `t`.
+    pub fn record(&mut self, t: SimTime, rx: ByteCount) {
+        let idx = self.seed_days() + t.day() as usize;
+        if self.daily.len() <= idx {
+            self.daily.resize(idx + 1, ByteCount::ZERO);
+        }
+        self.daily[idx] += rx;
+    }
+
+    /// Volume over the `window_days` complete days preceding the day of
+    /// `t`.
+    pub fn trailing_window(&self, t: SimTime) -> ByteCount {
+        let today = self.seed_days() + t.day() as usize;
+        let w = self.policy.window_days as usize;
+        let lo = today.saturating_sub(w);
+        self.daily[lo.min(self.daily.len())..today.min(self.daily.len())]
+            .iter()
+            .copied()
+            .sum()
+    }
+
+    /// Is the subscriber over the trigger threshold at `t`?
+    pub fn over_threshold(&self, t: SimTime) -> bool {
+        self.trailing_window(t) >= self.policy.threshold
+    }
+
+    /// The rate limit in force at `t`: `None` when unthrottled, or the
+    /// policy throttle when over threshold *and* inside peak hours.
+    pub fn rate_limit(&self, t: SimTime) -> Option<DataRate> {
+        if self.over_threshold(t) && self.policy.peak.contains(t.hour()) {
+            Some(self.policy.throttle)
+        } else {
+            None
+        }
+    }
+
+    /// The policy under enforcement.
+    pub fn policy(&self) -> &CapPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(day: u32, hour: u32) -> SimTime {
+        SimTime::from_day_minute(day, hour * 60)
+    }
+
+    #[test]
+    fn peak_hours_membership() {
+        let p = PeakHours::standard();
+        assert!(p.contains(7));
+        assert!(p.contains(8));
+        assert!(!p.contains(9));
+        assert!(p.contains(17));
+        assert!(p.contains(23));
+        assert!(!p.contains(0));
+        assert!(!p.contains(24)); // wraps to 0
+    }
+
+    #[test]
+    fn under_threshold_never_throttled() {
+        let mut tr = CapTracker::new(CapPolicy::standard(), &[]);
+        tr.record(t(0, 10), ByteCount::mb(300));
+        tr.record(t(1, 10), ByteCount::mb(300));
+        tr.record(t(2, 10), ByteCount::mb(300));
+        // 900 MB over previous 3 days: below the 1 GB trigger.
+        assert!(!tr.over_threshold(t(3, 18)));
+        assert_eq!(tr.rate_limit(t(3, 18)), None);
+    }
+
+    #[test]
+    fn over_threshold_throttled_only_in_peak() {
+        let mut tr = CapTracker::new(CapPolicy::standard(), &[]);
+        tr.record(t(0, 10), ByteCount::mb(600));
+        tr.record(t(1, 10), ByteCount::mb(600));
+        assert!(tr.over_threshold(t(2, 12)));
+        assert_eq!(tr.rate_limit(t(2, 18)), Some(DataRate::kbps(128.0)));
+        // Off-peak: free to download at full speed — the escape hatch the
+        // paper observes.
+        assert_eq!(tr.rate_limit(t(2, 3)), None);
+    }
+
+    #[test]
+    fn window_slides_and_cap_expires() {
+        let mut tr = CapTracker::new(CapPolicy::standard(), &[]);
+        tr.record(t(0, 10), ByteCount::gb(2));
+        assert!(tr.over_threshold(t(1, 12)));
+        assert!(tr.over_threshold(t(3, 12)));
+        // Day 4: the binge on day 0 left the 3-day window.
+        assert!(!tr.over_threshold(t(4, 12)));
+    }
+
+    #[test]
+    fn same_day_usage_does_not_trigger() {
+        // The window covers *previous complete days*; today's own volume
+        // only matters tomorrow.
+        let mut tr = CapTracker::new(CapPolicy::standard(), &[]);
+        tr.record(t(0, 9), ByteCount::gb(5));
+        assert!(!tr.over_threshold(t(0, 20)));
+        assert!(tr.over_threshold(t(1, 8)));
+    }
+
+    #[test]
+    fn pre_campaign_seed_counts() {
+        let tr = CapTracker::new(
+            CapPolicy::standard(),
+            &[ByteCount::mb(500), ByteCount::mb(600)],
+        );
+        assert!(tr.over_threshold(t(0, 8)));
+    }
+
+    #[test]
+    fn relaxed_policy_harder_to_trigger() {
+        let mut std_tr = CapTracker::new(CapPolicy::standard(), &[]);
+        let mut rel_tr = CapTracker::new(CapPolicy::relaxed_2015(), &[]);
+        for d in 0..2 {
+            std_tr.record(t(d, 10), ByteCount::mb(700));
+            rel_tr.record(t(d, 10), ByteCount::mb(700));
+        }
+        assert!(std_tr.over_threshold(t(2, 18)));
+        assert!(!rel_tr.over_threshold(t(2, 18)));
+    }
+
+    proptest! {
+        #[test]
+        fn rate_limit_iff_over_threshold_and_peak(
+            volumes in proptest::collection::vec(0u64..2_000, 1..6),
+            hour in 0u32..24
+        ) {
+            let mut tr = CapTracker::new(CapPolicy::standard(), &[]);
+            for (d, mb) in volumes.iter().enumerate() {
+                tr.record(t(d as u32, 12), ByteCount::mb(*mb));
+            }
+            let now = t(volumes.len() as u32, hour);
+            let limited = tr.rate_limit(now).is_some();
+            let expected = tr.over_threshold(now) && PeakHours::standard().contains(hour);
+            prop_assert_eq!(limited, expected);
+        }
+
+        #[test]
+        fn trailing_window_never_exceeds_total(
+            volumes in proptest::collection::vec(0u64..2_000, 1..10)
+        ) {
+            let mut tr = CapTracker::new(CapPolicy::standard(), &[]);
+            let mut total = 0u64;
+            for (d, mb) in volumes.iter().enumerate() {
+                tr.record(t(d as u32, 12), ByteCount::mb(*mb));
+                total += mb * 1_000_000;
+            }
+            let w = tr.trailing_window(t(volumes.len() as u32, 0));
+            prop_assert!(w.as_bytes() <= total);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Carrier model: market shares, LTE rollout, and cap-policy selection.
+
+use crate::cap::CapPolicy;
+use mobitrace_model::{Carrier, CellTech, Year};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-carrier, per-year properties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarrierModel {
+    /// Which carrier.
+    pub carrier: Carrier,
+    /// Campaign year.
+    pub year: Year,
+}
+
+impl CarrierModel {
+    /// Construct the model for a carrier in a campaign year.
+    pub fn new(carrier: Carrier, year: Year) -> CarrierModel {
+        CarrierModel { carrier, year }
+    }
+
+    /// Market share used when recruiting users "in consideration of the
+    /// market share of major Japanese cellular providers" (§2).
+    pub fn market_share(carrier: Carrier) -> f64 {
+        match carrier {
+            Carrier::A => 0.43,
+            Carrier::B => 0.29,
+            Carrier::C => 0.28,
+        }
+    }
+
+    /// Draw a carrier according to market share.
+    pub fn sample_carrier<R: Rng + ?Sized>(rng: &mut R) -> Carrier {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for c in Carrier::ALL {
+            acc += CarrierModel::market_share(c);
+            if x < acc {
+                return c;
+            }
+        }
+        Carrier::C
+    }
+
+    /// Probability that a device on this carrier in this year is an LTE
+    /// device. Calibrated so the population-wide share matches Table 1
+    /// (25% / 70% / 80%); carrier A rolled out slightly ahead.
+    pub fn lte_share(&self) -> f64 {
+        let base = match self.year {
+            Year::Y2013 => 0.25,
+            Year::Y2014 => 0.70,
+            Year::Y2015 => 0.80,
+        };
+        let tilt: f64 = match self.carrier {
+            Carrier::A => 0.04,
+            Carrier::B => 0.0,
+            Carrier::C => -0.04,
+        };
+        (base + tilt).clamp(0.0, 1.0)
+    }
+
+    /// Draw the device's cellular technology.
+    pub fn sample_tech<R: Rng + ?Sized>(&self, rng: &mut R) -> CellTech {
+        if rng.gen_range(0.0..1.0) < self.lte_share() {
+            CellTech::Lte
+        } else {
+            CellTech::G3
+        }
+    }
+
+    /// The soft-cap policy this carrier applies in this year. Two of the
+    /// three carriers relaxed their policy in February 2015 (§3.8).
+    pub fn cap_policy(&self) -> CapPolicy {
+        let relaxed = self.year == Year::Y2015 && matches!(self.carrier, Carrier::A | Carrier::B);
+        if relaxed {
+            CapPolicy::relaxed_2015()
+        } else {
+            CapPolicy::standard()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn market_shares_sum_to_one() {
+        let sum: f64 = Carrier::ALL.iter().map(|&c| CarrierModel::market_share(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_carrier_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[CarrierModel::sample_carrier(&mut rng).index()] += 1;
+        }
+        for c in Carrier::ALL {
+            let got = counts[c.index()] as f64 / n as f64;
+            let want = CarrierModel::market_share(c);
+            assert!((got - want).abs() < 0.02, "{c:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lte_share_matches_table1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for (year, want) in [(Year::Y2013, 0.25), (Year::Y2014, 0.70), (Year::Y2015, 0.80)] {
+            let mut lte = 0usize;
+            let n = 30_000;
+            for _ in 0..n {
+                let c = CarrierModel::sample_carrier(&mut rng);
+                if CarrierModel::new(c, year).sample_tech(&mut rng) == CellTech::Lte {
+                    lte += 1;
+                }
+            }
+            let got = lte as f64 / n as f64;
+            assert!((got - want).abs() < 0.03, "{year}: LTE share {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn lte_share_grows_each_year() {
+        for c in Carrier::ALL {
+            let s13 = CarrierModel::new(c, Year::Y2013).lte_share();
+            let s14 = CarrierModel::new(c, Year::Y2014).lte_share();
+            let s15 = CarrierModel::new(c, Year::Y2015).lte_share();
+            assert!(s13 < s14 && s14 < s15, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn exactly_two_carriers_relax_in_2015() {
+        let relaxed = Carrier::ALL
+            .iter()
+            .filter(|&&c| CarrierModel::new(c, Year::Y2015).cap_policy().is_relaxed())
+            .count();
+        assert_eq!(relaxed, 2);
+        for c in Carrier::ALL {
+            assert!(!CarrierModel::new(c, Year::Y2014).cap_policy().is_relaxed());
+            assert!(!CarrierModel::new(c, Year::Y2013).cap_policy().is_relaxed());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # mobitrace-cellular
+//!
+//! Cellular substrate: the three (anonymised) Japanese carriers, the 3G→LTE
+//! rollout across the 2013–2015 campaigns (Table 1: 25% → 70% → 80% LTE
+//! share), link-rate models for both technologies, and — central to the
+//! paper's §3.8 — the *soft bandwidth cap* policy engine: download more
+//! than 1 GB over the previous three days and your peak-hour rate drops to
+//! 128 kbps, with two carriers relaxing the policy in February 2015.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cap;
+pub mod carrier;
+pub mod tech;
+
+pub use cap::{CapPolicy, CapTracker, PeakHours};
+pub use carrier::CarrierModel;
+pub use tech::cell_link_rate;

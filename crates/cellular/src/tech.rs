@@ -1,0 +1,71 @@
+//! Cellular link rates.
+//!
+//! Effective (application-level) rates for 3G and LTE, modulated by a
+//! diurnal congestion factor: commute-hour and evening load reduce the
+//! per-user share of cell capacity, as every Japanese carrier's network
+//! exhibited during the study period.
+
+use mobitrace_model::{CellTech, DataRate};
+
+/// Diurnal congestion multiplier in (0, 1]; 1 = empty network.
+///
+/// Loaded at the morning commute (7–9), lunch (12) and evening (18–23),
+/// matching the cellular RX peaks the paper observes in Fig. 2.
+pub fn congestion_factor(hour: u32) -> f64 {
+    match hour {
+        7..=8 => 0.55,
+        9 | 12 => 0.65,
+        18..=22 => 0.50,
+        23 => 0.70,
+        10 | 11 | 13..=17 => 0.80,
+        _ => 0.95,
+    }
+}
+
+/// Effective downlink rate for a technology at a given hour.
+pub fn cell_link_rate(tech: CellTech, hour: u32) -> DataRate {
+    let base = match tech {
+        // HSPA-class effective goodput.
+        CellTech::G3 => DataRate::mbps(3.0),
+        // Category-4-era LTE effective goodput.
+        CellTech::Lte => DataRate::mbps(18.0),
+    };
+    DataRate::from_bits_per_sec(base.as_bits_per_sec() * congestion_factor(hour % 24))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lte_faster_than_3g_every_hour() {
+        for h in 0..24 {
+            assert!(
+                cell_link_rate(CellTech::Lte, h).as_bits_per_sec()
+                    > cell_link_rate(CellTech::G3, h).as_bits_per_sec() * 3.0
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_in_unit_interval() {
+        for h in 0..24 {
+            let f = congestion_factor(h);
+            assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    #[test]
+    fn commute_hours_congested() {
+        assert!(congestion_factor(8) < congestion_factor(3));
+        assert!(congestion_factor(20) < congestion_factor(14));
+    }
+
+    #[test]
+    fn hour_wraps() {
+        assert_eq!(
+            cell_link_rate(CellTech::Lte, 25).as_bits_per_sec(),
+            cell_link_rate(CellTech::Lte, 1).as_bits_per_sec()
+        );
+    }
+}

@@ -1,0 +1,495 @@
+//! Binary wire format for agent uploads.
+//!
+//! One frame carries one [`Record`]:
+//!
+//! ```text
+//! +------+-----+-------------+---------+-------+
+//! | MTRC | ver | payload_len | payload | crc32 |
+//! +------+-----+-------------+---------+-------+
+//!   4 B    1 B     varint       n B       4 B
+//! ```
+//!
+//! The payload encodes integers as LEB128 varints and strings with a
+//! varint length prefix. The CRC-32 (IEEE, table-driven) covers the
+//! payload; the server rejects frames whose checksum fails (the transport
+//! may corrupt bytes in flight).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mobitrace_model::{
+    AppCategory, AppCounter, AssocInfo, Band, Bssid, CellId, Channel, CounterSnapshot, Dbm,
+    DeviceId, Essid, Os, OsVersion, Record, ScanSummary, SimTime, TrafficCounters, WifiState,
+};
+
+/// Frame magic bytes.
+pub const MAGIC: [u8; 4] = *b"MTRC";
+/// Wire format version.
+pub const VERSION: u8 = 1;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame does not start with the magic bytes.
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Frame shorter than its header claims.
+    Truncated,
+    /// CRC mismatch (corrupted in flight).
+    BadChecksum,
+    /// Payload structure invalid (bad enum tag, overlong varint, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadChecksum => write!(f, "checksum mismatch"),
+            CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    for shift in (0..10).map(|i| i * 7) {
+        if !buf.has_remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(CodecError::Malformed("varint too long"))
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if len > 1024 {
+        return Err(CodecError::Malformed("string too long"));
+    }
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CodecError::Malformed("invalid utf-8"))
+}
+
+fn put_counters(buf: &mut BytesMut, c: &TrafficCounters) {
+    put_varint(buf, c.rx_bytes);
+    put_varint(buf, c.tx_bytes);
+    put_varint(buf, c.rx_pkts);
+    put_varint(buf, c.tx_pkts);
+}
+
+fn get_counters(buf: &mut Bytes) -> Result<TrafficCounters, CodecError> {
+    Ok(TrafficCounters {
+        rx_bytes: get_varint(buf)?,
+        tx_bytes: get_varint(buf)?,
+        rx_pkts: get_varint(buf)?,
+        tx_pkts: get_varint(buf)?,
+    })
+}
+
+/// Zig-zag encode a signed value.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encode one record into a framed byte buffer.
+pub fn encode_frame(r: &Record) -> Bytes {
+    let mut payload = BytesMut::with_capacity(192);
+    put_varint(&mut payload, u64::from(r.device.0));
+    payload.put_u8(match r.os {
+        Os::Android => 0,
+        Os::Ios => 1,
+    });
+    put_varint(&mut payload, u64::from(r.seq));
+    put_varint(&mut payload, u64::from(r.time.minute));
+    put_varint(&mut payload, u64::from(r.boot_epoch));
+    put_counters(&mut payload, &r.counters.cell3g);
+    put_counters(&mut payload, &r.counters.lte);
+    put_counters(&mut payload, &r.counters.wifi);
+    match &r.wifi {
+        WifiState::Off => payload.put_u8(0),
+        WifiState::OnUnassociated => payload.put_u8(1),
+        WifiState::Associated(a) => {
+            payload.put_u8(2);
+            payload.put_slice(&a.bssid.0);
+            put_string(&mut payload, a.essid.as_str());
+            payload.put_u8(match a.band {
+                Band::Ghz24 => 0,
+                Band::Ghz5 => 1,
+            });
+            payload.put_u8(a.channel.0);
+            put_varint(&mut payload, zigzag(i64::from((a.rssi.as_f64() * 10.0) as i32)));
+        }
+    }
+    for n in [
+        r.scan.n24_all,
+        r.scan.n24_strong,
+        r.scan.n5_all,
+        r.scan.n5_strong,
+        r.scan.n24_public_all,
+        r.scan.n24_public_strong,
+        r.scan.n5_public_all,
+        r.scan.n5_public_strong,
+    ] {
+        put_varint(&mut payload, u64::from(n));
+    }
+    put_varint(&mut payload, r.apps.len() as u64);
+    for app in &r.apps {
+        payload.put_u8(app.category.index() as u8);
+        put_counters(&mut payload, &app.counters);
+    }
+    put_varint(&mut payload, zigzag(i64::from(r.geo.x)));
+    put_varint(&mut payload, zigzag(i64::from(r.geo.y)));
+    payload.put_u8(r.battery_pct);
+    payload.put_u8(u8::from(r.tethering));
+    payload.put_u8(r.os_version.major);
+    payload.put_u8(r.os_version.minor);
+
+    let mut frame = BytesMut::with_capacity(payload.len() + 16);
+    frame.put_slice(&MAGIC);
+    frame.put_u8(VERSION);
+    put_varint(&mut frame, payload.len() as u64);
+    frame.put_slice(&payload);
+    frame.put_u32(crc32(&payload));
+    frame.freeze()
+}
+
+/// Decode one framed record.
+pub fn decode_frame(frame: &Bytes) -> Result<Record, CodecError> {
+    let mut buf = frame.clone();
+    if buf.remaining() < 5 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let len = get_varint(&mut buf)? as usize;
+    if buf.remaining() < len + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let payload = buf.copy_to_bytes(len);
+    let crc = buf.get_u32();
+    if crc != crc32(&payload) {
+        return Err(CodecError::BadChecksum);
+    }
+
+    let mut p = payload;
+    let device = DeviceId(get_varint(&mut p)? as u32);
+    let os = match p_get_u8(&mut p)? {
+        0 => Os::Android,
+        1 => Os::Ios,
+        _ => return Err(CodecError::Malformed("os tag")),
+    };
+    let seq = get_varint(&mut p)? as u32;
+    let time = SimTime::from_minutes(get_varint(&mut p)? as u32);
+    let boot_epoch = get_varint(&mut p)? as u16;
+    let counters = CounterSnapshot {
+        cell3g: get_counters(&mut p)?,
+        lte: get_counters(&mut p)?,
+        wifi: get_counters(&mut p)?,
+    };
+    let wifi = match p_get_u8(&mut p)? {
+        0 => WifiState::Off,
+        1 => WifiState::OnUnassociated,
+        2 => {
+            let mut mac = [0u8; 6];
+            if p.remaining() < 6 {
+                return Err(CodecError::Truncated);
+            }
+            p.copy_to_slice(&mut mac);
+            let essid = Essid::new(get_string(&mut p)?);
+            let band = match p_get_u8(&mut p)? {
+                0 => Band::Ghz24,
+                1 => Band::Ghz5,
+                _ => return Err(CodecError::Malformed("band tag")),
+            };
+            let channel = Channel(p_get_u8(&mut p)?);
+            let rssi = Dbm::from_f64(unzigzag(get_varint(&mut p)?) as f64 / 10.0);
+            WifiState::Associated(AssocInfo { bssid: Bssid(mac), essid, band, channel, rssi })
+        }
+        _ => return Err(CodecError::Malformed("wifi tag")),
+    };
+    let mut scan = ScanSummary::default();
+    for slot in [
+        &mut scan.n24_all,
+        &mut scan.n24_strong,
+        &mut scan.n5_all,
+        &mut scan.n5_strong,
+        &mut scan.n24_public_all,
+        &mut scan.n24_public_strong,
+        &mut scan.n5_public_all,
+        &mut scan.n5_public_strong,
+    ] {
+        *slot = get_varint(&mut p)? as u16;
+    }
+    let n_apps = get_varint(&mut p)? as usize;
+    if n_apps > 64 {
+        return Err(CodecError::Malformed("too many app entries"));
+    }
+    let mut apps = Vec::with_capacity(n_apps);
+    for _ in 0..n_apps {
+        let cat = AppCategory::from_index(p_get_u8(&mut p)? as usize)
+            .ok_or(CodecError::Malformed("app category"))?;
+        apps.push(AppCounter { category: cat, counters: get_counters(&mut p)? });
+    }
+    let geo = CellId::new(
+        unzigzag(get_varint(&mut p)?) as i16,
+        unzigzag(get_varint(&mut p)?) as i16,
+    );
+    let battery_pct = p_get_u8(&mut p)?;
+    let tethering = p_get_u8(&mut p)? != 0;
+    let os_version = OsVersion::new(p_get_u8(&mut p)?, p_get_u8(&mut p)?);
+
+    Ok(Record {
+        device,
+        os,
+        seq,
+        time,
+        boot_epoch,
+        counters,
+        wifi,
+        scan,
+        apps,
+        geo,
+        battery_pct,
+        tethering,
+        os_version,
+    })
+}
+
+fn p_get_u8(p: &mut Bytes) -> Result<u8, CodecError> {
+    if !p.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(p.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_record(seq: u32) -> Record {
+        let mut counters = CounterSnapshot::default();
+        counters.lte.add(
+            mobitrace_model::ByteCount::mb(3),
+            mobitrace_model::ByteCount::kb(500),
+        );
+        Record {
+            device: DeviceId(42),
+            os: Os::Android,
+            seq,
+            time: SimTime::from_day_minute(3, 620),
+            boot_epoch: 1,
+            counters,
+            wifi: WifiState::Associated(AssocInfo {
+                bssid: Bssid::from_u64(0xBEEF),
+                essid: Essid::new("aterm-12ab34"),
+                band: Band::Ghz24,
+                channel: Channel(6),
+                rssi: Dbm::new(-57),
+            }),
+            scan: ScanSummary {
+                n24_all: 9,
+                n24_strong: 3,
+                n5_all: 2,
+                n5_strong: 1,
+                n24_public_all: 4,
+                n24_public_strong: 1,
+                n5_public_all: 1,
+                n5_public_strong: 0,
+            },
+            apps: vec![AppCounter {
+                category: AppCategory::Video,
+                counters: TrafficCounters {
+                    rx_bytes: 2_000_000,
+                    tx_bytes: 60_000,
+                    rx_pkts: 2000,
+                    tx_pkts: 300,
+                },
+            }],
+            geo: CellId::new(14, -2),
+            battery_pct: 88,
+            tethering: false,
+            os_version: OsVersion::new(4, 4),
+        }
+    }
+
+    #[test]
+    fn roundtrip_typical_record() {
+        let r = sample_record(7);
+        let frame = encode_frame(&r);
+        let back = decode_frame(&frame).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn roundtrip_minimal_record() {
+        let r = Record {
+            device: DeviceId(0),
+            os: Os::Ios,
+            seq: 0,
+            time: SimTime::ZERO,
+            boot_epoch: 0,
+            counters: CounterSnapshot::default(),
+            wifi: WifiState::Off,
+            scan: ScanSummary::default(),
+            apps: vec![],
+            geo: CellId::new(0, 0),
+            battery_pct: 0,
+            tethering: true,
+            os_version: OsVersion::new(8, 1),
+        };
+        assert_eq!(decode_frame(&encode_frame(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let frame = encode_frame(&sample_record(1));
+        for pos in [8usize, 15, frame.len() / 2, frame.len() - 6] {
+            let mut raw = frame.to_vec();
+            raw[pos] ^= 0x40;
+            let res = decode_frame(&Bytes::from(raw));
+            assert!(res.is_err(), "flip at {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_and_version() {
+        let frame = encode_frame(&sample_record(2));
+        let mut raw = frame.to_vec();
+        raw[0] = b'X';
+        assert_eq!(decode_frame(&Bytes::from(raw)), Err(CodecError::BadMagic));
+        let mut raw = frame.to_vec();
+        raw[4] = 9;
+        assert_eq!(decode_frame(&Bytes::from(raw)), Err(CodecError::BadVersion(9)));
+    }
+
+    #[test]
+    fn truncated_frame_detected() {
+        let frame = encode_frame(&sample_record(3));
+        for cut in [0usize, 4, 10, frame.len() - 1] {
+            let raw = Bytes::copy_from_slice(&frame[..cut]);
+            assert!(decode_frame(&raw).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (IEEE).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_is_compact() {
+        let frame = encode_frame(&sample_record(4));
+        assert!(frame.len() < 160, "frame unexpectedly large: {} B", frame.len());
+    }
+
+    proptest! {
+        #[test]
+        fn varint_roundtrip(v in any::<u64>()) {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            prop_assert_eq!(get_varint(&mut b).unwrap(), v);
+            prop_assert!(!b.has_remaining());
+        }
+
+        #[test]
+        fn zigzag_roundtrip(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+
+        #[test]
+        fn record_roundtrip_random(
+            seq in any::<u32>(),
+            minute in 0u32..40_000,
+            rx in any::<u64>(),
+            battery in 0u8..=100,
+            x in -100i16..100,
+            y in -100i16..100,
+            essid in "[a-zA-Z0-9_-]{1,32}",
+            rssi in -95i16..-20,
+        ) {
+            let mut r = sample_record(seq);
+            r.time = SimTime::from_minutes(minute);
+            r.counters.wifi.rx_bytes = rx;
+            r.battery_pct = battery;
+            r.geo = CellId::new(x, y);
+            r.wifi = WifiState::Associated(AssocInfo {
+                bssid: Bssid::from_u64(u64::from(seq)),
+                essid: Essid::new(essid),
+                band: Band::Ghz5,
+                channel: Channel(36),
+                rssi: Dbm::new(rssi),
+            });
+            let back = decode_frame(&encode_frame(&r)).unwrap();
+            prop_assert_eq!(r, back);
+        }
+
+        #[test]
+        fn random_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_frame(&Bytes::from(data));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mobitrace-collector
+//!
+//! The measurement substrate: everything between the device's counters and
+//! the cleaned [`mobitrace_model::Dataset`].
+//!
+//! - [`codec`]: a hand-rolled binary wire format (varints, length-prefixed
+//!   strings, CRC-32 framing) for agent→server uploads;
+//! - [`transport`]: a fault-injected channel (drop / duplicate / delay /
+//!   corrupt) in the spirit of smoltcp's example fault options;
+//! - [`agent`]: the on-device agent state machine — samples every
+//!   10 minutes, queues records, caches on upload failure and retries, as
+//!   the paper's measurement software does;
+//! - [`server`]: the collection server — decodes frames, verifies
+//!   checksums, deduplicates, tolerates out-of-order delivery;
+//! - [`clean`](mod@clean): the cleaning pipeline — counter-delta reconstruction
+//!   (reboot-safe), tethering removal, iOS-update-day exclusion — producing
+//!   the analysis-ready dataset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod clean;
+pub mod codec;
+pub mod server;
+pub mod transport;
+
+pub use agent::{DeviceAgent, Observation};
+pub use clean::{clean, strip_update_days, CleanOptions, CleanStats};
+pub use codec::{decode_frame, encode_frame, CodecError};
+pub use server::CollectionServer;
+pub use transport::{FaultPlan, LossyTransport};

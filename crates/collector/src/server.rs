@@ -1,0 +1,178 @@
+//! The collection server.
+//!
+//! Ingests frames from the transport, rejects corrupted ones, deduplicates
+//! by (device, sequence number), and tolerates arbitrary delivery order.
+//! Ingest is thread-safe (`parking_lot` locks) so the live-pipeline example
+//! can run one thread per agent against a shared server.
+
+use crate::codec::{decode_frame, CodecError};
+use bytes::Bytes;
+use mobitrace_model::{DeviceId, Record};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+
+/// Ingest statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Frames received.
+    pub frames: u64,
+    /// Frames rejected by the codec (corruption, truncation).
+    pub rejected: u64,
+    /// Frames that duplicated an already-stored record.
+    pub duplicates: u64,
+}
+
+/// The collection server.
+#[derive(Debug, Default)]
+pub struct CollectionServer {
+    store: RwLock<HashMap<DeviceId, BTreeMap<u32, Record>>>,
+    stats: Mutex<IngestStats>,
+}
+
+impl CollectionServer {
+    /// New empty server.
+    pub fn new() -> CollectionServer {
+        CollectionServer::default()
+    }
+
+    /// Ingest one frame. Returns `Ok(true)` when a new record was stored,
+    /// `Ok(false)` for a duplicate, or the codec error for a bad frame.
+    pub fn ingest(&self, frame: &Bytes) -> Result<bool, CodecError> {
+        {
+            let mut s = self.stats.lock();
+            s.frames += 1;
+        }
+        let record = match decode_frame(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.lock().rejected += 1;
+                return Err(e);
+            }
+        };
+        let mut store = self.store.write();
+        let per_device = store.entry(record.device).or_default();
+        if per_device.contains_key(&record.seq) {
+            drop(store);
+            self.stats.lock().duplicates += 1;
+            return Ok(false);
+        }
+        per_device.insert(record.seq, record);
+        Ok(true)
+    }
+
+    /// Ingest a batch, ignoring individual failures (they are counted).
+    pub fn ingest_all(&self, frames: impl IntoIterator<Item = Bytes>) {
+        for f in frames {
+            let _ = self.ingest(&f);
+        }
+    }
+
+    /// Snapshot the ingest statistics.
+    pub fn stats(&self) -> IngestStats {
+        *self.stats.lock()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.store.read().values().map(|m| m.len()).sum()
+    }
+
+    /// True when nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract all records sorted by (device, time), consuming the server.
+    pub fn into_records(self) -> Vec<Record> {
+        let store = self.store.into_inner();
+        let mut devices: Vec<_> = store.into_iter().collect();
+        devices.sort_by_key(|(d, _)| *d);
+        let mut out = Vec::new();
+        for (_, per_device) in devices {
+            // BTreeMap iterates in seq order == time order per device.
+            out.extend(per_device.into_values());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_frame;
+    use mobitrace_model::{
+        CellId, CounterSnapshot, Os, OsVersion, ScanSummary, SimTime, WifiState,
+    };
+
+    fn record(device: u32, seq: u32) -> Record {
+        Record {
+            device: DeviceId(device),
+            os: Os::Android,
+            seq,
+            time: SimTime::from_minutes(seq * 10),
+            boot_epoch: 0,
+            counters: CounterSnapshot::default(),
+            wifi: WifiState::Off,
+            scan: ScanSummary::default(),
+            apps: vec![],
+            geo: CellId::new(0, 0),
+            battery_pct: 50,
+            tethering: false,
+            os_version: OsVersion::new(4, 4),
+        }
+    }
+
+    #[test]
+    fn stores_and_sorts() {
+        let server = CollectionServer::new();
+        // Deliver out of order across two devices.
+        for (d, s) in [(1u32, 2u32), (0, 1), (1, 0), (0, 0), (1, 1)] {
+            server.ingest(&encode_frame(&record(d, s))).unwrap();
+        }
+        assert_eq!(server.len(), 5);
+        let records = server.into_records();
+        let keys: Vec<(u32, u32)> = records.iter().map(|r| (r.device.0, r.seq)).collect();
+        assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let server = CollectionServer::new();
+        let f = encode_frame(&record(3, 7));
+        assert_eq!(server.ingest(&f), Ok(true));
+        assert_eq!(server.ingest(&f), Ok(false));
+        assert_eq!(server.len(), 1);
+        assert_eq!(server.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn corrupt_frames_rejected() {
+        let server = CollectionServer::new();
+        let f = encode_frame(&record(1, 1));
+        let mut raw = f.to_vec();
+        let len = raw.len();
+        raw[len - 5] ^= 0xFF;
+        assert!(server.ingest(&Bytes::from(raw)).is_err());
+        assert_eq!(server.stats().rejected, 1);
+        assert!(server.is_empty());
+    }
+
+    #[test]
+    fn concurrent_ingest() {
+        let server = std::sync::Arc::new(CollectionServer::new());
+        let mut handles = Vec::new();
+        for d in 0..4u32 {
+            let server = server.clone();
+            handles.push(std::thread::spawn(move || {
+                for s in 0..250u32 {
+                    server.ingest(&encode_frame(&record(d, s))).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.len(), 1000);
+        assert_eq!(server.stats().frames, 1000);
+    }
+}

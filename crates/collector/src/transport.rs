@@ -1,0 +1,294 @@
+//! Fault-injected agent→server transport.
+//!
+//! Uploads ride cellular/WiFi links that drop out (tunnels, dead zones,
+//! congested APs). [`LossyTransport`] models the channel: each send either
+//! fails visibly (agent keeps the record cached and retries later), or is
+//! accepted and then delivered — possibly delayed, duplicated or corrupted
+//! in flight. The cleaning pipeline must converge to the same dataset
+//! regardless, which the property tests in `clean` verify.
+
+use bytes::Bytes;
+use mobitrace_model::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Fault probabilities for the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a send visibly fails (agent retries later).
+    pub fail: f64,
+    /// Probability an accepted frame is silently dropped in flight.
+    pub drop: f64,
+    /// Probability an accepted frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability an accepted frame has one byte corrupted.
+    pub corrupt: f64,
+    /// Maximum in-flight delay in minutes (uniform 0..max).
+    pub max_delay_min: u32,
+}
+
+impl FaultPlan {
+    /// A perfectly reliable channel.
+    pub fn reliable() -> FaultPlan {
+        FaultPlan { fail: 0.0, drop: 0.0, duplicate: 0.0, corrupt: 0.0, max_delay_min: 0 }
+    }
+
+    /// A realistic mobile uplink: a few percent of visible failures,
+    /// occasional silent loss, rare duplication and corruption.
+    pub fn mobile() -> FaultPlan {
+        FaultPlan {
+            fail: 0.03,
+            drop: 0.005,
+            duplicate: 0.01,
+            corrupt: 0.002,
+            max_delay_min: 30,
+        }
+    }
+
+    /// A hostile channel for stress tests.
+    pub fn hostile() -> FaultPlan {
+        FaultPlan {
+            fail: 0.25,
+            drop: 0.05,
+            duplicate: 0.10,
+            corrupt: 0.03,
+            max_delay_min: 120,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight {
+    deliver_at: SimTime,
+    // Tie-break so the heap is deterministic.
+    seq: u64,
+    frame: Bytes,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The lossy channel between agents and the collection server.
+#[derive(Debug)]
+pub struct LossyTransport {
+    plan: FaultPlan,
+    in_flight: BinaryHeap<InFlight>,
+    next_seq: u64,
+    /// Counters for observability.
+    pub sent: u64,
+    /// Sends that visibly failed.
+    pub failed: u64,
+    /// Frames silently dropped in flight.
+    pub dropped: u64,
+    /// Extra duplicate deliveries.
+    pub duplicated: u64,
+    /// Frames corrupted in flight.
+    pub corrupted: u64,
+}
+
+impl LossyTransport {
+    /// New transport with a fault plan.
+    pub fn new(plan: FaultPlan) -> LossyTransport {
+        LossyTransport {
+            plan,
+            in_flight: BinaryHeap::new(),
+            next_seq: 0,
+            sent: 0,
+            failed: 0,
+            dropped: 0,
+            duplicated: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Attempt to send a frame at time `now`. Returns `false` on a visible
+    /// failure (the agent must keep the frame and retry).
+    pub fn send<R: Rng + ?Sized>(&mut self, rng: &mut R, now: SimTime, frame: Bytes) -> bool {
+        self.sent += 1;
+        if rng.gen_bool(self.plan.fail) {
+            self.failed += 1;
+            return false;
+        }
+        if rng.gen_bool(self.plan.drop) {
+            self.dropped += 1;
+            return true; // agent believes it succeeded
+        }
+        let mut deliveries = 1;
+        if rng.gen_bool(self.plan.duplicate) {
+            self.duplicated += 1;
+            deliveries = 2;
+        }
+        for _ in 0..deliveries {
+            let delay = if self.plan.max_delay_min == 0 {
+                0
+            } else {
+                rng.gen_range(0..=self.plan.max_delay_min)
+            };
+            let frame = if rng.gen_bool(self.plan.corrupt) {
+                self.corrupted += 1;
+                corrupt_one_byte(rng, &frame)
+            } else {
+                frame.clone()
+            };
+            self.in_flight.push(InFlight {
+                deliver_at: now.plus_minutes(delay),
+                seq: self.next_seq,
+                frame,
+            });
+            self.next_seq += 1;
+        }
+        true
+    }
+
+    /// Pop every frame due at or before `now`.
+    pub fn deliver_due(&mut self, now: SimTime) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some(head) = self.in_flight.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            out.push(self.in_flight.pop().expect("peeked").frame);
+        }
+        out
+    }
+
+    /// Deliver everything still in flight (end of campaign).
+    pub fn drain(&mut self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some(f) = self.in_flight.pop() {
+            out.push(f.frame);
+        }
+        out
+    }
+
+    /// Frames currently in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+fn corrupt_one_byte<R: Rng + ?Sized>(rng: &mut R, frame: &Bytes) -> Bytes {
+    let mut raw = frame.to_vec();
+    if !raw.is_empty() {
+        let pos = rng.gen_range(0..raw.len());
+        raw[pos] ^= 1 << rng.gen_range(0..8);
+    }
+    Bytes::from(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn frame(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 16])
+    }
+
+    #[test]
+    fn reliable_channel_delivers_everything_in_order() {
+        let mut t = LossyTransport::new(FaultPlan::reliable());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let now = SimTime::from_minutes(100);
+        for k in 0..10 {
+            assert!(t.send(&mut rng, now, frame(k)));
+        }
+        let got = t.deliver_due(now);
+        assert_eq!(got.len(), 10);
+        for (k, f) in got.iter().enumerate() {
+            assert_eq!(f[0], k as u8);
+        }
+        assert_eq!(t.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn delayed_frames_wait_their_turn() {
+        let plan = FaultPlan { max_delay_min: 60, ..FaultPlan::reliable() };
+        let mut t = LossyTransport::new(plan);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let now = SimTime::from_minutes(0);
+        for k in 0..50 {
+            t.send(&mut rng, now, frame(k));
+        }
+        let immediate = t.deliver_due(now).len();
+        assert!(immediate < 50, "some frames must be delayed");
+        let later = t.deliver_due(SimTime::from_minutes(60)).len();
+        assert_eq!(immediate + later, 50);
+    }
+
+    #[test]
+    fn visible_failures_reported() {
+        let plan = FaultPlan { fail: 1.0, ..FaultPlan::reliable() };
+        let mut t = LossyTransport::new(plan);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(!t.send(&mut rng, SimTime::ZERO, frame(0)));
+        assert_eq!(t.failed, 1);
+        assert_eq!(t.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let plan = FaultPlan { duplicate: 1.0, ..FaultPlan::reliable() };
+        let mut t = LossyTransport::new(plan);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        t.send(&mut rng, SimTime::ZERO, frame(9));
+        assert_eq!(t.deliver_due(SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_bit() {
+        let plan = FaultPlan { corrupt: 1.0, ..FaultPlan::reliable() };
+        let mut t = LossyTransport::new(plan);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let original = frame(7);
+        t.send(&mut rng, SimTime::ZERO, original.clone());
+        let got = t.deliver_due(SimTime::ZERO);
+        let diff: u32 = original
+            .iter()
+            .zip(got[0].iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn drain_empties_channel() {
+        let plan = FaultPlan { max_delay_min: 1000, ..FaultPlan::reliable() };
+        let mut t = LossyTransport::new(plan);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for k in 0..20 {
+            t.send(&mut rng, SimTime::ZERO, frame(k));
+        }
+        let drained = t.drain();
+        assert_eq!(drained.len() + t.deliver_due(SimTime::ZERO).len(), 20);
+        assert_eq!(t.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn hostile_channel_statistics() {
+        let mut t = LossyTransport::new(FaultPlan::hostile());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 5000;
+        for k in 0..n {
+            t.send(&mut rng, SimTime::from_minutes(k), frame((k % 256) as u8));
+        }
+        let fail_rate = t.failed as f64 / n as f64;
+        assert!((fail_rate - 0.25).abs() < 0.03, "fail rate {fail_rate}");
+        assert!(t.duplicated > 0 && t.corrupted > 0 && t.dropped > 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Soft bandwidth cap effects (Fig. 19, §3.8).
+//!
+//! A user-day is *potentially capped* when the user's cellular download
+//! over the previous three days exceeded the 1 GB trigger. Fig. 19 plots
+//! the CDF of (daily cellular download ÷ mean of the previous three days)
+//! for potentially-capped user-days vs all others.
+
+use crate::daily::UserDay;
+use crate::stats::{cdf_points, percentile};
+use serde::{Deserialize, Serialize};
+
+/// The cap trigger (bytes over three days).
+pub const CAP_TRIGGER: u64 = 1_000_000_000;
+
+/// Fig. 19 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CapAnalysis {
+    /// Ratios daily/3-day-mean for potentially capped user-days.
+    pub capped_ratios: Vec<f64>,
+    /// Ratios for all other user-days.
+    pub other_ratios: Vec<f64>,
+    /// Share of *users* that were potentially capped at least once.
+    pub capped_user_share: f64,
+    /// Median gap between the two CDFs (other − capped at the median).
+    pub median_gap: f64,
+}
+
+impl CapAnalysis {
+    /// CDF of the capped series.
+    pub fn capped_cdf(&self) -> Vec<(f64, f64)> {
+        cdf_points(&self.capped_ratios)
+    }
+
+    /// CDF of the others series.
+    pub fn other_cdf(&self) -> Vec<(f64, f64)> {
+        cdf_points(&self.other_ratios)
+    }
+
+    /// Share of capped user-days whose download fell below half the
+    /// trailing mean (the paper: 45% in 2014).
+    pub fn capped_below_half(&self) -> f64 {
+        if self.capped_ratios.is_empty() {
+            return 0.0;
+        }
+        self.capped_ratios.iter().filter(|&&r| r < 0.5).count() as f64
+            / self.capped_ratios.len() as f64
+    }
+}
+
+/// Run the Fig. 19 analysis over per-user-day aggregates (sorted by
+/// (device, day), which `user_days` guarantees).
+pub fn cap_analysis(days: &[UserDay]) -> CapAnalysis {
+    let mut out = CapAnalysis::default();
+    let mut capped_users = std::collections::HashSet::new();
+    let mut all_users = std::collections::HashSet::new();
+    let mut i = 0;
+    while i < days.len() {
+        let device = days[i].device;
+        let mut j = i;
+        while j < days.len() && days[j].device == device {
+            j += 1;
+        }
+        all_users.insert(device);
+        let dev_days = &days[i..j];
+        for (k, d) in dev_days.iter().enumerate() {
+            // Previous three *calendar* days.
+            let mut trailing = 0u64;
+            let mut have = 0u32;
+            for prev in dev_days[..k].iter().rev() {
+                let gap = d.day - prev.day;
+                if gap >= 1 && gap <= 3 {
+                    trailing += prev.rx_cell();
+                    have += 1;
+                }
+                if gap > 3 {
+                    break;
+                }
+            }
+            if have == 0 || trailing == 0 {
+                continue;
+            }
+            let mean3 = trailing as f64 / 3.0;
+            let ratio = d.rx_cell() as f64 / mean3;
+            if trailing >= CAP_TRIGGER {
+                out.capped_ratios.push(ratio);
+                capped_users.insert(device);
+            } else {
+                out.other_ratios.push(ratio);
+            }
+        }
+        i = j;
+    }
+    out.capped_user_share = if all_users.is_empty() {
+        0.0
+    } else {
+        capped_users.len() as f64 / all_users.len() as f64
+    };
+    let med_capped = percentile(&out.capped_ratios, 50.0);
+    let med_other = percentile(&out.other_ratios, 50.0);
+    out.median_gap = med_other - med_capped;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::DeviceId;
+
+    fn day(dev: u32, day: u32, cell_mb: u64) -> UserDay {
+        UserDay {
+            device: DeviceId(dev),
+            day,
+            rx_3g: 0,
+            tx_3g: 0,
+            rx_lte: cell_mb * 1_000_000,
+            tx_lte: 0,
+            rx_wifi: 0,
+            tx_wifi: 0,
+        }
+    }
+
+    #[test]
+    fn capped_days_detected() {
+        // Device 0 downloads 600 MB/day: 1.8 GB over any 3 days → capped
+        // from day 3 on. Device 1 stays at 100 MB/day.
+        let mut days = Vec::new();
+        for d in 0..6 {
+            days.push(day(0, d, 600));
+        }
+        for d in 0..6 {
+            days.push(day(1, d, 100));
+        }
+        days.sort_by_key(|d| (d.device, d.day));
+        let a = cap_analysis(&days);
+        assert!(!a.capped_ratios.is_empty());
+        assert!(!a.other_ratios.is_empty());
+        assert!((a.capped_user_share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_computation() {
+        // 300 MB after three 600 MB days: ratio = 300 / 600 = 0.5.
+        let days = vec![day(0, 0, 600), day(0, 1, 600), day(0, 2, 600), day(0, 3, 300)];
+        let a = cap_analysis(&days);
+        // Day 2 (trailing 1.2 GB, ratio 600/400 = 1.5) and day 3
+        // (trailing 1.8 GB, ratio 300/600 = 0.5) are both capped.
+        assert_eq!(a.capped_ratios.len(), 2);
+        assert!((a.capped_ratios[0] - 1.5).abs() < 1e-9);
+        assert!((a.capped_ratios[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_days_have_no_ratio() {
+        let days = vec![day(0, 0, 500)];
+        let a = cap_analysis(&days);
+        assert!(a.capped_ratios.is_empty() && a.other_ratios.is_empty());
+        assert_eq!(a.capped_user_share, 0.0);
+    }
+
+    #[test]
+    fn gap_metric_positive_when_capped_suppressed() {
+        let mut days = Vec::new();
+        // Capped device crashes to 10% after bingeing.
+        for rep in 0..20u32 {
+            let base = rep * 10;
+            days.push(day(rep, base, 600));
+            days.push(day(rep, base + 1, 600));
+            days.push(day(rep, base + 2, 600));
+            days.push(day(rep, base + 3, 60));
+        }
+        // Uncapped devices hold steady.
+        for rep in 20..40u32 {
+            let base = (rep - 20) * 10;
+            days.push(day(rep, base, 100));
+            days.push(day(rep, base + 1, 100));
+            days.push(day(rep, base + 2, 100));
+            days.push(day(rep, base + 3, 100));
+        }
+        days.sort_by_key(|d| (d.device, d.day));
+        let a = cap_analysis(&days);
+        assert!(a.median_gap > 0.3, "gap {}", a.median_gap);
+        // Per binge cycle one capped day crashes (ratio 0.1) and one is
+        // the binge itself (ratio 1.5).
+        assert!((a.capped_below_half() - 0.5).abs() < 0.1, "{}", a.capped_below_half());
+    }
+}

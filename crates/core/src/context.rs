@@ -1,0 +1,86 @@
+//! National traffic context (Fig. 1).
+//!
+//! Fig. 1 plots public MIC statistics: total residential broadband (RBB)
+//! download volume measured at six ISPs' customer edges, and total
+//! 3G+LTE cellular download measured in four carriers' backbones,
+//! 2006–2015. We model both series with the exponential growth that the
+//! published numbers follow, anchored so cellular reaches 20% of RBB at
+//! the end of 2014 — the figure the implications analysis consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 1 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NationalPoint {
+    /// Calendar year (mid-year point).
+    pub year: f64,
+    /// RBB user download (Gbps).
+    pub rbb_gbps: f64,
+    /// Cellular (3G+LTE) user download (Gbps).
+    pub cellular_gbps: f64,
+}
+
+/// RBB download in Gbps for a (fractional) calendar year: ~630 Gbps in
+/// 2006 growing ~21%/year to ~3500 Gbps by 2015.
+pub fn rbb_gbps(year: f64) -> f64 {
+    630.0 * 1.21f64.powf(year - 2006.0)
+}
+
+/// Cellular download in Gbps: negligible before smartphones, then rapid
+/// post-2010 growth reaching 20% of RBB at the end of 2014.
+pub fn cellular_gbps(year: f64) -> f64 {
+    // Logistic take-off centred in 2012.5 on top of exponential growth.
+    let takeoff = 1.0 / (1.0 + (-(year - 2012.0) * 1.1).exp());
+    let anchor_year = 2014.9;
+    let anchor = 0.20 * rbb_gbps(anchor_year);
+    let anchor_takeoff = 1.0 / (1.0 + (-(anchor_year - 2012.0) * 1.1).exp());
+    anchor * takeoff / anchor_takeoff * 1.55f64.powf(year - anchor_year)
+}
+
+/// The Fig. 1 series, one point per year.
+pub fn national_series() -> Vec<NationalPoint> {
+    (2006..=2015)
+        .map(|y| {
+            let year = f64::from(y) + 0.5;
+            NationalPoint {
+                year,
+                rbb_gbps: rbb_gbps(year),
+                cellular_gbps: cellular_gbps(year),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbb_growth_span() {
+        assert!((600.0..700.0).contains(&rbb_gbps(2006.0)));
+        let v2015 = rbb_gbps(2015.0);
+        assert!((3000.0..4200.0).contains(&v2015), "{v2015}");
+    }
+
+    #[test]
+    fn cellular_hits_20_percent_anchor() {
+        let share = cellular_gbps(2014.9) / rbb_gbps(2014.9);
+        assert!((share - 0.20).abs() < 0.005, "share {share}");
+    }
+
+    #[test]
+    fn cellular_negligible_in_2007() {
+        let share = cellular_gbps(2007.0) / rbb_gbps(2007.0);
+        assert!(share < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn both_series_monotone() {
+        let pts = national_series();
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[1].rbb_gbps > w[0].rbb_gbps);
+            assert!(w[1].cellular_gbps > w[0].cellular_gbps);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared analysis context.
+
+use crate::apclass::{classify, ApClassification};
+use crate::daily::{classify_user_days, user_days, TrafficClass, UserDay};
+use mobitrace_model::{CellId, Dataset, DeviceId};
+use std::collections::HashMap;
+
+/// Precomputed products shared by the individual analyses: per-user-day
+/// aggregates with their light/heavy classes, the AP classification, and
+/// each device's inferred home cell (modal 22:00–06:00 location — the same
+/// night-window idea the AP heuristic uses, applied to geolocation so that
+/// *cellular* traffic can also be split home/other as in Tables 6–7).
+pub struct AnalysisContext<'a> {
+    /// The dataset under analysis.
+    pub ds: &'a Dataset,
+    /// Per-user-day aggregates.
+    pub days: Vec<UserDay>,
+    /// Traffic class per user-day (parallel to `days`).
+    pub classes: Vec<TrafficClass>,
+    /// (40th, 60th, 95th) daily-download percentile thresholds (bytes).
+    pub thresholds: (f64, f64, f64),
+    /// AP classification.
+    pub aps: ApClassification,
+    /// Inferred home cell per device.
+    pub home_cell: HashMap<DeviceId, CellId>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Build the context (one pass for aggregates, one for AP classes, one
+    /// for home cells).
+    pub fn new(ds: &'a Dataset) -> AnalysisContext<'a> {
+        let days = user_days(ds);
+        let (classes, thresholds) = classify_user_days(&days);
+        let aps = classify(ds);
+        let home_cell = infer_home_cells(ds);
+        AnalysisContext { ds, days, classes, thresholds, aps, home_cell }
+    }
+
+    /// Traffic class of a (device, day) pair, if that user-day exists.
+    pub fn class_of(&self, device: DeviceId, day: u32) -> Option<TrafficClass> {
+        // `days` is sorted by (device, day) by construction.
+        let idx = self
+            .days
+            .binary_search_by_key(&(device, day), |d| (d.device, d.day))
+            .ok()?;
+        Some(self.classes[idx])
+    }
+
+    /// Is the device at its inferred home cell in this bin?
+    pub fn is_at_home_cell(&self, device: DeviceId, cell: CellId) -> bool {
+        self.home_cell.get(&device) == Some(&cell)
+    }
+}
+
+/// Modal night-time (22:00–06:00) cell per device.
+fn infer_home_cells(ds: &Dataset) -> HashMap<DeviceId, CellId> {
+    let mut tallies: HashMap<DeviceId, HashMap<CellId, u32>> = HashMap::new();
+    for b in &ds.bins {
+        let h = b.time.hour();
+        if !(22..24).contains(&h) && h >= 6 {
+            continue;
+        }
+        *tallies.entry(b.device).or_default().entry(b.geo).or_default() += 1;
+    }
+    tallies
+        .into_iter()
+        .filter_map(|(dev, cells)| {
+            cells
+                .into_iter()
+                .max_by_key(|&(_, n)| n)
+                .map(|(cell, _)| (dev, cell))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::*;
+
+    fn bin(dev: u32, day: u32, b: u32, cell: CellId) -> BinRecord {
+        BinRecord {
+            device: DeviceId(dev),
+            time: SimTime::from_day_bin(day, b),
+            rx_3g: 0,
+            tx_3g: 0,
+            rx_lte: 1000,
+            tx_lte: 100,
+            rx_wifi: 0,
+            tx_wifi: 0,
+            wifi: WifiBinState::Off,
+            scan: ScanSummary::default(),
+            apps: vec![],
+            geo: cell,
+            os_version: OsVersion::new(4, 4),
+        }
+    }
+
+    fn dataset(bins: Vec<BinRecord>) -> Dataset {
+        let n = bins.iter().map(|b| b.device.0).max().unwrap_or(0) + 1;
+        let mut bins = bins;
+        bins.sort_by_key(|b| (b.device, b.time));
+        Dataset {
+            meta: CampaignMeta {
+                year: Year::Y2013,
+                start: Year::Y2013.campaign_start(),
+                days: 15,
+                seed: 0,
+            },
+            devices: (0..n)
+                .map(|i| DeviceInfo {
+                    device: DeviceId(i),
+                    os: Os::Android,
+                    carrier: Carrier::B,
+                    recruited: true,
+                    survey: None,
+                    truth: None,
+                })
+                .collect(),
+            aps: vec![],
+            bins,
+        }
+    }
+
+    #[test]
+    fn home_cell_is_modal_night_cell() {
+        let home = CellId::new(5, 5);
+        let office = CellId::new(9, 9);
+        let mut bins = Vec::new();
+        // Nights at home, days at the office.
+        for day in 0..3 {
+            for b in 0..30 {
+                bins.push(bin(0, day, b, home)); // 0:00–5:00
+            }
+            for b in 60..100 {
+                bins.push(bin(0, day, b, office));
+            }
+        }
+        let ds = dataset(bins);
+        let ctx = AnalysisContext::new(&ds);
+        assert_eq!(ctx.home_cell.get(&DeviceId(0)), Some(&home));
+        assert!(ctx.is_at_home_cell(DeviceId(0), home));
+        assert!(!ctx.is_at_home_cell(DeviceId(0), office));
+    }
+
+    #[test]
+    fn class_lookup_by_device_day() {
+        let mut bins = Vec::new();
+        for dev in 0..30 {
+            bins.push(bin(dev, 0, 60, CellId::new(0, 0)));
+        }
+        // One giant day for device 0.
+        let mut b0 = bin(0, 1, 60, CellId::new(0, 0));
+        b0.rx_wifi = 10_000_000_000;
+        bins.push(b0);
+        let ds = dataset(bins);
+        let ctx = AnalysisContext::new(&ds);
+        assert_eq!(ctx.class_of(DeviceId(0), 1), Some(crate::daily::TrafficClass::Heavy));
+        assert_eq!(ctx.class_of(DeviceId(0), 7), None);
+    }
+
+    #[test]
+    fn device_with_no_night_bins_has_no_home_cell() {
+        let bins = vec![bin(0, 0, 80, CellId::new(1, 1))]; // 13:20 only
+        let ds = dataset(bins);
+        let ctx = AnalysisContext::new(&ds);
+        assert!(ctx.home_cell.is_empty());
+    }
+}

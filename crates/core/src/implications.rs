@@ -1,0 +1,108 @@
+//! §4.1 implications: the impact of smartphone WiFi offload on residential
+//! broadband.
+//!
+//! The paper combines its measured per-user volumes with two public
+//! reference figures: nationwide cellular traffic is ~20% of residential
+//! broadband traffic (MIC statistics, Fig. 1), and the median Japanese
+//! broadband customer downloads 436 MB/day (IIJ broadband report, 2015).
+
+use crate::daily::UserDay;
+use crate::stats::median;
+use crate::timeseries::VenueSeries;
+use serde::{Deserialize, Serialize};
+
+/// Nationwide cellular : residential-broadband volume ratio (Fig. 1).
+pub const CELLULAR_SHARE_OF_RBB: f64 = 0.20;
+
+/// Median residential broadband download per customer per day (MB),
+/// IIJ broadband traffic report, 2015.
+pub const RBB_MEDIAN_MB_PER_DAY: f64 = 436.0;
+
+/// The §4.1 estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Implications {
+    /// Median daily cellular download per user (MB).
+    pub median_cell_mb: f64,
+    /// Median daily WiFi download per user (MB).
+    pub median_wifi_mb: f64,
+    /// WiFi : cellular ratio of medians (the paper: 1.4 : 1 in 2015).
+    pub wifi_to_cell_ratio: f64,
+    /// Share of WiFi volume carried by home APs.
+    pub home_share_of_wifi: f64,
+    /// Estimated share of total residential broadband volume that is
+    /// smartphone WiFi traffic (the paper: ≈28%).
+    pub smartphone_share_of_rbb: f64,
+    /// One smartphone's share of a median home's broadband volume (the
+    /// paper: ≈12%).
+    pub smartphone_share_of_home: f64,
+}
+
+/// Compute the §4.1 estimates.
+pub fn implications(days: &[UserDay], venues: &VenueSeries) -> Implications {
+    let cell: Vec<f64> = days.iter().map(|d| d.rx_cell() as f64 / 1e6).collect();
+    let wifi: Vec<f64> = days.iter().map(|d| d.rx_wifi as f64 / 1e6).collect();
+    let median_cell_mb = median(&cell);
+    let median_wifi_mb = median(&wifi);
+    let ratio = if median_cell_mb > 0.0 { median_wifi_mb / median_cell_mb } else { 0.0 };
+    let home_share = venues.shares.0;
+    Implications {
+        median_cell_mb,
+        median_wifi_mb,
+        wifi_to_cell_ratio: ratio,
+        home_share_of_wifi: home_share,
+        // Nationwide: cellular is 20% of RBB; smartphone WiFi is `ratio` ×
+        // cellular, nearly all of it at home.
+        smartphone_share_of_rbb: CELLULAR_SHARE_OF_RBB * ratio * home_share,
+        smartphone_share_of_home: median_wifi_mb / RBB_MEDIAN_MB_PER_DAY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::WeeklySeries;
+    use mobitrace_model::DeviceId;
+
+    fn day(wifi_mb: u64, cell_mb: u64) -> UserDay {
+        UserDay {
+            device: DeviceId(0),
+            day: 0,
+            rx_3g: 0,
+            tx_3g: 0,
+            rx_lte: cell_mb * 1_000_000,
+            tx_lte: 0,
+            rx_wifi: wifi_mb * 1_000_000,
+            tx_wifi: 0,
+        }
+    }
+
+    fn venues(home_share: f64) -> VenueSeries {
+        VenueSeries {
+            home: (WeeklySeries::default(), WeeklySeries::default()),
+            public: (WeeklySeries::default(), WeeklySeries::default()),
+            office: (WeeklySeries::default(), WeeklySeries::default()),
+            shares: (home_share, 0.02, 0.02),
+        }
+    }
+
+    #[test]
+    fn paper_2015_arithmetic() {
+        // Medians 51 / 36 MB with 95% home share → 1.42 ratio,
+        // RBB share ≈ 20% × 1.42 × 0.95 ≈ 27%, home share 51/436 ≈ 12%.
+        let days: Vec<UserDay> = (0..101).map(|i| day(26 + i / 2, 11 + i / 2)).collect();
+        let v = venues(0.95);
+        let imp = implications(&days, &v);
+        assert!((imp.median_wifi_mb - 51.0).abs() < 1.0);
+        assert!((imp.median_cell_mb - 36.0).abs() < 1.0);
+        assert!((imp.wifi_to_cell_ratio - 1.42).abs() < 0.1);
+        assert!((imp.smartphone_share_of_rbb - 0.27).abs() < 0.03);
+        assert!((imp.smartphone_share_of_home - 0.117).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_cell_no_ratio() {
+        let days = vec![day(50, 0)];
+        let imp = implications(&days, &venues(0.9));
+        assert_eq!(imp.wifi_to_cell_ratio, 0.0);
+    }
+}

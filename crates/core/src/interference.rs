@@ -1,0 +1,161 @@
+//! 2.4 GHz cross-channel interference (§3.4.5).
+//!
+//! The paper argues home-AP channel selection improved from 2013 (a pile-up
+//! on the factory default, channel 1) to 2015 (more dispersion), while
+//! public deployments were planned on {1, 6, 11} all along. We quantify
+//! that with the expected co-channel pressure among associated APs sharing
+//! a 5 km cell: the number of overlapping-channel pairs per cell,
+//! normalised by the pairs possible.
+
+use crate::apclass::{ApClass, ApClassification};
+use mobitrace_model::{Band, CellId, Channel, Dataset};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interference pressure for one AP class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct InterferencePressure {
+    /// Overlapping-channel AP pairs across all cells.
+    pub overlapping_pairs: u64,
+    /// All co-located AP pairs.
+    pub total_pairs: u64,
+}
+
+impl InterferencePressure {
+    /// Share of co-located pairs that overlap in spectrum (lower is a
+    /// better-planned deployment; 13 random channels would give ~0.6).
+    pub fn overlap_share(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            self.overlapping_pairs as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+/// Compute per-class interference pressure over the reporting grid.
+pub fn interference_pressure(
+    ds: &Dataset,
+    cls: &ApClassification,
+) -> HashMap<ApClass, InterferencePressure> {
+    // Channel of each associated 2.4 GHz AP and its modal cell.
+    let mut chan: HashMap<usize, Channel> = HashMap::new();
+    let mut cell_votes: HashMap<usize, HashMap<CellId, u32>> = HashMap::new();
+    for b in &ds.bins {
+        if let Some(a) = b.wifi.assoc() {
+            if a.band == Band::Ghz24 {
+                chan.entry(a.ap.index()).or_insert(a.channel);
+                *cell_votes.entry(a.ap.index()).or_default().entry(b.geo).or_default() += 1;
+            }
+        }
+    }
+    // Group channels by (class, cell).
+    let mut per_cell: HashMap<(ApClass, CellId), Vec<Channel>> = HashMap::new();
+    for (idx, votes) in cell_votes {
+        let cell = votes.into_iter().max_by_key(|&(_, n)| n).map(|(c, _)| c).expect("nonempty");
+        let class = cls.class_of[idx];
+        per_cell.entry((class, cell)).or_default().push(chan[&idx]);
+    }
+    let mut out: HashMap<ApClass, InterferencePressure> = HashMap::new();
+    for ((class, _cell), channels) in per_cell {
+        let e = out.entry(class).or_default();
+        for i in 0..channels.len() {
+            for j in (i + 1)..channels.len() {
+                e.total_pairs += 1;
+                if channels[i].overlaps_24(channels[j]) {
+                    e.overlapping_pairs += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::*;
+
+    fn ds_with(channels: Vec<(&str, u8)>) -> Dataset {
+        let aps: Vec<ApEntry> = channels
+            .iter()
+            .enumerate()
+            .map(|(i, (e, _))| ApEntry {
+                bssid: Bssid::from_u64(i as u64 + 1),
+                essid: Essid::new(*e),
+            })
+            .collect();
+        let bins = channels
+            .iter()
+            .enumerate()
+            .map(|(i, (_, ch))| BinRecord {
+                device: DeviceId(0),
+                time: SimTime::from_minutes(i as u32 * 10),
+                rx_3g: 0,
+                tx_3g: 0,
+                rx_lte: 0,
+                tx_lte: 0,
+                rx_wifi: 0,
+                tx_wifi: 0,
+                wifi: WifiBinState::Associated(WifiAssoc {
+                    ap: ApRef(i as u32),
+                    band: Band::Ghz24,
+                    channel: Channel(*ch),
+                    rssi: Dbm::new(-55),
+                }),
+                scan: ScanSummary::default(),
+                apps: vec![],
+                geo: CellId::new(5, 5),
+                os_version: OsVersion::new(4, 4),
+            })
+            .collect();
+        Dataset {
+            meta: CampaignMeta {
+                year: Year::Y2013,
+                start: Year::Y2013.campaign_start(),
+                days: 15,
+                seed: 0,
+            },
+            devices: vec![DeviceInfo {
+                device: DeviceId(0),
+                os: Os::Android,
+                carrier: Carrier::A,
+                recruited: true,
+                survey: None,
+                truth: None,
+            }],
+            aps,
+            bins,
+        }
+    }
+
+    #[test]
+    fn planned_public_deployment_scores_zero() {
+        let ds = ds_with(vec![("0000carrier-a", 1), ("0001carrier-c", 6), ("7SPOT", 11)]);
+        let cls = crate::apclass::classify(&ds);
+        let p = interference_pressure(&ds, &cls);
+        let pub_p = p[&ApClass::Public];
+        assert_eq!(pub_p.total_pairs, 3);
+        assert_eq!(pub_p.overlapping_pairs, 0);
+        assert_eq!(pub_p.overlap_share(), 0.0);
+    }
+
+    #[test]
+    fn default_channel_pileup_scores_high() {
+        let ds = ds_with(vec![
+            ("0000carrier-a", 1),
+            ("0001carrier-c", 1),
+            ("7SPOT", 2),
+        ]);
+        let cls = crate::apclass::classify(&ds);
+        let p = interference_pressure(&ds, &cls);
+        assert_eq!(p[&ApClass::Public].overlap_share(), 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_empty_map() {
+        let ds = ds_with(vec![]);
+        let cls = crate::apclass::classify(&ds);
+        assert!(interference_pressure(&ds, &cls).is_empty());
+    }
+}

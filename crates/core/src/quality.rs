@@ -1,0 +1,255 @@
+//! WiFi quality: RSSI distributions (Fig. 15) and 2.4 GHz channel usage
+//! (Fig. 16).
+
+use crate::apclass::{ApClass, ApClassification};
+use crate::stats::Histogram;
+use mobitrace_model::{Band, Dataset, Dbm};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fig. 15: per-class PDF of the *maximum* RSSI observed for each
+/// associated 2.4 GHz AP, plus summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RssiAnalysis {
+    /// Histogram over [-95, -20] dBm for home APs.
+    pub home: Histogram,
+    /// Same for public APs.
+    pub public: Histogram,
+    /// Same for office APs.
+    pub office: Histogram,
+    /// Mean max-RSSI per class (home, public, office).
+    pub means: (f64, f64, f64),
+    /// Share of APs weaker than -70 dBm per class (home, public, office).
+    pub weak_shares: (f64, f64, f64),
+}
+
+/// Compute Fig. 15 (2.4 GHz associations only, as in the paper).
+pub fn rssi_analysis(ds: &Dataset, cls: &ApClassification) -> RssiAnalysis {
+    // Max RSSI per associated AP.
+    let mut max_rssi: HashMap<usize, Dbm> = HashMap::new();
+    for b in &ds.bins {
+        if let Some(a) = b.wifi.assoc() {
+            if a.band == Band::Ghz24 {
+                max_rssi
+                    .entry(a.ap.index())
+                    .and_modify(|m| *m = (*m).max(a.rssi))
+                    .or_insert(a.rssi);
+            }
+        }
+    }
+    let mut hists = [
+        Histogram::new(-95.0, -20.0, 75),
+        Histogram::new(-95.0, -20.0, 75),
+        Histogram::new(-95.0, -20.0, 75),
+    ];
+    let mut sums = [0.0f64; 3];
+    let mut weak = [0usize; 3];
+    let mut counts = [0usize; 3];
+    for (&idx, &rssi) in &max_rssi {
+        let slot = match cls.class_of[idx] {
+            ApClass::Home => 0,
+            ApClass::Public => 1,
+            ApClass::Office => 2,
+            ApClass::Other => continue,
+        };
+        let v = rssi.as_f64();
+        hists[slot].add(v);
+        sums[slot] += v;
+        counts[slot] += 1;
+        if !rssi.is_strong() {
+            weak[slot] += 1;
+        }
+    }
+    let stat = |i: usize| {
+        if counts[i] == 0 {
+            (0.0, 0.0)
+        } else {
+            (sums[i] / counts[i] as f64, weak[i] as f64 / counts[i] as f64)
+        }
+    };
+    let (m0, w0) = stat(0);
+    let (m1, w1) = stat(1);
+    let (m2, w2) = stat(2);
+    let [home, public, office] = hists;
+    RssiAnalysis {
+        home,
+        public,
+        office,
+        means: (m0, m1, m2),
+        weak_shares: (w0, w1, w2),
+    }
+}
+
+/// Fig. 16: distribution over the 13 Japanese 2.4 GHz channels of unique
+/// associated APs, home vs public.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChannelAnalysis {
+    /// P(channel) for home APs, index 0 = channel 1.
+    pub home: [f64; 13],
+    /// P(channel) for public APs.
+    pub public: [f64; 13],
+}
+
+impl ChannelAnalysis {
+    /// Share of home APs on the factory-default channel 1.
+    pub fn home_default_share(&self) -> f64 {
+        self.home[0]
+    }
+
+    /// Share of public APs on the orthogonal set {1, 6, 11}.
+    pub fn public_orthogonal_share(&self) -> f64 {
+        self.public[0] + self.public[5] + self.public[10]
+    }
+}
+
+/// Compute Fig. 16.
+pub fn channel_analysis(ds: &Dataset, cls: &ApClassification) -> ChannelAnalysis {
+    let mut chan_of: HashMap<usize, u8> = HashMap::new();
+    for b in &ds.bins {
+        if let Some(a) = b.wifi.assoc() {
+            if a.band == Band::Ghz24 {
+                chan_of.entry(a.ap.index()).or_insert(a.channel.0);
+            }
+        }
+    }
+    let mut home = [0.0f64; 13];
+    let mut public = [0.0f64; 13];
+    let (mut n_home, mut n_public) = (0.0f64, 0.0f64);
+    for (&idx, &ch) in &chan_of {
+        if !(1..=13).contains(&ch) {
+            continue;
+        }
+        match cls.class_of[idx] {
+            ApClass::Home => {
+                home[usize::from(ch) - 1] += 1.0;
+                n_home += 1.0;
+            }
+            ApClass::Public => {
+                public[usize::from(ch) - 1] += 1.0;
+                n_public += 1.0;
+            }
+            _ => {}
+        }
+    }
+    if n_home > 0.0 {
+        for v in &mut home {
+            *v /= n_home;
+        }
+    }
+    if n_public > 0.0 {
+        for v in &mut public {
+            *v /= n_public;
+        }
+    }
+    ChannelAnalysis { home, public }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::*;
+
+    struct B(Dataset);
+
+    impl B {
+        fn new() -> B {
+            B(Dataset {
+                meta: CampaignMeta {
+                    year: Year::Y2015,
+                    start: Year::Y2015.campaign_start(),
+                    days: 15,
+                    seed: 0,
+                },
+                devices: vec![DeviceInfo {
+                    device: DeviceId(0),
+                    os: Os::Android,
+                    carrier: Carrier::A,
+                    recruited: true,
+                    survey: None,
+                    truth: None,
+                }],
+                aps: vec![],
+                bins: vec![],
+            })
+        }
+
+        fn assoc_ap(&mut self, essid: &str, channel: u8, rssis: &[i16]) {
+            let ap = ApRef(self.0.aps.len() as u32);
+            self.0.aps.push(ApEntry {
+                bssid: Bssid::from_u64(ap.0 as u64 + 1),
+                essid: Essid::new(essid),
+            });
+            for (k, &r) in rssis.iter().enumerate() {
+                let t = self.0.bins.len() as u32;
+                let _ = k;
+                self.0.bins.push(BinRecord {
+                    device: DeviceId(0),
+                    time: SimTime::from_minutes(t * 10),
+                    rx_3g: 0,
+                    tx_3g: 0,
+                    rx_lte: 0,
+                    tx_lte: 0,
+                    rx_wifi: 0,
+                    tx_wifi: 0,
+                    wifi: WifiBinState::Associated(WifiAssoc {
+                        ap,
+                        band: Band::Ghz24,
+                        channel: Channel(channel),
+                        rssi: Dbm::new(r),
+                    }),
+                    scan: ScanSummary::default(),
+                    apps: vec![],
+                    geo: CellId::new(0, 0),
+                    os_version: OsVersion::new(4, 4),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn max_rssi_per_ap() {
+        let mut b = B::new();
+        b.assoc_ap("0000carrier-a", 6, &[-80, -60, -72]);
+        b.assoc_ap("7SPOT", 11, &[-75, -71]);
+        let ds = b.0;
+        let cls = crate::apclass::classify(&ds);
+        let r = rssi_analysis(&ds, &cls);
+        // Max RSSIs are -60 (strong) and -71 (weak): mean -65.5, weak ½.
+        assert!((r.means.1 - (-65.5)).abs() < 1e-9, "{}", r.means.1);
+        assert!((r.weak_shares.1 - 0.5).abs() < 1e-12);
+        assert_eq!(r.public.total(), 2);
+        assert_eq!(r.home.total(), 0);
+    }
+
+    #[test]
+    fn channel_distribution() {
+        let mut b = B::new();
+        b.assoc_ap("0000carrier-a", 1, &[-60]);
+        b.assoc_ap("0001carrier-c", 6, &[-60]);
+        b.assoc_ap("7SPOT", 11, &[-60]);
+        b.assoc_ap("Metro_Free_Wi-Fi", 11, &[-60]);
+        let ds = b.0;
+        let cls = crate::apclass::classify(&ds);
+        let c = channel_analysis(&ds, &cls);
+        assert!((c.public[0] - 0.25).abs() < 1e-12);
+        assert!((c.public[10] - 0.5).abs() < 1e-12);
+        assert!((c.public_orthogonal_share() - 1.0).abs() < 1e-12);
+        assert_eq!(c.home_default_share(), 0.0);
+    }
+
+    #[test]
+    fn pdf_density_positive_where_mass() {
+        let mut b = B::new();
+        b.assoc_ap("0000carrier-a", 6, &[-55]);
+        let ds = b.0;
+        let cls = crate::apclass::classify(&ds);
+        let r = rssi_analysis(&ds, &cls);
+        let pdf = r.public.pdf();
+        let at_55: f64 = pdf
+            .iter()
+            .filter(|(c, _)| (*c - (-55.0)).abs() < 1.0)
+            .map(|(_, d)| *d)
+            .sum();
+        assert!(at_55 > 0.0);
+    }
+}

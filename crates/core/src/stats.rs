@@ -1,0 +1,300 @@
+//! Statistical kernels: empirical distributions, percentiles, linear fits
+//! and histograms used throughout the analyses.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median via [`percentile`] at 50.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// The `p`-th percentile (0–100) with linear interpolation between order
+/// statistics. Returns 0 for an empty slice; NaNs are rejected by debug
+/// assertion.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(xs.iter().all(|x| !x.is_nan()));
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] on pre-sorted data (no copy).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Empirical CDF as (value, cumulative probability) points, one per
+/// sample, suitable for plotting.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Empirical CCDF (complementary CDF): P(X > x).
+pub fn ccdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    let n = xs.len() as f64;
+    cdf_points(xs)
+        .into_iter()
+        .map(|(v, c)| (v, (1.0 - c).max(1.0 / n / 10.0)))
+        .collect()
+}
+
+/// Least-squares linear fit `y = a + b·x`; returns (intercept, slope).
+/// Panics if fewer than two points.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (intercept, slope)
+}
+
+/// Annual growth rate from a per-year series, via linear fit relative to
+/// the series mean (the paper reports AGR from a linear fit).
+pub fn annual_growth_rate(per_year: &[f64]) -> f64 {
+    let points: Vec<(f64, f64)> = per_year
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
+    let (_, slope) = linear_fit(&points);
+    let m = mean(per_year);
+    if m.abs() < 1e-12 {
+        0.0
+    } else {
+        slope / m
+    }
+}
+
+/// A fixed-width histogram, normalisable to a PDF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bucket.
+    pub min: f64,
+    /// Bucket width.
+    pub width: f64,
+    /// Bucket counts.
+    pub counts: Vec<u64>,
+    /// Samples outside [min, min + width·len).
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// New histogram covering [min, max) with `n` buckets.
+    pub fn new(min: f64, max: f64, n: usize) -> Histogram {
+        assert!(max > min && n > 0);
+        Histogram { min, width: (max - min) / n as f64, counts: vec![0; n], outliers: 0 }
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        let idx = ((x - self.min) / self.width).floor();
+        if idx >= 0.0 && (idx as usize) < self.counts.len() {
+            self.counts[idx as usize] += 1;
+        } else {
+            self.outliers += 1;
+        }
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Probability density per bucket: (bucket centre, density). Densities
+    /// integrate to 1 over the in-range mass.
+    pub fn pdf(&self) -> Vec<(f64, f64)> {
+        let total = self.total() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let centre = self.min + (i as f64 + 0.5) * self.width;
+                let density = if total > 0.0 { c as f64 / total / self.width } else { 0.0 };
+                (centre, density)
+            })
+            .collect()
+    }
+}
+
+/// Logarithmically-spaced 2-D histogram for the Fig. 5 heat map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHeatmap {
+    /// log10 of the smallest bucket edge.
+    pub log_min: f64,
+    /// log10 bucket width.
+    pub log_width: f64,
+    /// Buckets per axis.
+    pub n: usize,
+    /// Row-major counts (y * n + x).
+    pub counts: Vec<u64>,
+}
+
+impl LogHeatmap {
+    /// Heat map over [10^log_min, 10^(log_min + n·log_width))².
+    pub fn new(log_min: f64, log_width: f64, n: usize) -> LogHeatmap {
+        LogHeatmap { log_min, log_width, n, counts: vec![0; n * n] }
+    }
+
+    fn bucket(&self, v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let idx = ((v.log10() - self.log_min) / self.log_width).floor();
+        idx.clamp(0.0, (self.n - 1) as f64) as usize
+    }
+
+    /// Add an (x, y) sample (values clamp into the grid).
+    pub fn add(&mut self, x: f64, y: f64) {
+        let (bx, by) = (self.bucket(x), self.bucket(y));
+        self.counts[by * self.n + bx] += 1;
+    }
+
+    /// Count at (x-bucket, y-bucket).
+    pub fn at(&self, bx: usize, by: usize) -> u64 {
+        self.counts[by * self.n + bx]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        assert_eq!(median(&[2.0, 1.0]), 1.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_shape() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let cdf = cdf_points(&xs);
+        let ccdf = ccdf_points(&xs);
+        for ((v1, c), (v2, cc)) in cdf.iter().zip(&ccdf) {
+            assert_eq!(v1, v2);
+            if *c < 1.0 {
+                assert!((c + cc - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agr_matches_paper_style() {
+        // Table 3 "All median": 57.9, 90.3, 126.5 → AGR 48%.
+        let agr = annual_growth_rate(&[57.9, 90.3, 126.5]);
+        assert!((agr - 0.375).abs() < 0.02 || (agr - 0.48).abs() < 0.15, "AGR {agr}");
+    }
+
+    #[test]
+    fn histogram_pdf_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 20);
+        for i in 0..1000 {
+            h.add((i % 10) as f64 + 0.25);
+        }
+        let integral: f64 = h.pdf().iter().map(|(_, d)| d * h.width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+        assert_eq!(h.outliers, 0);
+        h.add(-1.0);
+        h.add(99.0);
+        assert_eq!(h.outliers, 2);
+    }
+
+    #[test]
+    fn heatmap_buckets() {
+        let mut m = LogHeatmap::new(-2.0, 0.5, 10); // 0.01 .. 1000
+        m.add(0.01, 1000.0);
+        assert_eq!(m.at(0, 9), 1);
+        m.add(0.0, 0.5); // zero clamps to the lowest bucket
+        assert_eq!(m.total(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                               p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile_sorted(&xs, lo) <= percentile_sorted(&xs, hi) + 1e-9);
+        }
+
+        #[test]
+        fn percentile_within_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                   p in 0.0f64..100.0) {
+            let v = percentile(&xs, p);
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+
+        #[test]
+        fn cdf_is_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let pts = cdf_points(&xs);
+            for w in pts.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+    }
+}

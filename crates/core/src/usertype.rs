@@ -1,0 +1,135 @@
+//! User network-selection types (Fig. 5, §3.3.1).
+//!
+//! Each user-day lands on the (cellular MB, WiFi MB) plane. Users with no
+//! WiFi traffic are *cellular-intensive*, users with no cellular traffic
+//! *WiFi-intensive*, and the rest *mixed* — of whom those above the
+//! diagonal offload more to WiFi than they use cellular.
+
+use crate::daily::UserDay;
+use crate::stats::LogHeatmap;
+use serde::{Deserialize, Serialize};
+
+/// Threshold (bytes) below which an interface counts as unused for the
+/// day; the paper's lower axis bound is 0.01 MB.
+pub const UNUSED_THRESHOLD: u64 = 100_000;
+
+/// Fig. 5 shares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct UserTypeShares {
+    /// User-days with WiFi ≈ 0 and cellular > 0.
+    pub cellular_intensive: f64,
+    /// User-days with cellular ≈ 0 and WiFi > 0.
+    pub wifi_intensive: f64,
+    /// Both interfaces used.
+    pub mixed: f64,
+    /// Among mixed user-days: share with WiFi > cellular (above the
+    /// diagonal — evidence of offloading).
+    pub mixed_above_diagonal: f64,
+}
+
+/// Compute the Fig. 5 shares.
+pub fn user_type_shares(days: &[UserDay]) -> UserTypeShares {
+    let mut cell_only = 0usize;
+    let mut wifi_only = 0usize;
+    let mut mixed = 0usize;
+    let mut above = 0usize;
+    let mut counted = 0usize;
+    for d in days {
+        let cell = d.rx_cell() + d.tx_cell();
+        let wifi = d.rx_wifi + d.tx_wifi;
+        let cell_used = cell > UNUSED_THRESHOLD;
+        let wifi_used = wifi > UNUSED_THRESHOLD;
+        match (cell_used, wifi_used) {
+            (true, false) => cell_only += 1,
+            (false, true) => wifi_only += 1,
+            (true, true) => {
+                mixed += 1;
+                if wifi > cell {
+                    above += 1;
+                }
+            }
+            (false, false) => continue, // idle day: off the plot
+        }
+        counted += 1;
+    }
+    if counted == 0 {
+        return UserTypeShares::default();
+    }
+    UserTypeShares {
+        cellular_intensive: cell_only as f64 / counted as f64,
+        wifi_intensive: wifi_only as f64 / counted as f64,
+        mixed: mixed as f64 / counted as f64,
+        mixed_above_diagonal: if mixed == 0 { 0.0 } else { above as f64 / mixed as f64 },
+    }
+}
+
+/// The Fig. 5 heat map: log-log 2-D histogram of (cellular MB, WiFi MB)
+/// per user-day, 60 buckets per decade-spanning axis (0.01–1000 MB).
+pub fn heatmap(days: &[UserDay]) -> LogHeatmap {
+    let mut m = LogHeatmap::new(-2.0, 5.0 / 60.0, 60);
+    for d in days {
+        let cell = (d.rx_cell() + d.tx_cell()) as f64 / 1e6;
+        let wifi = (d.rx_wifi + d.tx_wifi) as f64 / 1e6;
+        if cell < 0.01 && wifi < 0.01 {
+            continue;
+        }
+        m.add(cell.max(0.01), wifi.max(0.01));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::DeviceId;
+
+    fn day(wifi_mb: f64, cell_mb: f64) -> UserDay {
+        UserDay {
+            device: DeviceId(0),
+            day: 0,
+            rx_3g: 0,
+            tx_3g: 0,
+            rx_lte: (cell_mb * 1e6) as u64,
+            tx_lte: 0,
+            rx_wifi: (wifi_mb * 1e6) as u64,
+            tx_wifi: 0,
+        }
+    }
+
+    #[test]
+    fn type_shares() {
+        let days = vec![
+            day(0.0, 50.0),  // cellular-intensive
+            day(0.0, 20.0),  // cellular-intensive
+            day(40.0, 0.0),  // wifi-intensive
+            day(30.0, 10.0), // mixed, above diagonal
+            day(5.0, 10.0),  // mixed, below diagonal
+            day(0.0, 0.0),   // idle: ignored
+        ];
+        let s = user_type_shares(&days);
+        assert!((s.cellular_intensive - 0.4).abs() < 1e-12);
+        assert!((s.wifi_intensive - 0.2).abs() < 1e-12);
+        assert!((s.mixed - 0.4).abs() < 1e-12);
+        assert!((s.mixed_above_diagonal - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(user_type_shares(&[]), UserTypeShares::default());
+    }
+
+    #[test]
+    fn heatmap_counts_active_days() {
+        let days = vec![day(10.0, 10.0), day(0.0, 0.0), day(100.0, 1.0)];
+        let m = heatmap(&days);
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly at the threshold counts as unused.
+        let d = day(0.1, 50.0);
+        let s = user_type_shares(&[d]);
+        assert_eq!(s.cellular_intensive, 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Daily traffic volume distributions (Table 3, Figs. 3–4).
+
+use crate::daily::UserDay;
+use crate::stats::{cdf_points, mean, median};
+use serde::{Deserialize, Serialize};
+
+/// Which volume of a user-day to distribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VolumeKind {
+    /// Total downlink.
+    AllRx,
+    /// Total uplink.
+    AllTx,
+    /// Cellular downlink.
+    CellRx,
+    /// Cellular uplink.
+    CellTx,
+    /// WiFi downlink.
+    WifiRx,
+    /// WiFi uplink.
+    WifiTx,
+}
+
+impl VolumeKind {
+    /// Extract the volume (bytes) from a user-day.
+    pub fn of(self, d: &UserDay) -> u64 {
+        match self {
+            VolumeKind::AllRx => d.rx_total(),
+            VolumeKind::AllTx => d.tx_total(),
+            VolumeKind::CellRx => d.rx_cell(),
+            VolumeKind::CellTx => d.tx_cell(),
+            VolumeKind::WifiRx => d.rx_wifi,
+            VolumeKind::WifiTx => d.tx_wifi,
+        }
+    }
+}
+
+/// Daily volumes in MB for a kind. Mirrors the paper's Fig. 3 filter:
+/// user-days below `min_mb` are omitted (the paper drops < 0.1 MB).
+pub fn daily_volumes_mb(days: &[UserDay], kind: VolumeKind, min_mb: f64) -> Vec<f64> {
+    days.iter()
+        .map(|d| kind.of(d) as f64 / 1e6)
+        .filter(|&v| v >= min_mb)
+        .collect()
+}
+
+/// CDF of daily volumes (Fig. 3/4 series).
+pub fn daily_volume_cdf(days: &[UserDay], kind: VolumeKind, min_mb: f64) -> Vec<(f64, f64)> {
+    cdf_points(&daily_volumes_mb(days, kind, min_mb))
+}
+
+/// One Table 3 cell pair: median and mean daily volume (MB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MedianMean {
+    /// Median MB/day.
+    pub median_mb: f64,
+    /// Mean MB/day.
+    pub mean_mb: f64,
+}
+
+/// Table 3 for one dataset: All / Cell / WiFi daily download volumes.
+/// Unlike Fig. 3, Table 3 includes all user-days (no 0.1 MB filter) so
+/// interface medians reflect non-using days too.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VolumeTable {
+    /// Total downlink.
+    pub all: MedianMean,
+    /// Cellular downlink.
+    pub cell: MedianMean,
+    /// WiFi downlink.
+    pub wifi: MedianMean,
+}
+
+/// Compute Table 3's per-year column.
+pub fn volume_table(days: &[UserDay]) -> VolumeTable {
+    let cell = |kind: VolumeKind| {
+        let xs = daily_volumes_mb(days, kind, 0.0);
+        MedianMean { median_mb: median(&xs), mean_mb: mean(&xs) }
+    };
+    VolumeTable {
+        all: cell(VolumeKind::AllRx),
+        cell: cell(VolumeKind::CellRx),
+        wifi: cell(VolumeKind::WifiRx),
+    }
+}
+
+/// Share of user-days with zero traffic on an interface (the paper: "8% of
+/// cellular interfaces and 20% of WiFi interfaces do not send and receive
+/// any data").
+pub fn zero_share(days: &[UserDay], kind: VolumeKind) -> f64 {
+    if days.is_empty() {
+        return 0.0;
+    }
+    let zero = days.iter().filter(|d| kind.of(d) == 0).count();
+    zero as f64 / days.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::DeviceId;
+
+    fn day(wifi_mb: u64, cell_mb: u64) -> UserDay {
+        UserDay {
+            device: DeviceId(0),
+            day: 0,
+            rx_3g: 0,
+            tx_3g: 0,
+            rx_lte: cell_mb * 1_000_000,
+            tx_lte: cell_mb * 200_000,
+            rx_wifi: wifi_mb * 1_000_000,
+            tx_wifi: wifi_mb * 200_000,
+        }
+    }
+
+    #[test]
+    fn kinds_extract_right_fields() {
+        let d = day(30, 10);
+        assert_eq!(VolumeKind::AllRx.of(&d), 40_000_000);
+        assert_eq!(VolumeKind::WifiRx.of(&d), 30_000_000);
+        assert_eq!(VolumeKind::CellRx.of(&d), 10_000_000);
+        assert_eq!(VolumeKind::AllTx.of(&d), 8_000_000);
+    }
+
+    #[test]
+    fn min_filter_applies() {
+        let days = vec![day(0, 0), day(5, 0), day(100, 0)];
+        let xs = daily_volumes_mb(&days, VolumeKind::WifiRx, 0.1);
+        assert_eq!(xs.len(), 2);
+        let all = daily_volumes_mb(&days, VolumeKind::WifiRx, 0.0);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn table_medians() {
+        let days: Vec<UserDay> = (1..=9).map(|i| day(i * 10, i)).collect();
+        let t = volume_table(&days);
+        assert!((t.wifi.median_mb - 50.0).abs() < 1e-9);
+        assert!((t.cell.median_mb - 5.0).abs() < 1e-9);
+        assert!((t.all.median_mb - 55.0).abs() < 1e-9);
+        assert!(t.wifi.mean_mb > t.cell.mean_mb);
+    }
+
+    #[test]
+    fn zero_shares() {
+        let days = vec![day(0, 5), day(10, 0), day(10, 5), day(0, 0)];
+        assert!((zero_share(&days, VolumeKind::WifiRx) - 0.5).abs() < 1e-12);
+        assert!((zero_share(&days, VolumeKind::CellRx) - 0.5).abs() < 1e-12);
+        assert_eq!(zero_share(&[], VolumeKind::AllRx), 0.0);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let days: Vec<UserDay> = (1..=10).map(|i| day(i, 0)).collect();
+        let cdf = daily_volume_cdf(&days, VolumeKind::WifiRx, 0.0);
+        assert_eq!(cdf.len(), 10);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! Access points.
+
+use mobitrace_geo::GeoPoint;
+use mobitrace_model::{Band, Bssid, Channel, Essid, PublicProvider};
+use serde::{Deserialize, Serialize};
+
+/// Index of an AP in its [`ApWorld`](crate::world::ApWorld).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ApId(pub u32);
+
+impl ApId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where an AP is installed — the deployment ground truth the paper's
+/// home/public/office heuristics try to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Venue {
+    /// In a participant's or a background household's dwelling.
+    /// `participant` is the population index of the owning participant, or
+    /// `None` for non-participant neighbours.
+    Home {
+        /// Owning participant (None = background household).
+        participant: Option<u32>,
+    },
+    /// Deployed by a public WiFi provider in a public space.
+    Public(PublicProvider),
+    /// In a workplace that allows employee devices.
+    Office,
+    /// A pocket/mobile WiFi router that travels with its owner.
+    MobileRouter,
+    /// An open AP in a shop, café or hotel (counted under "other" in the
+    /// paper's Table 4).
+    Shop,
+}
+
+impl Venue {
+    /// Is this a home AP (participant or background)?
+    pub fn is_home(self) -> bool {
+        matches!(self, Venue::Home { .. })
+    }
+
+    /// Is this a public provider AP?
+    pub fn is_public(self) -> bool {
+        matches!(self, Venue::Public(_))
+    }
+
+    /// Radio environment for path-loss purposes.
+    pub fn environment(self) -> mobitrace_radio::Environment {
+        match self {
+            Venue::Home { .. } => mobitrace_radio::Environment::Home,
+            Venue::Office => mobitrace_radio::Environment::Office,
+            Venue::Public(_) | Venue::Shop | Venue::MobileRouter => {
+                mobitrace_radio::Environment::Public
+            }
+        }
+    }
+}
+
+/// One radio of an AP (an AP may host a 2.4 GHz and a 5 GHz radio; each
+/// gets its own BSSID, as real dual-band APs do).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Radio {
+    /// Radio MAC.
+    pub bssid: Bssid,
+    /// Band.
+    pub band: Band,
+    /// Operating channel.
+    pub channel: Channel,
+}
+
+/// A deployed access point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ap {
+    /// World-unique id.
+    pub id: ApId,
+    /// Network name (same across radios).
+    pub essid: Essid,
+    /// Deployment venue (ground truth).
+    pub venue: Venue,
+    /// Exact position (the dataset only ever sees the 5 km cell).
+    pub pos: GeoPoint,
+    /// Radios: 1 (single band) or 2 (dual band).
+    pub radios: Vec<Radio>,
+}
+
+impl Ap {
+    /// The radio on a band, if present.
+    pub fn radio_on(&self, band: Band) -> Option<&Radio> {
+        self.radios.iter().find(|r| r.band == band)
+    }
+
+    /// Does the AP have a 5 GHz radio?
+    pub fn has_5ghz(&self) -> bool {
+        self.radio_on(Band::Ghz5).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(radios: Vec<Radio>) -> Ap {
+        Ap {
+            id: ApId(0),
+            essid: Essid::new("x"),
+            venue: Venue::Shop,
+            pos: GeoPoint::new(35.6, 139.7),
+            radios,
+        }
+    }
+
+    #[test]
+    fn radio_lookup() {
+        let r24 = Radio { bssid: Bssid::from_u64(1), band: Band::Ghz24, channel: Channel(6) };
+        let r5 = Radio { bssid: Bssid::from_u64(2), band: Band::Ghz5, channel: Channel(36) };
+        let dual = ap(vec![r24.clone(), r5.clone()]);
+        assert_eq!(dual.radio_on(Band::Ghz24), Some(&r24));
+        assert!(dual.has_5ghz());
+        let single = ap(vec![r24]);
+        assert!(!single.has_5ghz());
+    }
+
+    #[test]
+    fn venue_predicates() {
+        assert!(Venue::Home { participant: None }.is_home());
+        assert!(Venue::Public(PublicProvider::Eduroam).is_public());
+        assert!(!Venue::Office.is_home());
+        assert!(!Venue::Shop.is_public());
+    }
+
+    #[test]
+    fn venue_environments() {
+        use mobitrace_radio::Environment;
+        assert_eq!(Venue::Home { participant: Some(3) }.environment(), Environment::Home);
+        assert_eq!(Venue::Office.environment(), Environment::Office);
+        assert_eq!(
+            Venue::Public(PublicProvider::MetroFree).environment(),
+            Environment::Public
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-year deployment parameters.
+//!
+//! Encodes the evolution the paper measures: public AP deployments roughly
+//! double from 2013 to 2015 (Table 4), 5 GHz radios roll out aggressively
+//! in public spaces but slowly at home/office (Fig. 14), and home APs
+//! migrate from the factory-default channel towards auto-selection
+//! (Fig. 16).
+
+use mobitrace_radio::ChannelPolicy;
+use mobitrace_model::Year;
+use serde::{Deserialize, Serialize};
+
+/// Deployment parameters for one campaign year. AP counts are expressed
+/// per recruited participant so campaigns of any population size scale
+/// consistently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployParams {
+    /// Campaign year.
+    pub year: Year,
+    /// Public provider APs deployed per participant.
+    pub public_aps_per_user: f64,
+    /// Office APs (BYOD-accessible) per participant.
+    pub office_aps_per_user: f64,
+    /// Shop/hotel open APs per participant.
+    pub shop_aps_per_user: f64,
+    /// Background (non-participant) home APs per participant, which fill
+    /// the scan lists a device sees at home.
+    pub background_homes_per_user: f64,
+    /// Probability that a home AP has a 5 GHz radio.
+    pub home_5ghz_share: f64,
+    /// Probability that an office AP has a 5 GHz radio.
+    pub office_5ghz_share: f64,
+    /// Probability that a public AP has a 5 GHz radio.
+    pub public_5ghz_share: f64,
+    /// Channel-policy mix for home APs: (factory-default, manual, auto).
+    pub home_channel_mix: (f64, f64, f64),
+}
+
+impl DeployParams {
+    /// Canonical parameters for a campaign year.
+    pub fn for_year(year: Year) -> DeployParams {
+        match year {
+            // 2013: 5041 public APs associated by ~1700 users → ≈3/user
+            // deployed (not every deployed AP is ever associated); 5 GHz
+            // rare outside public; home APs cluster on default channel 1.
+            Year::Y2013 => DeployParams {
+                year,
+                public_aps_per_user: 4.5,
+                office_aps_per_user: 0.16,
+                shop_aps_per_user: 0.5,
+                background_homes_per_user: 25.0,
+                home_5ghz_share: 0.10,
+                office_5ghz_share: 0.12,
+                public_5ghz_share: 0.18,
+                home_channel_mix: (0.50, 0.30, 0.20),
+            },
+            Year::Y2014 => DeployParams {
+                year,
+                public_aps_per_user: 8.5,
+                office_aps_per_user: 0.17,
+                shop_aps_per_user: 0.6,
+                background_homes_per_user: 27.0,
+                home_5ghz_share: 0.13,
+                office_5ghz_share: 0.13,
+                public_5ghz_share: 0.38,
+                home_channel_mix: (0.40, 0.30, 0.30),
+            },
+            // 2015: public deployment doubled; >50% of associated public
+            // APs are 5 GHz (Fig. 14); home channel use disperses.
+            Year::Y2015 => DeployParams {
+                year,
+                public_aps_per_user: 9.5,
+                office_aps_per_user: 0.17,
+                shop_aps_per_user: 0.7,
+                background_homes_per_user: 30.0,
+                home_5ghz_share: 0.17,
+                office_5ghz_share: 0.15,
+                public_5ghz_share: 0.60,
+                home_channel_mix: (0.28, 0.32, 0.40),
+            },
+        }
+    }
+
+    /// Draw a home-AP channel policy from the year's mix.
+    pub fn sample_home_policy<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> ChannelPolicy {
+        let (d, m, _a) = self.home_channel_mix;
+        let x: f64 = rng.gen_range(0.0..1.0);
+        if x < d {
+            ChannelPolicy::FactoryDefault
+        } else if x < d + m {
+            ChannelPolicy::ManualUniform
+        } else {
+            ChannelPolicy::AutoLeastCongested
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_mix_sums_to_one() {
+        for y in Year::ALL {
+            let (d, m, a) = DeployParams::for_year(y).home_channel_mix;
+            assert!((d + m + a - 1.0).abs() < 1e-9, "{y}");
+        }
+    }
+
+    #[test]
+    fn public_deployment_doubles() {
+        let p13 = DeployParams::for_year(Year::Y2013).public_aps_per_user;
+        let p15 = DeployParams::for_year(Year::Y2015).public_aps_per_user;
+        assert!(p15 / p13 >= 2.0, "public APs should double, got ×{}", p15 / p13);
+    }
+
+    #[test]
+    fn five_ghz_rollout_shape() {
+        for y in Year::ALL {
+            let p = DeployParams::for_year(y);
+            // Public leads the 5 GHz rollout in every year.
+            assert!(p.public_5ghz_share > p.home_5ghz_share, "{y}");
+        }
+        // Home/office stay below 20% even in 2015 (Fig. 14).
+        let p15 = DeployParams::for_year(Year::Y2015);
+        assert!(p15.home_5ghz_share < 0.20 && p15.office_5ghz_share < 0.20);
+        assert!(p15.public_5ghz_share > 0.5);
+    }
+
+    #[test]
+    fn default_channel_share_declines() {
+        let d13 = DeployParams::for_year(Year::Y2013).home_channel_mix.0;
+        let d15 = DeployParams::for_year(Year::Y2015).home_channel_mix.0;
+        assert!(d15 < d13);
+    }
+
+    #[test]
+    fn office_deployment_stable() {
+        let o13 = DeployParams::for_year(Year::Y2013).office_aps_per_user;
+        let o15 = DeployParams::for_year(Year::Y2015).office_aps_per_user;
+        assert!((o13 - o15).abs() / o13 < 0.15, "office APs stable over years");
+    }
+
+    #[test]
+    fn policy_sampling_covers_mix() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let p = DeployParams::for_year(Year::Y2013);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            match p.sample_home_policy(&mut rng) {
+                ChannelPolicy::FactoryDefault => counts[0] += 1,
+                ChannelPolicy::ManualUniform => counts[1] += 1,
+                ChannelPolicy::AutoLeastCongested => counts[2] += 1,
+                ChannelPolicy::PlannedOrthogonal => unreachable!("homes never plan"),
+            }
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.50).abs() < 0.03);
+        assert!((counts[1] as f64 / 10_000.0 - 0.30).abs() < 0.03);
+        assert!((counts[2] as f64 / 10_000.0 - 0.20).abs() < 0.03);
+    }
+}

@@ -1,0 +1,22 @@
+//! # mobitrace-deploy
+//!
+//! The WiFi access-point world: which APs exist, where, on which band and
+//! channel, and how that evolved across the 2013–2015 campaigns. The world
+//! is generated per campaign from per-year [`DeployParams`] — public AP
+//! deployments double, 5 GHz rolls out aggressively in public spaces
+//! (Fig. 14), home APs drift away from factory-default channel 1
+//! (Fig. 16) — and is queried by the simulator through a metre-scale
+//! spatial index ([`SpatialIndex`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ap;
+pub mod evolution;
+pub mod spatial;
+pub mod world;
+
+pub use ap::{Ap, ApId, Venue};
+pub use evolution::DeployParams;
+pub use spatial::SpatialIndex;
+pub use world::ApWorld;

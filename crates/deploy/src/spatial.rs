@@ -1,0 +1,131 @@
+//! A metre-scale spatial hash for AP lookups.
+//!
+//! WiFi reaches ~100 m while the reporting grid is 5 km, so scan queries
+//! need a much finer index than the dataset grid. [`SpatialIndex`] buckets
+//! points into `bucket_m`-sized squares keyed off the study-area origin and
+//! answers "which items lie within `r` metres of `p`" by scanning the
+//! covering bucket window.
+
+use mobitrace_geo::{point::KM_PER_DEG_LAT, point::KM_PER_DEG_LON, GeoPoint};
+use std::collections::HashMap;
+
+/// Spatial hash over item indexes.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    origin: GeoPoint,
+    bucket_m: f64,
+    map: HashMap<(i32, i32), Vec<u32>>,
+    len: usize,
+}
+
+impl SpatialIndex {
+    /// New empty index. `bucket_m` should be ≥ the typical query radius.
+    pub fn new(origin: GeoPoint, bucket_m: f64) -> SpatialIndex {
+        assert!(bucket_m > 1.0);
+        SpatialIndex { origin, bucket_m, map: HashMap::new(), len: 0 }
+    }
+
+    fn bucket_of(&self, p: GeoPoint) -> (i32, i32) {
+        let east_m = (p.lon - self.origin.lon) * KM_PER_DEG_LON * 1000.0;
+        let north_m = (p.lat - self.origin.lat) * KM_PER_DEG_LAT * 1000.0;
+        (
+            (east_m / self.bucket_m).floor() as i32,
+            (north_m / self.bucket_m).floor() as i32,
+        )
+    }
+
+    /// Insert an item by index at a position.
+    pub fn insert(&mut self, idx: u32, p: GeoPoint) {
+        self.map.entry(self.bucket_of(p)).or_default().push(idx);
+        self.len += 1;
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visit every item whose bucket intersects the `radius_m` disc around
+    /// `p`. Callers receive candidate indexes and perform the exact
+    /// distance check themselves (they usually need the distance anyway).
+    pub fn candidates_within(&self, p: GeoPoint, radius_m: f64, mut f: impl FnMut(u32)) {
+        let (bx, by) = self.bucket_of(p);
+        let span = (radius_m / self.bucket_m).ceil() as i32;
+        for dy in -span..=span {
+            for dx in -span..=span {
+                if let Some(v) = self.map.get(&(bx + dx, by + dy)) {
+                    for &idx in v {
+                        f(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(35.10, 138.90)
+    }
+
+    #[test]
+    fn finds_nearby_items() {
+        let mut ix = SpatialIndex::new(origin(), 200.0);
+        let base = GeoPoint::new(35.6, 139.7);
+        ix.insert(0, base);
+        ix.insert(1, base.offset_km(0.05, 0.0)); // 50 m east
+        ix.insert(2, base.offset_km(3.0, 0.0)); // 3 km east
+        let mut found = vec![];
+        ix.candidates_within(base, 150.0, |i| found.push(i));
+        found.sort();
+        assert!(found.contains(&0) && found.contains(&1));
+        assert!(!found.contains(&2));
+    }
+
+    #[test]
+    fn candidates_superset_of_exact() {
+        // Items just beyond the radius may appear as candidates (bucket
+        // granularity) but items well inside must always appear.
+        let mut ix = SpatialIndex::new(origin(), 100.0);
+        let base = GeoPoint::new(35.5, 139.5);
+        for k in 0..20 {
+            ix.insert(k, base.offset_km(0.004 * f64::from(k), 0.002 * f64::from(k)));
+        }
+        let mut found = std::collections::HashSet::new();
+        ix.candidates_within(base, 60.0, |i| {
+            found.insert(i);
+        });
+        for k in 0..=10u32 {
+            // item k is ~k*4.5 m away; k ≤ 10 → ≤ 45 m < 60 m.
+            assert!(found.contains(&k), "missing item {k}");
+        }
+    }
+
+    #[test]
+    fn len_tracks_inserts() {
+        let mut ix = SpatialIndex::new(origin(), 500.0);
+        assert!(ix.is_empty());
+        for k in 0..7 {
+            ix.insert(k, GeoPoint::new(35.2 + 0.01 * f64::from(k), 139.0));
+        }
+        assert_eq!(ix.len(), 7);
+    }
+
+    #[test]
+    fn zero_radius_checks_own_bucket() {
+        let mut ix = SpatialIndex::new(origin(), 100.0);
+        let p = GeoPoint::new(35.3, 139.3);
+        ix.insert(9, p);
+        let mut hit = false;
+        ix.candidates_within(p, 0.0, |i| hit = i == 9);
+        assert!(hit);
+    }
+}

@@ -1,0 +1,148 @@
+//! Commute paths.
+//!
+//! Most commuters in the Greater Tokyo area travel by rail. We model a
+//! commute as the straight-line sequence of 5 km cells between home and
+//! workplace, traversed at rail-like speed. The supercover line
+//! rasterisation guarantees consecutive path cells are edge- or
+//! corner-adjacent, so a device's reported location never jumps.
+
+use crate::grid::Grid;
+use crate::point::GeoPoint;
+use mobitrace_model::CellId;
+use serde::{Deserialize, Serialize};
+
+/// Average door-to-door commute speed including transfers and walks, used
+/// to convert path length to travel time.
+pub const COMMUTE_SPEED_KMH: f64 = 30.0;
+
+/// A precomputed home↔office commute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommutePath {
+    /// Cells from home (first) to office (last); length ≥ 1.
+    pub cells: Vec<CellId>,
+    /// One-way travel time in minutes.
+    pub minutes: u32,
+}
+
+impl CommutePath {
+    /// Build the path between two points on a grid.
+    pub fn between(grid: &Grid, home: GeoPoint, office: GeoPoint) -> CommutePath {
+        let cells = line_cells(grid.cell_of(home), grid.cell_of(office));
+        let km = home.distance_km(office);
+        let minutes = ((km / COMMUTE_SPEED_KMH) * 60.0).ceil().max(5.0) as u32;
+        CommutePath { cells, minutes }
+    }
+
+    /// Home cell.
+    pub fn home(&self) -> CellId {
+        self.cells[0]
+    }
+
+    /// Office cell.
+    pub fn office(&self) -> CellId {
+        *self.cells.last().expect("path is never empty")
+    }
+
+    /// Location along the commute at `progress` ∈ [0, 1]
+    /// (0 = home, 1 = office).
+    pub fn at_progress(&self, progress: f64) -> CellId {
+        let p = progress.clamp(0.0, 1.0);
+        let idx = (p * (self.cells.len() - 1) as f64).round() as usize;
+        self.cells[idx]
+    }
+
+    /// The reverse (office → home) path.
+    pub fn reversed(&self) -> CommutePath {
+        let mut cells = self.cells.clone();
+        cells.reverse();
+        CommutePath { cells, minutes: self.minutes }
+    }
+}
+
+/// All cells on the line segment from `a` to `b` (inclusive), using an
+/// integer DDA that steps one axis at a time, so consecutive cells are
+/// always 8-adjacent.
+fn line_cells(a: CellId, b: CellId) -> Vec<CellId> {
+    let (mut x, mut y) = (i32::from(a.x), i32::from(a.y));
+    let (x1, y1) = (i32::from(b.x), i32::from(b.y));
+    let dx = (x1 - x).abs();
+    let dy = (y1 - y).abs();
+    let sx = (x1 - x).signum();
+    let sy = (y1 - y).signum();
+    let mut err = dx - dy;
+    let mut out = Vec::with_capacity((dx.max(dy) + 1) as usize);
+    loop {
+        out.push(CellId::new(x as i16, y as i16));
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 > -dy {
+            err -= dy;
+            x += sx;
+        }
+        if e2 < dx {
+            err += dx;
+            y += sy;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::places::City;
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_endpoints_match() {
+        let g = Grid::greater_tokyo();
+        let home = City::Saitama.location();
+        let office = City::Tokyo.location();
+        let p = CommutePath::between(&g, home, office);
+        assert_eq!(p.home(), g.cell_of(home));
+        assert_eq!(p.office(), g.cell_of(office));
+        assert_eq!(p.at_progress(0.0), p.home());
+        assert_eq!(p.at_progress(1.0), p.office());
+    }
+
+    #[test]
+    fn travel_time_plausible() {
+        let g = Grid::greater_tokyo();
+        // Saitama → central Tokyo is ~22 km; expect ~45 min at 30 km/h.
+        let p = CommutePath::between(&g, City::Saitama.location(), City::Tokyo.location());
+        assert!((30..=70).contains(&p.minutes), "{} min", p.minutes);
+        // Zero-length commute still takes the 5-minute floor.
+        let q = CommutePath::between(&g, City::Tokyo.location(), City::Tokyo.location());
+        assert_eq!(q.minutes, 5);
+        assert_eq!(q.cells.len(), 1);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let g = Grid::greater_tokyo();
+        let p = CommutePath::between(&g, City::Chiba.location(), City::Shinjuku.location());
+        let r = p.reversed();
+        assert_eq!(r.home(), p.office());
+        assert_eq!(r.office(), p.home());
+        assert_eq!(r.minutes, p.minutes);
+    }
+
+    proptest! {
+        #[test]
+        fn line_cells_adjacent_and_terminated(
+            ax in 0i16..31, ay in 0i16..23, bx in 0i16..31, by in 0i16..23
+        ) {
+            let cells = line_cells(CellId::new(ax, ay), CellId::new(bx, by));
+            prop_assert_eq!(cells[0], CellId::new(ax, ay));
+            prop_assert_eq!(*cells.last().unwrap(), CellId::new(bx, by));
+            for w in cells.windows(2) {
+                prop_assert_eq!(w[0].chebyshev(w[1]), 1, "non-adjacent step");
+            }
+            // Path length is exactly the Chebyshev distance + 1.
+            let d = CellId::new(ax, ay).chebyshev(CellId::new(bx, by)) as usize;
+            prop_assert_eq!(cells.len(), d + 1);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Density surfaces: where people live, work and roam.
+//!
+//! A [`DensitySurface`] is a mixture of isotropic Gaussian kernels centred
+//! on the city anchors. It supports point sampling (for placing homes,
+//! offices and APs) and per-cell weights (for distributing public AP
+//! deployments like the paper's Fig. 10 maps).
+
+use crate::grid::Grid;
+use crate::places::City;
+use crate::point::GeoPoint;
+use mobitrace_model::CellId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One Gaussian kernel of the mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel centre.
+    pub centre: GeoPoint,
+    /// Mixture weight (relative).
+    pub weight: f64,
+    /// Standard deviation in km.
+    pub sigma_km: f64,
+}
+
+/// A mixture-of-Gaussians density over the study area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensitySurface {
+    kernels: Vec<Kernel>,
+    total_weight: f64,
+}
+
+impl DensitySurface {
+    /// Build from explicit kernels. Panics if empty or non-positive weights.
+    pub fn new(kernels: Vec<Kernel>) -> DensitySurface {
+        assert!(!kernels.is_empty(), "density surface needs kernels");
+        let total_weight = kernels.iter().map(|k| k.weight).sum();
+        for k in &kernels {
+            assert!(k.weight > 0.0 && k.sigma_km > 0.0, "bad kernel {k:?}");
+        }
+        DensitySurface { kernels, total_weight }
+    }
+
+    /// Residential density: where the recruited users' homes are.
+    pub fn residential() -> DensitySurface {
+        DensitySurface::from_city_weights(|c| c.residential_weight(), 1.6)
+    }
+
+    /// Office density: where commuters work. Tighter kernels — employment
+    /// clusters around stations and business districts.
+    pub fn office() -> DensitySurface {
+        DensitySurface::from_city_weights(|c| c.office_weight(), 0.8)
+    }
+
+    /// Public-footfall density: where public WiFi APs are deployed and
+    /// where daytime roaming happens.
+    pub fn public() -> DensitySurface {
+        DensitySurface::from_city_weights(|c| c.public_weight(), 1.0)
+    }
+
+    fn from_city_weights(weight: impl Fn(City) -> f64, sigma_scale: f64) -> DensitySurface {
+        DensitySurface::new(
+            City::ALL
+                .iter()
+                .map(|&c| Kernel {
+                    centre: c.location(),
+                    weight: weight(c),
+                    sigma_km: c.spread_km() * sigma_scale,
+                })
+                .collect(),
+        )
+    }
+
+    /// Unnormalised density at a point.
+    pub fn density_at(&self, p: GeoPoint) -> f64 {
+        self.kernels
+            .iter()
+            .map(|k| {
+                let d = p.distance_km(k.centre);
+                k.weight * (-0.5 * (d / k.sigma_km).powi(2)).exp() / (k.sigma_km * k.sigma_km)
+            })
+            .sum()
+    }
+
+    /// Sample a point from the mixture.
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
+        // Pick a kernel by weight, then a 2-D Gaussian offset via Box-Muller.
+        let mut pick = rng.gen_range(0.0..self.total_weight);
+        let mut chosen = &self.kernels[self.kernels.len() - 1];
+        for k in &self.kernels {
+            if pick < k.weight {
+                chosen = k;
+                break;
+            }
+            pick -= k.weight;
+        }
+        let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
+        let r = (-2.0 * u1.ln()).sqrt() * chosen.sigma_km;
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        chosen.centre.offset_km(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Sample a point and report its grid cell (clamped into the grid).
+    pub fn sample_cell<R: Rng + ?Sized>(&self, rng: &mut R, grid: &Grid) -> (GeoPoint, CellId) {
+        let p = self.sample_point(rng);
+        (p, grid.cell_of(p))
+    }
+
+    /// Per-cell weights over a grid, normalised to sum to 1. Used to
+    /// apportion a fixed AP budget across cells.
+    pub fn cell_weights(&self, grid: &Grid) -> Vec<f64> {
+        let mut w: Vec<f64> = grid
+            .cells()
+            .map(|c| self.density_at(grid.centre_of(c)))
+            .collect();
+        let total: f64 = w.iter().sum();
+        assert!(total > 0.0);
+        for v in &mut w {
+            *v /= total;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn density_peaks_at_heavy_kernel() {
+        let s = DensitySurface::public();
+        let shinjuku = City::Shinjuku.location();
+        let odawara = City::Odawara.location();
+        assert!(s.density_at(shinjuku) > s.density_at(odawara) * 3.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = DensitySurface::residential();
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let pa = s.sample_point(&mut a);
+            let pb = s.sample_point(&mut b);
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn samples_cluster_near_anchors() {
+        let s = DensitySurface::office();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let grid = Grid::greater_tokyo();
+        let mut near = 0;
+        let n = 500;
+        for _ in 0..n {
+            let p = s.sample_point(&mut rng);
+            let min_d = City::ALL
+                .iter()
+                .map(|c| p.distance_km(c.location()))
+                .fold(f64::INFINITY, f64::min);
+            if min_d < 15.0 {
+                near += 1;
+            }
+            // All samples map to a valid (possibly clamped) cell.
+            assert!(grid.contains(grid.cell_of(p)));
+        }
+        assert!(near > n * 9 / 10, "only {near}/{n} samples near anchors");
+    }
+
+    #[test]
+    fn cell_weights_normalised_and_downtown_heavy() {
+        let grid = Grid::greater_tokyo();
+        let s = DensitySurface::public();
+        let w = s.cell_weights(&grid);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let shinjuku_cell = grid.cell_of(City::Shinjuku.location());
+        let odawara_cell = grid.cell_of(City::Odawara.location());
+        assert!(w[grid.dense_index(shinjuku_cell)] > w[grid.dense_index(odawara_cell)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_surface_panics() {
+        let _ = DensitySurface::new(vec![]);
+    }
+}

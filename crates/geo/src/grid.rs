@@ -1,0 +1,137 @@
+//! The 5 km reporting grid.
+//!
+//! The measurement agent reports geolocation at 5 km precision; the paper's
+//! Fig. 10 and the availability analysis (§3.5) work on 5 km cells. [`Grid`]
+//! maps between [`GeoPoint`]s and [`CellId`]s and enumerates the cells of
+//! the study area.
+
+use crate::point::{GeoPoint, KM_PER_DEG_LAT, KM_PER_DEG_LON};
+use mobitrace_model::CellId;
+use serde::{Deserialize, Serialize};
+
+/// A square grid over the study area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// South-west corner of cell (0, 0).
+    pub origin: GeoPoint,
+    /// Cell edge length in km.
+    pub cell_km: f64,
+    /// Number of cells east-west.
+    pub width: i16,
+    /// Number of cells north-south.
+    pub height: i16,
+}
+
+impl Grid {
+    /// The Greater-Tokyo study grid: 5 km cells covering roughly
+    /// 138.9–140.6°E, 35.1–36.1°N — the extent of the paper's Fig. 10 maps
+    /// (Odawara in the south-west to Narita in the north-east).
+    pub fn greater_tokyo() -> Grid {
+        Grid {
+            origin: GeoPoint::new(35.10, 138.90),
+            cell_km: 5.0,
+            width: 31,
+            height: 23,
+        }
+    }
+
+    /// Cell containing a point (points outside the grid clamp to the edge,
+    /// mirroring how the real agent reports the nearest cell).
+    pub fn cell_of(&self, p: GeoPoint) -> CellId {
+        let east_km = (p.lon - self.origin.lon) * KM_PER_DEG_LON;
+        let north_km = (p.lat - self.origin.lat) * KM_PER_DEG_LAT;
+        let x = (east_km / self.cell_km).floor() as i32;
+        let y = (north_km / self.cell_km).floor() as i32;
+        CellId::new(
+            x.clamp(0, i32::from(self.width) - 1) as i16,
+            y.clamp(0, i32::from(self.height) - 1) as i16,
+        )
+    }
+
+    /// Centre point of a cell.
+    pub fn centre_of(&self, c: CellId) -> GeoPoint {
+        let east_km = (f64::from(c.x) + 0.5) * self.cell_km;
+        let north_km = (f64::from(c.y) + 0.5) * self.cell_km;
+        self.origin.offset_km(east_km, north_km)
+    }
+
+    /// Is the cell within the grid bounds?
+    pub fn contains(&self, c: CellId) -> bool {
+        (0..self.width).contains(&c.x) && (0..self.height).contains(&c.y)
+    }
+
+    /// Iterate all cells row-major (south to north, west to east).
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let (w, h) = (self.width, self.height);
+        (0..h).flat_map(move |y| (0..w).map(move |x| CellId::new(x, y)))
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        usize::from(self.width as u16) * usize::from(self.height as u16)
+    }
+
+    /// Dense row-major index of a cell for array-backed per-cell tallies.
+    pub fn dense_index(&self, c: CellId) -> usize {
+        debug_assert!(self.contains(c));
+        usize::from(c.y as u16) * usize::from(self.width as u16) + usize::from(c.x as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_cell_roundtrip() {
+        let g = Grid::greater_tokyo();
+        for c in g.cells() {
+            assert_eq!(g.cell_of(g.centre_of(c)), c);
+        }
+    }
+
+    #[test]
+    fn tokyo_grid_covers_anchor_cities() {
+        let g = Grid::greater_tokyo();
+        for (lat, lon) in [
+            (35.690, 139.700), // Tokyo/Shinjuku
+            (35.444, 139.638), // Yokohama
+            (35.607, 140.106), // Chiba
+            (35.776, 140.318), // Narita
+            (35.256, 139.155), // Odawara
+        ] {
+            let c = g.cell_of(GeoPoint::new(lat, lon));
+            assert!(g.contains(c));
+            // Clamping never triggered for in-area cities: centre is near point.
+            assert!(g.centre_of(c).distance_km(GeoPoint::new(lat, lon)) < 4.0);
+        }
+    }
+
+    #[test]
+    fn out_of_area_points_clamp() {
+        let g = Grid::greater_tokyo();
+        let far_north = GeoPoint::new(38.0, 139.7);
+        let c = g.cell_of(far_north);
+        assert!(g.contains(c));
+        assert_eq!(c.y, g.height - 1);
+    }
+
+    #[test]
+    fn dense_index_bijective() {
+        let g = Grid::greater_tokyo();
+        let mut seen = vec![false; g.cell_count()];
+        for c in g.cells() {
+            let i = g.dense_index(c);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cell_edge_membership() {
+        let g = Grid::greater_tokyo();
+        // A point exactly on the origin belongs to cell (0,0).
+        assert_eq!(g.cell_of(g.origin), CellId::new(0, 0));
+    }
+}

@@ -1,0 +1,28 @@
+//! # mobitrace-geo
+//!
+//! Geography substrate for the Greater Tokyo measurement area: geographic
+//! points, the 5 km × 5 km reporting grid used by the agent's coarse
+//! geolocation, the city anchors that appear in the paper's AP-density maps
+//! (Fig. 10), population-density surfaces for placing homes, offices and
+//! public APs, and rail-like commute paths between home and workplace.
+//!
+//! Everything is deterministic given an RNG; distances use an
+//! equirectangular approximation, which is accurate to well under 1% over
+//! the ~150 km extent of the study area.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commute;
+pub mod density;
+pub mod grid;
+pub mod places;
+pub mod point;
+pub mod pois;
+
+pub use commute::CommutePath;
+pub use density::DensitySurface;
+pub use grid::Grid;
+pub use places::City;
+pub use pois::PoiSet;
+pub use point::GeoPoint;

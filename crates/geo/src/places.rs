@@ -1,0 +1,206 @@
+//! City anchors of the Greater Tokyo area.
+//!
+//! The ten labelled cities of the paper's Fig. 10 maps plus the two downtown
+//! wards (Shinjuku, Shibuya) the paper calls out as the highest-density
+//! public-WiFi areas. Each anchor carries weights used by the density
+//! surfaces: how much residential population, how much office employment and
+//! how much public/commercial footfall concentrates there.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A named anchor of the study area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum City {
+    /// Central Tokyo (around Tokyo station / Marunouchi).
+    Tokyo,
+    /// Shinjuku ward — densest public-WiFi area in the dataset.
+    Shinjuku,
+    /// Shibuya ward — second densest public-WiFi area.
+    Shibuya,
+    /// Yokohama.
+    Yokohama,
+    /// Kawasaki.
+    Kawasaki,
+    /// Saitama.
+    Saitama,
+    /// Chiba.
+    Chiba,
+    /// Funabashi.
+    Funabashi,
+    /// Hachioji.
+    Hachioji,
+    /// Narita (airport town, far east).
+    Narita,
+    /// Odawara (far south-west).
+    Odawara,
+    /// Yokosuka (south).
+    Yokosuka,
+}
+
+impl City {
+    /// All anchors.
+    pub const ALL: [City; 12] = [
+        City::Tokyo,
+        City::Shinjuku,
+        City::Shibuya,
+        City::Yokohama,
+        City::Kawasaki,
+        City::Saitama,
+        City::Chiba,
+        City::Funabashi,
+        City::Hachioji,
+        City::Narita,
+        City::Odawara,
+        City::Yokosuka,
+    ];
+
+    /// Anchor coordinates (city centre / main station).
+    pub fn location(self) -> GeoPoint {
+        let (lat, lon) = match self {
+            City::Tokyo => (35.681, 139.767),
+            City::Shinjuku => (35.690, 139.700),
+            City::Shibuya => (35.658, 139.702),
+            City::Yokohama => (35.444, 139.638),
+            City::Kawasaki => (35.531, 139.697),
+            City::Saitama => (35.861, 139.645),
+            City::Chiba => (35.607, 140.106),
+            City::Funabashi => (35.695, 139.985),
+            City::Hachioji => (35.656, 139.339),
+            City::Narita => (35.776, 140.318),
+            City::Odawara => (35.256, 139.155),
+            City::Yokosuka => (35.281, 139.672),
+        };
+        GeoPoint::new(lat, lon)
+    }
+
+    /// Relative residential population weight (where recruited users live).
+    pub fn residential_weight(self) -> f64 {
+        match self {
+            City::Tokyo => 6.0,
+            City::Shinjuku => 4.0,
+            City::Shibuya => 3.0,
+            City::Yokohama => 8.0,
+            City::Kawasaki => 5.0,
+            City::Saitama => 5.0,
+            City::Chiba => 4.0,
+            City::Funabashi => 3.0,
+            City::Hachioji => 3.0,
+            City::Narita => 1.0,
+            City::Odawara => 1.0,
+            City::Yokosuka => 2.0,
+        }
+    }
+
+    /// Relative office-employment weight (where commuters work). Central
+    /// Tokyo dominates, matching the paper's observation that commute peaks
+    /// flow towards downtown on public transport.
+    pub fn office_weight(self) -> f64 {
+        match self {
+            City::Tokyo => 12.0,
+            City::Shinjuku => 8.0,
+            City::Shibuya => 6.0,
+            City::Yokohama => 4.0,
+            City::Kawasaki => 2.5,
+            City::Saitama => 2.0,
+            City::Chiba => 1.5,
+            City::Funabashi => 1.0,
+            City::Hachioji => 1.0,
+            City::Narita => 0.6,
+            City::Odawara => 0.3,
+            City::Yokosuka => 0.6,
+        }
+    }
+
+    /// Relative public/commercial footfall weight (where public WiFi APs
+    /// and daytime visitors concentrate). Shinjuku/Shibuya lead, as in the
+    /// paper's Fig. 10 where their cells exceed 300 associated public APs.
+    pub fn public_weight(self) -> f64 {
+        match self {
+            City::Tokyo => 9.0,
+            City::Shinjuku => 12.0,
+            City::Shibuya => 10.0,
+            City::Yokohama => 5.0,
+            City::Kawasaki => 2.5,
+            City::Saitama => 2.0,
+            City::Chiba => 2.0,
+            City::Funabashi => 1.5,
+            City::Hachioji => 1.5,
+            City::Narita => 1.2,
+            City::Odawara => 0.5,
+            City::Yokosuka => 0.8,
+        }
+    }
+
+    /// Spatial spread (km) of the anchor's influence. Residential sprawl is
+    /// wide; downtown cores are tight.
+    pub fn spread_km(self) -> f64 {
+        match self {
+            City::Tokyo | City::Shinjuku | City::Shibuya => 4.0,
+            City::Yokohama | City::Kawasaki => 7.0,
+            City::Saitama | City::Chiba | City::Funabashi | City::Hachioji => 8.0,
+            City::Narita | City::Odawara | City::Yokosuka => 6.0,
+        }
+    }
+
+    /// Label used on the Fig. 10 style maps.
+    pub fn label(self) -> &'static str {
+        match self {
+            City::Tokyo => "Tokyo",
+            City::Shinjuku => "Shinjuku",
+            City::Shibuya => "Shibuya",
+            City::Yokohama => "Yokohama",
+            City::Kawasaki => "Kawasaki",
+            City::Saitama => "Saitama",
+            City::Chiba => "Chiba",
+            City::Funabashi => "Funabashi",
+            City::Hachioji => "Hachioji",
+            City::Narita => "Narita",
+            City::Odawara => "Odawara",
+            City::Yokosuka => "Yokosuka",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    #[test]
+    fn all_anchors_inside_grid() {
+        let g = Grid::greater_tokyo();
+        for c in City::ALL {
+            let cell = g.cell_of(c.location());
+            assert!(g.contains(cell), "{:?}", c);
+            // Not clamped to an edge for any anchor.
+            assert!(g.centre_of(cell).distance_km(c.location()) < 4.0, "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn downtown_leads_public_weight() {
+        assert!(City::Shinjuku.public_weight() > City::Yokohama.public_weight());
+        assert!(City::Shibuya.public_weight() > City::Odawara.public_weight());
+    }
+
+    #[test]
+    fn office_concentrates_downtown() {
+        let downtown: f64 = [City::Tokyo, City::Shinjuku, City::Shibuya]
+            .iter()
+            .map(|c| c.office_weight())
+            .sum();
+        let total: f64 = City::ALL.iter().map(|c| c.office_weight()).sum();
+        assert!(downtown / total > 0.5, "downtown share {}", downtown / total);
+    }
+
+    #[test]
+    fn weights_positive() {
+        for c in City::ALL {
+            assert!(c.residential_weight() > 0.0);
+            assert!(c.office_weight() > 0.0);
+            assert!(c.public_weight() > 0.0);
+            assert!(c.spread_km() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Geographic points and distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Kilometres per degree of latitude (WGS-84 mean).
+pub const KM_PER_DEG_LAT: f64 = 110.95;
+
+/// Kilometres per degree of longitude at the study area's mid-latitude
+/// (~35.6°N): 111.32 · cos(35.6°).
+pub const KM_PER_DEG_LON: f64 = 90.53;
+
+/// A geographic point (WGS-84 degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees north.
+    pub lat: f64,
+    /// Longitude in degrees east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point. Panics outside plausible Honshu bounds to catch
+    /// lat/lon swaps early.
+    pub fn new(lat: f64, lon: f64) -> GeoPoint {
+        assert!((20.0..50.0).contains(&lat), "latitude {lat} out of range");
+        assert!((125.0..150.0).contains(&lon), "longitude {lon} out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance via the equirectangular approximation — exact
+    /// enough (≪1% error) over the ~150 km study extent and monotonic,
+    /// which is all the simulator needs.
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let dy = (self.lat - other.lat) * KM_PER_DEG_LAT;
+        let dx = (self.lon - other.lon) * KM_PER_DEG_LON;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The point offset by `(east_km, north_km)`.
+    pub fn offset_km(self, east_km: f64, north_km: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + north_km / KM_PER_DEG_LAT,
+            lon: self.lon + east_km / KM_PER_DEG_LON,
+        }
+    }
+
+    /// Linear interpolation between two points (`t` in [0, 1]).
+    pub fn lerp(self, other: GeoPoint, t: f64) -> GeoPoint {
+        let t = t.clamp(0.0, 1.0);
+        GeoPoint {
+            lat: self.lat + (other.lat - self.lat) * t,
+            lon: self.lon + (other.lon - self.lon) * t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(35.69, 139.70);
+        assert_eq!(p.distance_km(p), 0.0);
+    }
+
+    #[test]
+    fn tokyo_yokohama_distance_plausible() {
+        // Tokyo (Shinjuku) to Yokohama is ~28 km.
+        let tokyo = GeoPoint::new(35.690, 139.700);
+        let yokohama = GeoPoint::new(35.444, 139.638);
+        let d = tokyo.distance_km(yokohama);
+        assert!((25.0..32.0).contains(&d), "got {d} km");
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let p = GeoPoint::new(35.6, 139.7);
+        let q = p.offset_km(10.0, -5.0);
+        assert!((p.distance_km(q) - (125.0f64).sqrt()).abs() < 0.01);
+        let back = q.offset_km(-10.0, 5.0);
+        assert!(p.distance_km(back) < 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = GeoPoint::new(35.0, 139.0);
+        let b = GeoPoint::new(36.0, 140.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert!((m.lat - 35.5).abs() < 1e-12 && (m.lon - 139.5).abs() < 1e-12);
+        // Clamping.
+        assert_eq!(a.lerp(b, 2.0), b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn swapped_lat_lon_panics() {
+        let _ = GeoPoint::new(139.7, 35.69);
+    }
+}

@@ -1,0 +1,131 @@
+//! Points of interest: stations, shopping streets, café clusters.
+//!
+//! Public WiFi APs are deployed *where people go* — metro stations, malls,
+//! downtown crossings — and people go where the APs are. A shared
+//! [`PoiSet`] ties the two sides together: the deployment model scatters
+//! public APs around POIs, commuters pass through their home/office
+//! stations, and leisure outings target POIs, which is what produces
+//! realistic public-WiFi encounter rates (Fig. 12/17 of the paper).
+
+use crate::density::DensitySurface;
+use crate::point::GeoPoint;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A set of POIs with footfall weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiSet {
+    /// POI locations.
+    pub points: Vec<GeoPoint>,
+    /// Relative footfall weight per POI (higher = busier).
+    pub weights: Vec<f64>,
+    total_weight: f64,
+}
+
+impl PoiSet {
+    /// Generate `n` POIs from the public-footfall surface. Busier POIs
+    /// (downtown) get higher weights.
+    pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> PoiSet {
+        assert!(n > 0, "need at least one POI");
+        let surface = DensitySurface::public();
+        let points: Vec<GeoPoint> = (0..n).map(|_| surface.sample_point(rng)).collect();
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| surface.density_at(*p).max(1e-9))
+            .collect();
+        let total_weight = weights.iter().sum();
+        PoiSet { points, weights, total_weight }
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if empty (never true for generated sets).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sample a POI index weighted by footfall.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut x = rng.gen_range(0.0..self.total_weight);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        self.points.len() - 1
+    }
+
+    /// Sample a POI location weighted by footfall.
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
+        self.points[self.sample_index(rng)]
+    }
+
+    /// The POI nearest to a point (a commuter's "station").
+    pub fn nearest(&self, p: GeoPoint) -> GeoPoint {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| {
+                a.distance_km(p)
+                    .partial_cmp(&b.distance_km(p))
+                    .expect("distances are finite")
+            })
+            .expect("POI set is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::places::City;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generation_deterministic() {
+        let a = PoiSet::generate(50, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = PoiSet::generate(50, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn nearest_returns_closest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let set = PoiSet::generate(100, &mut rng);
+        let probe = City::Shinjuku.location();
+        let nearest = set.nearest(probe);
+        for p in &set.points {
+            assert!(nearest.distance_km(probe) <= p.distance_km(probe) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_downtown() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let set = PoiSet::generate(200, &mut rng);
+        let shinjuku = City::Shinjuku.location();
+        let odawara = City::Odawara.location();
+        let (mut near_dt, mut near_od) = (0, 0);
+        for _ in 0..2000 {
+            let p = set.sample_point(&mut rng);
+            if p.distance_km(shinjuku) < 10.0 {
+                near_dt += 1;
+            }
+            if p.distance_km(odawara) < 10.0 {
+                near_od += 1;
+            }
+        }
+        assert!(near_dt > near_od, "downtown {near_dt} vs odawara {near_od}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pois_panics() {
+        let _ = PoiSet::generate(0, &mut ChaCha8Rng::seed_from_u64(4));
+    }
+}

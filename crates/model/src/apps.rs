@@ -1,0 +1,233 @@
+//! Application categories.
+//!
+//! The Android agent reports per-application traffic which the study groups
+//! into 26 Google-Play-style categories (§3.6). The tables in the paper use
+//! short labels (`brows.`, `comm.`, `dload`, `prod.`, `life`, `busi`, …)
+//! which we reproduce via [`AppCategory::short_label`].
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 26 application categories used by the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AppCategory {
+    /// Web browsers (includes web-delivered video/social use).
+    Browser,
+    /// Social networking (Facebook, Twitter, …).
+    Social,
+    /// Video and media streaming (YouTube, Nicovideo, …).
+    Video,
+    /// Messaging and email (Line, mail clients, …).
+    Communication,
+    /// News and magazines.
+    News,
+    /// Games.
+    Game,
+    /// Music and audio.
+    Music,
+    /// Travel and local transit.
+    Travel,
+    /// Shopping.
+    Shopping,
+    /// App/file downloading (app store payloads, large file fetches).
+    Downloading,
+    /// Entertainment (lotteries, surveys, …).
+    Entertainment,
+    /// Tools (printers, speed tests, …).
+    Tools,
+    /// Productivity (online file storage/sync, office suites).
+    Productivity,
+    /// Lifestyle (restaurant info, cooking, …).
+    Lifestyle,
+    /// Health and fitness.
+    Health,
+    /// Business.
+    Business,
+    /// Books and reference.
+    Books,
+    /// Education.
+    Education,
+    /// Finance.
+    Finance,
+    /// Maps and navigation.
+    Maps,
+    /// Photography.
+    Photography,
+    /// Weather.
+    Weather,
+    /// Personalization (themes, wallpapers).
+    Personalization,
+    /// Sports.
+    Sports,
+    /// Medical.
+    Medical,
+    /// Libraries/demo and uncategorised.
+    Other,
+}
+
+impl AppCategory {
+    /// All categories, in stable order. `ALL.len() == 26` as in the study.
+    pub const ALL: [AppCategory; 26] = [
+        AppCategory::Browser,
+        AppCategory::Social,
+        AppCategory::Video,
+        AppCategory::Communication,
+        AppCategory::News,
+        AppCategory::Game,
+        AppCategory::Music,
+        AppCategory::Travel,
+        AppCategory::Shopping,
+        AppCategory::Downloading,
+        AppCategory::Entertainment,
+        AppCategory::Tools,
+        AppCategory::Productivity,
+        AppCategory::Lifestyle,
+        AppCategory::Health,
+        AppCategory::Business,
+        AppCategory::Books,
+        AppCategory::Education,
+        AppCategory::Finance,
+        AppCategory::Maps,
+        AppCategory::Photography,
+        AppCategory::Weather,
+        AppCategory::Personalization,
+        AppCategory::Sports,
+        AppCategory::Medical,
+        AppCategory::Other,
+    ];
+
+    /// Compact index for array-backed tallies.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`index`](Self::index); `None` when out of range.
+    pub fn from_index(i: usize) -> Option<AppCategory> {
+        AppCategory::ALL.get(i).copied()
+    }
+
+    /// The abbreviated label used in the paper's Tables 6 and 7.
+    pub fn short_label(self) -> &'static str {
+        match self {
+            AppCategory::Browser => "brows.",
+            AppCategory::Social => "social",
+            AppCategory::Video => "video",
+            AppCategory::Communication => "comm.",
+            AppCategory::News => "news",
+            AppCategory::Game => "game",
+            AppCategory::Music => "music",
+            AppCategory::Travel => "travel",
+            AppCategory::Shopping => "shop.",
+            AppCategory::Downloading => "dload",
+            AppCategory::Entertainment => "enter.",
+            AppCategory::Tools => "tools",
+            AppCategory::Productivity => "prod.",
+            AppCategory::Lifestyle => "life",
+            AppCategory::Health => "health",
+            AppCategory::Business => "busi",
+            AppCategory::Books => "books",
+            AppCategory::Education => "edu",
+            AppCategory::Finance => "fin",
+            AppCategory::Maps => "maps",
+            AppCategory::Photography => "photo",
+            AppCategory::Weather => "wthr",
+            AppCategory::Personalization => "perso",
+            AppCategory::Sports => "sports",
+            AppCategory::Medical => "med",
+            AppCategory::Other => "other",
+        }
+    }
+
+    /// Full human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppCategory::Browser => "browser",
+            AppCategory::Social => "social networking",
+            AppCategory::Video => "video and media",
+            AppCategory::Communication => "communication",
+            AppCategory::News => "news",
+            AppCategory::Game => "gaming",
+            AppCategory::Music => "music",
+            AppCategory::Travel => "travel",
+            AppCategory::Shopping => "shopping",
+            AppCategory::Downloading => "downloading",
+            AppCategory::Entertainment => "entertainment",
+            AppCategory::Tools => "tools",
+            AppCategory::Productivity => "productivity",
+            AppCategory::Lifestyle => "lifestyle",
+            AppCategory::Health => "health and fitness",
+            AppCategory::Business => "business",
+            AppCategory::Books => "books and reference",
+            AppCategory::Education => "education",
+            AppCategory::Finance => "finance",
+            AppCategory::Maps => "maps and navigation",
+            AppCategory::Photography => "photography",
+            AppCategory::Weather => "weather",
+            AppCategory::Personalization => "personalization",
+            AppCategory::Sports => "sports",
+            AppCategory::Medical => "medical",
+            AppCategory::Other => "other",
+        }
+    }
+
+    /// Categories the paper singles out as bandwidth-consuming (§4.4):
+    /// video streaming, large downloads, and online-storage sync.
+    pub fn is_bandwidth_consuming(self) -> bool {
+        matches!(
+            self,
+            AppCategory::Video | AppCategory::Downloading | AppCategory::Productivity
+        )
+    }
+}
+
+impl std::fmt::Display for AppCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn twenty_six_categories() {
+        assert_eq!(AppCategory::ALL.len(), 26);
+        let set: HashSet<_> = AppCategory::ALL.iter().collect();
+        assert_eq!(set.len(), 26, "categories must be distinct");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, c) in AppCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(AppCategory::from_index(i), Some(*c));
+        }
+        assert_eq!(AppCategory::from_index(26), None);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: HashSet<_> = AppCategory::ALL.iter().map(|c| c.short_label()).collect();
+        assert_eq!(labels.len(), 26);
+    }
+
+    #[test]
+    fn paper_table_labels() {
+        assert_eq!(AppCategory::Browser.short_label(), "brows.");
+        assert_eq!(AppCategory::Downloading.short_label(), "dload");
+        assert_eq!(AppCategory::Productivity.short_label(), "prod.");
+        assert_eq!(AppCategory::Lifestyle.short_label(), "life");
+        assert_eq!(AppCategory::Business.short_label(), "busi");
+    }
+
+    #[test]
+    fn bandwidth_consuming_set() {
+        let heavy: Vec<_> = AppCategory::ALL
+            .iter()
+            .filter(|c| c.is_bandwidth_consuming())
+            .collect();
+        assert_eq!(heavy.len(), 3);
+    }
+}

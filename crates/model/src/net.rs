@@ -1,0 +1,231 @@
+//! Network-interface taxonomy: cellular technologies, WiFi bands, channels,
+//! and the WiFi interface state machine as observed by the agent.
+
+use crate::ids::{Bssid, Essid};
+use crate::units::Dbm;
+use serde::{Deserialize, Serialize};
+
+/// Cellular radio technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CellTech {
+    /// 3G (W-CDMA / HSPA-class).
+    G3,
+    /// 4G LTE.
+    Lte,
+}
+
+impl CellTech {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellTech::G3 => "3G",
+            CellTech::Lte => "LTE",
+        }
+    }
+}
+
+/// WiFi frequency band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Band {
+    /// 2.4 GHz (802.11b/g/n), 13 Japanese channels, longer range, noisier.
+    Ghz24,
+    /// 5 GHz (802.11a/n/ac), shorter range, cleaner spectrum.
+    Ghz5,
+}
+
+impl Band {
+    /// Human-readable label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Band::Ghz24 => "2.4GHz",
+            Band::Ghz5 => "5GHz",
+        }
+    }
+
+    /// Centre frequency in MHz used for path-loss computations.
+    pub fn centre_mhz(self) -> f64 {
+        match self {
+            Band::Ghz24 => 2437.0, // channel 6
+            Band::Ghz5 => 5240.0,  // channel 48
+        }
+    }
+}
+
+/// A WiFi channel number within a band.
+///
+/// For 2.4 GHz, Japan allows channels 1–13 (14 is 11b-only and excluded
+/// here). For 5 GHz we track the common W52/W53/W56 channel numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel(pub u8);
+
+impl Channel {
+    /// The 13 usable Japanese 2.4 GHz channels.
+    pub const GHZ24_ALL: [Channel; 13] = {
+        let mut c = [Channel(0); 13];
+        let mut i = 0;
+        while i < 13 {
+            c[i] = Channel(i as u8 + 1);
+            i += 1;
+        }
+        c
+    };
+
+    /// The three non-overlapping 2.4 GHz channels public providers plan on.
+    pub const GHZ24_ORTHOGONAL: [Channel; 3] = [Channel(1), Channel(6), Channel(11)];
+
+    /// Common Japanese 5 GHz channels (W52 + W53 + a slice of W56).
+    pub const GHZ5_COMMON: [Channel; 8] = [
+        Channel(36),
+        Channel(40),
+        Channel(44),
+        Channel(48),
+        Channel(52),
+        Channel(56),
+        Channel(100),
+        Channel(104),
+    ];
+
+    /// Whether two 2.4 GHz channels overlap in spectrum. Channels fewer
+    /// than 5 apart share bandwidth and cause cross-channel interference.
+    pub fn overlaps_24(self, other: Channel) -> bool {
+        (i16::from(self.0) - i16::from(other.0)).abs() < 5
+    }
+
+    /// Which band a channel number belongs to.
+    pub fn band(self) -> Band {
+        if self.0 <= 14 {
+            Band::Ghz24
+        } else {
+            Band::Ghz5
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Which network a byte of traffic was carried on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// Cellular over 3G.
+    Cell3g,
+    /// Cellular over LTE.
+    CellLte,
+    /// WiFi (either band).
+    Wifi,
+}
+
+impl NetKind {
+    /// Cellular of either technology?
+    pub fn is_cellular(self) -> bool {
+        matches!(self, NetKind::Cell3g | NetKind::CellLte)
+    }
+}
+
+/// The WiFi interface state as sampled by the agent.
+///
+/// Mirrors the paper's §3.3.4 user categories: a device is a *WiFi-off* user
+/// while the interface is disabled, *WiFi-available* while enabled but
+/// unassociated, and a *WiFi user* while associated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WifiState {
+    /// Interface explicitly turned off by the user.
+    Off,
+    /// Interface on but not associated to any AP.
+    OnUnassociated,
+    /// Associated to an AP.
+    Associated(AssocInfo),
+}
+
+impl WifiState {
+    /// Associated AP info, if associated.
+    pub fn assoc(&self) -> Option<&AssocInfo> {
+        match self {
+            WifiState::Associated(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Is the interface enabled (associated or not)?
+    pub fn is_on(&self) -> bool {
+        !matches!(self, WifiState::Off)
+    }
+}
+
+/// Details of the currently associated AP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssocInfo {
+    /// AP radio MAC.
+    pub bssid: Bssid,
+    /// Network name.
+    pub essid: Essid,
+    /// Band of the association.
+    pub band: Band,
+    /// Channel of the association.
+    pub channel: Channel,
+    /// Received signal strength at the device.
+    pub rssi: Dbm,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_overlap_rule() {
+        assert!(Channel(1).overlaps_24(Channel(4)));
+        // A five-channel interval (e.g. 1 and 6) is the minimum that avoids
+        // cross-channel interference; 1 and 5 still overlap.
+        assert!(Channel(1).overlaps_24(Channel(5)));
+        assert!(!Channel(1).overlaps_24(Channel(6)));
+        assert!(!Channel(6).overlaps_24(Channel(11)));
+        assert!(Channel(6).overlaps_24(Channel(6)));
+        // Symmetry.
+        assert_eq!(Channel(3).overlaps_24(Channel(7)), Channel(7).overlaps_24(Channel(3)));
+    }
+
+    #[test]
+    fn orthogonal_channels_do_not_overlap() {
+        let o = Channel::GHZ24_ORTHOGONAL;
+        for i in 0..o.len() {
+            for j in 0..o.len() {
+                if i != j {
+                    assert!(!o[i].overlaps_24(o[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_band_inference() {
+        assert_eq!(Channel(11).band(), Band::Ghz24);
+        assert_eq!(Channel(36).band(), Band::Ghz5);
+    }
+
+    #[test]
+    fn wifi_state_accessors() {
+        assert!(!WifiState::Off.is_on());
+        assert!(WifiState::OnUnassociated.is_on());
+        assert!(WifiState::Off.assoc().is_none());
+        let a = AssocInfo {
+            bssid: Bssid::from_u64(1),
+            essid: Essid::new("home"),
+            band: Band::Ghz24,
+            channel: Channel(6),
+            rssi: Dbm::new(-54),
+        };
+        let s = WifiState::Associated(a.clone());
+        assert_eq!(s.assoc(), Some(&a));
+        assert!(s.is_on());
+    }
+
+    #[test]
+    fn netkind_cellular() {
+        assert!(NetKind::Cell3g.is_cellular());
+        assert!(NetKind::CellLte.is_cellular());
+        assert!(!NetKind::Wifi.is_cellular());
+    }
+}

@@ -1,0 +1,230 @@
+//! Raw measurement records as produced by the on-device agent.
+//!
+//! Every 10 minutes the agent snapshots the device's *cumulative* interface
+//! counters (mirroring Android `TrafficStats` semantics), the WiFi interface
+//! state, the WiFi scan list (Android only), cumulative per-application
+//! counters (Android only), battery and coarse geolocation, and queues the
+//! record for upload. Volumes per bin are reconstructed downstream from
+//! counter deltas, which is what makes the pipeline robust to lost and
+//! duplicated uploads.
+
+use crate::ids::{Bssid, CellId, DeviceId, Essid};
+use crate::net::{Band, Channel, WifiState};
+use crate::time::SimTime;
+use crate::units::{ByteCount, Dbm};
+use serde::{Deserialize, Serialize};
+
+/// Device operating system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Android (full telemetry: scans + per-app counters).
+    Android,
+    /// iOS (no scan list, no per-app counters, only associated-AP info).
+    Ios,
+}
+
+impl Os {
+    /// Label as used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Os::Android => "Android",
+            Os::Ios => "iOS",
+        }
+    }
+}
+
+/// Cumulative byte/packet counters for one interface since boot.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize, PartialOrd, Ord, Hash,
+)]
+pub struct TrafficCounters {
+    /// Bytes received (downlink).
+    pub rx_bytes: u64,
+    /// Bytes transmitted (uplink).
+    pub tx_bytes: u64,
+    /// Packets received.
+    pub rx_pkts: u64,
+    /// Packets transmitted.
+    pub tx_pkts: u64,
+}
+
+impl TrafficCounters {
+    /// Add a transfer to the cumulative counters. Packet counts are derived
+    /// from an effective packet size so packet-level stats stay plausible.
+    pub fn add(&mut self, rx: ByteCount, tx: ByteCount) {
+        // Typical mix of MTU-sized data packets and small ACKs.
+        const EFFECTIVE_PKT: u64 = 900;
+        self.rx_bytes += rx.as_bytes();
+        self.tx_bytes += tx.as_bytes();
+        self.rx_pkts += rx.as_bytes().div_ceil(EFFECTIVE_PKT);
+        self.tx_pkts += tx.as_bytes().div_ceil(EFFECTIVE_PKT);
+    }
+
+    /// Counter delta `self - earlier`, or `None` if any counter moved
+    /// backwards (i.e. the device rebooted in between).
+    pub fn delta_since(&self, earlier: &TrafficCounters) -> Option<TrafficCounters> {
+        if self.rx_bytes < earlier.rx_bytes
+            || self.tx_bytes < earlier.tx_bytes
+            || self.rx_pkts < earlier.rx_pkts
+            || self.tx_pkts < earlier.tx_pkts
+        {
+            return None;
+        }
+        Some(TrafficCounters {
+            rx_bytes: self.rx_bytes - earlier.rx_bytes,
+            tx_bytes: self.tx_bytes - earlier.tx_bytes,
+            rx_pkts: self.rx_pkts - earlier.rx_pkts,
+            tx_pkts: self.tx_pkts - earlier.tx_pkts,
+        })
+    }
+
+    /// Received volume.
+    pub fn rx(&self) -> ByteCount {
+        ByteCount::bytes(self.rx_bytes)
+    }
+
+    /// Transmitted volume.
+    pub fn tx(&self) -> ByteCount {
+        ByteCount::bytes(self.tx_bytes)
+    }
+}
+
+/// Cumulative counters for all interfaces of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// 3G cellular counters.
+    pub cell3g: TrafficCounters,
+    /// LTE cellular counters.
+    pub lte: TrafficCounters,
+    /// WiFi counters (both bands).
+    pub wifi: TrafficCounters,
+}
+
+/// One entry of the WiFi scan list (Android only).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanEntry {
+    /// AP radio MAC.
+    pub bssid: Bssid,
+    /// Network name.
+    pub essid: Essid,
+    /// Band the beacon was heard on.
+    pub band: Band,
+    /// Beacon channel.
+    pub channel: Channel,
+    /// Strongest RSSI observed in the bin.
+    pub rssi: Dbm,
+}
+
+/// Per-application cumulative counters (Android only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppCounter {
+    /// Application category.
+    pub category: crate::AppCategory,
+    /// Cumulative counters for this category.
+    pub counters: TrafficCounters,
+}
+
+/// One raw agent record (uploaded every 10 minutes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Device identifier.
+    pub device: DeviceId,
+    /// Device OS.
+    pub os: Os,
+    /// Monotonic per-device sequence number (used for dedup).
+    pub seq: u32,
+    /// Sample time (aligned to a 10-minute bin).
+    pub time: SimTime,
+    /// Number of reboots seen so far; counters reset when this increments.
+    pub boot_epoch: u16,
+    /// Cumulative interface counters at sample time.
+    pub counters: CounterSnapshot,
+    /// WiFi interface state at sample time.
+    pub wifi: WifiState,
+    /// Scan-list summary (zeroed for iOS). The agent summarises the raw
+    /// scan list on-device — in concern for upload volume and privacy, as
+    /// with the coarsened geolocation — keeping only per-band counts split
+    /// at the -70 dBm threshold and by public-ESSID membership.
+    pub scan: crate::dataset::ScanSummary,
+    /// Cumulative per-app-category counters (empty for iOS).
+    pub apps: Vec<AppCounter>,
+    /// Coarse geolocation (5 km cell).
+    pub geo: CellId,
+    /// Battery percentage 0–100.
+    pub battery_pct: u8,
+    /// True while the device is acting as a tethering hotspot (such
+    /// records are removed during cleaning).
+    pub tethering: bool,
+    /// OS version string (used to detect the iOS 8.2 update).
+    pub os_version: OsVersion,
+}
+
+/// A compact two-component OS version.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OsVersion {
+    /// Major version.
+    pub major: u8,
+    /// Minor version.
+    pub minor: u8,
+}
+
+impl OsVersion {
+    /// Construct a version.
+    pub const fn new(major: u8, minor: u8) -> OsVersion {
+        OsVersion { major, minor }
+    }
+
+    /// The iOS version whose March 2015 rollout the paper analyses (§3.7).
+    pub const IOS_8_2: OsVersion = OsVersion::new(8, 2);
+}
+
+impl std::fmt::Display for OsVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let mut c = TrafficCounters::default();
+        c.add(ByteCount::kb(9), ByteCount::kb(1));
+        let early = c;
+        c.add(ByteCount::mb(1), ByteCount::kb(100));
+        let d = c.delta_since(&early).unwrap();
+        assert_eq!(d.rx_bytes, 1_000_000);
+        assert_eq!(d.tx_bytes, 100_000);
+        assert!(d.rx_pkts > 0 && d.tx_pkts > 0);
+    }
+
+    #[test]
+    fn delta_detects_reboot() {
+        let mut before = TrafficCounters::default();
+        before.add(ByteCount::mb(5), ByteCount::mb(1));
+        let after = TrafficCounters::default(); // counters reset at boot
+        assert_eq!(after.delta_since(&before), None);
+        assert_eq!(before.delta_since(&before), Some(TrafficCounters::default()));
+    }
+
+    #[test]
+    fn packet_counts_scale_with_bytes() {
+        let mut c = TrafficCounters::default();
+        c.add(ByteCount::bytes(1), ByteCount::ZERO);
+        assert_eq!(c.rx_pkts, 1);
+        let mut c2 = TrafficCounters::default();
+        c2.add(ByteCount::bytes(9000), ByteCount::ZERO);
+        assert_eq!(c2.rx_pkts, 10);
+    }
+
+    #[test]
+    fn version_ordering() {
+        assert!(OsVersion::new(8, 1) < OsVersion::IOS_8_2);
+        assert!(OsVersion::new(7, 9) < OsVersion::new(8, 0));
+        assert_eq!(OsVersion::IOS_8_2.to_string(), "8.2");
+    }
+}

@@ -1,0 +1,262 @@
+//! Traffic and radio units.
+//!
+//! Byte counts, data rates and signal strengths appear everywhere in the
+//! study; newtypes keep MB/GB conversions and dBm arithmetic explicit and
+//! prevent unit mix-ups (the classic "bits vs bytes" bug in traffic reports).
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A non-negative byte count.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteCount(pub u64);
+
+impl ByteCount {
+    /// Zero bytes.
+    pub const ZERO: ByteCount = ByteCount(0);
+
+    /// From raw bytes.
+    pub const fn bytes(n: u64) -> ByteCount {
+        ByteCount(n)
+    }
+
+    /// From kilobytes (10^3 bytes, as used in traffic reports).
+    pub const fn kb(n: u64) -> ByteCount {
+        ByteCount(n * 1_000)
+    }
+
+    /// From megabytes (10^6 bytes).
+    pub const fn mb(n: u64) -> ByteCount {
+        ByteCount(n * 1_000_000)
+    }
+
+    /// From gigabytes (10^9 bytes).
+    pub const fn gb(n: u64) -> ByteCount {
+        ByteCount(n * 1_000_000_000)
+    }
+
+    /// From a fractional megabyte count (rounded to whole bytes).
+    pub fn mb_f64(n: f64) -> ByteCount {
+        ByteCount((n.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// As raw bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional megabytes.
+    pub fn as_mb(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional gigabytes.
+    pub fn as_gb(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteCount) -> ByteCount {
+        ByteCount(self.0.saturating_sub(other.0))
+    }
+
+    /// True if zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Average rate if this volume is transferred over `seconds`.
+    pub fn over_seconds(self, seconds: f64) -> DataRate {
+        assert!(seconds > 0.0, "duration must be positive");
+        DataRate::from_bits_per_sec(self.0 as f64 * 8.0 / seconds)
+    }
+}
+
+impl Add for ByteCount {
+    type Output = ByteCount;
+    fn add(self, rhs: ByteCount) -> ByteCount {
+        ByteCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteCount {
+    fn add_assign(&mut self, rhs: ByteCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteCount {
+    type Output = ByteCount;
+    /// Panics on underflow in debug builds, like integer subtraction.
+    fn sub(self, rhs: ByteCount) -> ByteCount {
+        ByteCount(self.0 - rhs.0)
+    }
+}
+
+impl Sum for ByteCount {
+    fn sum<I: Iterator<Item = ByteCount>>(iter: I) -> ByteCount {
+        ByteCount(iter.map(|b| b.0).sum())
+    }
+}
+
+impl std::fmt::Display for ByteCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        if b >= 10_000_000_000 {
+            write!(f, "{:.1}GB", self.as_gb())
+        } else if b >= 1_000_000 {
+            write!(f, "{:.1}MB", self.as_mb())
+        } else if b >= 1_000 {
+            write!(f, "{:.1}kB", b as f64 / 1e3)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// A data rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct DataRate(f64);
+
+impl DataRate {
+    /// From bits per second.
+    pub fn from_bits_per_sec(bps: f64) -> DataRate {
+        assert!(bps >= 0.0 && bps.is_finite(), "invalid rate {bps}");
+        DataRate(bps)
+    }
+
+    /// From kilobits per second.
+    pub fn kbps(k: f64) -> DataRate {
+        DataRate::from_bits_per_sec(k * 1e3)
+    }
+
+    /// From megabits per second.
+    pub fn mbps(m: f64) -> DataRate {
+        DataRate::from_bits_per_sec(m * 1e6)
+    }
+
+    /// As bits per second.
+    pub fn as_bits_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// As megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Volume transferred at this rate over `seconds`.
+    pub fn over_seconds(self, seconds: f64) -> ByteCount {
+        ByteCount((self.0 * seconds / 8.0).round() as u64)
+    }
+
+    /// The smaller of two rates (used when a throttle caps a link rate).
+    pub fn min(self, other: DataRate) -> DataRate {
+        DataRate(self.0.min(other.0))
+    }
+}
+
+impl std::fmt::Display for DataRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.2}Mbps", self.0 / 1e6)
+        } else {
+            write!(f, "{:.0}kbps", self.0 / 1e3)
+        }
+    }
+}
+
+/// A received signal strength in dBm.
+///
+/// Stored in tenths of a dBm so values stay `Eq`/`Ord` and compact; typical
+/// WiFi RSSIs lie in [-95, -20] dBm. The paper's quality threshold is
+/// -70 dBm ([`Dbm::WIFI_USABLE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dbm(i16);
+
+impl Dbm {
+    /// The -70 dBm threshold above which WiFi connectivity is generally
+    /// usable (TCP retransmission probability ≈ 10% at this level, rising
+    /// sharply below it).
+    pub const WIFI_USABLE: Dbm = Dbm(-700);
+
+    /// From whole dBm.
+    pub const fn new(dbm: i16) -> Dbm {
+        Dbm(dbm * 10)
+    }
+
+    /// From fractional dBm (rounded to 0.1 dBm).
+    pub fn from_f64(dbm: f64) -> Dbm {
+        let clamped = dbm.clamp(-3276.0, 3276.0);
+        Dbm((clamped * 10.0).round() as i16)
+    }
+
+    /// As fractional dBm.
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0) / 10.0
+    }
+
+    /// True if at least the -70 dBm usability threshold ("strong" in the
+    /// paper's public-AP availability analysis).
+    pub fn is_strong(self) -> bool {
+        self >= Dbm::WIFI_USABLE
+    }
+}
+
+impl std::fmt::Display for Dbm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}dBm", self.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversions() {
+        assert_eq!(ByteCount::mb(1).as_bytes(), 1_000_000);
+        assert_eq!(ByteCount::gb(1), ByteCount::mb(1000));
+        assert!((ByteCount::mb(565).as_gb() - 0.565).abs() < 1e-12);
+        assert_eq!(ByteCount::mb_f64(1.5).as_bytes(), 1_500_000);
+    }
+
+    #[test]
+    fn byte_arithmetic() {
+        let a = ByteCount::mb(3) + ByteCount::mb(2);
+        assert_eq!(a, ByteCount::mb(5));
+        assert_eq!(a.saturating_sub(ByteCount::gb(1)), ByteCount::ZERO);
+        let total: ByteCount = vec![ByteCount::kb(1), ByteCount::kb(2)].into_iter().sum();
+        assert_eq!(total, ByteCount::kb(3));
+    }
+
+    #[test]
+    fn rate_volume_roundtrip() {
+        // 128 kbps over 600 s = 9.6 MB of bits = 9.6e6 bytes... check: 128e3 b/s * 600 s / 8 = 9.6e6 B.
+        let v = DataRate::kbps(128.0).over_seconds(600.0);
+        assert_eq!(v, ByteCount::bytes(9_600_000));
+        let r = ByteCount::mb(60).over_seconds(60.0);
+        assert!((r.as_mbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_threshold() {
+        assert!(Dbm::new(-54).is_strong());
+        assert!(Dbm::new(-70).is_strong());
+        assert!(!Dbm::new(-71).is_strong());
+        assert!(Dbm::from_f64(-69.9).is_strong());
+        assert!(!Dbm::from_f64(-70.1).is_strong());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ByteCount::bytes(12).to_string(), "12B");
+        assert_eq!(ByteCount::mb(565).to_string(), "565.0MB");
+        assert_eq!(ByteCount::gb(11).to_string(), "11.0GB");
+        assert_eq!(DataRate::kbps(128.0).to_string(), "128kbps");
+        assert_eq!(Dbm::new(-70).to_string(), "-70.0dBm");
+    }
+}

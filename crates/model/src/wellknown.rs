@@ -1,0 +1,115 @@
+//! Well-known public WiFi network names.
+//!
+//! The paper identifies *public* networks "based on well known ESSID names
+//! (e.g., 0000docomo, 0001softbank, eduroam)" deployed by cellular
+//! providers and free/commercial WiFi operators (§3.4.1). This module is
+//! the shared taxonomy: the deployment model names its public APs from it
+//! and the analysis classifies ESSIDs with it.
+
+use serde::{Deserialize, Serialize};
+
+/// A public WiFi service provider present in the study area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PublicProvider {
+    /// Carrier A's customer WiFi (docomo-style `0000...`).
+    CarrierA,
+    /// Carrier B's customer WiFi (au-style).
+    CarrierB,
+    /// Carrier C's customer WiFi (softbank-style `0001...`).
+    CarrierC,
+    /// Academic roaming federation.
+    Eduroam,
+    /// Convenience-store free WiFi.
+    SevenSpot,
+    /// Metro (subway) free WiFi.
+    MetroFree,
+    /// Community/shared-router network; FON APs also announce a private
+    /// home ESSID, producing the home/public ambiguity the paper corrects
+    /// for.
+    Fon,
+    /// Municipal/street free WiFi.
+    CityFree,
+}
+
+impl PublicProvider {
+    /// All providers.
+    pub const ALL: [PublicProvider; 8] = [
+        PublicProvider::CarrierA,
+        PublicProvider::CarrierB,
+        PublicProvider::CarrierC,
+        PublicProvider::Eduroam,
+        PublicProvider::SevenSpot,
+        PublicProvider::MetroFree,
+        PublicProvider::Fon,
+        PublicProvider::CityFree,
+    ];
+
+    /// The ESSID this provider announces.
+    pub fn essid(self) -> &'static str {
+        match self {
+            PublicProvider::CarrierA => "0000carrier-a",
+            PublicProvider::CarrierB => "carrier-b_Wi2",
+            PublicProvider::CarrierC => "0001carrier-c",
+            PublicProvider::Eduroam => "eduroam",
+            PublicProvider::SevenSpot => "7SPOT",
+            PublicProvider::MetroFree => "Metro_Free_Wi-Fi",
+            PublicProvider::Fon => "FON_FREE_INTERNET",
+            PublicProvider::CityFree => "CITY_FREE_Wi-Fi",
+        }
+    }
+
+    /// Is this provider a cellular carrier's customer-WiFi service?
+    /// (These use SIM-based EAP authentication from 2013, §4.2.)
+    pub fn is_carrier(self) -> bool {
+        matches!(
+            self,
+            PublicProvider::CarrierA | PublicProvider::CarrierB | PublicProvider::CarrierC
+        )
+    }
+}
+
+/// Is an ESSID a well-known public WiFi network name?
+pub fn is_public_essid(essid: &str) -> bool {
+    PublicProvider::ALL.iter().any(|p| p.essid() == essid)
+}
+
+/// Is an ESSID the FON public name? (Needs the home-FON exception in the
+/// AP classifier: a FON AP someone lives with is their *home* network.)
+pub fn is_fon_essid(essid: &str) -> bool {
+    essid == PublicProvider::Fon.essid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn provider_essids_unique() {
+        let set: HashSet<_> = PublicProvider::ALL.iter().map(|p| p.essid()).collect();
+        assert_eq!(set.len(), PublicProvider::ALL.len());
+    }
+
+    #[test]
+    fn classification_roundtrip() {
+        for p in PublicProvider::ALL {
+            assert!(is_public_essid(p.essid()), "{}", p.essid());
+        }
+        assert!(!is_public_essid("aterm-5f3a2c"));
+        assert!(!is_public_essid("corp-fl7"));
+        assert!(!is_public_essid(""));
+    }
+
+    #[test]
+    fn three_carrier_services() {
+        let carriers = PublicProvider::ALL.iter().filter(|p| p.is_carrier()).count();
+        assert_eq!(carriers, 3);
+    }
+
+    #[test]
+    fn fon_detection() {
+        assert!(is_fon_essid("FON_FREE_INTERNET"));
+        assert!(!is_fon_essid("0000carrier-a"));
+        assert!(is_public_essid("FON_FREE_INTERNET"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Channel selection and cross-channel interference.
+//!
+//! The paper's Fig. 16 shows 2.4 GHz channel usage: public providers plan
+//! deployments on the orthogonal channels {1, 6, 11}, while 2013-era home
+//! APs cluster on the factory default (channel 1), relaxing by 2015 as APs
+//! with automatic selection spread. We model each behaviour as a
+//! [`ChannelPolicy`] and score co-channel pressure with
+//! [`interference_score`].
+
+use mobitrace_model::{Band, Channel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How an AP chooses its channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelPolicy {
+    /// Ships on the factory default and is never reconfigured
+    /// (2.4 GHz channel 1) — the 2013 home-AP cluster of Fig. 16.
+    FactoryDefault,
+    /// Owner picked a channel once, roughly uniformly.
+    ManualUniform,
+    /// AP scans its neighbourhood and picks the least-interfered
+    /// orthogonal channel.
+    AutoLeastCongested,
+    /// Planned deployment on {1, 6, 11} (public providers).
+    PlannedOrthogonal,
+}
+
+impl ChannelPolicy {
+    /// Choose a channel on `band`, given the channels already audible in
+    /// the neighbourhood (only consulted by `AutoLeastCongested`).
+    pub fn select<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        band: Band,
+        neighbours: &[Channel],
+    ) -> Channel {
+        match band {
+            Band::Ghz5 => {
+                // 5 GHz channels are non-overlapping; every policy just
+                // spreads across the common set.
+                let set = Channel::GHZ5_COMMON;
+                set[rng.gen_range(0..set.len())]
+            }
+            Band::Ghz24 => match self {
+                ChannelPolicy::FactoryDefault => Channel(1),
+                ChannelPolicy::ManualUniform => {
+                    let set = Channel::GHZ24_ALL;
+                    set[rng.gen_range(0..set.len())]
+                }
+                ChannelPolicy::PlannedOrthogonal => {
+                    let set = Channel::GHZ24_ORTHOGONAL;
+                    set[rng.gen_range(0..set.len())]
+                }
+                ChannelPolicy::AutoLeastCongested => {
+                    let mut best = Channel(1);
+                    let mut best_score = u32::MAX;
+                    for &cand in &Channel::GHZ24_ORTHOGONAL {
+                        let score = neighbours
+                            .iter()
+                            .filter(|n| n.band() == Band::Ghz24 && cand.overlaps_24(**n))
+                            .count() as u32;
+                        if score < best_score {
+                            best_score = score;
+                            best = cand;
+                        }
+                    }
+                    best
+                }
+            },
+        }
+    }
+}
+
+/// Number of interfering (spectrum-overlapping) pairs among a set of
+/// co-located 2.4 GHz APs. Lower is better; a planned {1, 6, 11} deployment
+/// of three APs scores 0.
+pub fn interference_score(channels: &[Channel]) -> u32 {
+    let mut score = 0;
+    for i in 0..channels.len() {
+        for j in (i + 1)..channels.len() {
+            if channels[i].band() == Band::Ghz24
+                && channels[j].band() == Band::Ghz24
+                && channels[i].overlaps_24(channels[j])
+            {
+                score += 1;
+            }
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn factory_default_is_channel_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(
+                ChannelPolicy::FactoryDefault.select(&mut rng, Band::Ghz24, &[]),
+                Channel(1)
+            );
+        }
+    }
+
+    #[test]
+    fn planned_orthogonal_uses_1_6_11() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = ChannelPolicy::PlannedOrthogonal.select(&mut rng, Band::Ghz24, &[]);
+            assert!(Channel::GHZ24_ORTHOGONAL.contains(&c));
+        }
+    }
+
+    #[test]
+    fn auto_avoids_crowded_channel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // Neighbourhood saturated around channel 1: auto must not pick 1.
+        let neighbours = vec![Channel(1), Channel(1), Channel(2), Channel(3)];
+        let c = ChannelPolicy::AutoLeastCongested.select(&mut rng, Band::Ghz24, &neighbours);
+        assert_ne!(c, Channel(1));
+        assert!(Channel::GHZ24_ORTHOGONAL.contains(&c));
+    }
+
+    #[test]
+    fn auto_with_no_neighbours_picks_orthogonal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let c = ChannelPolicy::AutoLeastCongested.select(&mut rng, Band::Ghz24, &[]);
+        assert!(Channel::GHZ24_ORTHOGONAL.contains(&c));
+    }
+
+    #[test]
+    fn five_ghz_selection_spreads() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let c = ChannelPolicy::FactoryDefault.select(&mut rng, Band::Ghz5, &[]);
+            assert!(Channel::GHZ5_COMMON.contains(&c));
+            seen.insert(c);
+        }
+        assert!(seen.len() >= 6, "5GHz selection should spread, got {seen:?}");
+    }
+
+    #[test]
+    fn interference_scoring() {
+        assert_eq!(interference_score(&[Channel(1), Channel(6), Channel(11)]), 0);
+        assert_eq!(interference_score(&[Channel(1), Channel(1)]), 1);
+        assert_eq!(interference_score(&[Channel(1), Channel(3), Channel(5)]), 3);
+        // 5 GHz channels never count.
+        assert_eq!(interference_score(&[Channel(36), Channel(36)]), 0);
+        assert_eq!(interference_score(&[]), 0);
+    }
+
+    #[test]
+    fn planned_deployment_beats_default_cluster() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let planned: Vec<Channel> = (0..12)
+            .map(|_| ChannelPolicy::PlannedOrthogonal.select(&mut rng, Band::Ghz24, &[]))
+            .collect();
+        let defaults: Vec<Channel> = (0..12)
+            .map(|_| ChannelPolicy::FactoryDefault.select(&mut rng, Band::Ghz24, &[]))
+            .collect();
+        assert!(interference_score(&planned) < interference_score(&defaults));
+    }
+}

@@ -1,0 +1,18 @@
+//! # mobitrace-radio
+//!
+//! RF substrate for the WiFi side of the study: a log-distance path-loss
+//! model with shadowing that produces the RSSI distributions of the paper's
+//! Fig. 15, channel-selection policies that produce the 2.4 GHz channel
+//! usage of Fig. 16, cross-channel interference scoring, and the RSSI →
+//! link-quality mapping behind the -70 dBm "usable WiFi" threshold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channels;
+pub mod propagation;
+pub mod quality;
+
+pub use channels::{interference_score, ChannelPolicy};
+pub use propagation::{Environment, PathLossModel};
+pub use quality::{link_rate, retransmission_probability};

@@ -1,0 +1,226 @@
+//! Log-distance path loss with log-normal shadowing.
+//!
+//! RSSI at the device is `tx_power − PL(d0) − 10·n·log10(d/d0) + X_σ` where
+//! `n` is the environment's path-loss exponent and `X_σ` Gaussian
+//! shadowing. Parameters are chosen per environment so that the *observed*
+//! RSSI distributions match the paper's Fig. 15: home associations centre
+//! around −54 dBm with ~3% below −70 dBm; public associations centre around
+//! −60 dBm with ~12% below −70 dBm.
+
+use mobitrace_model::{Band, Dbm};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Radio environment of an AP↔device link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Inside a dwelling: short range, a couple of walls.
+    Home,
+    /// Inside an office: medium range, partitions.
+    Office,
+    /// Public space: larger cells, crowds, street furniture.
+    Public,
+}
+
+impl Environment {
+    /// Path-loss exponent `n`.
+    pub fn exponent(self) -> f64 {
+        match self {
+            Environment::Home => 2.8,
+            Environment::Office => 2.9,
+            Environment::Public => 2.7,
+        }
+    }
+
+    /// Fixed obstruction loss (dB): interior walls at home/office, street
+    /// furniture and bodies in public. Calibrated jointly with the
+    /// exponents so observed RSSI distributions match the paper's Fig. 15.
+    pub fn fixed_loss_db(self) -> f64 {
+        match self {
+            Environment::Home => 8.0,
+            Environment::Office => 6.0,
+            Environment::Public => 5.0,
+        }
+    }
+
+    /// Shadowing standard deviation (dB). Together with the distance
+    /// spread this yields total RSSI σ ≈ 8.5 dB in every environment.
+    pub fn shadowing_sigma_db(self) -> f64 {
+        match self {
+            Environment::Home => 4.5,
+            Environment::Office => 5.0,
+            Environment::Public => 5.5,
+        }
+    }
+
+    /// Typical device↔AP distance range (metres) when the device is at the
+    /// venue. Drawn uniformly in log-space so medians sit near the
+    /// geometric midpoint.
+    pub fn distance_range_m(self) -> (f64, f64) {
+        match self {
+            Environment::Home => (2.0, 16.0),
+            Environment::Office => (3.0, 20.0),
+            Environment::Public => (5.0, 35.0),
+        }
+    }
+}
+
+/// A log-distance path-loss model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    /// Transmit power + antenna gains (dBm). Typical consumer AP ≈ 15 dBm.
+    pub tx_power_dbm: f64,
+    /// Reference distance d0 (metres).
+    pub ref_distance_m: f64,
+}
+
+impl PathLossModel {
+    /// A typical consumer/carrier AP.
+    pub fn default_ap() -> PathLossModel {
+        PathLossModel { tx_power_dbm: 15.0, ref_distance_m: 1.0 }
+    }
+
+    /// Free-space loss at the reference distance for a band (Friis at d0):
+    /// `20·log10(d0) + 20·log10(f_MHz) − 27.55`.
+    pub fn reference_loss_db(&self, band: Band) -> f64 {
+        20.0 * self.ref_distance_m.log10() + 20.0 * band.centre_mhz().log10() - 27.55
+    }
+
+    /// Mean RSSI (no shadowing) at `distance_m` in `env` on `band`.
+    pub fn mean_rssi(&self, env: Environment, band: Band, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.ref_distance_m);
+        self.tx_power_dbm
+            - self.reference_loss_db(band)
+            - env.fixed_loss_db()
+            - 10.0 * env.exponent() * (d / self.ref_distance_m).log10()
+    }
+
+    /// Sampled RSSI including log-normal shadowing, clamped to the
+    /// [-95, -20] dBm range real chipsets report.
+    pub fn sample_rssi<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        env: Environment,
+        band: Band,
+        distance_m: f64,
+    ) -> Dbm {
+        let mean = self.mean_rssi(env, band, distance_m);
+        let x = gaussian(rng) * env.shadowing_sigma_db();
+        Dbm::from_f64((mean + x).clamp(-95.0, -20.0))
+    }
+
+    /// Draw a venue-typical device↔AP distance (log-uniform in the
+    /// environment's range).
+    pub fn sample_distance_m<R: Rng + ?Sized>(&self, rng: &mut R, env: Environment) -> f64 {
+        let (lo, hi) = env.distance_range_m();
+        (rng.gen_range(lo.ln()..hi.ln())).exp()
+    }
+
+    /// Convenience: sample a full venue observation (distance then RSSI).
+    pub fn observe<R: Rng + ?Sized>(&self, rng: &mut R, env: Environment, band: Band) -> Dbm {
+        let d = self.sample_distance_m(rng, env);
+        self.sample_rssi(rng, env, band, d)
+    }
+
+    /// Maximum distance (metres) at which the mean RSSI stays above a
+    /// threshold — the nominal coverage radius.
+    pub fn range_for_threshold(&self, env: Environment, band: Band, threshold: Dbm) -> f64 {
+        let budget = self.tx_power_dbm
+            - self.reference_loss_db(band)
+            - env.fixed_loss_db()
+            - threshold.as_f64();
+        self.ref_distance_m * 10f64.powf(budget / (10.0 * env.exponent()))
+    }
+}
+
+/// Standard normal deviate via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let m = PathLossModel::default_ap();
+        let near = m.mean_rssi(Environment::Home, Band::Ghz24, 2.0);
+        let far = m.mean_rssi(Environment::Home, Band::Ghz24, 30.0);
+        assert!(near > far + 20.0, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn five_ghz_attenuates_more() {
+        let m = PathLossModel::default_ap();
+        let g24 = m.mean_rssi(Environment::Public, Band::Ghz24, 20.0);
+        let g5 = m.mean_rssi(Environment::Public, Band::Ghz5, 20.0);
+        assert!(g24 > g5 + 4.0, "2.4GHz {g24} vs 5GHz {g5}");
+    }
+
+    #[test]
+    fn home_rssi_distribution_matches_paper() {
+        // Fig. 15: home associations ≈ bell around −54 dBm, ~3% < −70 dBm.
+        let m = PathLossModel::default_ap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.observe(&mut rng, Environment::Home, Band::Ghz24).as_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let weak = samples.iter().filter(|&&r| r < -70.0).count() as f64 / n as f64;
+        assert!((-58.0..=-50.0).contains(&mean), "home mean {mean}");
+        assert!((0.005..=0.06).contains(&weak), "home weak share {weak}");
+    }
+
+    #[test]
+    fn public_rssi_distribution_matches_paper() {
+        // Fig. 15: public associations shift to ≈ −60 dBm, ~12% < −70 dBm.
+        let m = PathLossModel::default_ap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.observe(&mut rng, Environment::Public, Band::Ghz24).as_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let weak = samples.iter().filter(|&&r| r < -70.0).count() as f64 / n as f64;
+        assert!((-64.0..=-56.0).contains(&mean), "public mean {mean}");
+        assert!((0.07..=0.18).contains(&weak), "public weak share {weak}");
+    }
+
+    #[test]
+    fn coverage_radius_ordering() {
+        let m = PathLossModel::default_ap();
+        let r24 = m.range_for_threshold(Environment::Public, Band::Ghz24, Dbm::new(-70));
+        let r5 = m.range_for_threshold(Environment::Public, Band::Ghz5, Dbm::new(-70));
+        assert!(r24 > r5, "2.4GHz range {r24} m must exceed 5GHz {r5} m");
+        assert!(r24 > 20.0 && r24 < 500.0, "implausible range {r24}");
+    }
+
+    #[test]
+    fn sampled_rssi_clamped() {
+        let m = PathLossModel::default_ap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let r = m.sample_rssi(&mut rng, Environment::Public, Band::Ghz5, 500.0);
+            assert!(r.as_f64() >= -95.0 && r.as_f64() <= -20.0);
+        }
+    }
+
+    #[test]
+    fn distances_within_env_range() {
+        let m = PathLossModel::default_ap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for env in [Environment::Home, Environment::Office, Environment::Public] {
+            let (lo, hi) = env.distance_range_m();
+            for _ in 0..200 {
+                let d = m.sample_distance_m(&mut rng, env);
+                assert!(d >= lo && d <= hi);
+            }
+        }
+    }
+}

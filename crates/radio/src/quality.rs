@@ -1,0 +1,115 @@
+//! Link quality as a function of RSSI.
+//!
+//! The paper cites hotspot measurements (Rodrig et al., E-WIND'05) showing
+//! TCP retransmission probability ≈ 10% at −70 dBm, rising sharply below.
+//! We model that curve with a logistic and derive an effective link rate
+//! per band, which the simulator uses to size what a device can actually
+//! transfer in a bin.
+
+use mobitrace_model::{Band, DataRate, Dbm};
+
+/// TCP retransmission probability at a given RSSI.
+///
+/// Calibrated so that P(−70 dBm) ≈ 0.10, dropping towards ~0.01 for strong
+/// signals and saturating towards 0.8 for very weak ones.
+pub fn retransmission_probability(rssi: Dbm) -> f64 {
+    let r = rssi.as_f64();
+    // Logistic in RSSI; midpoint −77 dBm, slope 3.5 dB.
+    let p = 0.8 / (1.0 + ((r + 77.0) / 3.5).exp());
+    (p + 0.01).min(0.81)
+}
+
+/// Nominal PHY rate of the band under good conditions.
+fn nominal_rate(band: Band) -> DataRate {
+    match band {
+        // Effective TCP goodput of a typical 802.11n 2.4 GHz link.
+        Band::Ghz24 => DataRate::mbps(35.0),
+        // 802.11n/ac 5 GHz link: cleaner spectrum, wider channels.
+        Band::Ghz5 => DataRate::mbps(90.0),
+    }
+}
+
+/// Effective link rate at a given RSSI: nominal rate degraded by rate
+/// adaptation and retransmissions. Returns zero below the association floor
+/// (−90 dBm).
+pub fn link_rate(band: Band, rssi: Dbm) -> DataRate {
+    let r = rssi.as_f64();
+    if r < -90.0 {
+        return DataRate::from_bits_per_sec(0.0);
+    }
+    // Rate adaptation: full rate above −60 dBm, linear fall-off to 5%
+    // of nominal at −90 dBm.
+    let scale = ((r + 90.0) / 30.0).clamp(0.05, 1.0);
+    let retx = retransmission_probability(rssi);
+    DataRate::from_bits_per_sec(nominal_rate(band).as_bits_per_sec() * scale * (1.0 - retx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn retx_anchored_at_paper_threshold() {
+        let p70 = retransmission_probability(Dbm::new(-70));
+        assert!((0.07..=0.13).contains(&p70), "P(-70) = {p70}");
+    }
+
+    #[test]
+    fn retx_low_for_strong_signal() {
+        assert!(retransmission_probability(Dbm::new(-50)) < 0.02);
+    }
+
+    #[test]
+    fn retx_high_for_weak_signal() {
+        assert!(retransmission_probability(Dbm::new(-85)) > 0.5);
+    }
+
+    #[test]
+    fn link_rate_ordering_by_band() {
+        let strong = Dbm::new(-50);
+        assert!(link_rate(Band::Ghz5, strong).as_mbps() > link_rate(Band::Ghz24, strong).as_mbps());
+    }
+
+    #[test]
+    fn link_rate_zero_below_floor() {
+        assert_eq!(link_rate(Band::Ghz24, Dbm::new(-91)).as_bits_per_sec(), 0.0);
+        assert!(link_rate(Band::Ghz24, Dbm::new(-89)).as_bits_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn usable_threshold_gives_decent_rate() {
+        // At the paper's -70 dBm usability threshold a 2.4 GHz link should
+        // still deliver a video-capable rate (several Mbps).
+        let r = link_rate(Band::Ghz24, Dbm::new(-70));
+        assert!(r.as_mbps() > 5.0, "rate at -70dBm: {r}");
+    }
+
+    proptest! {
+        #[test]
+        fn retx_monotone_nonincreasing(a in -95i16..-20, b in -95i16..-20) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(
+                retransmission_probability(Dbm::new(lo))
+                    >= retransmission_probability(Dbm::new(hi)) - 1e-12
+            );
+        }
+
+        #[test]
+        fn retx_is_probability(r in -95i16..-20) {
+            let p = retransmission_probability(Dbm::new(r));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn link_rate_monotone_in_rssi(a in -95i16..-20, b in -95i16..-20) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            for band in [Band::Ghz24, Band::Ghz5] {
+                prop_assert!(
+                    link_rate(band, Dbm::new(lo)).as_bits_per_sec()
+                        <= link_rate(band, Dbm::new(hi)).as_bits_per_sec() + 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The `mobitrace` CLI: simulate the campaigns and reproduce the paper's
+//! tables and figures.
+//!
+//! ```text
+//! mobitrace list
+//! mobitrace run <id>... [--scale S] [--seed N]
+//! mobitrace all [--scale S] [--seed N] [--json PATH]
+//! mobitrace simulate --out DIR [--scale S] [--seed N]
+//! mobitrace analyze --data DIR [<id>...]
+//! ```
+
+use mobitrace_report::{all_experiment_ids, run_experiment, CampaignSet};
+use std::io::Write;
+
+struct Args {
+    command: String,
+    ids: Vec<String>,
+    scale: f64,
+    seed: u64,
+    json: Option<String>,
+    out: Option<String>,
+    data: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".into());
+    let mut out = Args {
+        command,
+        ids: Vec::new(),
+        scale: 0.15,
+        seed: 20151028,
+        json: None,
+        out: None,
+        data: None,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                out.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--json" => {
+                out.json = Some(args.next().ok_or("--json needs a path")?);
+            }
+            "--out" => {
+                out.out = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            "--data" => {
+                out.data = Some(args.next().ok_or("--data needs a directory")?);
+            }
+            other if !other.starts_with('-') => out.ids.push(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(0.005..=1.5).contains(&out.scale) {
+        return Err(format!("--scale {} out of range (0.005–1.5)", out.scale));
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match args.command.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for id in all_experiment_ids() {
+                println!("  {id}");
+            }
+        }
+        "simulate" => {
+            let dir = args.out.clone().unwrap_or_else(|| "datasets".into());
+            eprintln!(
+                "simulating campaigns at scale {} (seed {}) into {dir}/ ...",
+                args.scale, args.seed
+            );
+            let set = CampaignSet::simulate(args.scale, args.seed);
+            match set.save(std::path::Path::new(&dir)) {
+                Ok(paths) => {
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "analyze" => {
+            let dir = args.data.clone().unwrap_or_else(|| "datasets".into());
+            let set = match CampaignSet::load(std::path::Path::new(&dir)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot load datasets from {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let ctxs = set.contexts();
+            let ids: Vec<String> = if args.ids.is_empty() {
+                all_experiment_ids().iter().map(|s| s.to_string()).collect()
+            } else {
+                args.ids.clone()
+            };
+            for id in &ids {
+                match run_experiment(id, &set, &ctxs) {
+                    Some(r) => println!("{}", r.render()),
+                    None => {
+                        eprintln!("error: unknown experiment '{id}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        "run" | "all" => {
+            let ids: Vec<String> = if args.command == "all" || args.ids.is_empty() {
+                all_experiment_ids().iter().map(|s| s.to_string()).collect()
+            } else {
+                args.ids.clone()
+            };
+            for id in &ids {
+                if !all_experiment_ids().contains(&id.as_str()) {
+                    eprintln!("error: unknown experiment '{id}' (see `mobitrace list`)");
+                    std::process::exit(2);
+                }
+            }
+            eprintln!(
+                "simulating 2013/2014/2015 campaigns at scale {} (seed {})...",
+                args.scale, args.seed
+            );
+            let t0 = std::time::Instant::now();
+            let set = CampaignSet::simulate(args.scale, args.seed);
+            let ctxs = set.contexts();
+            eprintln!(
+                "simulation + analysis contexts ready in {:.1}s\n",
+                t0.elapsed().as_secs_f64()
+            );
+            let mut reports = Vec::new();
+            for id in &ids {
+                let report = run_experiment(id, &set, &ctxs).expect("id validated above");
+                println!("{}", report.render());
+                reports.push(report);
+            }
+            if let Some(path) = &args.json {
+                let json = serde_json::to_string_pretty(&reports).expect("serializable");
+                let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                f.write_all(json.as_bytes()).expect("write json");
+                eprintln!("wrote {} reports to {path}", reports.len());
+            }
+        }
+        _ => {
+            println!(
+                "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
+                 Usage of Smartphones' (IMC'15)\n\n\
+                 usage:\n  mobitrace list\n  mobitrace run <id>... [--scale S] [--seed N]\n  \
+                 mobitrace all [--scale S] [--seed N] [--json PATH]\n  \
+                 mobitrace simulate --out DIR [--scale S] [--seed N]\n  \
+                 mobitrace analyze --data DIR [<id>...]\n\n\
+                 scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
+                 the default 0.15 reproduces every trend in a few seconds."
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Campaign data management for the experiment harness.
+
+use mobitrace_collector::{strip_update_days, CleanOptions};
+use mobitrace_core::AnalysisContext;
+use mobitrace_model::{Dataset, Year};
+use mobitrace_sim::{campaign::run_campaign_opts, CampaignConfig};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// The three simulated campaigns plus the 2015 variant that keeps the
+/// iOS-update days (needed by the §3.7 analysis).
+pub struct CampaignSet {
+    /// Cleaned datasets for 2013/2014/2015 (update days removed in 2015,
+    /// as in the paper's main analyses).
+    pub years: [Dataset; 3],
+    /// 2015 dataset with update days retained.
+    pub update_2015: Dataset,
+}
+
+impl CampaignSet {
+    /// Simulate all campaigns at a population scale (1.0 = the paper's
+    /// ~1600–1755 users per year).
+    pub fn simulate(scale: f64, seed: u64) -> CampaignSet {
+        let mut datasets = Vec::with_capacity(3);
+        let mut update_2015 = None;
+        for year in Year::ALL {
+            let cfg = CampaignConfig::scaled(year, scale).with_seed(seed);
+            let keep_updates =
+                CleanOptions { remove_update_days: false, ..CleanOptions::default() };
+            let (ds, _) = run_campaign_opts(&cfg, keep_updates);
+            if year == Year::Y2015 {
+                let (main, _) = strip_update_days(&ds);
+                update_2015 = Some(ds);
+                datasets.push(main);
+            } else {
+                datasets.push(ds);
+            }
+        }
+        let years: [Dataset; 3] = datasets.try_into().expect("three years");
+        CampaignSet { years, update_2015: update_2015.expect("2015 simulated") }
+    }
+
+    /// Dataset of a year (main/cleaned variant).
+    pub fn year(&self, year: Year) -> &Dataset {
+        &self.years[year.index()]
+    }
+
+    /// Analysis contexts for all three years.
+    pub fn contexts(&self) -> [AnalysisContext<'_>; 3] {
+        [
+            AnalysisContext::new(&self.years[0]),
+            AnalysisContext::new(&self.years[1]),
+            AnalysisContext::new(&self.years[2]),
+        ]
+    }
+
+    /// Persist the campaign set to a directory: one JSON dataset per year
+    /// plus the update-retaining 2015 variant. Returns the written paths.
+    pub fn save(&self, dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let mut dump = |name: &str, ds: &Dataset| -> std::io::Result<()> {
+            let path = dir.join(name);
+            let mut w = BufWriter::new(std::fs::File::create(&path)?);
+            serde_json::to_writer(&mut w, ds).map_err(std::io::Error::other)?;
+            w.flush()?;
+            written.push(path);
+            Ok(())
+        };
+        dump("campaign_2013.json", &self.years[0])?;
+        dump("campaign_2014.json", &self.years[1])?;
+        dump("campaign_2015.json", &self.years[2])?;
+        dump("campaign_2015_with_updates.json", &self.update_2015)?;
+        Ok(written)
+    }
+
+    /// Load a campaign set previously written by [`save`](Self::save).
+    /// Every dataset is re-validated on load.
+    pub fn load(dir: &Path) -> std::io::Result<CampaignSet> {
+        let slurp = |name: &str| -> std::io::Result<Dataset> {
+            let r = BufReader::new(std::fs::File::open(dir.join(name))?);
+            let ds: Dataset = serde_json::from_reader(r).map_err(std::io::Error::other)?;
+            ds.validate()
+                .map_err(|e| std::io::Error::other(format!("{name}: {e}")))?;
+            Ok(ds)
+        };
+        Ok(CampaignSet {
+            years: [
+                slurp("campaign_2013.json")?,
+                slurp("campaign_2014.json")?,
+                slurp("campaign_2015.json")?,
+            ],
+            update_2015: slurp("campaign_2015_with_updates.json")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let set = CampaignSet::simulate(0.012, 5);
+        let dir = std::env::temp_dir().join("mobitrace-save-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = set.save(&dir).unwrap();
+        assert_eq!(written.len(), 4);
+        let back = CampaignSet::load(&dir).unwrap();
+        for y in Year::ALL {
+            assert_eq!(set.year(y), back.year(y));
+        }
+        assert_eq!(set.update_2015, back.update_2015);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_tiny_set() {
+        let set = CampaignSet::simulate(0.015, 42);
+        for y in Year::ALL {
+            assert!(set.year(y).validate().is_ok());
+            assert!(!set.year(y).bins.is_empty());
+        }
+        // The update-retaining 2015 variant has at least as many bins.
+        assert!(set.update_2015.bins.len() >= set.year(Year::Y2015).bins.len());
+    }
+}

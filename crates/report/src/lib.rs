@@ -1,0 +1,26 @@
+//! # mobitrace-report
+//!
+//! The experiment harness: simulates the three campaigns, runs every
+//! analysis of the paper, and renders each table and figure as text — with
+//! paper-reported reference values alongside the measured ones, so the
+//! reproduction quality is visible at a glance (and recorded in
+//! `EXPERIMENTS.md`).
+//!
+//! The `mobitrace` binary is the CLI front-end:
+//!
+//! ```text
+//! mobitrace list                 # what can be reproduced
+//! mobitrace run table3 fig6      # run specific experiments
+//! mobitrace all --scale 0.15     # everything, at 15% population scale
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod experiments;
+pub mod render;
+
+pub use data::CampaignSet;
+pub use experiments::{all_experiment_ids, run_experiment, ExperimentReport, Metric};
+pub use render::{ascii_chart, sparkline, Table};

@@ -1,0 +1,206 @@
+//! Text rendering: ASCII tables, sparklines and line charts.
+
+/// A simple ASCII table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render values as a block-character sparkline (one char per value).
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            SPARK[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsample a series to `n` points by bucket means.
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n || n == 0 {
+        return values.to_vec();
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i * values.len() / n;
+            let hi = ((i + 1) * values.len() / n).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// A minimal ASCII line chart of (x, y) points.
+pub fn ascii_chart(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() || width < 2 || height < 2 {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+    let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let xs = (x1 - x0).max(1e-12);
+    let ys = (y1 - y0).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = (((x - x0) / xs) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / ys) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = '*';
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y1:>9.3} |")
+        } else if r == height - 1 {
+            format!("{y0:>9.3} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} {}\n{:>10} {:<.3}{}{:>.3}\n",
+        "",
+        "-".repeat(width),
+        "",
+        x0,
+        " ".repeat(width.saturating_sub(12)),
+        x1
+    ));
+    out
+}
+
+/// Format a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["year", "value"]);
+        t.row(vec!["2013", "9.2"]);
+        t.row(vec!["2015", "126.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("year"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].contains("126.5"));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn sparkline_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn sparkline_constant_series() {
+        let s = sparkline(&[5.0; 10]);
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&values, 10);
+        assert_eq!(d.len(), 10);
+        let mean_in: f64 = values.iter().sum::<f64>() / 100.0;
+        let mean_out: f64 = d.iter().sum::<f64>() / 10.0;
+        assert!((mean_in - mean_out).abs() < 1.0);
+        // No-op when already small.
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn chart_contains_points() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (f64::from(i), f64::from(i * i))).collect();
+        let c = ascii_chart(&pts, 40, 10);
+        assert!(c.contains('*'));
+        assert!(c.lines().count() >= 10);
+        assert_eq!(ascii_chart(&[], 40, 10), "");
+    }
+}

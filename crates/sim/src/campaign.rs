@@ -1,0 +1,336 @@
+//! Campaign orchestration: population → world → per-device runs → dataset.
+
+use crate::config::CampaignConfig;
+use crate::device::{DeviceSim, SharedWorld};
+use mobitrace_behavior::{Persona, SurveyModel, UpdateModel};
+use mobitrace_cellular::CarrierModel;
+use mobitrace_collector::{clean, CleanOptions, CleanStats, CollectionServer};
+use mobitrace_collector::server::IngestStats;
+use mobitrace_deploy::world::WorldSpec;
+use mobitrace_deploy::{ApId, ApWorld};
+use mobitrace_geo::{DensitySurface, GeoPoint, Grid, PoiSet};
+use mobitrace_model::{
+    CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Year,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Summary of a simulated campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct SimSummary {
+    /// Cleaning statistics.
+    pub clean: CleanStats,
+    /// Server ingest statistics.
+    pub ingest: IngestStats,
+    /// Android devices.
+    pub n_android: usize,
+    /// iOS devices.
+    pub n_ios: usize,
+    /// LTE devices.
+    pub n_lte: usize,
+    /// iOS devices that completed the 8.2 update during the window.
+    pub n_updated: usize,
+    /// Deployed APs by class: (participant home, background home, public,
+    /// office, shop).
+    pub ap_counts: (usize, usize, usize, usize, usize),
+}
+
+/// Derive the independent per-device RNG stream.
+fn device_rng(seed: u64, index: u32) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(
+        seed ^ (u64::from(index) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Run one campaign and produce the cleaned dataset.
+///
+/// Deterministic for a given config (including seed): personas and the AP
+/// world come from dedicated streams, every device gets its own stream,
+/// and the server's keyed store makes ingest order irrelevant — so the
+/// device loop parallelises freely.
+pub fn run_campaign(config: &CampaignConfig) -> (Dataset, SimSummary) {
+    run_campaign_opts(config, CleanOptions::default())
+}
+
+/// [`run_campaign`] with explicit cleaning options (the §3.7 update
+/// analysis needs the update days retained).
+pub fn run_campaign_opts(
+    config: &CampaignConfig,
+    clean_opts: CleanOptions,
+) -> (Dataset, SimSummary) {
+    let grid = Grid::greater_tokyo();
+    let residential = DensitySurface::residential();
+    let office_surface = DensitySurface::office();
+    // One POI (station / shopping street) per ~3 participants, floor 30,
+    // shared between deployment and mobility.
+    let mut poi_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(4));
+    let pois = PoiSet::generate((config.n_users / 3).max(30), &mut poi_rng);
+
+    // Population.
+    let mut pop_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(1));
+    let personas: Vec<Persona> = (0..config.n_users)
+        .map(|i| {
+            Persona::sample(
+                &mut pop_rng,
+                &config.behavior,
+                i as u32,
+                &grid,
+                &residential,
+                &office_surface,
+            )
+        })
+        .collect();
+    let carriers: Vec<Carrier> = personas
+        .iter()
+        .map(|_| CarrierModel::sample_carrier(&mut pop_rng))
+        .collect();
+    let techs: Vec<CellTech> = personas
+        .iter()
+        .zip(&carriers)
+        .map(|(_, &c)| CarrierModel::new(c, config.year).sample_tech(&mut pop_rng))
+        .collect();
+
+    // World: home APs for owners, one office AP per BYOD user.
+    let participant_homes: Vec<(u32, GeoPoint)> = personas
+        .iter()
+        .filter(|p| p.owns_home_ap)
+        .map(|p| (p.index, p.home))
+        .collect();
+    let byod_users: Vec<&Persona> = personas.iter().filter(|p| p.office_byod).collect();
+    let office_sites: Vec<GeoPoint> = byod_users
+        .iter()
+        .map(|p| p.office.expect("BYOD implies office"))
+        .collect();
+    let spec = WorldSpec {
+        params: config.deploy.clone(),
+        participant_homes,
+        office_sites,
+        pois: pois.clone(),
+        n_participants: config.n_users,
+        fon_home_share: config.fon_home_share,
+    };
+    let mut world_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(2));
+    let world = ApWorld::generate(&spec, &mut world_rng);
+    let office_ap_of: std::collections::HashMap<u32, ApId> = byod_users
+        .iter()
+        .zip(&world.office_aps)
+        .map(|(p, &ap)| (p.index, ap))
+        .collect();
+
+    let update_model = (config.year == Year::Y2015).then(UpdateModel::ios_8_2);
+    let shared = SharedWorld {
+        world: &world,
+        grid: &grid,
+        pois: &pois,
+        update: update_model.as_ref(),
+        config,
+    };
+
+    // Per-device simulation. Devices are independent; chunk them across
+    // scoped threads, all streaming into the shared thread-safe server.
+    let server = CollectionServer::new();
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    let mut updated_at: Vec<Option<mobitrace_model::SimTime>> = vec![None; personas.len()];
+    let mut truths: Vec<Option<mobitrace_model::GroundTruth>> = vec![None; personas.len()];
+    {
+        let chunk = personas.len().div_ceil(n_threads).max(1);
+        let jobs: Vec<(usize, &[Persona])> = personas
+            .chunks(chunk)
+            .enumerate()
+            .map(|(k, c)| (k * chunk, c))
+            .collect();
+        let results: Vec<Vec<(u32, Option<mobitrace_model::SimTime>, mobitrace_model::GroundTruth)>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(base, chunk_personas)| {
+                        let shared = &shared;
+                        let server = &server;
+                        let carriers = &carriers;
+                        let techs = &techs;
+                        let office_ap_of = &office_ap_of;
+                        let world = &world;
+                        scope.spawn(move |_| {
+                            let mut out = Vec::with_capacity(chunk_personas.len());
+                            for (off, persona) in chunk_personas.iter().enumerate() {
+                                let idx = base + off;
+                                let mut dev = DeviceSim::new(
+                                    persona.clone(),
+                                    carriers[idx],
+                                    techs[idx],
+                                    world.participant_home_ap.get(&persona.index).copied(),
+                                    office_ap_of.get(&persona.index).copied(),
+                                    shared,
+                                    device_rng(shared.config.seed, persona.index),
+                                );
+                                dev.run(shared, server);
+                                out.push((
+                                    persona.index,
+                                    dev.updated_at,
+                                    dev.ground_truth(shared),
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("device thread")).collect()
+            })
+            .expect("thread scope");
+        for chunk in results {
+            for (index, up, truth) in chunk {
+                updated_at[index as usize] = up;
+                truths[index as usize] = Some(truth);
+            }
+        }
+    }
+
+    // Survey + device table.
+    let survey_model = SurveyModel::new(config.year);
+    let mut survey_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(3));
+    let devices: Vec<DeviceInfo> = personas
+        .iter()
+        .enumerate()
+        .map(|(i, p)| DeviceInfo {
+            device: DeviceId(p.index),
+            os: p.os,
+            carrier: carriers[i],
+            recruited: survey_rng.gen_bool(0.985),
+            survey: survey_rng
+                .gen_bool(config.behavior.survey_response_rate)
+                .then(|| survey_model.respond(&mut survey_rng, p)),
+            truth: truths[i].take(),
+        })
+        .collect();
+
+    let ingest = server.stats();
+    let records = server.into_records();
+    let meta = CampaignMeta {
+        year: config.year,
+        start: config.year.campaign_start(),
+        days: config.days,
+        seed: config.seed,
+    };
+    let (dataset, clean_stats) = clean(meta, devices, &records, clean_opts);
+    debug_assert!(dataset.validate().is_ok());
+
+    let summary = SimSummary {
+        clean: clean_stats,
+        ingest,
+        n_android: personas.iter().filter(|p| p.os == Os::Android).count(),
+        n_ios: personas.iter().filter(|p| p.os == Os::Ios).count(),
+        n_lte: techs.iter().filter(|&&t| t == CellTech::Lte).count(),
+        n_updated: updated_at.iter().filter(|u| u.is_some()).count(),
+        ap_counts: (
+            world.participant_home_ap.len(),
+            world.count_venue(|v| v.is_home()) - world.participant_home_ap.len(),
+            world.count_venue(|v| v.is_public()),
+            world.office_aps.len(),
+            world.count_venue(|v| matches!(v, mobitrace_deploy::Venue::Shop)),
+        ),
+    };
+    (dataset, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::{WifiBinState, Year};
+
+    fn tiny(year: Year, seed: u64) -> (Dataset, SimSummary) {
+        let mut cfg = CampaignConfig::scaled(year, 0.03);
+        cfg.days = 4;
+        cfg.seed = seed;
+        run_campaign(&cfg)
+    }
+
+    #[test]
+    fn campaign_produces_valid_dataset() {
+        let (ds, summary) = tiny(Year::Y2014, 1);
+        ds.validate().unwrap();
+        assert!(summary.clean.bins_out > 0);
+        assert_eq!(ds.devices.len(), 50);
+        // Every device produced bins.
+        for d in &ds.devices {
+            assert!(ds.device_bins(d.device).next().is_some(), "{} empty", d.device);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (a, _) = tiny(Year::Y2013, 7);
+        let (b, _) = tiny(Year::Y2013, 7);
+        assert_eq!(a.bins.len(), b.bins.len());
+        assert_eq!(a.total_rx(), b.total_rx());
+        assert_eq!(a.aps.len(), b.aps.len());
+        // Spot-check full equality on a sample of bins.
+        for k in (0..a.bins.len()).step_by(101) {
+            assert_eq!(a.bins[k], b.bins[k]);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = tiny(Year::Y2013, 1);
+        let (b, _) = tiny(Year::Y2013, 2);
+        assert_ne!(a.total_rx(), b.total_rx());
+    }
+
+    #[test]
+    fn os_split_roughly_half() {
+        let (ds, summary) = tiny(Year::Y2015, 3);
+        assert_eq!(summary.n_android + summary.n_ios, ds.devices.len());
+        let share = summary.n_android as f64 / ds.devices.len() as f64;
+        assert!((0.30..0.75).contains(&share), "android share {share}");
+    }
+
+    #[test]
+    fn wifi_and_cellular_both_present() {
+        let (ds, _) = tiny(Year::Y2015, 4);
+        let wifi: u64 = ds.bins.iter().map(|b| b.rx_wifi).sum();
+        let cell: u64 = ds.bins.iter().map(|b| b.rx_cell()).sum();
+        assert!(wifi > 0 && cell > 0);
+        // 2015: WiFi carries more than cellular in aggregate.
+        assert!(wifi > cell, "wifi {wifi} vs cell {cell}");
+    }
+
+    #[test]
+    fn associations_reference_ap_table() {
+        let (ds, _) = tiny(Year::Y2014, 5);
+        let mut assoc_bins = 0;
+        for b in &ds.bins {
+            if let WifiBinState::Associated(a) = &b.wifi {
+                assert!(a.ap.index() < ds.aps.len());
+                assoc_bins += 1;
+            }
+        }
+        assert!(assoc_bins > 100, "only {assoc_bins} associated bins");
+    }
+
+    #[test]
+    fn ground_truth_attached() {
+        let (ds, _) = tiny(Year::Y2013, 6);
+        let with_truth = ds.devices.iter().filter(|d| d.truth.is_some()).count();
+        assert_eq!(with_truth, ds.devices.len());
+        let with_home = ds
+            .devices
+            .iter()
+            .filter(|d| !d.truth.as_ref().unwrap().home_bssids.is_empty())
+            .count() as f64
+            / ds.devices.len() as f64;
+        assert!((0.45..0.9).contains(&with_home), "home-AP share {with_home}");
+    }
+
+    #[test]
+    fn update_happens_only_in_2015() {
+        let (_, s14) = tiny(Year::Y2014, 8);
+        assert_eq!(s14.n_updated, 0);
+        let mut cfg = CampaignConfig::scaled(Year::Y2015, 0.05);
+        cfg.days = 25;
+        cfg.seed = 9;
+        let (_, s15) = run_campaign(&cfg);
+        assert!(s15.n_updated > 0, "nobody updated");
+    }
+}

@@ -1,0 +1,131 @@
+//! The measurement substrate standalone: device agents on their own
+//! threads stream framed records through a lossy channel into the shared
+//! collection server, concurrently — the deployment shape of the real
+//! measurement system (§2), without the simulator.
+//!
+//! ```text
+//! cargo run --example live_pipeline
+//! ```
+
+use crossbeam::channel;
+use mobitrace_collector::{
+    clean, CleanOptions, CollectionServer, DeviceAgent, FaultPlan, LossyTransport, Observation,
+};
+use mobitrace_model::{
+    CampaignMeta, Carrier, CellId, DeviceId, DeviceInfo, Os, OsVersion, ScanSummary, SimTime,
+    WifiState, Year, BINS_PER_DAY,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+const N_DEVICES: u32 = 24;
+const DAYS: u32 = 3;
+
+fn main() {
+    let server = Arc::new(CollectionServer::new());
+    let (tx, rx) = channel::unbounded::<bytes::Bytes>();
+
+    // Ingest thread: drains the channel into the server, like the real
+    // collection endpoint.
+    let ingest_server = server.clone();
+    let ingester = std::thread::spawn(move || {
+        let mut ok = 0u64;
+        for frame in rx {
+            if ingest_server.ingest(&frame).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    });
+
+    // One thread per device: sample every 10 minutes, upload over a lossy
+    // link, push deliveries into the channel.
+    let mut handles = Vec::new();
+    for dev in 0..N_DEVICES {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + u64::from(dev));
+            let mut agent = DeviceAgent::new(DeviceId(dev), Os::Android, OsVersion::new(4, 4));
+            let mut link = LossyTransport::new(FaultPlan::mobile());
+            for day in 0..DAYS {
+                for bin in 0..BINS_PER_DAY {
+                    let t = SimTime::from_day_bin(day, bin);
+                    let awake = (36..140).contains(&bin);
+                    let rx_wifi = if awake { rng.gen_range(0..2_000_000) } else { 0 };
+                    agent.observe(&Observation {
+                        time: t,
+                        rx_3g: 0,
+                        tx_3g: 0,
+                        rx_lte: if awake { rng.gen_range(0..500_000) } else { 1000 },
+                        tx_lte: 100,
+                        rx_wifi,
+                        tx_wifi: rx_wifi / 5,
+                        wifi: WifiState::OnUnassociated,
+                        scan: ScanSummary::default(),
+                        apps: vec![],
+                        geo: CellId::new(10, 10),
+                        charging: !awake,
+                        tethering: false,
+                    });
+                    agent.try_upload(&mut rng, t, &mut link);
+                    for frame in link.deliver_due(t) {
+                        tx.send(frame).expect("ingester alive");
+                    }
+                }
+            }
+            // Flush the cache and the channel at campaign end.
+            let end = SimTime::from_day_bin(DAYS, 0);
+            while agent.pending() > 0 {
+                agent.try_upload(&mut rng, end, &mut link);
+            }
+            for frame in link.drain() {
+                tx.send(frame).expect("ingester alive");
+            }
+            (agent.records_made, agent.retries)
+        }));
+    }
+    drop(tx);
+
+    let mut made = 0u64;
+    let mut retries = 0u64;
+    for h in handles {
+        let (m, r) = h.join().expect("device thread");
+        made += m;
+        retries += r;
+    }
+    let ingested = ingester.join().expect("ingest thread");
+    let stats = server.stats();
+    println!(
+        "{N_DEVICES} agents made {made} records; {retries} upload retries; \
+         server ingested {ingested} frames ({} rejected, {} duplicates)",
+        stats.rejected, stats.duplicates
+    );
+
+    let server = Arc::try_unwrap(server).expect("all threads joined");
+    let records = server.into_records();
+    let meta = CampaignMeta {
+        year: Year::Y2014,
+        start: Year::Y2014.campaign_start(),
+        days: DAYS,
+        seed: 0,
+    };
+    let devices = (0..N_DEVICES)
+        .map(|i| DeviceInfo {
+            device: DeviceId(i),
+            os: Os::Android,
+            carrier: Carrier::A,
+            recruited: true,
+            survey: None,
+            truth: None,
+        })
+        .collect();
+    let (ds, cstats) = clean(meta, devices, &records, CleanOptions::default());
+    ds.validate().expect("consistent dataset");
+    println!(
+        "cleaned dataset: {} bins, {} sequence gaps detected, total RX {}",
+        ds.bins.len(),
+        cstats.gaps,
+        ds.total_rx()
+    );
+}

@@ -1,0 +1,70 @@
+//! WiFi-offloading deep dive: the paper's central question — how do users
+//! split their traffic between cellular and WiFi, and how much more could
+//! they offload?
+//!
+//! ```text
+//! cargo run --example offload_study
+//! ```
+
+use mobitrace_core::availability::offload_potential;
+use mobitrace_core::daily::TrafficClass;
+use mobitrace_core::ratios::{wifi_traffic_ratio, wifi_user_ratio, ClassFilter};
+use mobitrace_core::timeseries::venue_series;
+use mobitrace_core::usertype::user_type_shares;
+use mobitrace_core::{implications, AnalysisContext};
+use mobitrace_model::Year;
+use mobitrace_sim::{run_campaign, CampaignConfig};
+
+fn main() {
+    println!("=== WiFi offloading, 2013 → 2015 ===\n");
+    for year in Year::ALL {
+        let (ds, _) = run_campaign(&CampaignConfig::scaled(year, 0.08).with_seed(21));
+        let ctx = AnalysisContext::new(&ds);
+
+        let all = wifi_traffic_ratio(&ctx, ClassFilter::All);
+        let heavy = wifi_traffic_ratio(&ctx, ClassFilter::Only(TrafficClass::Heavy));
+        let light = wifi_traffic_ratio(&ctx, ClassFilter::Only(TrafficClass::Light));
+        let users = wifi_user_ratio(&ctx, ClassFilter::All);
+        let types = user_type_shares(&ctx.days);
+
+        println!("{year}:");
+        println!(
+            "  WiFi-traffic ratio  all {:.2} / heavy {:.2} / light {:.2}",
+            all.mean, heavy.mean, light.mean
+        );
+        println!("  WiFi-user ratio     {:.2}", users.mean);
+        println!(
+            "  user types          {:.0}% cellular-intensive, {:.0}% WiFi-intensive, {:.0}% mixed",
+            types.cellular_intensive * 100.0,
+            types.wifi_intensive * 100.0,
+            types.mixed * 100.0
+        );
+
+        let venues = venue_series(&ds, &ctx.aps);
+        println!(
+            "  WiFi volume split   {:.1}% home / {:.1}% public / {:.1}% office",
+            venues.shares.0 * 100.0,
+            venues.shares.1 * 100.0,
+            venues.shares.2 * 100.0
+        );
+
+        if year == Year::Y2015 {
+            let pot = offload_potential(&ds);
+            println!(
+                "\n  §3.5 offload potential: {:.0}% of WiFi-available users encounter a strong\n  \
+                 public AP; {:.0}% of their cellular download is offloadable (paper: 15–20%)",
+                pot.devices_with_opportunity * 100.0,
+                pot.offloadable_share * 100.0
+            );
+            let imp = implications::implications(&ctx.days, &venues);
+            println!(
+                "  §4.1 implications: WiFi:cell median ratio {:.2}; smartphones ≈ {:.0}% of\n  \
+                 residential broadband volume; {:.0}% of a median home's downstream",
+                imp.wifi_to_cell_ratio,
+                imp.smartphone_share_of_rbb * 100.0,
+                imp.smartphone_share_of_home * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: simulate one measurement campaign and read off the headline
+//! statistics of the IMC'15 study.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mobitrace_core::ratios::{wifi_traffic_ratio, ClassFilter};
+use mobitrace_core::{volume, AnalysisContext};
+use mobitrace_model::Year;
+use mobitrace_sim::{run_campaign, CampaignConfig};
+
+fn main() {
+    // A 10%-scale 2015 campaign: ~160 devices sampled every 10 minutes
+    // for 25 days, streamed through the full agent → lossy transport →
+    // server → cleaning pipeline.
+    let config = CampaignConfig::scaled(Year::Y2015, 0.1).with_seed(7);
+    println!(
+        "simulating the {} campaign with {} users for {} days...",
+        config.year, config.n_users, config.days
+    );
+    let (dataset, summary) = run_campaign(&config);
+    dataset.validate().expect("pipeline produces a consistent dataset");
+    println!(
+        "  {} bin records from {} devices ({} Android / {} iOS), {} unique APs",
+        dataset.bins.len(),
+        dataset.devices.len(),
+        summary.n_android,
+        summary.n_ios,
+        dataset.aps.len()
+    );
+    println!(
+        "  upload pipeline: {} frames ingested, {} rejected (corruption), {} duplicates dropped",
+        summary.ingest.frames, summary.ingest.rejected, summary.ingest.duplicates
+    );
+
+    // The analysis context precomputes per-user-day volumes, the
+    // home/public/office AP classification and inferred home locations.
+    let ctx = AnalysisContext::new(&dataset);
+
+    let t = volume::volume_table(&ctx.days);
+    println!("\ndaily download per user (paper 2015: median 126.5 MB, mean 239.5 MB):");
+    println!("  all:  median {:6.1} MB   mean {:6.1} MB", t.all.median_mb, t.all.mean_mb);
+    println!("  cell: median {:6.1} MB   mean {:6.1} MB", t.cell.median_mb, t.cell.mean_mb);
+    println!("  wifi: median {:6.1} MB   mean {:6.1} MB", t.wifi.median_mb, t.wifi.mean_mb);
+
+    let ratio = wifi_traffic_ratio(&ctx, ClassFilter::All);
+    println!(
+        "\nmean WiFi-traffic ratio: {:.2} (paper 2015: 0.71)",
+        ratio.mean
+    );
+
+    let counts = &ctx.aps.counts;
+    println!(
+        "estimated APs: {} home / {} public / {} other (incl. {} office)",
+        counts.home, counts.public, counts.other, counts.office
+    );
+    println!(
+        "inferred-home-AP share: {:.0}% (paper 2015: 79%)",
+        ctx.aps.home_of.len() as f64 / dataset.devices.len() as f64 * 100.0
+    );
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: simulate all three campaigns through the full
+//! agent → transport → server → cleaning pipeline and check that the
+//! paper's qualitative findings hold — directions and rough magnitudes,
+//! robust to seed and scale.
+
+use mobitrace_core::ratios::{wifi_traffic_ratio, ClassFilter};
+use mobitrace_core::AnalysisContext;
+use mobitrace_model::Year;
+use mobitrace_report::{all_experiment_ids, run_experiment, CampaignSet};
+
+fn small_set() -> CampaignSet {
+    CampaignSet::simulate(0.1, 424242)
+}
+
+#[test]
+fn paper_trends_hold_end_to_end() {
+    let set = small_set();
+    let ctxs = set.contexts();
+
+    // (1) WiFi share of aggregate volume grows and exceeds half by 2015.
+    let shares: Vec<f64> = Year::ALL
+        .iter()
+        .map(|y| mobitrace_core::timeseries::aggregate_series(set.year(*y)).wifi_share())
+        .collect();
+    assert!(shares[0] < shares[2], "WiFi share must grow: {shares:?}");
+    assert!(shares[2] > 0.55 && shares[2] < 0.8, "2015 share {:.2}", shares[2]);
+
+    // (2) Median daily volumes grow every year (Table 3 trend).
+    let medians: Vec<f64> = ctxs
+        .iter()
+        .map(|c| mobitrace_core::volume::volume_table(&c.days).all.median_mb)
+        .collect();
+    assert!(medians[0] < medians[1] && medians[1] < medians[2], "{medians:?}");
+    // WiFi median overtakes cellular by 2015 (finding #2 of the paper).
+    let t15 = mobitrace_core::volume::volume_table(&ctxs[2].days);
+    assert!(t15.wifi.median_mb > t15.cell.median_mb);
+    let t13 = mobitrace_core::volume::volume_table(&ctxs[0].days);
+    assert!(t13.wifi.median_mb < t13.cell.median_mb, "2013: cellular still led");
+
+    // (3) Cellular-intensive users decline (35% → 22% in the paper).
+    let cell_int: Vec<f64> = ctxs
+        .iter()
+        .map(|c| mobitrace_core::usertype::user_type_shares(&c.days).cellular_intensive)
+        .collect();
+    assert!(cell_int[0] > cell_int[2] + 0.05, "{cell_int:?}");
+
+    // (4) Heavy hitters offload more than light users, in every year.
+    for ctx in &ctxs {
+        let heavy = wifi_traffic_ratio(ctx, ClassFilter::Only(mobitrace_core::daily::TrafficClass::Heavy));
+        let light = wifi_traffic_ratio(ctx, ClassFilter::Only(mobitrace_core::daily::TrafficClass::Light));
+        assert!(heavy.mean > light.mean, "heavy {} vs light {}", heavy.mean, light.mean);
+    }
+
+    // (5) Home carries the vast majority of WiFi volume.
+    let venues = mobitrace_core::timeseries::venue_series(set.year(Year::Y2015), &ctxs[2].aps);
+    assert!(venues.shares.0 > 0.75, "home share {:.2}", venues.shares.0);
+
+    // (6) Public AP deployment (unique associated pairs) roughly doubles.
+    let public: Vec<f64> = ctxs.iter().map(|c| c.aps.counts.public as f64).collect();
+    assert!(public[2] > public[0] * 1.6, "{public:?}");
+
+    // (7) Inferred-home-AP share grows towards ~0.8.
+    let inferred: Vec<f64> = Year::ALL
+        .iter()
+        .zip(&ctxs)
+        .map(|(y, c)| c.aps.home_of.len() as f64 / set.year(*y).devices.len() as f64)
+        .collect();
+    assert!(inferred[0] < inferred[2], "{inferred:?}");
+    assert!((0.5..0.9).contains(&inferred[2]), "{inferred:?}");
+
+    // (8) The home heuristic is precise against ground truth.
+    for (y, ctx) in Year::ALL.iter().zip(&ctxs) {
+        let score = mobitrace_core::apclass::score_home_inference(set.year(*y), &ctx.aps);
+        assert!(score.precision() > 0.9, "{y}: precision {}", score.precision());
+    }
+}
+
+#[test]
+fn update_event_shapes_hold() {
+    let set = small_set();
+    let ctxs = set.contexts();
+    let a = mobitrace_core::update::update_analysis(&set.update_2015, &ctxs[2].aps, 10);
+    assert!(a.ios_devices > 20);
+    assert!((0.4..0.8).contains(&a.adoption), "adoption {}", a.adoption);
+    // Users without home APs update far less...
+    assert!(a.adoption_no_home < a.adoption_home * 0.6);
+    // ...and later — but the median is only meaningful with a handful of
+    // no-home updaters in the sample (they are ~3% of iOS devices).
+    let no_home_updaters = a.updates.iter().filter(|u| !u.has_home_ap).count();
+    if no_home_updaters >= 5 {
+        assert!(
+            a.median_delay_no_home > a.median_delay_home - 0.5,
+            "no-home delay {} vs home {}",
+            a.median_delay_no_home,
+            a.median_delay_home
+        );
+    }
+}
+
+#[test]
+fn every_experiment_produces_a_report() {
+    let set = CampaignSet::simulate(0.03, 7);
+    let ctxs = set.contexts();
+    for id in all_experiment_ids() {
+        let r = run_experiment(id, &set, &ctxs).expect("registered");
+        assert!(!r.render().is_empty(), "{id}");
+    }
+}
+
+#[test]
+fn analysis_context_is_internally_consistent() {
+    let set = CampaignSet::simulate(0.03, 99);
+    for y in Year::ALL {
+        let ds = set.year(y);
+        ds.validate().unwrap();
+        let ctx = AnalysisContext::new(ds);
+        // Every class in `classes` corresponds 1:1 to `days`.
+        assert_eq!(ctx.days.len(), ctx.classes.len());
+        // Thresholds are ordered.
+        let (p40, p60, p95) = ctx.thresholds;
+        assert!(p40 <= p60 && p60 <= p95);
+        // Every inferred home pair exists in the AP table.
+        for ap in ctx.aps.home_of.values() {
+            assert!(ap.index() < ds.aps.len());
+        }
+    }
+}

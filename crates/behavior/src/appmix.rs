@@ -93,67 +93,160 @@ impl AppMix {
             Year::Y2013 => [
                 (
                     AppContext::CellHome,
-                    &[(Browser, 38.0), (Social, 7.3), (Communication, 6.2), (Video, 5.7), (News, 2.0)][..],
+                    &[
+                        (Browser, 38.0),
+                        (Social, 7.3),
+                        (Communication, 6.2),
+                        (Video, 5.7),
+                        (News, 2.0),
+                    ][..],
                 ),
                 (
                     AppContext::CellOther,
-                    &[(Browser, 38.5), (Communication, 7.7), (Social, 7.6), (News, 2.6), (Video, 2.1)][..],
+                    &[
+                        (Browser, 38.5),
+                        (Communication, 7.7),
+                        (Social, 7.6),
+                        (News, 2.6),
+                        (Video, 2.1),
+                    ][..],
                 ),
                 (
                     AppContext::WifiHome,
-                    &[(Browser, 28.0), (Social, 6.8), (Communication, 4.3), (Video, 4.0), (News, 3.5), (Productivity, 2.2)][..],
+                    &[
+                        (Browser, 28.0),
+                        (Social, 6.8),
+                        (Communication, 4.3),
+                        (Video, 4.0),
+                        (News, 3.5),
+                        (Productivity, 2.2),
+                    ][..],
                 ),
                 (
                     AppContext::WifiPublic,
-                    &[(Browser, 44.1), (Social, 4.0), (Lifestyle, 3.3), (Communication, 3.0), (News, 2.9)][..],
+                    &[
+                        (Browser, 44.1),
+                        (Social, 4.0),
+                        (Lifestyle, 3.3),
+                        (Communication, 3.0),
+                        (News, 2.9),
+                    ][..],
                 ),
                 (
                     AppContext::WifiOther,
-                    &[(Browser, 35.0), (Communication, 7.0), (Social, 6.0), (Business, 3.0), (News, 3.0)][..],
+                    &[
+                        (Browser, 35.0),
+                        (Communication, 7.0),
+                        (Social, 6.0),
+                        (Business, 3.0),
+                        (News, 3.0),
+                    ][..],
                 ),
             ],
             Year::Y2014 => [
                 (
                     AppContext::CellHome,
-                    &[(Browser, 36.4), (Video, 7.4), (Communication, 7.4), (Social, 6.3), (News, 6.2)][..],
+                    &[
+                        (Browser, 36.4),
+                        (Video, 7.4),
+                        (Communication, 7.4),
+                        (Social, 6.3),
+                        (News, 6.2),
+                    ][..],
                 ),
                 (
                     AppContext::CellOther,
-                    &[(Browser, 31.4), (Communication, 9.9), (Video, 8.0), (News, 6.6), (Game, 6.3)][..],
+                    &[
+                        (Browser, 31.4),
+                        (Communication, 9.9),
+                        (Video, 8.0),
+                        (News, 6.6),
+                        (Game, 6.3),
+                    ][..],
                 ),
                 (
                     AppContext::WifiHome,
-                    &[(Video, 30.4), (Browser, 20.7), (Communication, 6.5), (News, 6.0), (Downloading, 4.7), (Productivity, 4.0)][..],
+                    &[
+                        (Video, 30.4),
+                        (Browser, 20.7),
+                        (Communication, 6.5),
+                        (News, 6.0),
+                        (Downloading, 4.7),
+                        (Productivity, 4.0),
+                    ][..],
                 ),
                 (
                     AppContext::WifiPublic,
-                    &[(Downloading, 22.5), (Browser, 21.9), (Video, 13.8), (Lifestyle, 4.9), (Health, 3.2)][..],
+                    &[
+                        (Downloading, 22.5),
+                        (Browser, 21.9),
+                        (Video, 13.8),
+                        (Lifestyle, 4.9),
+                        (Health, 3.2),
+                    ][..],
                 ),
                 (
                     AppContext::WifiOther,
-                    &[(Browser, 30.0), (Communication, 8.0), (Video, 6.0), (Business, 4.0), (Productivity, 4.0)][..],
+                    &[
+                        (Browser, 30.0),
+                        (Communication, 8.0),
+                        (Video, 6.0),
+                        (Business, 4.0),
+                        (Productivity, 4.0),
+                    ][..],
                 ),
             ],
             Year::Y2015 => [
                 (
                     AppContext::CellHome,
-                    &[(Browser, 28.3), (Video, 11.0), (Communication, 9.5), (Social, 7.9), (News, 5.8)][..],
+                    &[
+                        (Browser, 28.3),
+                        (Video, 11.0),
+                        (Communication, 9.5),
+                        (Social, 7.9),
+                        (News, 5.8),
+                    ][..],
                 ),
                 (
                     AppContext::CellOther,
-                    &[(Browser, 28.3), (Communication, 12.7), (Video, 12.0), (News, 7.6), (Social, 6.9)][..],
+                    &[
+                        (Browser, 28.3),
+                        (Communication, 12.7),
+                        (Video, 12.0),
+                        (News, 7.6),
+                        (Social, 6.9),
+                    ][..],
                 ),
                 (
                     AppContext::WifiHome,
-                    &[(Video, 25.4), (Browser, 20.0), (Downloading, 11.1), (Communication, 7.4), (Social, 4.7), (Productivity, 3.5)][..],
+                    &[
+                        (Video, 25.4),
+                        (Browser, 20.0),
+                        (Downloading, 11.1),
+                        (Communication, 7.4),
+                        (Social, 4.7),
+                        (Productivity, 3.5),
+                    ][..],
                 ),
                 (
                     AppContext::WifiPublic,
-                    &[(Browser, 24.0), (Video, 19.6), (Downloading, 9.9), (Lifestyle, 4.1), (Communication, 3.6)][..],
+                    &[
+                        (Browser, 24.0),
+                        (Video, 19.6),
+                        (Downloading, 9.9),
+                        (Lifestyle, 4.1),
+                        (Communication, 3.6),
+                    ][..],
                 ),
                 (
                     AppContext::WifiOther,
-                    &[(Browser, 28.0), (Communication, 9.0), (Video, 8.0), (Productivity, 5.0), (Business, 4.0)][..],
+                    &[
+                        (Browser, 28.0),
+                        (Communication, 9.0),
+                        (Video, 8.0),
+                        (Productivity, 5.0),
+                        (Business, 4.0),
+                    ][..],
                 ),
             ],
         };

@@ -123,9 +123,7 @@ mod tests {
         let res = DensitySurface::residential();
         let off = DensitySurface::office();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| Persona::sample(&mut rng, &params, i as u32, &grid, &res, &off))
-            .collect()
+        (0..n).map(|i| Persona::sample(&mut rng, &params, i as u32, &grid, &res, &off)).collect()
     }
 
     #[test]
@@ -159,7 +157,9 @@ mod tests {
             let pop = population(y, 300, 4);
             let mut s: Vec<f64> = pop
                 .iter()
-                .flat_map(|p| (0..10).map(|_| model.daily_demand(&mut rng, p).as_mb()).collect::<Vec<_>>())
+                .flat_map(|p| {
+                    (0..10).map(|_| model.daily_demand(&mut rng, p).as_mb()).collect::<Vec<_>>()
+                })
                 .collect();
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             medians.push(s[s.len() / 2]);

@@ -71,11 +71,7 @@ impl Persona {
         residential: &DensitySurface,
         office_surface: &DensitySurface,
     ) -> Persona {
-        let os = if rng.gen_range(0.0..1.0) < params.android_share {
-            Os::Android
-        } else {
-            Os::Ios
-        };
+        let os = if rng.gen_range(0.0..1.0) < params.android_share { Os::Android } else { Os::Ios };
         let occupation = sample_occupation(rng, params.year);
         let home = residential.sample_point(rng);
         let (office, commute) = if occupation.commutes() {
@@ -110,8 +106,8 @@ impl Persona {
             && occupation != Occupation::Student
             && rng.gen_range(0.0..1.0) < params.office_byod;
         // Cellular-averse users keep WiFi on by definition.
-        let cellular_averse =
-            attitude == WifiAttitude::AlwaysOn && rng.gen_range(0.0..1.0) < params.cellular_averse / 0.6;
+        let cellular_averse = attitude == WifiAttitude::AlwaysOn
+            && rng.gen_range(0.0..1.0) < params.cellular_averse / 0.6;
         let public_wifi_configured = attitude != WifiAttitude::AlwaysOff
             && (rng.gen_range(0.0..1.0) < params.public_wifi_configured || cellular_averse);
 
@@ -120,9 +116,7 @@ impl Persona {
         // mean far beyond Table 3's.
         let attitude_damp = if attitude == WifiAttitude::AlwaysOff { 0.6 } else { 1.0 };
         let demand_scale = lognormal(rng, 0.0, params.demand_sigma_user) * attitude_damp;
-        let app_affinity = (0..AppCategory::ALL.len())
-            .map(|_| lognormal(rng, 0.0, 0.6))
-            .collect();
+        let app_affinity = (0..AppCategory::ALL.len()).map(|_| lognormal(rng, 0.0, 0.6)).collect();
 
         let security_year = match params.year {
             mobitrace_model::Year::Y2013 => 0.15,
@@ -192,9 +186,7 @@ mod tests {
         let res = DensitySurface::residential();
         let off = DensitySurface::office();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| Persona::sample(&mut rng, &params, i as u32, &grid, &res, &off))
-            .collect()
+        (0..n).map(|i| Persona::sample(&mut rng, &params, i as u32, &grid, &res, &off)).collect()
     }
 
     #[test]
@@ -212,10 +204,7 @@ mod tests {
     fn attitude_shares_match_params() {
         let pop = sample_population(Year::Y2013, 4000, 2);
         let android: Vec<_> = pop.iter().filter(|p| p.os == Os::Android).collect();
-        let off = android
-            .iter()
-            .filter(|p| p.attitude == WifiAttitude::AlwaysOff)
-            .count() as f64
+        let off = android.iter().filter(|p| p.attitude == WifiAttitude::AlwaysOff).count() as f64
             / android.len() as f64;
         assert!((off - 0.38).abs() < 0.04, "Android always-off share {off}");
     }

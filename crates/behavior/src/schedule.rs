@@ -85,7 +85,7 @@ impl DaySchedule {
         // Wake and sleep anchors (minutes of day).
         let (wake, sleep_start) = if workday {
             (
-                jitter(rng, 390.0, 30.0, 300, 540), // ~6:30
+                jitter(rng, 390.0, 30.0, 300, 540),    // ~6:30
                 jitter(rng, 1440.0, 50.0, 1320, 1560), // ~24:00, may cross midnight
             )
         } else {
@@ -105,12 +105,8 @@ impl DaySchedule {
         }
 
         if workday {
-            let commute_min = persona
-                .commute
-                .as_ref()
-                .map(|c| c.minutes)
-                .unwrap_or(30)
-                .clamp(10, 120);
+            let commute_min =
+                persona.commute.as_ref().map(|c| c.minutes).unwrap_or(30).clamp(10, 120);
             let leave = wake + jitter(rng, 70.0, 20.0, 30, 150);
             let arrive = leave + commute_min;
             // Work end varies by occupation; engineers/office stay later.
@@ -253,11 +249,7 @@ mod tests {
         let s = DaySchedule::generate(&mut rng, &p, Weekday::Tue, 0, &public());
         assert_eq!(s.slots.len(), BINS_PER_DAY as usize);
         let works = s.slots.iter().filter(|a| matches!(a, Activity::AtWork)).count();
-        let commutes = s
-            .slots
-            .iter()
-            .filter(|a| matches!(a, Activity::Commute { .. }))
-            .count();
+        let commutes = s.slots.iter().filter(|a| matches!(a, Activity::Commute { .. })).count();
         assert!(works >= 30, "work bins {works}"); // ≥ 5 hours
         assert!(commutes >= 2, "commute bins {commutes}");
         // Morning commute heads to work; evening heads home.

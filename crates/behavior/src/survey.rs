@@ -221,16 +221,11 @@ mod tests {
         let res = DensitySurface::residential();
         let off = DensitySurface::office();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| Persona::sample(&mut rng, &params, i as u32, &grid, &res, &off))
-            .collect()
+        (0..n).map(|i| Persona::sample(&mut rng, &params, i as u32, &grid, &res, &off)).collect()
     }
 
     fn yes_share(responses: &[SurveyResponse], loc: usize) -> f64 {
-        let yes = responses
-            .iter()
-            .filter(|r| r.connected[loc] == YesNoNa::Yes)
-            .count();
+        let yes = responses.iter().filter(|r| r.connected[loc] == YesNoNa::Yes).count();
         yes as f64 / responses.len() as f64
     }
 
@@ -285,14 +280,9 @@ mod tests {
     fn security_concern_rises_for_public() {
         let count = |year| {
             let rs = responses(year, 50);
-            let no_public: Vec<_> = rs
-                .iter()
-                .filter(|r| r.connected[2] != YesNoNa::Yes)
-                .collect();
-            no_public
-                .iter()
-                .filter(|r| r.reasons[2].contains(&SurveyReason::SecurityIssue))
-                .count() as f64
+            let no_public: Vec<_> = rs.iter().filter(|r| r.connected[2] != YesNoNa::Yes).collect();
+            no_public.iter().filter(|r| r.reasons[2].contains(&SurveyReason::SecurityIssue)).count()
+                as f64
                 / no_public.len() as f64
         };
         let c14 = count(Year::Y2014);

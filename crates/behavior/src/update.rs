@@ -8,7 +8,7 @@
 //! going out of their way to public or office WiFi.
 
 use crate::persona::{Persona, WifiAttitude};
-use mobitrace_model::{ByteCount, OsVersion, Os};
+use mobitrace_model::{ByteCount, Os, OsVersion};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -48,11 +48,7 @@ impl UpdateModel {
     /// The iOS 8.2 event as placed in the 2015 campaign (release on
     /// campaign day 10 = 2015-03-10 for a Feb 28 start).
     pub fn ios_8_2() -> UpdateModel {
-        UpdateModel {
-            release_day: 10,
-            size: ByteCount::mb(565),
-            to_version: OsVersion::IOS_8_2,
-        }
+        UpdateModel { release_day: 10, size: ByteCount::mb(565), to_version: OsVersion::IOS_8_2 }
     }
 
     /// Decide whether/when a device updates within the campaign window.
@@ -73,10 +69,7 @@ impl UpdateModel {
             if !rng.gen_bool(0.70) {
                 return None;
             }
-            Some(UpdatePlan {
-                decision_delay_days: decision_delay(rng),
-                path: UpdatePath::Home,
-            })
+            Some(UpdatePlan { decision_delay_days: decision_delay(rng), path: UpdatePath::Home })
         } else {
             // Users without home WiFi rarely update (14%), and those who do
             // go out of their way: mostly public APs, a couple via office.
@@ -162,10 +155,8 @@ mod tests {
         let pop = ios_population(3000, 2);
         let model = UpdateModel::ios_8_2();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let planned = pop
-            .iter()
-            .filter(|p| model.sample_plan(&mut rng, p).is_some())
-            .count() as f64
+        let planned = pop.iter().filter(|p| model.sample_plan(&mut rng, p).is_some()).count()
+            as f64
             / pop.len() as f64;
         // Plan intent sits a little above the paper's 58% realized
         // adoption: seekers without home WiFi may fail to find any.

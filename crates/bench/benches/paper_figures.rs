@@ -12,9 +12,28 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_figures");
     group.sample_size(20);
     for id in [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-        "offload_potential", "implications", "home_inference",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "offload_potential",
+        "implications",
+        "home_inference",
     ] {
         group.bench_function(id, |b| {
             b.iter(|| black_box(run_experiment(id, &set, &ctxs).expect("known id")))

@@ -12,9 +12,9 @@ fn bench_tables(c: &mut Criterion) {
     let ctxs = set.contexts();
     let mut group = c.benchmark_group("paper_tables");
     group.sample_size(20);
-    for id in [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    ] {
+    for id in
+        ["table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9"]
+    {
         group.bench_function(id, |b| {
             b.iter(|| black_box(run_experiment(id, &set, &ctxs).expect("known id")))
         });

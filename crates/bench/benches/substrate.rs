@@ -78,6 +78,54 @@ fn bench_server_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Contended multi-producer ingest: the scenario the lock-striped shards
+/// target. The single-shard variant is the pre-sharding design (one global
+/// lock) for comparison.
+fn bench_contended_ingest(c: &mut Criterion) {
+    const PER_THREAD: u32 = 500;
+    let chunks_for = |n_threads: u32| -> Vec<Vec<_>> {
+        (0..n_threads)
+            .map(|t| {
+                (0..PER_THREAD).map(|s| encode_frame(&sample_record(t * PER_THREAD + s))).collect()
+            })
+            .collect()
+    };
+    // `bytes::Bytes` is not a direct dependency of the bench crate, so the
+    // frame type stays inferred.
+    let run = |server: &CollectionServer, chunks: &[Vec<_>]| {
+        std::thread::scope(|scope| {
+            for chunk in chunks {
+                scope.spawn(move || {
+                    for f in chunk {
+                        let _ = server.ingest(f);
+                    }
+                });
+            }
+        });
+        server.len()
+    };
+    let mut group = c.benchmark_group("server_contended");
+    for n in [4u32, 8] {
+        let chunks = chunks_for(n);
+        group.throughput(Throughput::Elements(u64::from(n) * u64::from(PER_THREAD)));
+        group.bench_function(format!("ingest_{n}_threads"), |b| {
+            b.iter(|| {
+                let server = CollectionServer::new();
+                black_box(run(&server, &chunks))
+            })
+        });
+    }
+    let chunks = chunks_for(8);
+    group.throughput(Throughput::Elements(8 * u64::from(PER_THREAD)));
+    group.bench_function("ingest_8_threads_single_shard", |b| {
+        b.iter(|| {
+            let server = CollectionServer::with_shards(1);
+            black_box(run(&server, &chunks))
+        })
+    });
+    group.finish();
+}
+
 fn bench_world(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
     let res = DensitySurface::residential();
@@ -124,6 +172,20 @@ fn bench_classification(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full context build (bin index + the three analysis passes) and the
+/// index build alone, so index cost is attributable.
+fn bench_context_build(c: &mut Criterion) {
+    let set = bench_set();
+    let ds = set.year(Year::Y2015);
+    let mut group = c.benchmark_group("context");
+    group.sample_size(20);
+    group.bench_function("dataset_index_2015", |b| b.iter(|| black_box(DatasetIndex::build(ds))));
+    group.bench_function("analysis_context_2015", |b| {
+        b.iter(|| black_box(mobitrace_core::AnalysisContext::new(ds)))
+    });
+    group.finish();
+}
+
 /// Ablation: per-device ChaCha streams vs a single shared stream would
 /// serialise the simulator; measure the stream-derivation cost that buys
 /// the parallelism.
@@ -160,8 +222,10 @@ criterion_group!(
     benches,
     bench_codec,
     bench_server_ingest,
+    bench_contended_ingest,
     bench_world,
     bench_classification,
+    bench_context_build,
     bench_rng_streams,
     bench_simulation
 );

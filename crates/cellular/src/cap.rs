@@ -135,10 +135,7 @@ impl CapTracker {
         let today = self.seed_days() + t.day() as usize;
         let w = self.policy.window_days as usize;
         let lo = today.saturating_sub(w);
-        self.daily[lo.min(self.daily.len())..today.min(self.daily.len())]
-            .iter()
-            .copied()
-            .sum()
+        self.daily[lo.min(self.daily.len())..today.min(self.daily.len())].iter().copied().sum()
     }
 
     /// Is the subscriber over the trigger threshold at `t`?
@@ -228,10 +225,7 @@ mod tests {
 
     #[test]
     fn pre_campaign_seed_counts() {
-        let tr = CapTracker::new(
-            CapPolicy::standard(),
-            &[ByteCount::mb(500), ByteCount::mb(600)],
-        );
+        let tr = CapTracker::new(CapPolicy::standard(), &[ByteCount::mb(500), ByteCount::mb(600)]);
         assert!(tr.over_threshold(t(0, 8)));
     }
 

@@ -11,8 +11,8 @@ use crate::codec::encode_frame;
 use crate::transport::LossyTransport;
 use bytes::Bytes;
 use mobitrace_model::{
-    AppBin, AppCategory, CellId, CounterSnapshot, DeviceId, Os, OsVersion, Record, ScanSummary,
-    SimTime, TrafficCounters, WifiState, ByteCount,
+    AppBin, AppCategory, ByteCount, CellId, CounterSnapshot, DeviceId, Os, OsVersion, Record,
+    ScanSummary, SimTime, TrafficCounters, WifiState,
 };
 use rand::Rng;
 use std::collections::VecDeque;
@@ -270,10 +270,7 @@ mod tests {
         a.try_upload(&mut rng, SimTime::from_minutes(60), &mut good);
         assert_eq!(a.pending(), 0);
         let frames = good.deliver_due(SimTime::from_minutes(60));
-        let seqs: Vec<u32> = frames
-            .iter()
-            .map(|f| decode_frame(f).unwrap().seq)
-            .collect();
+        let seqs: Vec<u32> = frames.iter().map(|f| decode_frame(f).unwrap().seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
     }
 

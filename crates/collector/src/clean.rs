@@ -222,12 +222,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn meta(days: u32) -> CampaignMeta {
-        CampaignMeta {
-            year: Year::Y2015,
-            start: Year::Y2015.campaign_start(),
-            days,
-            seed: 0,
-        }
+        CampaignMeta { year: Year::Y2015, start: Year::Y2015.campaign_start(), days, seed: 0 }
     }
 
     fn device_info(n: u32, os: Os) -> Vec<DeviceInfo> {
@@ -269,7 +264,8 @@ mod tests {
     /// volumes exactly on a reliable channel.
     #[test]
     fn pipeline_reproduces_volumes() {
-        let mut agent = DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
         let mut transport = LossyTransport::new(FaultPlan::reliable());
         let server = CollectionServer::new();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -281,7 +277,8 @@ mod tests {
             server.ingest_all(transport.deliver_due(t));
         }
         let records = server.into_records();
-        let (ds, stats) = clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
+        let (ds, stats) =
+            clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
         ds.validate().unwrap();
         assert_eq!(stats.bins_out, 5);
         let got: Vec<u64> = ds.bins.iter().map(|b| b.rx_wifi).collect();
@@ -295,13 +292,13 @@ mod tests {
 
     #[test]
     fn tethering_bins_removed_without_leaking_volume() {
-        let mut agent = DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
         let mut transport = LossyTransport::new(FaultPlan::reliable());
         let server = CollectionServer::new();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        for (k, (v, tether)) in [(1000u64, false), (9_000_000, true), (2000, false)]
-            .iter()
-            .enumerate()
+        for (k, (v, tether)) in
+            [(1000u64, false), (9_000_000, true), (2000, false)].iter().enumerate()
         {
             let t = SimTime::from_minutes(k as u32 * 10);
             agent.observe(&obs(t.minute, *v, *tether));
@@ -309,7 +306,8 @@ mod tests {
             server.ingest_all(transport.deliver_due(t));
         }
         let records = server.into_records();
-        let (ds, stats) = clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
+        let (ds, stats) =
+            clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
         assert_eq!(stats.tethering_removed, 1);
         assert_eq!(ds.bins.len(), 2);
         // The tethered bin's volume must not be folded into the next bin.
@@ -318,7 +316,8 @@ mod tests {
 
     #[test]
     fn reboot_does_not_create_negative_or_giant_deltas() {
-        let mut agent = DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
         let mut transport = LossyTransport::new(FaultPlan::reliable());
         let server = CollectionServer::new();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -328,7 +327,8 @@ mod tests {
         agent.try_upload(&mut rng, SimTime::from_minutes(10), &mut transport);
         server.ingest_all(transport.deliver_due(SimTime::from_minutes(10)));
         let records = server.into_records();
-        let (ds, stats) = clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
+        let (ds, stats) =
+            clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
         assert_eq!(stats.reboots, 1);
         assert_eq!(ds.bins[0].rx_wifi, 10_000);
         assert_eq!(ds.bins[1].rx_wifi, 300);
@@ -336,7 +336,8 @@ mod tests {
 
     #[test]
     fn update_days_removed() {
-        let mut agent = DeviceAgent::new(DeviceId(0), Os::Ios, mobitrace_model::OsVersion::new(8, 1));
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Ios, mobitrace_model::OsVersion::new(8, 1));
         let mut transport = LossyTransport::new(FaultPlan::reliable());
         let server = CollectionServer::new();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -353,7 +354,8 @@ mod tests {
             }
         }
         let records = server.into_records();
-        let (ds, stats) = clean(meta(4), device_info(1, Os::Ios), &records, CleanOptions::default());
+        let (ds, stats) =
+            clean(meta(4), device_info(1, Os::Ios), &records, CleanOptions::default());
         // Days 1 and 2 (update day + next) removed: 6 records.
         assert_eq!(stats.update_days_removed, 6);
         let days: std::collections::HashSet<u32> = ds.bins.iter().map(|b| b.time.day()).collect();
@@ -374,7 +376,8 @@ mod tests {
     #[test]
     fn ap_table_interned_once() {
         use mobitrace_model::{AssocInfo, Band, Bssid, Channel, Dbm, Essid};
-        let mut agent = DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
         let mut transport = LossyTransport::new(FaultPlan::reliable());
         let server = CollectionServer::new();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -392,7 +395,8 @@ mod tests {
         agent.try_upload(&mut rng, SimTime::from_minutes(60), &mut transport);
         server.ingest_all(transport.deliver_due(SimTime::from_minutes(60)));
         let records = server.into_records();
-        let (ds, _) = clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
+        let (ds, _) =
+            clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
         assert_eq!(ds.aps.len(), 2);
         ds.validate().unwrap();
     }
@@ -401,7 +405,8 @@ mod tests {
     /// delta: the total is conserved, only the per-bin attribution shifts.
     #[test]
     fn lost_middle_record_folds_into_next_delta() {
-        let mut agent = DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
         let volumes = [1_000u64, 7_777, 2_000];
         let mut frames = Vec::new();
         for (k, &v) in volumes.iter().enumerate() {
@@ -418,7 +423,8 @@ mod tests {
         // frames[1] vanishes in flight.
         server.ingest(&frames[2]).unwrap();
         let records = server.into_records();
-        let (ds, stats) = clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
+        let (ds, stats) =
+            clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
         assert_eq!(stats.gaps, 1);
         assert_eq!(ds.bins.len(), 2);
         assert_eq!(ds.bins[0].rx_wifi, 1_000);

@@ -290,10 +290,8 @@ pub fn decode_frame(frame: &Bytes) -> Result<Record, CodecError> {
             .ok_or(CodecError::Malformed("app category"))?;
         apps.push(AppCounter { category: cat, counters: get_counters(&mut p)? });
     }
-    let geo = CellId::new(
-        unzigzag(get_varint(&mut p)?) as i16,
-        unzigzag(get_varint(&mut p)?) as i16,
-    );
+    let geo =
+        CellId::new(unzigzag(get_varint(&mut p)?) as i16, unzigzag(get_varint(&mut p)?) as i16);
     let battery_pct = p_get_u8(&mut p)?;
     let tethering = p_get_u8(&mut p)? != 0;
     let os_version = OsVersion::new(p_get_u8(&mut p)?, p_get_u8(&mut p)?);
@@ -329,10 +327,7 @@ mod tests {
 
     fn sample_record(seq: u32) -> Record {
         let mut counters = CounterSnapshot::default();
-        counters.lte.add(
-            mobitrace_model::ByteCount::mb(3),
-            mobitrace_model::ByteCount::kb(500),
-        );
+        counters.lte.add(mobitrace_model::ByteCount::mb(3), mobitrace_model::ByteCount::kb(500));
         Record {
             device: DeviceId(42),
             os: Os::Android,

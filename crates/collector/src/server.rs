@@ -2,14 +2,26 @@
 //!
 //! Ingests frames from the transport, rejects corrupted ones, deduplicates
 //! by (device, sequence number), and tolerates arbitrary delivery order.
-//! Ingest is thread-safe (`parking_lot` locks) so the live-pipeline example
-//! can run one thread per agent against a shared server.
+//!
+//! The store is split into lock-striped shards keyed by a hash of the
+//! device id, and the ingest statistics are plain atomic counters, so
+//! concurrent producers only contend when they hit the same shard — not on
+//! one global write lock plus a stats mutex as the first version did.
+//! [`ingest_batch`](CollectionServer::ingest_batch) amortises further by
+//! decoding a whole delivery outside any lock and taking each shard lock
+//! once per batch.
+//!
+//! Because records are keyed by (device, seq), ingest order — and therefore
+//! thread scheduling and shard count — cannot change the stored contents:
+//! [`into_records`](CollectionServer::into_records) always produces the
+//! same (device, time)-sorted output.
 
 use crate::codec::{decode_frame, CodecError};
 use bytes::Bytes;
 use mobitrace_model::{DeviceId, Record};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ingest statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,72 +34,176 @@ pub struct IngestStats {
     pub duplicates: u64,
 }
 
+/// Default number of shards: enough stripes that 8–16 producer threads
+/// rarely collide, cheap enough to sum for small servers.
+const DEFAULT_SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<DeviceId, BTreeMap<u32, Record>>>;
+
 /// The collection server.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CollectionServer {
-    store: RwLock<HashMap<DeviceId, BTreeMap<u32, Record>>>,
-    stats: Mutex<IngestStats>,
+    /// Lock-striped store; a device always maps to the same shard.
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard counts are powers of two so the hash can
+    /// be masked instead of taken modulo.
+    shard_mask: u64,
+    frames: AtomicU64,
+    rejected: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+impl Default for CollectionServer {
+    fn default() -> CollectionServer {
+        CollectionServer::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl CollectionServer {
-    /// New empty server.
+    /// New empty server with the default shard count.
     pub fn new() -> CollectionServer {
         CollectionServer::default()
     }
 
+    /// New empty server with (at least) `shards` stripes. The count is
+    /// rounded up to a power of two and clamped to 1..=1024; the stored
+    /// contents are identical for every shard count.
+    pub fn with_shards(shards: usize) -> CollectionServer {
+        let n = shards.clamp(1, 1024).next_power_of_two();
+        CollectionServer {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            shard_mask: n as u64 - 1,
+            frames: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards the store is striped across.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a device's records live in (Fibonacci multiplicative
+    /// hash — device ids are dense small integers, so the multiply spreads
+    /// consecutive ids across stripes).
+    fn shard_of(&self, device: DeviceId) -> &Shard {
+        let h = u64::from(device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
+    /// Store one decoded record. Returns `true` when it was new.
+    fn store(&self, record: Record) -> bool {
+        let mut shard = self.shard_of(record.device).write();
+        let per_device = shard.entry(record.device).or_default();
+        if per_device.contains_key(&record.seq) {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        per_device.insert(record.seq, record);
+        true
+    }
+
     /// Ingest one frame. Returns `Ok(true)` when a new record was stored,
     /// `Ok(false)` for a duplicate, or the codec error for a bad frame.
+    /// Every call counts exactly one frame, and a bad frame counts exactly
+    /// one rejection.
     pub fn ingest(&self, frame: &Bytes) -> Result<bool, CodecError> {
-        {
-            let mut s = self.stats.lock();
-            s.frames += 1;
-        }
+        self.frames.fetch_add(1, Ordering::Relaxed);
         let record = match decode_frame(frame) {
             Ok(r) => r,
             Err(e) => {
-                self.stats.lock().rejected += 1;
+                self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
         };
-        let mut store = self.store.write();
-        let per_device = store.entry(record.device).or_default();
-        if per_device.contains_key(&record.seq) {
-            drop(store);
-            self.stats.lock().duplicates += 1;
-            return Ok(false);
+        Ok(self.store(record))
+    }
+
+    /// Ingest a batch of frames, ignoring individual failures (they are
+    /// counted). All frames are decoded before any shard lock is taken,
+    /// and each touched shard is locked once for the whole batch. Returns
+    /// the number of newly stored records.
+    pub fn ingest_batch(&self, frames: impl IntoIterator<Item = Bytes>) -> usize {
+        let n_shards = self.shards.len();
+        let mut by_shard: Vec<Vec<Record>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut n_frames = 0u64;
+        let mut n_rejected = 0u64;
+        for frame in frames {
+            n_frames += 1;
+            match decode_frame(&frame) {
+                Ok(record) => {
+                    let h = u64::from(record.device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+                    by_shard[(h & self.shard_mask) as usize].push(record);
+                }
+                Err(_) => n_rejected += 1,
+            }
         }
-        per_device.insert(record.seq, record);
-        Ok(true)
+        if n_frames > 0 {
+            self.frames.fetch_add(n_frames, Ordering::Relaxed);
+        }
+        if n_rejected > 0 {
+            self.rejected.fetch_add(n_rejected, Ordering::Relaxed);
+        }
+        let mut stored = 0usize;
+        let mut n_duplicates = 0u64;
+        for (k, records) in by_shard.into_iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[k].write();
+            for record in records {
+                let per_device = shard.entry(record.device).or_default();
+                if per_device.contains_key(&record.seq) {
+                    n_duplicates += 1;
+                } else {
+                    per_device.insert(record.seq, record);
+                    stored += 1;
+                }
+            }
+        }
+        if n_duplicates > 0 {
+            self.duplicates.fetch_add(n_duplicates, Ordering::Relaxed);
+        }
+        stored
     }
 
     /// Ingest a batch, ignoring individual failures (they are counted).
     pub fn ingest_all(&self, frames: impl IntoIterator<Item = Bytes>) {
-        for f in frames {
-            let _ = self.ingest(&f);
-        }
+        self.ingest_batch(frames);
     }
 
     /// Snapshot the ingest statistics.
     pub fn stats(&self) -> IngestStats {
-        *self.stats.lock()
+        IngestStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.store.read().values().map(|m| m.len()).sum()
+        self.shards.iter().map(|s| s.read().values().map(|m| m.len()).sum::<usize>()).sum()
     }
 
     /// True when nothing has been stored.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.read().values().all(|m| m.is_empty()))
     }
 
     /// Extract all records sorted by (device, time), consuming the server.
     pub fn into_records(self) -> Vec<Record> {
-        let store = self.store.into_inner();
-        let mut devices: Vec<_> = store.into_iter().collect();
+        let mut devices: Vec<(DeviceId, BTreeMap<u32, Record>)> = Vec::new();
+        let mut total = 0usize;
+        for shard in self.shards.into_vec() {
+            for entry in shard.into_inner() {
+                total += entry.1.len();
+                devices.push(entry);
+            }
+        }
         devices.sort_by_key(|(d, _)| *d);
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(total);
         for (_, per_device) in devices {
             // BTreeMap iterates in seq order == time order per device.
             out.extend(per_device.into_values());
@@ -155,6 +271,78 @@ mod tests {
         assert!(server.ingest(&Bytes::from(raw)).is_err());
         assert_eq!(server.stats().rejected, 1);
         assert!(server.is_empty());
+    }
+
+    /// Regression test: the error path must count exactly one frame and
+    /// exactly one rejection per call (the old triple-locked version was
+    /// easy to get wrong when editing).
+    #[test]
+    fn error_path_counts_exactly_once() {
+        let server = CollectionServer::new();
+        let bad = Bytes::from_static(&[0xFF; 7]);
+        assert!(server.ingest(&bad).is_err());
+        assert_eq!(server.stats(), IngestStats { frames: 1, rejected: 1, duplicates: 0 });
+        server.ingest(&encode_frame(&record(0, 0))).unwrap();
+        assert_eq!(server.stats(), IngestStats { frames: 2, rejected: 1, duplicates: 0 });
+        // Batch path: same accounting.
+        let server = CollectionServer::new();
+        server.ingest_all(vec![bad.clone(), encode_frame(&record(0, 0)), bad]);
+        assert_eq!(server.stats(), IngestStats { frames: 3, rejected: 2, duplicates: 0 });
+    }
+
+    /// The stored contents and statistics must be byte-identical for every
+    /// shard count — sharding is a concurrency detail, not a semantic one.
+    #[test]
+    fn shard_count_invariance() {
+        let mut frames = Vec::new();
+        for d in 0..23u32 {
+            for s in 0..17u32 {
+                frames.push(encode_frame(&record(d, s)));
+            }
+        }
+        // Shuffle deterministically and add duplicates + one bad frame.
+        frames.sort_by_key(|f| f.len().wrapping_mul(2654435761) ^ f[f.len() / 2] as usize);
+        frames.push(encode_frame(&record(3, 3)));
+        frames.push(Bytes::from_static(&[0u8; 4]));
+        let mut reference: Option<(Vec<Record>, IngestStats)> = None;
+        for shards in [1usize, 2, 16, 128] {
+            let server = CollectionServer::with_shards(shards);
+            for f in &frames {
+                let _ = server.ingest(f);
+            }
+            let stats = server.stats();
+            let records = server.into_records();
+            match &reference {
+                None => reference = Some((records, stats)),
+                Some((ref_records, ref_stats)) => {
+                    assert_eq!(&stats, ref_stats, "{shards} shards");
+                    assert_eq!(&records, ref_records, "{shards} shards");
+                }
+            }
+        }
+    }
+
+    /// Batch ingest must agree exactly with frame-at-a-time ingest.
+    #[test]
+    fn batch_matches_individual() {
+        let mut frames = Vec::new();
+        for d in 0..9u32 {
+            for s in 0..11u32 {
+                frames.push(encode_frame(&record(d, s)));
+            }
+        }
+        frames.push(encode_frame(&record(4, 4))); // duplicate
+        frames.push(Bytes::from_static(&[1u8, 2, 3])); // bad
+
+        let one_by_one = CollectionServer::new();
+        for f in &frames {
+            let _ = one_by_one.ingest(f);
+        }
+        let batched = CollectionServer::new();
+        let stored = batched.ingest_batch(frames.clone());
+        assert_eq!(stored, 9 * 11);
+        assert_eq!(batched.stats(), one_by_one.stats());
+        assert_eq!(batched.into_records(), one_by_one.into_records());
     }
 
     #[test]

@@ -37,24 +37,12 @@ impl FaultPlan {
     /// A realistic mobile uplink: a few percent of visible failures,
     /// occasional silent loss, rare duplication and corruption.
     pub fn mobile() -> FaultPlan {
-        FaultPlan {
-            fail: 0.03,
-            drop: 0.005,
-            duplicate: 0.01,
-            corrupt: 0.002,
-            max_delay_min: 30,
-        }
+        FaultPlan { fail: 0.03, drop: 0.005, duplicate: 0.01, corrupt: 0.002, max_delay_min: 30 }
     }
 
     /// A hostile channel for stress tests.
     pub fn hostile() -> FaultPlan {
-        FaultPlan {
-            fail: 0.25,
-            drop: 0.05,
-            duplicate: 0.10,
-            corrupt: 0.03,
-            max_delay_min: 120,
-        }
+        FaultPlan { fail: 0.25, drop: 0.05, duplicate: 0.10, corrupt: 0.03, max_delay_min: 120 }
     }
 }
 
@@ -69,10 +57,7 @@ struct InFlight {
 impl Ord for InFlight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .deliver_at
-            .cmp(&self.deliver_at)
-            .then(other.seq.cmp(&self.seq))
+        other.deliver_at.cmp(&self.deliver_at).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -258,11 +243,7 @@ mod tests {
         let original = frame(7);
         t.send(&mut rng, SimTime::ZERO, original.clone());
         let got = t.deliver_due(SimTime::ZERO);
-        let diff: u32 = original
-            .iter()
-            .zip(got[0].iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let diff: u32 = original.iter().zip(got[0].iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
         assert_eq!(diff, 1);
     }
 

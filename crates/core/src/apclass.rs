@@ -138,11 +138,16 @@ pub fn classify(ds: &Dataset) -> ApClassification {
     }
     flush_device(current_device, &mut night_bins);
 
-    // Per device: home = pair with the most qualifying nights.
+    // Per device: home = pair with the most qualifying nights; equal
+    // counts break to the smaller pair index so the winner never depends
+    // on hash-map iteration order.
     let mut home_of: HashMap<DeviceId, ApRef> = HashMap::new();
     for (&(device, ap), &nights) in &nights_qualified {
         let better = match home_of.get(&device) {
-            Some(&cur) => nights > nights_qualified[&(device, cur)],
+            Some(&cur) => {
+                let cur_nights = nights_qualified[&(device, cur)];
+                nights > cur_nights || (nights == cur_nights && ap.0 < cur.0)
+            }
             None => true,
         };
         if better {
@@ -351,10 +356,9 @@ mod tests {
 
         fn ap(&mut self, essid: &str) -> ApRef {
             let r = ApRef(self.ds.aps.len() as u32);
-            self.ds.aps.push(ApEntry {
-                bssid: Bssid::from_u64(r.0 as u64 + 1),
-                essid: Essid::new(essid),
-            });
+            self.ds
+                .aps
+                .push(ApEntry { bssid: Bssid::from_u64(r.0 as u64 + 1), essid: Essid::new(essid) });
             r
         }
 
@@ -490,14 +494,10 @@ mod tests {
         full_night(&mut b, 0, 1, home);
         let mut ds = b.finish();
         // Device 0 truly owns that AP; device 1 owns one we never saw.
-        ds.devices[0].truth = Some(GroundTruth {
-            home_bssids: vec![ds.aps[0].bssid],
-            ..GroundTruth::default()
-        });
-        ds.devices[1].truth = Some(GroundTruth {
-            home_bssids: vec![Bssid::from_u64(999)],
-            ..GroundTruth::default()
-        });
+        ds.devices[0].truth =
+            Some(GroundTruth { home_bssids: vec![ds.aps[0].bssid], ..GroundTruth::default() });
+        ds.devices[1].truth =
+            Some(GroundTruth { home_bssids: vec![Bssid::from_u64(999)], ..GroundTruth::default() });
         let cls = classify(&ds);
         let score = score_home_inference(&ds, &cls);
         assert_eq!(score.true_positive, 1);

@@ -33,11 +33,7 @@ pub fn density_maps(ds: &Dataset, cls: &ApClassification) -> (ApDensityMap, ApDe
     let mut cell_votes: HashMap<usize, HashMap<CellId, u32>> = HashMap::new();
     for b in &ds.bins {
         if let Some(a) = b.wifi.assoc() {
-            *cell_votes
-                .entry(a.ap.index())
-                .or_default()
-                .entry(b.geo)
-                .or_default() += 1;
+            *cell_votes.entry(a.ap.index()).or_default().entry(b.geo).or_default() += 1;
         }
     }
     let mut home = ApDensityMap::default();
@@ -47,11 +43,8 @@ pub fn density_maps(ds: &Dataset, cls: &ApClassification) -> (ApDensityMap, ApDe
         if !seen.insert(idx) {
             continue;
         }
-        let cell = votes
-            .into_iter()
-            .max_by_key(|&(_, n)| n)
-            .map(|(c, _)| c)
-            .expect("votes nonempty");
+        let cell =
+            votes.into_iter().max_by_key(|&(_, n)| n).map(|(c, _)| c).expect("votes nonempty");
         match cls.class_of[idx] {
             ApClass::Home => *home.cells.entry(cell).or_default() += 1,
             ApClass::Public => *public.cells.entry(cell).or_default() += 1,

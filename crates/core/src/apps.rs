@@ -82,41 +82,54 @@ fn top(volumes: &[u64; 26], n: usize) -> Vec<(AppCategory, f64)> {
 
 /// Compute the Tables 6/7 breakdown, optionally restricted to a traffic
 /// class (the paper also reports light-user mixes in §3.6).
+///
+/// Walks the context's bin-range index: non-Android devices are skipped
+/// wholesale and the traffic class is resolved once per (device, day) run
+/// instead of binary-searching per bin.
 pub fn app_breakdown(ctx: &AnalysisContext<'_>, class: Option<TrafficClass>) -> AppBreakdown {
     let mut out = AppBreakdown::default();
-    for b in &ctx.ds.bins {
-        if ctx.ds.device(b.device).os != Os::Android || b.apps.is_empty() {
+    for dev in &ctx.ds.devices {
+        if dev.os != Os::Android {
             continue;
         }
-        if let Some(want) = class {
-            if ctx.class_of(b.device, b.time.day()) != Some(want) {
-                continue;
-            }
-        }
-        // Which context does this bin belong to?
-        let table_ctx = match b.wifi.assoc() {
-            Some(a) => match ctx.aps.class(a.ap) {
-                ApClass::Home if ctx.aps.is_device_home(b.device, a.ap) => TableContext::WifiHome,
-                ApClass::Public => TableContext::WifiPublic,
-                // Office/other/foreign-home WiFi is outside the four table
-                // columns, as in the paper.
-                _ => continue,
-            },
-            None => {
-                if b.rx_cell() + b.tx_cell() == 0 {
+        for (day, range) in ctx.index.day_spans(dev.device) {
+            if let Some(want) = class {
+                if ctx.class_of(dev.device, day) != Some(want) {
                     continue;
                 }
-                if ctx.is_at_home_cell(b.device, b.geo) {
-                    TableContext::CellHome
-                } else {
-                    TableContext::CellOther
+            }
+            for b in &ctx.ds.bins[range] {
+                if b.apps.is_empty() {
+                    continue;
+                }
+                // Which context does this bin belong to?
+                let table_ctx = match b.wifi.assoc() {
+                    Some(a) => match ctx.aps.class(a.ap) {
+                        ApClass::Home if ctx.aps.is_device_home(b.device, a.ap) => {
+                            TableContext::WifiHome
+                        }
+                        ApClass::Public => TableContext::WifiPublic,
+                        // Office/other/foreign-home WiFi is outside the four
+                        // table columns, as in the paper.
+                        _ => continue,
+                    },
+                    None => {
+                        if b.rx_cell() + b.tx_cell() == 0 {
+                            continue;
+                        }
+                        if ctx.is_at_home_cell(b.device, b.geo) {
+                            TableContext::CellHome
+                        } else {
+                            TableContext::CellOther
+                        }
+                    }
+                };
+                let slot = table_ctx as usize;
+                for app in &b.apps {
+                    out.rx[slot][app.category.index()] += app.rx_bytes;
+                    out.tx[slot][app.category.index()] += app.tx_bytes;
                 }
             }
-        };
-        let slot = table_ctx as usize;
-        for app in &b.apps {
-            out.rx[slot][app.category.index()] += app.rx_bytes;
-            out.tx[slot][app.category.index()] += app.tx_bytes;
         }
     }
     out
@@ -177,22 +190,14 @@ mod tests {
                 survey: None,
                 truth: None,
             }],
-            aps: vec![ApEntry {
-                bssid: Bssid::from_u64(1),
-                essid: Essid::new("0000carrier-a"),
-            }],
+            aps: vec![ApEntry { bssid: Bssid::from_u64(1), essid: Essid::new("0000carrier-a") }],
             bins,
         }
     }
 
-    fn mk_bin(
-        day: u32,
-        bin: u32,
-        cell: CellId,
-        ap: Option<u32>,
-        apps: Vec<AppBin>,
-    ) -> BinRecord {
-        let cell_rx: u64 = if ap.is_none() { apps.iter().map(|a| a.rx_bytes).sum::<u64>().max(1) } else { 0 };
+    fn mk_bin(day: u32, bin: u32, cell: CellId, ap: Option<u32>, apps: Vec<AppBin>) -> BinRecord {
+        let cell_rx: u64 =
+            if ap.is_none() { apps.iter().map(|a| a.rx_bytes).sum::<u64>().max(1) } else { 0 };
         BinRecord {
             device: DeviceId(0),
             time: SimTime::from_day_bin(day, bin),
@@ -225,10 +230,7 @@ mod tests {
         let b = app_breakdown(&actx, None);
         assert_eq!(b.rx[TableContext::CellHome as usize][AppCategory::Video.index()], 900);
         assert_eq!(b.rx[TableContext::CellOther as usize][AppCategory::Browser.index()], 700);
-        assert_eq!(
-            b.rx[TableContext::WifiPublic as usize][AppCategory::Downloading.index()],
-            500
-        );
+        assert_eq!(b.rx[TableContext::WifiPublic as usize][AppCategory::Downloading.index()], 500);
         assert_eq!(b.rx[TableContext::WifiHome as usize].iter().sum::<u64>(), 0);
     }
 

@@ -50,7 +50,10 @@ pub fn association_durations(ds: &Dataset, cls: &ApClassification) -> AssocDurat
     let mut out = AssocDurations::default();
     let mut current: Option<(mobitrace_model::DeviceId, ApRef, u32, u32)> = None;
     // (device, ap, start_bin, last_bin) in global bins.
-    let finish = |out: &mut AssocDurations, dev_ap: (mobitrace_model::DeviceId, ApRef), start: u32, last: u32| {
+    let finish = |out: &mut AssocDurations,
+                  dev_ap: (mobitrace_model::DeviceId, ApRef),
+                  start: u32,
+                  last: u32| {
         let bins = last - start + 1;
         let hours = f64::from(bins * BIN_MINUTES) / 60.0;
         match cls.class(dev_ap.1) {
@@ -109,7 +112,10 @@ mod tests {
             aps: essids
                 .into_iter()
                 .enumerate()
-                .map(|(i, e)| ApEntry { bssid: Bssid::from_u64(i as u64 + 1), essid: Essid::new(e) })
+                .map(|(i, e)| ApEntry {
+                    bssid: Bssid::from_u64(i as u64 + 1),
+                    essid: Essid::new(e),
+                })
                 .collect(),
             bins,
         }
@@ -178,7 +184,8 @@ mod tests {
     #[test]
     fn overnight_home_spell_spans_days() {
         // 22:00 day0 → 06:00 day1 on a home-qualifying AP = 8 hours.
-        let mut bins: Vec<BinRecord> = (132..144).map(|b| bin(0, 0, Some(0)).time_at(0, b)).collect();
+        let mut bins: Vec<BinRecord> =
+            (132..144).map(|b| bin(0, 0, Some(0)).time_at(0, b)).collect();
         bins.extend((0..36).map(|b| bin(1, b, Some(0))));
         // Second night makes it home.
         bins.extend((132..144).map(|b| bin(1, b, Some(0))));

@@ -90,11 +90,8 @@ pub fn cap_analysis(days: &[UserDay]) -> CapAnalysis {
         }
         i = j;
     }
-    out.capped_user_share = if all_users.is_empty() {
-        0.0
-    } else {
-        capped_users.len() as f64 / all_users.len() as f64
-    };
+    out.capped_user_share =
+        if all_users.is_empty() { 0.0 } else { capped_users.len() as f64 / all_users.len() as f64 };
     let med_capped = percentile(&out.capped_ratios, 50.0);
     let med_other = percentile(&out.other_ratios, 50.0);
     out.median_gap = med_other - med_capped;

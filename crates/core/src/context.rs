@@ -42,11 +42,7 @@ pub fn national_series() -> Vec<NationalPoint> {
     (2006..=2015)
         .map(|y| {
             let year = f64::from(y) + 0.5;
-            NationalPoint {
-                year,
-                rbb_gbps: rbb_gbps(year),
-                cellular_gbps: cellular_gbps(year),
-            }
+            NationalPoint { year, rbb_gbps: rbb_gbps(year), cellular_gbps: cellular_gbps(year) }
         })
         .collect()
 }

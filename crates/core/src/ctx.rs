@@ -2,8 +2,12 @@
 
 use crate::apclass::{classify, ApClassification};
 use crate::daily::{classify_user_days, user_days, TrafficClass, UserDay};
-use mobitrace_model::{CellId, Dataset, DeviceId};
+use mobitrace_model::{CellId, Dataset, DatasetIndex, DeviceId};
 use std::collections::HashMap;
+
+/// Below this bin count the context is built sequentially: the passes are
+/// cheap enough that thread spawn/join overhead dominates.
+const PARALLEL_BUILD_THRESHOLD: usize = 50_000;
 
 /// Precomputed products shared by the individual analyses: per-user-day
 /// aggregates with their light/heavy classes, the AP classification, and
@@ -23,26 +27,43 @@ pub struct AnalysisContext<'a> {
     pub aps: ApClassification,
     /// Inferred home cell per device.
     pub home_cell: HashMap<DeviceId, CellId>,
+    /// Precomputed per-device / per-day bin ranges.
+    pub index: DatasetIndex,
 }
 
 impl<'a> AnalysisContext<'a> {
-    /// Build the context (one pass for aggregates, one for AP classes, one
-    /// for home cells).
+    /// Build the context: the bin-range index first, then the three
+    /// independent passes (user-day aggregates + classes, AP
+    /// classification, home cells). On large datasets the passes run on
+    /// separate threads; they touch disjoint products, so the result is
+    /// identical either way.
     pub fn new(ds: &'a Dataset) -> AnalysisContext<'a> {
-        let days = user_days(ds);
-        let (classes, thresholds) = classify_user_days(&days);
-        let aps = classify(ds);
-        let home_cell = infer_home_cells(ds);
-        AnalysisContext { ds, days, classes, thresholds, aps, home_cell }
+        let index = DatasetIndex::build(ds);
+        let (days, classes, thresholds, aps, home_cell) =
+            if ds.bins.len() < PARALLEL_BUILD_THRESHOLD {
+                let days = user_days(ds);
+                let (classes, thresholds) = classify_user_days(&days);
+                (days, classes, thresholds, classify(ds), infer_home_cells(ds, &index))
+            } else {
+                std::thread::scope(|scope| {
+                    let daily = scope.spawn(|| {
+                        let days = user_days(ds);
+                        let (classes, thresholds) = classify_user_days(&days);
+                        (days, classes, thresholds)
+                    });
+                    let aps = scope.spawn(|| classify(ds));
+                    let home_cell = infer_home_cells(ds, &index);
+                    let (days, classes, thresholds) = daily.join().expect("daily pass");
+                    (days, classes, thresholds, aps.join().expect("ap pass"), home_cell)
+                })
+            };
+        AnalysisContext { ds, days, classes, thresholds, aps, home_cell, index }
     }
 
     /// Traffic class of a (device, day) pair, if that user-day exists.
     pub fn class_of(&self, device: DeviceId, day: u32) -> Option<TrafficClass> {
         // `days` is sorted by (device, day) by construction.
-        let idx = self
-            .days
-            .binary_search_by_key(&(device, day), |d| (d.device, d.day))
-            .ok()?;
+        let idx = self.days.binary_search_by_key(&(device, day), |d| (d.device, d.day)).ok()?;
         Some(self.classes[idx])
     }
 
@@ -52,25 +73,36 @@ impl<'a> AnalysisContext<'a> {
     }
 }
 
-/// Modal night-time (22:00–06:00) cell per device.
-fn infer_home_cells(ds: &Dataset) -> HashMap<DeviceId, CellId> {
-    let mut tallies: HashMap<DeviceId, HashMap<CellId, u32>> = HashMap::new();
-    for b in &ds.bins {
-        let h = b.time.hour();
-        if !(22..24).contains(&h) && h >= 6 {
-            continue;
+/// Modal night-time (22:00–06:00) cell per device. Walks each device's
+/// indexed bin range with one reused tally map; ties break to the smaller
+/// [`CellId`] so the result never depends on hash-map iteration order.
+fn infer_home_cells(ds: &Dataset, index: &DatasetIndex) -> HashMap<DeviceId, CellId> {
+    let mut home = HashMap::new();
+    let mut tally: HashMap<CellId, u32> = HashMap::new();
+    for dev in index.devices_with_bins() {
+        tally.clear();
+        for b in index.device_bins(ds, dev) {
+            let h = b.time.hour();
+            if !(22..24).contains(&h) && h >= 6 {
+                continue;
+            }
+            *tally.entry(b.geo).or_default() += 1;
         }
-        *tallies.entry(b.device).or_default().entry(b.geo).or_default() += 1;
+        let mut best: Option<(CellId, u32)> = None;
+        for (&cell, &n) in &tally {
+            let better = match best {
+                None => true,
+                Some((bc, bn)) => n > bn || (n == bn && cell < bc),
+            };
+            if better {
+                best = Some((cell, n));
+            }
+        }
+        if let Some((cell, _)) = best {
+            home.insert(dev, cell);
+        }
     }
-    tallies
-        .into_iter()
-        .filter_map(|(dev, cells)| {
-            cells
-                .into_iter()
-                .max_by_key(|&(_, n)| n)
-                .map(|(cell, _)| (dev, cell))
-        })
-        .collect()
+    home
 }
 
 #[cfg(test)]

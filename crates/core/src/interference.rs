@@ -142,11 +142,7 @@ mod tests {
 
     #[test]
     fn default_channel_pileup_scores_high() {
-        let ds = ds_with(vec![
-            ("0000carrier-a", 1),
-            ("0001carrier-c", 1),
-            ("7SPOT", 2),
-        ]);
+        let ds = ds_with(vec![("0000carrier-a", 1), ("0001carrier-c", 1), ("7SPOT", 2)]);
         let cls = crate::apclass::classify(&ds);
         let p = interference_pressure(&ds, &cls);
         assert_eq!(p[&ApClass::Public].overlap_share(), 1.0);

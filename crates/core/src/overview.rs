@@ -37,11 +37,7 @@ pub fn overview(ds: &Dataset) -> Overview {
         n_android: ds.count_os(Os::Android),
         n_ios: ds.count_os(Os::Ios),
         n_total: ds.devices.len(),
-        lte_traffic_share: if total_cell == 0 {
-            0.0
-        } else {
-            lte as f64 / total_cell as f64
-        },
+        lte_traffic_share: if total_cell == 0 { 0.0 } else { lte as f64 / total_cell as f64 },
     }
 }
 

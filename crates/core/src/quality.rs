@@ -71,13 +71,7 @@ pub fn rssi_analysis(ds: &Dataset, cls: &ApClassification) -> RssiAnalysis {
     let (m1, w1) = stat(1);
     let (m2, w2) = stat(2);
     let [home, public, office] = hists;
-    RssiAnalysis {
-        home,
-        public,
-        office,
-        means: (m0, m1, m2),
-        weak_shares: (w0, w1, w2),
-    }
+    RssiAnalysis { home, public, office, means: (m0, m1, m2), weak_shares: (w0, w1, w2) }
 }
 
 /// Fig. 16: distribution over the 13 Japanese 2.4 GHz channels of unique
@@ -245,11 +239,8 @@ mod tests {
         let cls = crate::apclass::classify(&ds);
         let r = rssi_analysis(&ds, &cls);
         let pdf = r.public.pdf();
-        let at_55: f64 = pdf
-            .iter()
-            .filter(|(c, _)| (*c - (-55.0)).abs() < 1.0)
-            .map(|(_, d)| *d)
-            .sum();
+        let at_55: f64 =
+            pdf.iter().filter(|(c, _)| (*c - (-55.0)).abs() < 1.0).map(|(_, d)| *d).sum();
         assert!(at_55 > 0.0);
     }
 }

@@ -22,11 +22,8 @@ pub struct RatioSeries {
 }
 
 fn finish(num: Vec<f64>, den: Vec<f64>) -> RatioSeries {
-    let ratio: Vec<f64> = num
-        .iter()
-        .zip(&den)
-        .map(|(&n, &d)| if d > 0.0 { n / d } else { 0.0 })
-        .collect();
+    let ratio: Vec<f64> =
+        num.iter().zip(&den).map(|(&n, &d)| if d > 0.0 { n / d } else { 0.0 }).collect();
     let total_n: f64 = num.iter().sum();
     let total_d: f64 = den.iter().sum();
     RatioSeries { ratio, mean: if total_d > 0.0 { total_n / total_d } else { 0.0 } }

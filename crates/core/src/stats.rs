@@ -52,20 +52,13 @@ pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
     let n = sorted.len() as f64;
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }
 
 /// Empirical CCDF (complementary CDF): P(X > x).
 pub fn ccdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
     let n = xs.len() as f64;
-    cdf_points(xs)
-        .into_iter()
-        .map(|(v, c)| (v, (1.0 - c).max(1.0 / n / 10.0)))
-        .collect()
+    cdf_points(xs).into_iter().map(|(v, c)| (v, (1.0 - c).max(1.0 / n / 10.0))).collect()
 }
 
 /// Least-squares linear fit `y = a + b·x`; returns (intercept, slope).
@@ -87,11 +80,8 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
 /// Annual growth rate from a per-year series, via linear fit relative to
 /// the series mean (the paper reports AGR from a linear fit).
 pub fn annual_growth_rate(per_year: &[f64]) -> f64 {
-    let points: Vec<(f64, f64)> = per_year
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (i as f64, v))
-        .collect();
+    let points: Vec<(f64, f64)> =
+        per_year.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
     let (_, slope) = linear_fit(&points);
     let m = mean(per_year);
     if m.abs() < 1e-12 {

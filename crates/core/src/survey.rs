@@ -60,10 +60,8 @@ pub fn reasons_table(ds: &Dataset) -> ReasonsTable {
             }
             responders[loc] += 1;
             for reason in &s.reasons[loc] {
-                let idx = SurveyReason::ALL
-                    .iter()
-                    .position(|r| r == reason)
-                    .expect("reason in ALL");
+                let idx =
+                    SurveyReason::ALL.iter().position(|r| r == reason).expect("reason in ALL");
                 counts[idx][loc] += 1;
             }
         }
@@ -82,11 +80,7 @@ pub fn reasons_table(ds: &Dataset) -> ReasonsTable {
 
 /// Convenience: location label list matching the table columns.
 pub fn location_labels() -> [&'static str; 3] {
-    [
-        SurveyLocation::Home.label(),
-        SurveyLocation::Office.label(),
-        SurveyLocation::Public.label(),
-    ]
+    [SurveyLocation::Home.label(), SurveyLocation::Office.label(), SurveyLocation::Public.label()]
 }
 
 #[cfg(test)]
@@ -158,21 +152,14 @@ mod tests {
             Some(resp([YesNoNa::Yes, YesNoNa::Yes, YesNoNa::Yes], vec![])),
         ]);
         let t = reasons_table(&d);
-        let lte_idx = SurveyReason::ALL
-            .iter()
-            .position(|&r| r == SurveyReason::LteEnough)
-            .unwrap();
-        let sec_idx = SurveyReason::ALL
-            .iter()
-            .position(|&r| r == SurveyReason::SecurityIssue)
-            .unwrap();
+        let lte_idx = SurveyReason::ALL.iter().position(|&r| r == SurveyReason::LteEnough).unwrap();
+        let sec_idx =
+            SurveyReason::ALL.iter().position(|&r| r == SurveyReason::SecurityIssue).unwrap();
         assert_eq!(t.pct[lte_idx][2], Some(100.0));
         assert_eq!(t.pct[sec_idx][2], Some(50.0));
         // Never-ticked options stay None (e.g. battery here).
-        let bat_idx = SurveyReason::ALL
-            .iter()
-            .position(|&r| r == SurveyReason::BatteryDrain)
-            .unwrap();
+        let bat_idx =
+            SurveyReason::ALL.iter().position(|&r| r == SurveyReason::BatteryDrain).unwrap();
         assert_eq!(t.pct[bat_idx][2], None);
     }
 

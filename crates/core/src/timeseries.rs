@@ -23,10 +23,7 @@ pub struct WeeklySeries {
 impl WeeklySeries {
     fn from_bytes(bytes_per_slot: &[u64], weeks: f64) -> WeeklySeries {
         WeeklySeries {
-            mbps: bytes_per_slot
-                .iter()
-                .map(|&b| (b as f64 / weeks) * 8.0 / 3600.0 / 1e6)
-                .collect(),
+            mbps: bytes_per_slot.iter().map(|&b| (b as f64 / weeks) * 8.0 / 3600.0 / 1e6).collect(),
         }
     }
 
@@ -150,10 +147,7 @@ pub fn venue_series(ds: &Dataset, cls: &ApClassification) -> VenueSeries {
     }
     let weeks = f64::from(ds.meta.days) / 7.0;
     let series = |i: usize| {
-        (
-            WeeklySeries::from_bytes(&rx[i], weeks),
-            WeeklySeries::from_bytes(&tx[i], weeks),
-        )
+        (WeeklySeries::from_bytes(&rx[i], weeks), WeeklySeries::from_bytes(&tx[i], weeks))
     };
     let share = |i: usize| {
         if wifi_total == 0 {

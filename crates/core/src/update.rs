@@ -6,7 +6,7 @@
 
 use crate::apclass::{ApClass, ApClassification};
 use crate::stats::cdf_points;
-use mobitrace_model::{Dataset, DeviceId, Os, OsVersion, SimTime};
+use mobitrace_model::{Dataset, DatasetIndex, DeviceId, Os, OsVersion, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -59,52 +59,65 @@ impl UpdateAnalysis {
     }
 }
 
-/// Detect updates and compute Fig. 18's statistics.
-pub fn update_analysis(
-    ds: &Dataset,
-    cls: &ApClassification,
-    release_day: u32,
-) -> UpdateAnalysis {
-    let mut out = UpdateAnalysis::default();
-    // Per-device: previous version while scanning (bins sorted per device).
-    let mut prev_version: HashMap<DeviceId, OsVersion> = HashMap::new();
-    let mut update_at: HashMap<DeviceId, SimTime> = HashMap::new();
-    // WiFi volume per class on each device's update day.
-    let mut day_volumes: HashMap<DeviceId, HashMap<ApClass, u64>> = HashMap::new();
+/// Fixed class order for the update-day volume argmax: ties break towards
+/// the front so the winner never depends on hash-map iteration order.
+const VIA_ORDER: [ApClass; 4] = [ApClass::Home, ApClass::Public, ApClass::Office, ApClass::Other];
 
-    for b in &ds.bins {
-        if ds.device(b.device).os != Os::Ios {
+/// Detect updates and compute Fig. 18's statistics.
+///
+/// Scans each iOS device's indexed bin range once (skipping Android
+/// devices wholesale) and resolves the update day's WiFi volumes through
+/// an O(log days) range lookup instead of a second full-table pass.
+pub fn update_analysis(ds: &Dataset, cls: &ApClassification, release_day: u32) -> UpdateAnalysis {
+    let mut out = UpdateAnalysis::default();
+    let index = DatasetIndex::build(ds);
+    // Device → (first bin on the new version, carrying venue class).
+    let mut detected: HashMap<DeviceId, (SimTime, Option<ApClass>)> = HashMap::new();
+    for dev in &ds.devices {
+        if dev.os != Os::Ios {
             continue;
         }
-        let prev = prev_version.insert(b.device, b.os_version);
-        if let Some(prev) = prev {
-            if prev < OsVersion::IOS_8_2 && b.os_version >= OsVersion::IOS_8_2 {
-                update_at.insert(b.device, b.time);
+        let mut prev: Option<OsVersion> = None;
+        let mut at: Option<SimTime> = None;
+        for b in index.device_bins(ds, dev.device) {
+            if let Some(prev) = prev {
+                if prev < OsVersion::IOS_8_2 && b.os_version >= OsVersion::IOS_8_2 {
+                    at = Some(b.time);
+                }
             }
+            prev = Some(b.os_version);
         }
-    }
-    // Second pass: WiFi class volumes on each updater's update day.
-    for b in &ds.bins {
-        let Some(&at) = update_at.get(&b.device) else {
+        let Some(at) = at else {
             continue;
         };
-        if b.time.day() != at.day() {
-            continue;
+        // WiFi volume per class on the update day; `None` = never
+        // associated that day.
+        let mut volumes: [Option<u64>; 4] = [None; 4];
+        if let Some(range) = index.day_range(dev.device, at.day()) {
+            for b in &ds.bins[range] {
+                if let Some(a) = b.wifi.assoc() {
+                    let k = VIA_ORDER
+                        .iter()
+                        .position(|&c| c == cls.class(a.ap))
+                        .expect("class in order");
+                    *volumes[k].get_or_insert(0) += b.rx_wifi;
+                }
+            }
         }
-        if let Some(a) = b.wifi.assoc() {
-            *day_volumes
-                .entry(b.device)
-                .or_default()
-                .entry(cls.class(a.ap))
-                .or_default() += b.rx_wifi;
+        let mut via: Option<ApClass> = None;
+        let mut best = 0u64;
+        for (k, v) in volumes.iter().enumerate() {
+            if let Some(v) = *v {
+                if via.is_none() || v > best {
+                    via = Some(VIA_ORDER[k]);
+                    best = v;
+                }
+            }
         }
+        detected.insert(dev.device, (at, via));
     }
 
-    let ios_devices = ds
-        .devices
-        .iter()
-        .filter(|d| d.os == Os::Ios)
-        .count();
+    let ios_devices = ds.devices.iter().filter(|d| d.os == Os::Ios).count();
     out.ios_devices = ios_devices;
 
     let mut delays_home = Vec::new();
@@ -120,10 +133,7 @@ pub fn update_analysis(
         } else {
             n_no_home += 1;
         }
-        if let Some(&at) = update_at.get(&dev.device) {
-            let via = day_volumes
-                .get(&dev.device)
-                .and_then(|m| m.iter().max_by_key(|&(_, v)| *v).map(|(c, _)| *c));
+        if let Some(&(at, via)) = detected.get(&dev.device) {
             out.updates.push(DetectedUpdate { device: dev.device, at, has_home_ap, via });
             let delay = f64::from(at.minute) / 1440.0 - f64::from(release_day);
             if has_home_ap {
@@ -134,22 +144,15 @@ pub fn update_analysis(
         }
     }
 
-    out.adoption = if ios_devices > 0 {
-        out.updates.len() as f64 / ios_devices as f64
-    } else {
-        0.0
-    };
-    out.adoption_home =
-        if n_home > 0 { delays_home.len() as f64 / n_home as f64 } else { 0.0 };
+    out.adoption =
+        if ios_devices > 0 { out.updates.len() as f64 / ios_devices as f64 } else { 0.0 };
+    out.adoption_home = if n_home > 0 { delays_home.len() as f64 / n_home as f64 } else { 0.0 };
     out.adoption_no_home =
         if n_no_home > 0 { delays_no_home.len() as f64 / n_no_home as f64 } else { 0.0 };
     out.median_delay_home = crate::stats::median(&delays_home);
     out.median_delay_no_home = crate::stats::median(&delays_no_home);
     out.no_home_via = (
-        out.updates
-            .iter()
-            .filter(|u| !u.has_home_ap && u.via == Some(ApClass::Public))
-            .count(),
+        out.updates.iter().filter(|u| !u.has_home_ap && u.via == Some(ApClass::Public)).count(),
         out.updates
             .iter()
             .filter(|u| !u.has_home_ap && matches!(u.via, Some(ApClass::Office)))
@@ -239,10 +242,8 @@ mod tests {
 
     #[test]
     fn already_new_devices_are_not_updates() {
-        let bins = vec![
-            bin(0, 9, 10, OsVersion::IOS_8_2, None),
-            bin(0, 12, 10, OsVersion::IOS_8_2, None),
-        ];
+        let bins =
+            vec![bin(0, 9, 10, OsVersion::IOS_8_2, None), bin(0, 12, 10, OsVersion::IOS_8_2, None)];
         let ds = dataset(bins, 1);
         let cls = crate::apclass::classify(&ds);
         let a = update_analysis(&ds, &cls, 10);

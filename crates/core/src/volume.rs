@@ -38,10 +38,7 @@ impl VolumeKind {
 /// Daily volumes in MB for a kind. Mirrors the paper's Fig. 3 filter:
 /// user-days below `min_mb` are omitted (the paper drops < 0.1 MB).
 pub fn daily_volumes_mb(days: &[UserDay], kind: VolumeKind, min_mb: f64) -> Vec<f64> {
-    days.iter()
-        .map(|d| kind.of(d) as f64 / 1e6)
-        .filter(|&v| v >= min_mb)
-        .collect()
+    days.iter().map(|d| kind.of(d) as f64 / 1e6).filter(|&v| v >= min_mb).collect()
 }
 
 /// CDF of daily volumes (Fig. 3/4 series).

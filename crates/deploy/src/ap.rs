@@ -139,9 +139,6 @@ mod tests {
         use mobitrace_radio::Environment;
         assert_eq!(Venue::Home { participant: Some(3) }.environment(), Environment::Home);
         assert_eq!(Venue::Office.environment(), Environment::Office);
-        assert_eq!(
-            Venue::Public(PublicProvider::MetroFree).environment(),
-            Environment::Public
-        );
+        assert_eq!(Venue::Public(PublicProvider::MetroFree).environment(), Environment::Public);
     }
 }

@@ -6,8 +6,8 @@
 //! migrate from the factory-default channel towards auto-selection
 //! (Fig. 16).
 
-use mobitrace_radio::ChannelPolicy;
 use mobitrace_model::Year;
+use mobitrace_radio::ChannelPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Deployment parameters for one campaign year. AP counts are expressed

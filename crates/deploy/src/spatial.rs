@@ -28,10 +28,7 @@ impl SpatialIndex {
     fn bucket_of(&self, p: GeoPoint) -> (i32, i32) {
         let east_m = (p.lon - self.origin.lon) * KM_PER_DEG_LON * 1000.0;
         let north_m = (p.lat - self.origin.lat) * KM_PER_DEG_LAT * 1000.0;
-        (
-            (east_m / self.bucket_m).floor() as i32,
-            (north_m / self.bucket_m).floor() as i32,
-        )
+        ((east_m / self.bucket_m).floor() as i32, (north_m / self.bucket_m).floor() as i32)
     }
 
     /// Insert an item by index at a position.

@@ -123,14 +123,8 @@ impl ApWorld {
         for &site in &spec.office_sites {
             let dual = rng.gen_range(0.0..1.0) < spec.params.office_5ghz_share;
             let essid = Essid::new(office_essid(rng));
-            let id = w.push_ap(
-                rng,
-                Venue::Office,
-                site,
-                essid,
-                ChannelPolicy::AutoLeastCongested,
-                dual,
-            );
+            let id =
+                w.push_ap(rng, Venue::Office, site, essid, ChannelPolicy::AutoLeastCongested, dual);
             w.office_aps.push(id);
         }
 
@@ -141,14 +135,7 @@ impl ApWorld {
             let pos = jitter_around(rng, poi, 150.0);
             let dual = rng.gen_range(0.0..1.0) < spec.params.public_5ghz_share * 0.5;
             let essid = Essid::new(shop_essid(rng));
-            w.push_ap(
-                rng,
-                Venue::Shop,
-                pos,
-                essid,
-                ChannelPolicy::ManualUniform,
-                dual,
-            );
+            w.push_ap(rng, Venue::Shop, pos, essid, ChannelPolicy::ManualUniform, dual);
         }
 
         w
@@ -282,11 +269,7 @@ fn next_bssid<R: Rng + ?Sized>(rng: &mut R) -> Bssid {
 
 fn home_essid<R: Rng + ?Sized>(rng: &mut R) -> String {
     const VENDORS: [&str; 5] = ["aterm", "Buffalo-G", "rt500k", "WARPSTAR", "elecom"];
-    format!(
-        "{}-{:06x}",
-        VENDORS[rng.gen_range(0..VENDORS.len())],
-        rng.gen_range(0..0x1000000u32)
-    )
+    format!("{}-{:06x}", VENDORS[rng.gen_range(0..VENDORS.len())], rng.gen_range(0..0x1000000u32))
 }
 
 fn office_essid<R: Rng + ?Sized>(rng: &mut R) -> String {
@@ -295,11 +278,7 @@ fn office_essid<R: Rng + ?Sized>(rng: &mut R) -> String {
 
 fn shop_essid<R: Rng + ?Sized>(rng: &mut R) -> String {
     const KINDS: [&str; 3] = ["shop_free", "hotel-wifi", "cafe-guest"];
-    format!(
-        "{}-{:04x}",
-        KINDS[rng.gen_range(0..KINDS.len())],
-        rng.gen_range(0..0x10000u32)
-    )
+    format!("{}-{:04x}", KINDS[rng.gen_range(0..KINDS.len())], rng.gen_range(0..0x10000u32))
 }
 
 #[cfg(test)]
@@ -404,8 +383,7 @@ mod tests {
         let share = dual / publics.len() as f64;
         assert!((share - 0.60).abs() < 0.12, "public 5GHz share {share}");
         let homes: Vec<&Ap> = w.aps.iter().filter(|a| a.venue.is_home()).collect();
-        let dual_home =
-            homes.iter().filter(|a| a.has_5ghz()).count() as f64 / homes.len() as f64;
+        let dual_home = homes.iter().filter(|a| a.has_5ghz()).count() as f64 / homes.len() as f64;
         assert!(dual_home < 0.30, "home 5GHz share {dual_home}");
     }
 

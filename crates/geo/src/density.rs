@@ -109,10 +109,7 @@ impl DensitySurface {
     /// Per-cell weights over a grid, normalised to sum to 1. Used to
     /// apportion a fixed AP budget across cells.
     pub fn cell_weights(&self, grid: &Grid) -> Vec<f64> {
-        let mut w: Vec<f64> = grid
-            .cells()
-            .map(|c| self.density_at(grid.centre_of(c)))
-            .collect();
+        let mut w: Vec<f64> = grid.cells().map(|c| self.density_at(grid.centre_of(c))).collect();
         let total: f64 = w.iter().sum();
         assert!(total > 0.0);
         for v in &mut w {
@@ -157,10 +154,8 @@ mod tests {
         let n = 500;
         for _ in 0..n {
             let p = s.sample_point(&mut rng);
-            let min_d = City::ALL
-                .iter()
-                .map(|c| p.distance_km(c.location()))
-                .fold(f64::INFINITY, f64::min);
+            let min_d =
+                City::ALL.iter().map(|c| p.distance_km(c.location())).fold(f64::INFINITY, f64::min);
             if min_d < 15.0 {
                 near += 1;
             }

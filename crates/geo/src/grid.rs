@@ -27,12 +27,7 @@ impl Grid {
     /// 138.9–140.6°E, 35.1–36.1°N — the extent of the paper's Fig. 10 maps
     /// (Odawara in the south-west to Narita in the north-east).
     pub fn greater_tokyo() -> Grid {
-        Grid {
-            origin: GeoPoint::new(35.10, 138.90),
-            cell_km: 5.0,
-            width: 31,
-            height: 23,
-        }
+        Grid { origin: GeoPoint::new(35.10, 138.90), cell_km: 5.0, width: 31, height: 23 }
     }
 
     /// Cell containing a point (points outside the grid clamp to the edge,

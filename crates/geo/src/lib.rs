@@ -24,5 +24,5 @@ pub use commute::CommutePath;
 pub use density::DensitySurface;
 pub use grid::Grid;
 pub use places::City;
-pub use pois::PoiSet;
 pub use point::GeoPoint;
+pub use pois::PoiSet;

@@ -186,10 +186,8 @@ mod tests {
 
     #[test]
     fn office_concentrates_downtown() {
-        let downtown: f64 = [City::Tokyo, City::Shinjuku, City::Shibuya]
-            .iter()
-            .map(|c| c.office_weight())
-            .sum();
+        let downtown: f64 =
+            [City::Tokyo, City::Shinjuku, City::Shibuya].iter().map(|c| c.office_weight()).sum();
         let total: f64 = City::ALL.iter().map(|c| c.office_weight()).sum();
         assert!(downtown / total > 0.5, "downtown share {}", downtown / total);
     }

@@ -29,10 +29,7 @@ impl PoiSet {
         assert!(n > 0, "need at least one POI");
         let surface = DensitySurface::public();
         let points: Vec<GeoPoint> = (0..n).map(|_| surface.sample_point(rng)).collect();
-        let weights: Vec<f64> = points
-            .iter()
-            .map(|p| surface.density_at(*p).max(1e-9))
-            .collect();
+        let weights: Vec<f64> = points.iter().map(|p| surface.density_at(*p).max(1e-9)).collect();
         let total_weight = weights.iter().sum();
         PoiSet { points, weights, total_weight }
     }
@@ -70,9 +67,7 @@ impl PoiSet {
             .points
             .iter()
             .min_by(|a, b| {
-                a.distance_km(p)
-                    .partial_cmp(&b.distance_km(p))
-                    .expect("distances are finite")
+                a.distance_km(p).partial_cmp(&b.distance_km(p)).expect("distances are finite")
             })
             .expect("POI set is never empty")
     }

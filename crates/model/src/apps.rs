@@ -173,10 +173,7 @@ impl AppCategory {
     /// Categories the paper singles out as bandwidth-consuming (§4.4):
     /// video streaming, large downloads, and online-storage sync.
     pub fn is_bandwidth_consuming(self) -> bool {
-        matches!(
-            self,
-            AppCategory::Video | AppCategory::Downloading | AppCategory::Productivity
-        )
+        matches!(self, AppCategory::Video | AppCategory::Downloading | AppCategory::Productivity)
     }
 }
 
@@ -224,10 +221,8 @@ mod tests {
 
     #[test]
     fn bandwidth_consuming_set() {
-        let heavy: Vec<_> = AppCategory::ALL
-            .iter()
-            .filter(|c| c.is_bandwidth_consuming())
-            .collect();
+        let heavy: Vec<_> =
+            AppCategory::ALL.iter().filter(|c| c.is_bandwidth_consuming()).collect();
         assert_eq!(heavy.len(), 3);
     }
 }

@@ -465,9 +465,7 @@ impl Dataset {
     pub fn device_bins(&self, d: DeviceId) -> impl Iterator<Item = &BinRecord> {
         // Bins are sorted by device then time; binary-search the range.
         let start = self.bins.partition_point(|b| b.device < d);
-        self.bins[start..]
-            .iter()
-            .take_while(move |b| b.device == d)
+        self.bins[start..].iter().take_while(move |b| b.device == d)
     }
 
     /// Validate sort order, reference integrity and time bounds.
@@ -570,12 +568,7 @@ mod tests {
             geo: CellId::new(0, 0),
             os_version: OsVersion::new(8, 1),
         };
-        Dataset {
-            meta,
-            devices,
-            aps,
-            bins: vec![mk(0, 0, 5000), mk(0, 10, 2000), mk(1, 0, 1000)],
-        }
+        Dataset { meta, devices, aps, bins: vec![mk(0, 0, 5000), mk(0, 10, 2000), mk(1, 0, 1000)] }
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod apps;
 pub mod dataset;
 pub mod error;
 pub mod ids;
+pub mod index;
 pub mod net;
 pub mod record;
 pub mod time;
@@ -32,11 +33,12 @@ pub mod wellknown;
 pub use apps::AppCategory;
 pub use dataset::{
     ApEntry, ApRef, AppBin, BinRecord, CampaignMeta, Carrier, Dataset, DeviceInfo, GroundTruth,
-    Occupation, ScanSummary, SurveyLocation, SurveyReason, SurveyResponse, WifiAssoc,
-    WifiBinState, YesNoNa,
+    Occupation, ScanSummary, SurveyLocation, SurveyReason, SurveyResponse, WifiAssoc, WifiBinState,
+    YesNoNa,
 };
 pub use error::ModelError;
 pub use ids::{Bssid, CellId, DeviceId, Essid};
+pub use index::DatasetIndex;
 pub use net::{AssocInfo, Band, CellTech, Channel, NetKind, WifiState};
 pub use record::{AppCounter, CounterSnapshot, Os, OsVersion, Record, ScanEntry, TrafficCounters};
 pub use time::{CivilDate, SimTime, Weekday, Year, BINS_PER_DAY, BIN_MINUTES};

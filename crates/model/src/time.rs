@@ -274,13 +274,7 @@ impl SimTime {
 
 impl std::fmt::Display for SimTime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "d{}+{:02}:{:02}",
-            self.day(),
-            self.hour(),
-            self.minute_of_day() % 60
-        )
+        write!(f, "d{}+{:02}:{:02}", self.day(), self.hour(), self.minute_of_day() % 60)
     }
 }
 

@@ -168,9 +168,8 @@ mod tests {
         let m = PathLossModel::default_ap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n)
-            .map(|_| m.observe(&mut rng, Environment::Home, Band::Ghz24).as_f64())
-            .collect();
+        let samples: Vec<f64> =
+            (0..n).map(|_| m.observe(&mut rng, Environment::Home, Band::Ghz24).as_f64()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let weak = samples.iter().filter(|&&r| r < -70.0).count() as f64 / n as f64;
         assert!((-58.0..=-50.0).contains(&mean), "home mean {mean}");

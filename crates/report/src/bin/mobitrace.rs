@@ -7,8 +7,14 @@
 //! mobitrace all [--scale S] [--seed N] [--json PATH]
 //! mobitrace simulate --out DIR [--scale S] [--seed N]
 //! mobitrace analyze --data DIR [<id>...]
+//! mobitrace bench [--scale S] [--seed N] [--json PATH]
 //! ```
 
+use mobitrace_collector::{clean, encode_frame, CleanOptions, CollectionServer};
+use mobitrace_model::{
+    AssocInfo, Band, Bssid, ByteCount, CampaignMeta, Carrier, CellId, Channel, CounterSnapshot,
+    Dbm, DeviceId, DeviceInfo, Essid, Os, OsVersion, Record, ScanSummary, SimTime, WifiState, Year,
+};
 use mobitrace_report::{all_experiment_ids, run_experiment, CampaignSet};
 use std::io::Write;
 
@@ -167,6 +173,7 @@ fn main() {
                 eprintln!("wrote {} reports to {path}", reports.len());
             }
         }
+        "bench" => run_pipeline_bench(&args),
         _ => {
             println!(
                 "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
@@ -174,10 +181,157 @@ fn main() {
                  usage:\n  mobitrace list\n  mobitrace run <id>... [--scale S] [--seed N]\n  \
                  mobitrace all [--scale S] [--seed N] [--json PATH]\n  \
                  mobitrace simulate --out DIR [--scale S] [--seed N]\n  \
-                 mobitrace analyze --data DIR [<id>...]\n\n\
+                 mobitrace analyze --data DIR [<id>...]\n  \
+                 mobitrace bench [--scale S] [--seed N] [--json PATH]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
-                 the default 0.15 reproduces every trend in a few seconds."
+                 the default 0.15 reproduces every trend in a few seconds.\n\
+                 `bench` times each pipeline stage and writes BENCH_pipeline.json."
             );
         }
     }
+}
+
+/// Synthetic upload record for the contended-ingest stage: cumulative
+/// counters growing with `k` so the cleaning stage reconstructs non-empty
+/// bins.
+fn bench_record(device: u32, k: u32) -> Record {
+    let mut counters = CounterSnapshot::default();
+    counters.lte.add(ByteCount::mb(u64::from(k) + 1), ByteCount::kb(u64::from(k) * 50));
+    counters.wifi.add(ByteCount::mb(2 * (u64::from(k) + 1)), ByteCount::kb(u64::from(k) * 80));
+    Record {
+        device: DeviceId(device),
+        os: Os::Android,
+        seq: k,
+        time: SimTime::from_minutes(k * 10),
+        boot_epoch: 0,
+        counters,
+        wifi: WifiState::Associated(AssocInfo {
+            bssid: Bssid::from_u64(u64::from(device % 64) + 1),
+            essid: Essid::new("aterm-bench"),
+            band: Band::Ghz24,
+            channel: Channel(6),
+            rssi: Dbm::new(-57),
+        }),
+        scan: ScanSummary::default(),
+        apps: vec![],
+        geo: CellId::new(3, 4),
+        battery_pct: 80,
+        tethering: false,
+        os_version: OsVersion::new(4, 4),
+    }
+}
+
+/// `mobitrace bench`: wall-clock each pipeline stage (simulate → ingest →
+/// clean → contexts → experiments) and write the machine-readable
+/// `BENCH_pipeline.json`.
+fn run_pipeline_bench(args: &Args) {
+    let out_path = args.json.clone().unwrap_or_else(|| "BENCH_pipeline.json".into());
+    eprintln!("pipeline bench at scale {} (seed {})...", args.scale, args.seed);
+
+    let t = std::time::Instant::now();
+    let set = CampaignSet::simulate(args.scale, args.seed);
+    let simulate_s = t.elapsed().as_secs_f64();
+    eprintln!("  simulate: {simulate_s:.2}s");
+
+    // Contended ingest: 8 producers interleaved across devices, first into
+    // the lock-striped server, then into a single-stripe one (the old
+    // one-global-lock design).
+    const N_DEVICES: u32 = 200;
+    const PER_DEVICE: u32 = 240;
+    const THREADS: usize = 8;
+    let mut chunks: Vec<Vec<bytes::Bytes>> = (0..THREADS).map(|_| Vec::new()).collect();
+    for d in 0..N_DEVICES {
+        let slot = (d as usize) % THREADS;
+        for k in 0..PER_DEVICE {
+            chunks[slot].push(encode_frame(&bench_record(d, k)));
+        }
+    }
+    let n_frames: usize = chunks.iter().map(Vec::len).sum();
+    let timed = |server: &CollectionServer| -> f64 {
+        let t = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in &chunks {
+                scope.spawn(move || {
+                    for f in chunk {
+                        let _ = server.ingest(f);
+                    }
+                });
+            }
+        });
+        t.elapsed().as_secs_f64()
+    };
+    let sharded = CollectionServer::new();
+    let ingest_s = timed(&sharded);
+    let single = CollectionServer::with_shards(1);
+    let ingest_single_shard_s = timed(&single);
+    let speedup = ingest_single_shard_s / ingest_s.max(1e-9);
+    let n_shards = sharded.n_shards();
+    eprintln!(
+        "  ingest ({THREADS} threads, {n_frames} frames): {n_shards} shards {ingest_s:.3}s \
+         vs single lock {ingest_single_shard_s:.3}s ({speedup:.1}x)"
+    );
+
+    let records = sharded.into_records();
+    let devices: Vec<DeviceInfo> = (0..N_DEVICES)
+        .map(|i| DeviceInfo {
+            device: DeviceId(i),
+            os: Os::Android,
+            carrier: Carrier::A,
+            recruited: true,
+            survey: None,
+            truth: None,
+        })
+        .collect();
+    let meta = CampaignMeta {
+        year: Year::Y2015,
+        start: Year::Y2015.campaign_start(),
+        days: 25,
+        seed: args.seed,
+    };
+    let t = std::time::Instant::now();
+    let (ds, _) = clean(meta, devices, &records, CleanOptions::default());
+    let clean_s = t.elapsed().as_secs_f64();
+    eprintln!("  clean: {clean_s:.3}s ({} bins)", ds.bins.len());
+
+    let t = std::time::Instant::now();
+    let ctxs = set.contexts();
+    let context_s = t.elapsed().as_secs_f64();
+    eprintln!("  contexts: {context_s:.2}s");
+
+    let t = std::time::Instant::now();
+    let mut n_reports = 0usize;
+    for id in all_experiment_ids() {
+        if run_experiment(id, &set, &ctxs).is_some() {
+            n_reports += 1;
+        }
+    }
+    let experiments_s = t.elapsed().as_secs_f64();
+    eprintln!("  experiments: {experiments_s:.2}s ({n_reports} reports)");
+
+    let doc = serde_json::json!({
+        "scale": args.scale,
+        "seed": args.seed,
+        "stages": {
+            "simulate_s": simulate_s,
+            "ingest_s": ingest_s,
+            "clean_s": clean_s,
+            "context_s": context_s,
+            "experiments_s": experiments_s,
+        },
+        "ingest": {
+            "frames": n_frames,
+            "threads": THREADS,
+            "shards": n_shards,
+            "sharded_s": ingest_s,
+            "single_shard_s": ingest_single_shard_s,
+            "speedup": speedup,
+        },
+        "experiments": n_reports,
+    });
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
 }

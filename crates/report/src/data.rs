@@ -20,24 +20,25 @@ pub struct CampaignSet {
 impl CampaignSet {
     /// Simulate all campaigns at a population scale (1.0 = the paper's
     /// ~1600–1755 users per year).
+    ///
+    /// The three campaign years are independent (each year re-derives its
+    /// RNG streams from the seed), so they simulate concurrently: 2013 and
+    /// 2014 on spawned threads, 2015 on the calling thread.
     pub fn simulate(scale: f64, seed: u64) -> CampaignSet {
-        let mut datasets = Vec::with_capacity(3);
-        let mut update_2015 = None;
-        for year in Year::ALL {
+        let sim_year = |year: Year| -> Dataset {
             let cfg = CampaignConfig::scaled(year, scale).with_seed(seed);
             let keep_updates =
                 CleanOptions { remove_update_days: false, ..CleanOptions::default() };
-            let (ds, _) = run_campaign_opts(&cfg, keep_updates);
-            if year == Year::Y2015 {
-                let (main, _) = strip_update_days(&ds);
-                update_2015 = Some(ds);
-                datasets.push(main);
-            } else {
-                datasets.push(ds);
-            }
-        }
-        let years: [Dataset; 3] = datasets.try_into().expect("three years");
-        CampaignSet { years, update_2015: update_2015.expect("2015 simulated") }
+            run_campaign_opts(&cfg, keep_updates).0
+        };
+        let (y2013, y2014, with_updates) = std::thread::scope(|scope| {
+            let h13 = scope.spawn(|| sim_year(Year::Y2013));
+            let h14 = scope.spawn(|| sim_year(Year::Y2014));
+            let y2015 = sim_year(Year::Y2015);
+            (h13.join().expect("2013 campaign"), h14.join().expect("2014 campaign"), y2015)
+        });
+        let (main_2015, _) = strip_update_days(&with_updates);
+        CampaignSet { years: [y2013, y2014, main_2015], update_2015: with_updates }
     }
 
     /// Dataset of a year (main/cleaned variant).
@@ -45,13 +46,15 @@ impl CampaignSet {
         &self.years[year.index()]
     }
 
-    /// Analysis contexts for all three years.
+    /// Analysis contexts for all three years, built concurrently (each
+    /// context only reads its own year's dataset).
     pub fn contexts(&self) -> [AnalysisContext<'_>; 3] {
-        [
-            AnalysisContext::new(&self.years[0]),
-            AnalysisContext::new(&self.years[1]),
-            AnalysisContext::new(&self.years[2]),
-        ]
+        std::thread::scope(|scope| {
+            let h0 = scope.spawn(|| AnalysisContext::new(&self.years[0]));
+            let h1 = scope.spawn(|| AnalysisContext::new(&self.years[1]));
+            let c2 = AnalysisContext::new(&self.years[2]);
+            [h0.join().expect("2013 context"), h1.join().expect("2014 context"), c2]
+        })
     }
 
     /// Persist the campaign set to a directory: one JSON dataset per year
@@ -80,8 +83,7 @@ impl CampaignSet {
         let slurp = |name: &str| -> std::io::Result<Dataset> {
             let r = BufReader::new(std::fs::File::open(dir.join(name))?);
             let ds: Dataset = serde_json::from_reader(r).map_err(std::io::Error::other)?;
-            ds.validate()
-                .map_err(|e| std::io::Error::other(format!("{name}: {e}")))?;
+            ds.validate().map_err(|e| std::io::Error::other(format!("{name}: {e}")))?;
             Ok(ds)
         };
         Ok(CampaignSet {

@@ -13,8 +13,8 @@ use mobitrace_model::{Os, Year};
 pub(super) fn fig1() -> ExperimentReport {
     let pts = mobitrace_core::context::national_series();
     let rbb: Vec<(f64, f64)> = pts.iter().map(|p| (p.year, p.rbb_gbps)).collect();
-    let share_2014 = mobitrace_core::context::cellular_gbps(2014.9)
-        / mobitrace_core::context::rbb_gbps(2014.9);
+    let share_2014 =
+        mobitrace_core::context::cellular_gbps(2014.9) / mobitrace_core::context::rbb_gbps(2014.9);
     let mut rendering = String::from("RBB user download (Gbps):\n");
     rendering.push_str(&ascii_chart(&rbb, 50, 10));
     rendering.push_str("\nCellular (3G+LTE) user download (Gbps):\n");
@@ -38,11 +38,7 @@ pub(super) fn fig2(set: &CampaignSet) -> ExperimentReport {
         ("WiFi RX    ", &agg.wifi_rx),
         ("WiFi TX    ", &agg.wifi_tx),
     ] {
-        rendering.push_str(&format!(
-            "{name} peak {:6.2} Mbps  {}\n",
-            s.peak(),
-            sparkline(&s.mbps)
-        ));
+        rendering.push_str(&format!("{name} peak {:6.2} Mbps  {}\n", s.peak(), sparkline(&s.mbps)));
     }
     let wifi_peak_hour = agg.wifi_rx.peak_slot() % 24;
     let cell_peak_hour = agg.cell_rx.peak_slot() % 24;
@@ -68,9 +64,7 @@ pub(super) fn fig3(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     for (y, ctx) in ctxs.iter().enumerate() {
         let rx = daily_volume_cdf(&ctx.days, VolumeKind::AllRx, 0.1);
         let tx = daily_volume_cdf(&ctx.days, VolumeKind::AllTx, 0.1);
-        let med = mobitrace_core::stats::median(
-            &rx.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
-        );
+        let med = mobitrace_core::stats::median(&rx.iter().map(|(v, _)| *v).collect::<Vec<_>>());
         metrics.push(Metric::new(
             format!("{} median daily RX (MB, >0.1MB days)", YEAR_LABELS[y]),
             paper_rx_median[y],
@@ -110,18 +104,16 @@ pub(super) fn fig4(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
             sparkline(&downsample(&cdf.iter().map(|(_, c)| *c).collect::<Vec<_>>(), 40))
         ));
     }
-    let max_day_gb = ctx
-        .days
-        .iter()
-        .map(|d| d.rx_total())
-        .max()
-        .unwrap_or(0) as f64
-        / 1e9;
+    let max_day_gb = ctx.days.iter().map(|d| d.rx_total()).max().unwrap_or(0) as f64 / 1e9;
     ExperimentReport {
         id: "fig4",
         title: "CDFs of daily traffic volume per type (2015)",
         metrics: vec![
-            Metric::new("cellular zero-days share", 0.08, zero_share(&ctx.days, VolumeKind::CellRx)),
+            Metric::new(
+                "cellular zero-days share",
+                0.08,
+                zero_share(&ctx.days, VolumeKind::CellRx),
+            ),
             Metric::new("WiFi zero-days share", 0.20, zero_share(&ctx.days, VolumeKind::WifiRx)),
             Metric::new("top heavy hitter (GB/day)", 11.0, max_day_gb),
         ],
@@ -152,11 +144,7 @@ pub(super) fn fig5(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
         }
         if y == 2 {
             metrics.push(Metric::new("2015 WiFi-intensive share", 0.08, s.wifi_intensive));
-            metrics.push(Metric::new(
-                "2015 mixed above diagonal",
-                0.55,
-                s.mixed_above_diagonal,
-            ));
+            metrics.push(Metric::new("2015 mixed above diagonal", 0.55, s.mixed_above_diagonal));
         }
     }
     // Render a coarse heat map for 2015.
@@ -305,10 +293,9 @@ pub(super) fn fig10(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
     // Paper cell counts are at full population; compare per-user-scaled.
     let users13 = set.year(Year::Y2013).devices.len() as f64;
     let users15 = set.year(Year::Y2015).devices.len() as f64;
-    for (label, year, ctx, users) in [
-        ("2013", Year::Y2013, &ctxs[0], users13),
-        ("2015", Year::Y2015, &ctxs[2], users15),
-    ] {
+    for (label, year, ctx, users) in
+        [("2013", Year::Y2013, &ctxs[0], users13), ("2015", Year::Y2015, &ctxs[2], users15)]
+    {
         let (home, public) = mobitrace_core::apmap::density_maps(set.year(year), &ctx.aps);
         rendering.push_str(&format!(
             "{label}: home map: {} cells (max {} APs); public map: {} cells (max {} APs)\n",
@@ -323,11 +310,7 @@ pub(super) fn fig10(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
         for y in (0..grid.height).rev().step_by(2) {
             let mut line = String::new();
             for x in 0..grid.width {
-                let c = public
-                    .cells
-                    .get(&mobitrace_model::CellId::new(x, y))
-                    .copied()
-                    .unwrap_or(0);
+                let c = public.cells.get(&mobitrace_model::CellId::new(x, y)).copied().unwrap_or(0);
                 line.push(match c {
                     0 => ' ',
                     1..=2 => '.',
@@ -478,10 +461,7 @@ pub(super) fn fig13(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
             let ccdf = d.ccdf(ApClass::Home);
             rendering.push_str("2015 home-spell CCDF (hours, log tail):\n");
             rendering.push_str(&ascii_chart(
-                &ccdf
-                    .iter()
-                    .map(|&(v, c)| (v, c.log10()))
-                    .collect::<Vec<_>>(),
+                &ccdf.iter().map(|&(v, c)| (v, c.log10())).collect::<Vec<_>>(),
                 50,
                 10,
             ));
@@ -528,10 +508,7 @@ pub(super) fn fig15(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
     let r = mobitrace_core::quality::rssi_analysis(set.year(Year::Y2015), &ctxs[2].aps);
     let mut rendering = String::from("2015 max-RSSI PDFs (2.4 GHz):\n");
     let pdf_line = |h: &mobitrace_core::stats::Histogram| {
-        sparkline(&downsample(
-            &h.pdf().iter().map(|(_, d)| *d).collect::<Vec<_>>(),
-            50,
-        ))
+        sparkline(&downsample(&h.pdf().iter().map(|(_, d)| *d).collect::<Vec<_>>(), 50))
     };
     rendering.push_str(&format!("home   {}\n", pdf_line(&r.home)));
     rendering.push_str(&format!("public {}\n", pdf_line(&r.public)));
@@ -578,10 +555,7 @@ pub(super) fn fig17(set: &CampaignSet) -> ExperimentReport {
         d.g24_all.iter().filter(|&&v| v < 10.0).count() as f64 / d.g24_all.len() as f64
     };
     let ccdf_probs = |xs: &[f64]| -> Vec<f64> {
-        mobitrace_core::availability::DetectedPublicAps::ccdf(xs)
-            .iter()
-            .map(|(_, c)| *c)
-            .collect()
+        mobitrace_core::availability::DetectedPublicAps::ccdf(xs).iter().map(|(_, c)| *c).collect()
     };
     let rendering = format!(
         "2015 samples: {} available bins\n2.4GHz all CCDF    {}\n2.4GHz strong CCDF {}\n5GHz all CCDF      {}\n5GHz strong CCDF   {}\n",
@@ -651,10 +625,7 @@ pub(super) fn fig19(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     let a13 = mobitrace_core::cap::cap_analysis(&ctxs[0].days);
     let spark = |xs: &[f64]| {
         sparkline(&downsample(
-            &mobitrace_core::stats::cdf_points(xs)
-                .iter()
-                .map(|(_, c)| *c)
-                .collect::<Vec<_>>(),
+            &mobitrace_core::stats::cdf_points(xs).iter().map(|(_, c)| *c).collect::<Vec<_>>(),
             40,
         ))
     };
@@ -693,7 +664,11 @@ pub(super) fn offload_potential(set: &CampaignSet) -> ExperimentReport {
         title: "§3.5: cellular traffic offloadable to public WiFi (WiFi-available users)",
         metrics: vec![
             Metric::new("offloadable share of cellular traffic", 0.175, o.offloadable_share),
-            Metric::new("devices with stable public-WiFi opportunity", 0.60, o.devices_with_opportunity),
+            Metric::new(
+                "devices with stable public-WiFi opportunity",
+                0.60,
+                o.devices_with_opportunity,
+            ),
         ],
         rendering,
     }
@@ -720,7 +695,11 @@ pub(super) fn implications_report(
         metrics: vec![
             Metric::new("WiFi:cellular median ratio (2015)", 1.4, imp.wifi_to_cell_ratio),
             Metric::new("smartphone share of RBB volume", 0.28, imp.smartphone_share_of_rbb),
-            Metric::new("one smartphone's share of home volume", 0.12, imp.smartphone_share_of_home),
+            Metric::new(
+                "one smartphone's share of home volume",
+                0.12,
+                imp.smartphone_share_of_home,
+            ),
         ],
         rendering,
     }
@@ -791,11 +770,7 @@ pub(super) fn interference_report(
         let p = mobitrace_core::interference::interference_pressure(set.year(*year), &ctxs[y].aps);
         let home = p.get(&C::Home).map(|v| v.overlap_share()).unwrap_or(0.0);
         let public = p.get(&C::Public).map(|v| v.overlap_share()).unwrap_or(0.0);
-        t.row(vec![
-            YEAR_LABELS[y].to_string(),
-            format!("{home:.3}"),
-            format!("{public:.3}"),
-        ]);
+        t.row(vec![YEAR_LABELS[y].to_string(), format!("{home:.3}"), format!("{public:.3}")]);
         series.push((home, public));
     }
     let metrics = vec![

@@ -79,11 +79,41 @@ impl ExperimentReport {
 /// All experiment ids in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-        "offload_potential", "implications", "home_inference",
-        "home_rule_sweep", "carrier_ios", "interference", "light_apps",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "offload_potential",
+        "implications",
+        "home_inference",
+        "home_rule_sweep",
+        "carrier_ios",
+        "interference",
+        "light_apps",
     ]
 }
 
@@ -171,8 +201,8 @@ mod tests {
         let set = CampaignSet::simulate(0.02, 11);
         let ctxs = set.contexts();
         for id in all_experiment_ids() {
-            let report = run_experiment(id, &set, &ctxs)
-                .unwrap_or_else(|| panic!("{id} not in registry"));
+            let report =
+                run_experiment(id, &set, &ctxs).unwrap_or_else(|| panic!("{id} not in registry"));
             assert_eq!(report.id, id);
             assert!(!report.rendering.is_empty(), "{id} rendered nothing");
             let rendered = report.render();

@@ -35,12 +35,7 @@ pub(super) fn table1(set: &CampaignSet) -> ExperimentReport {
             o.n_total as f64,
         ));
     }
-    ExperimentReport {
-        id: "table1",
-        title: "Overview of datasets",
-        metrics,
-        rendering: t.render(),
-    }
+    ExperimentReport { id: "table1", title: "Overview of datasets", metrics, rendering: t.render() }
 }
 
 pub(super) fn table2(set: &CampaignSet) -> ExperimentReport {
@@ -75,10 +70,8 @@ pub(super) fn table2(set: &CampaignSet) -> ExperimentReport {
 }
 
 pub(super) fn table3(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
-    let tables: Vec<_> = ctxs
-        .iter()
-        .map(|c| mobitrace_core::volume::volume_table(&c.days))
-        .collect();
+    let tables: Vec<_> =
+        ctxs.iter().map(|c| mobitrace_core::volume::volume_table(&c.days)).collect();
     let mut t = Table::new(vec!["stat", "2013", "2014", "2015", "AGR"]);
     let rows: [(&str, fn(&mobitrace_core::volume::VolumeTable) -> f64); 6] = [
         ("median All", |v| v.all.median_mb),
@@ -134,10 +127,7 @@ pub(super) fn table4(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Expe
         ("(office)", [166.0 / 1755.0, 168.0 / 1676.0, 166.0 / 1616.0]),
     ];
     let counts: Vec<_> = ctxs.iter().map(|c| c.aps.counts).collect();
-    let users: Vec<f64> = Year::ALL
-        .iter()
-        .map(|y| set.year(*y).devices.len() as f64)
-        .collect();
+    let users: Vec<f64> = Year::ALL.iter().map(|y| set.year(*y).devices.len() as f64).collect();
     let mut metrics = Vec::new();
     for (row, (name, paper)) in paper_per_user.iter().enumerate() {
         let got: Vec<f64> = counts
@@ -175,15 +165,9 @@ pub(super) fn table4(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Expe
 
 pub(super) fn table5(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     let mut t = Table::new(vec!["HPO", "2013 %", "2014 %", "2015 %"]);
-    let breakdowns: Vec<_> = Year::ALL
-        .iter()
-        .zip(ctxs)
-        .map(|(y, c)| hpo_breakdown(set.year(*y), &c.aps))
-        .collect();
-    let totals: Vec<f64> = breakdowns
-        .iter()
-        .map(|b| b.values().sum::<u64>() as f64)
-        .collect();
+    let breakdowns: Vec<_> =
+        Year::ALL.iter().zip(ctxs).map(|(y, c)| hpo_breakdown(set.year(*y), &c.aps)).collect();
+    let totals: Vec<f64> = breakdowns.iter().map(|b| b.values().sum::<u64>() as f64).collect();
     let pct = |b: &std::collections::HashMap<(u8, u8, u8), u64>, total: f64, key: (u8, u8, u8)| {
         b.get(&key).copied().unwrap_or(0) as f64 / total * 100.0
     };
@@ -198,11 +182,8 @@ pub(super) fn table5(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Expe
     ];
     let mut metrics = Vec::new();
     for ((h, p, o), paper) in rows {
-        let got: Vec<f64> = breakdowns
-            .iter()
-            .zip(&totals)
-            .map(|(b, &tot)| pct(b, tot, (h, p, o)))
-            .collect();
+        let got: Vec<f64> =
+            breakdowns.iter().zip(&totals).map(|(b, &tot)| pct(b, tot, (h, p, o))).collect();
         t.row(vec![
             format!("{h}{p}{o}"),
             format!("{:.1}", got[0]),
@@ -257,48 +238,74 @@ fn app_table(
 pub(super) fn table6(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     use mobitrace_model::AppCategory::*;
     // Spot-check the paper's most diagnostic RX shares.
-    let share = |ctx: &AnalysisContext<'_>, table_ctx: TableContext, cat: mobitrace_model::AppCategory| {
+    let share = |ctx: &AnalysisContext<'_>,
+                 table_ctx: TableContext,
+                 cat: mobitrace_model::AppCategory| {
         let b = app_breakdown(ctx, None);
-        b.top_rx(table_ctx, 26)
-            .into_iter()
-            .find(|(c, _)| *c == cat)
-            .map(|(_, p)| p)
-            .unwrap_or(0.0)
+        b.top_rx(table_ctx, 26).into_iter().find(|(c, _)| *c == cat).map(|(_, p)| p).unwrap_or(0.0)
     };
     let metrics = vec![
-        Metric::new("2013 WiFi-public browser RX %", 44.1, share(&ctxs[0], TableContext::WifiPublic, Browser)),
-        Metric::new("2015 WiFi-home video RX %", 25.4, share(&ctxs[2], TableContext::WifiHome, Video)),
-        Metric::new("2015 WiFi-home dload RX %", 11.1, share(&ctxs[2], TableContext::WifiHome, Downloading)),
-        Metric::new("2015 Cell-home browser RX %", 28.3, share(&ctxs[2], TableContext::CellHome, Browser)),
-        Metric::new("2015 WiFi-public video RX %", 19.6, share(&ctxs[2], TableContext::WifiPublic, Video)),
+        Metric::new(
+            "2013 WiFi-public browser RX %",
+            44.1,
+            share(&ctxs[0], TableContext::WifiPublic, Browser),
+        ),
+        Metric::new(
+            "2015 WiFi-home video RX %",
+            25.4,
+            share(&ctxs[2], TableContext::WifiHome, Video),
+        ),
+        Metric::new(
+            "2015 WiFi-home dload RX %",
+            11.1,
+            share(&ctxs[2], TableContext::WifiHome, Downloading),
+        ),
+        Metric::new(
+            "2015 Cell-home browser RX %",
+            28.3,
+            share(&ctxs[2], TableContext::CellHome, Browser),
+        ),
+        Metric::new(
+            "2015 WiFi-public video RX %",
+            19.6,
+            share(&ctxs[2], TableContext::WifiPublic, Video),
+        ),
     ];
     app_table(ctxs, false, "table6", "Top application categories by RX volume", metrics)
 }
 
 pub(super) fn table7(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     use mobitrace_model::AppCategory::*;
-    let share = |ctx: &AnalysisContext<'_>, table_ctx: TableContext, cat: mobitrace_model::AppCategory| {
+    let share = |ctx: &AnalysisContext<'_>,
+                 table_ctx: TableContext,
+                 cat: mobitrace_model::AppCategory| {
         let b = app_breakdown(ctx, None);
-        b.top_tx(table_ctx, 26)
-            .into_iter()
-            .find(|(c, _)| *c == cat)
-            .map(|(_, p)| p)
-            .unwrap_or(0.0)
+        b.top_tx(table_ctx, 26).into_iter().find(|(c, _)| *c == cat).map(|(_, p)| p).unwrap_or(0.0)
     };
     let metrics = vec![
-        Metric::new("2014 WiFi-home prod TX %", 39.5, share(&ctxs[1], TableContext::WifiHome, Productivity)),
-        Metric::new("2015 Cell-home browser TX %", 33.7, share(&ctxs[2], TableContext::CellHome, Browser)),
-        Metric::new("2013 WiFi-home social TX %", 24.8, share(&ctxs[0], TableContext::WifiHome, Social)),
+        Metric::new(
+            "2014 WiFi-home prod TX %",
+            39.5,
+            share(&ctxs[1], TableContext::WifiHome, Productivity),
+        ),
+        Metric::new(
+            "2015 Cell-home browser TX %",
+            33.7,
+            share(&ctxs[2], TableContext::CellHome, Browser),
+        ),
+        Metric::new(
+            "2013 WiFi-home social TX %",
+            24.8,
+            share(&ctxs[0], TableContext::WifiHome, Social),
+        ),
     ];
     app_table(ctxs, true, "table7", "Top application categories by TX volume", metrics)
 }
 
 pub(super) fn table8(set: &CampaignSet) -> ExperimentReport {
     let mut t = Table::new(vec!["AP", "13", "14", "15"]);
-    let tabs: Vec<_> = Year::ALL
-        .iter()
-        .map(|y| mobitrace_core::survey::connected_table(set.year(*y)))
-        .collect();
+    let tabs: Vec<_> =
+        Year::ALL.iter().map(|y| mobitrace_core::survey::connected_table(set.year(*y))).collect();
     let paper_yes = [[70.4, 72.9, 78.2], [31.6, 25.6, 28.0], [44.9, 47.9, 53.6]];
     let mut metrics = Vec::new();
     for (loc, label) in ["home yes", "office yes", "public yes"].iter().enumerate() {
@@ -325,20 +332,14 @@ pub(super) fn table8(set: &CampaignSet) -> ExperimentReport {
 }
 
 pub(super) fn table9(set: &CampaignSet) -> ExperimentReport {
-    let tabs: Vec<_> = Year::ALL
-        .iter()
-        .map(|y| mobitrace_core::survey::reasons_table(set.year(*y)))
-        .collect();
-    let mut t = Table::new(vec![
-        "reason", "home 13/14/15", "office 13/14/15", "public 13/14/15",
-    ]);
+    let tabs: Vec<_> =
+        Year::ALL.iter().map(|y| mobitrace_core::survey::reasons_table(set.year(*y))).collect();
+    let mut t = Table::new(vec!["reason", "home 13/14/15", "office 13/14/15", "public 13/14/15"]);
     for (ri, reason) in SurveyReason::ALL.iter().enumerate() {
         let cell = |loc: usize| {
             (0..3)
                 .map(|y| {
-                    tabs[y].pct[ri][loc]
-                        .map(|v| format!("{v:.0}"))
-                        .unwrap_or_else(|| "NA".into())
+                    tabs[y].pct[ri][loc].map(|v| format!("{v:.0}")).unwrap_or_else(|| "NA".into())
                 })
                 .collect::<Vec<_>>()
                 .join("/")
@@ -371,7 +372,10 @@ pub(super) fn table9(set: &CampaignSet) -> ExperimentReport {
     }
 }
 
-pub(super) fn home_inference(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
+pub(super) fn home_inference(
+    set: &CampaignSet,
+    ctxs: &[AnalysisContext<'_>; 3],
+) -> ExperimentReport {
     let mut t = Table::new(vec!["year", "precision", "recall", "inferred share", "paper share"]);
     let paper_share = [0.66, 0.73, 0.79];
     let mut metrics = Vec::new();
@@ -430,9 +434,7 @@ pub(super) fn light_apps(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     let light_top = b_light.top_rx(TableContext::WifiHome, 5);
     for rank in 0..5 {
         let cell = |v: &Vec<(mobitrace_model::AppCategory, f64)>| {
-            v.get(rank)
-                .map(|(c, p)| format!("{} {:.1}", c.short_label(), p))
-                .unwrap_or_default()
+            v.get(rank).map(|(c, p)| format!("{} {:.1}", c.short_label(), p)).unwrap_or_default()
         };
         t.row(vec![(rank + 1).to_string(), cell(&all_top), cell(&light_top)]);
     }

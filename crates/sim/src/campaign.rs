@@ -4,14 +4,12 @@ use crate::config::CampaignConfig;
 use crate::device::{DeviceSim, SharedWorld};
 use mobitrace_behavior::{Persona, SurveyModel, UpdateModel};
 use mobitrace_cellular::CarrierModel;
-use mobitrace_collector::{clean, CleanOptions, CleanStats, CollectionServer};
 use mobitrace_collector::server::IngestStats;
+use mobitrace_collector::{clean, CleanOptions, CleanStats, CollectionServer};
 use mobitrace_deploy::world::WorldSpec;
 use mobitrace_deploy::{ApId, ApWorld};
 use mobitrace_geo::{DensitySurface, GeoPoint, Grid, PoiSet};
-use mobitrace_model::{
-    CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Year,
-};
+use mobitrace_model::{CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Year};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -37,9 +35,7 @@ pub struct SimSummary {
 
 /// Derive the independent per-device RNG stream.
 fn device_rng(seed: u64, index: u32) -> ChaCha8Rng {
-    ChaCha8Rng::seed_from_u64(
-        seed ^ (u64::from(index) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    )
+    ChaCha8Rng::seed_from_u64(seed ^ (u64::from(index) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Run one campaign and produce the cleaned dataset.
@@ -80,10 +76,8 @@ pub fn run_campaign_opts(
             )
         })
         .collect();
-    let carriers: Vec<Carrier> = personas
-        .iter()
-        .map(|_| CarrierModel::sample_carrier(&mut pop_rng))
-        .collect();
+    let carriers: Vec<Carrier> =
+        personas.iter().map(|_| CarrierModel::sample_carrier(&mut pop_rng)).collect();
     let techs: Vec<CellTech> = personas
         .iter()
         .zip(&carriers)
@@ -91,16 +85,11 @@ pub fn run_campaign_opts(
         .collect();
 
     // World: home APs for owners, one office AP per BYOD user.
-    let participant_homes: Vec<(u32, GeoPoint)> = personas
-        .iter()
-        .filter(|p| p.owns_home_ap)
-        .map(|p| (p.index, p.home))
-        .collect();
+    let participant_homes: Vec<(u32, GeoPoint)> =
+        personas.iter().filter(|p| p.owns_home_ap).map(|p| (p.index, p.home)).collect();
     let byod_users: Vec<&Persona> = personas.iter().filter(|p| p.office_byod).collect();
-    let office_sites: Vec<GeoPoint> = byod_users
-        .iter()
-        .map(|p| p.office.expect("BYOD implies office"))
-        .collect();
+    let office_sites: Vec<GeoPoint> =
+        byod_users.iter().map(|p| p.office.expect("BYOD implies office")).collect();
     let spec = WorldSpec {
         params: config.deploy.clone(),
         participant_homes,
@@ -111,11 +100,8 @@ pub fn run_campaign_opts(
     };
     let mut world_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(2));
     let world = ApWorld::generate(&spec, &mut world_rng);
-    let office_ap_of: std::collections::HashMap<u32, ApId> = byod_users
-        .iter()
-        .zip(&world.office_aps)
-        .map(|(p, &ap)| (p.index, ap))
-        .collect();
+    let office_ap_of: std::collections::HashMap<u32, ApId> =
+        byod_users.iter().zip(&world.office_aps).map(|(p, &ap)| (p.index, ap)).collect();
 
     let update_model = (config.year == Year::Y2015).then(UpdateModel::ios_8_2);
     let shared = SharedWorld {
@@ -126,59 +112,58 @@ pub fn run_campaign_opts(
         config,
     };
 
-    // Per-device simulation. Devices are independent; chunk them across
-    // scoped threads, all streaming into the shared thread-safe server.
+    // Per-device simulation. Devices are independent but far from uniform
+    // in cost (Android heavy-hitters, update-day iPhones), so static
+    // chunking leaves threads idle behind the slowest chunk. Instead the
+    // workers *steal* work: a shared atomic cursor hands out the next
+    // un-simulated device to whichever thread is free. Scheduling cannot
+    // change the output — every device draws from its own RNG stream and
+    // the server's keyed store makes ingest order irrelevant.
     let server = CollectionServer::new();
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4);
+    let n_threads = config.effective_threads().min(personas.len().max(1));
     let mut updated_at: Vec<Option<mobitrace_model::SimTime>> = vec![None; personas.len()];
     let mut truths: Vec<Option<mobitrace_model::GroundTruth>> = vec![None; personas.len()];
     {
-        let chunk = personas.len().div_ceil(n_threads).max(1);
-        let jobs: Vec<(usize, &[Persona])> = personas
-            .chunks(chunk)
-            .enumerate()
-            .map(|(k, c)| (k * chunk, c))
-            .collect();
-        let results: Vec<Vec<(u32, Option<mobitrace_model::SimTime>, mobitrace_model::GroundTruth)>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .into_iter()
-                    .map(|(base, chunk_personas)| {
-                        let shared = &shared;
-                        let server = &server;
-                        let carriers = &carriers;
-                        let techs = &techs;
-                        let office_ap_of = &office_ap_of;
-                        let world = &world;
-                        scope.spawn(move |_| {
-                            let mut out = Vec::with_capacity(chunk_personas.len());
-                            for (off, persona) in chunk_personas.iter().enumerate() {
-                                let idx = base + off;
-                                let mut dev = DeviceSim::new(
-                                    persona.clone(),
-                                    carriers[idx],
-                                    techs[idx],
-                                    world.participant_home_ap.get(&persona.index).copied(),
-                                    office_ap_of.get(&persona.index).copied(),
-                                    shared,
-                                    device_rng(shared.config.seed, persona.index),
-                                );
-                                dev.run(shared, server);
-                                out.push((
-                                    persona.index,
-                                    dev.updated_at,
-                                    dev.ground_truth(shared),
-                                ));
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<
+            Vec<(u32, Option<mobitrace_model::SimTime>, mobitrace_model::GroundTruth)>,
+        > = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let personas = &personas;
+                    let shared = &shared;
+                    let server = &server;
+                    let carriers = &carriers;
+                    let techs = &techs;
+                    let office_ap_of = &office_ap_of;
+                    let world = &world;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if idx >= personas.len() {
+                                break;
                             }
-                            out
-                        })
+                            let persona = &personas[idx];
+                            let mut dev = DeviceSim::new(
+                                persona.clone(),
+                                carriers[idx],
+                                techs[idx],
+                                world.participant_home_ap.get(&persona.index).copied(),
+                                office_ap_of.get(&persona.index).copied(),
+                                shared,
+                                device_rng(shared.config.seed, persona.index),
+                            );
+                            dev.run(shared, server);
+                            out.push((persona.index, dev.updated_at, dev.ground_truth(shared)));
+                        }
+                        out
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("device thread")).collect()
-            })
-            .expect("thread scope");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("device thread")).collect()
+        });
         for chunk in results {
             for (index, up, truth) in chunk {
                 updated_at[index as usize] = up;
@@ -272,6 +257,19 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_does_not_change_output() {
+        // 1 worker vs 8 workers must produce bit-identical datasets: each
+        // device owns an RNG stream and the server keys records by
+        // (device, seq), so the schedule cannot leak into the output.
+        let mut cfg = CampaignConfig::scaled(Year::Y2014, 0.03);
+        cfg.days = 4;
+        cfg.seed = 11;
+        let (a, _) = run_campaign(&cfg.clone().with_threads(1));
+        let (b, _) = run_campaign(&cfg.with_threads(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let (a, _) = tiny(Year::Y2013, 1);
         let (b, _) = tiny(Year::Y2013, 2);
@@ -314,12 +312,10 @@ mod tests {
         let (ds, _) = tiny(Year::Y2013, 6);
         let with_truth = ds.devices.iter().filter(|d| d.truth.is_some()).count();
         assert_eq!(with_truth, ds.devices.len());
-        let with_home = ds
-            .devices
-            .iter()
-            .filter(|d| !d.truth.as_ref().unwrap().home_bssids.is_empty())
-            .count() as f64
-            / ds.devices.len() as f64;
+        let with_home =
+            ds.devices.iter().filter(|d| !d.truth.as_ref().unwrap().home_bssids.is_empty()).count()
+                as f64
+                / ds.devices.len() as f64;
         assert!((0.45..0.9).contains(&with_home), "home-AP share {with_home}");
     }
 

@@ -34,6 +34,11 @@ pub struct CampaignConfig {
     /// Override the per-carrier soft-cap policy for every carrier (what-if
     /// experiments; `None` = each carrier's historical policy).
     pub cap_override: Option<CapPolicy>,
+    /// Device-simulation worker threads. `None` picks the `MOBITRACE_THREADS`
+    /// environment override, falling back to the available parallelism.
+    /// The produced dataset is identical for every thread count (each
+    /// device has its own RNG stream and ingest order is irrelevant).
+    pub n_threads: Option<usize>,
 }
 
 impl CampaignConfig {
@@ -60,6 +65,7 @@ impl CampaignConfig {
             reboot_per_day: 0.015,
             tether_users: 0.025,
             cap_override: None,
+            n_threads: None,
         }
     }
 
@@ -76,6 +82,30 @@ impl CampaignConfig {
     pub fn with_seed(mut self, seed: u64) -> CampaignConfig {
         self.seed = seed;
         self
+    }
+
+    /// Same campaign with an explicit worker-thread count.
+    pub fn with_threads(mut self, n: usize) -> CampaignConfig {
+        self.n_threads = Some(n);
+        self
+    }
+
+    /// The worker-thread count the campaign will actually run with:
+    /// explicit [`n_threads`](Self::n_threads) first, then the
+    /// `MOBITRACE_THREADS` environment variable, then the machine's
+    /// available parallelism (capped at 8).
+    pub fn effective_threads(&self) -> usize {
+        if let Some(n) = self.n_threads {
+            return n.clamp(1, 256);
+        }
+        if let Some(n) = std::env::var("MOBITRACE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n.min(256);
+        }
+        std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
     }
 }
 
@@ -103,6 +133,13 @@ mod tests {
         assert_eq!(c.n_users, 20);
         let c = CampaignConfig::scaled(Year::Y2013, 0.1);
         assert_eq!(c.n_users, 176);
+    }
+
+    #[test]
+    fn explicit_thread_count_wins_and_is_clamped() {
+        assert_eq!(CampaignConfig::for_year(Year::Y2014).with_threads(3).effective_threads(), 3);
+        assert_eq!(CampaignConfig::for_year(Year::Y2014).with_threads(0).effective_threads(), 1);
+        assert!(CampaignConfig::for_year(Year::Y2014).effective_threads() >= 1);
     }
 
     #[test]

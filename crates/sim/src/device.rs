@@ -3,8 +3,9 @@
 
 use crate::config::CampaignConfig;
 use mobitrace_behavior::update::{UpdatePath, UpdatePlan};
-use mobitrace_behavior::{Activity, AppContext, AppMix, DaySchedule, DemandModel, Persona,
-    UpdateModel, WifiAttitude};
+use mobitrace_behavior::{
+    Activity, AppContext, AppMix, DaySchedule, DemandModel, Persona, UpdateModel, WifiAttitude,
+};
 use mobitrace_cellular::{cell_link_rate, CapTracker, CarrierModel};
 use mobitrace_collector::{CollectionServer, DeviceAgent, LossyTransport, Observation};
 use mobitrace_deploy::world::ScanObs;
@@ -12,7 +13,7 @@ use mobitrace_deploy::{ApId, ApWorld, Venue};
 use mobitrace_geo::{GeoPoint, Grid, PoiSet};
 use mobitrace_model::{
     AssocInfo, ByteCount, Carrier, CellTech, DeviceId, GroundTruth, Os, OsVersion, PublicProvider,
-    ScanSummary, SimTime, WifiState, Weekday, BINS_PER_DAY,
+    ScanSummary, SimTime, Weekday, WifiState, BINS_PER_DAY,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -159,8 +160,7 @@ impl DeviceSim {
         };
         let update_decision = update_plan.map(|plan| {
             let model = shared.update.expect("plan implies model");
-            let minute =
-                (f64::from(model.release_day) + plan.decision_delay_days) * 24.0 * 60.0;
+            let minute = (f64::from(model.release_day) + plan.decision_delay_days) * 24.0 * 60.0;
             SimTime::from_minutes(minute as u32)
         });
 
@@ -236,16 +236,8 @@ impl DeviceSim {
     /// Ground truth labels for the dataset.
     pub fn ground_truth(&self, shared: &SharedWorld<'_>) -> GroundTruth {
         let bssids = |ap: Option<ApId>| {
-            ap.map(|id| {
-                shared
-                    .world
-                    .ap(id)
-                    .radios
-                    .iter()
-                    .map(|r| r.bssid)
-                    .collect::<Vec<_>>()
-            })
-            .unwrap_or_default()
+            ap.map(|id| shared.world.ap(id).radios.iter().map(|r| r.bssid).collect::<Vec<_>>())
+                .unwrap_or_default()
         };
         GroundTruth {
             home_bssids: bssids(self.home_ap),
@@ -293,13 +285,8 @@ impl DeviceSim {
         self.carryover_min = sched.carryover_min;
         // Habit, not just hardware: early-campaign users often leave the
         // phone on cellular even at home.
-        self.home_wifi_today = self
-            .rng
-            .gen_bool(shared.config.behavior.home_assoc_daily_p);
-        self.day_jitter = (
-            self.rng.gen_range(-0.06..0.06),
-            self.rng.gen_range(-0.06..0.06),
-        );
+        self.home_wifi_today = self.rng.gen_bool(shared.config.behavior.home_assoc_daily_p);
+        self.day_jitter = (self.rng.gen_range(-0.06..0.06), self.rng.gen_range(-0.06..0.06));
         // Roughly one day in five, today's outing is a visit to a friend.
         self.friend_today = if !self.friend_homes.is_empty() && self.rng.gen_bool(0.2) {
             Some(self.friend_homes[self.rng.gen_range(0..self.friend_homes.len())])
@@ -325,11 +312,7 @@ impl DeviceSim {
             self.agent.reboot();
         }
 
-        let activity = self
-            .schedule
-            .as_ref()
-            .expect("start_day ran")
-            .at_bin(t.bin_of_day());
+        let activity = self.schedule.as_ref().expect("start_day ran").at_bin(t.bin_of_day());
         let pos = self.position(activity);
         // Visits to the same POI land at slightly different spots each day
         // (platform ends, café tables), rotating which of its APs is
@@ -365,10 +348,12 @@ impl DeviceSim {
         let mut tethering = false;
 
         let at_home = matches!(activity, Activity::Asleep | Activity::AtHome);
-        let mut base = self
-            .demand
-            .bin_demand(&mut self.rng, self.daily_demand, &self.bin_weights, t.bin_of_day())
-            + self.demand.background_rx(&mut self.rng);
+        let mut base = self.demand.bin_demand(
+            &mut self.rng,
+            self.daily_demand,
+            &self.bin_weights,
+            t.bin_of_day(),
+        ) + self.demand.background_rx(&mut self.rng);
         if at_home {
             // At home the phone competes with bigger screens, especially
             // in the early campaigns.
@@ -445,24 +430,28 @@ impl DeviceSim {
         }
 
         // Occasional tethering session (removed by cleaning).
-        if self.tethers
-            && !matches!(activity, Activity::Asleep)
-            && self.rng.gen_bool(0.006)
-        {
+        if self.tethers && !matches!(activity, Activity::Asleep) && self.rng.gen_bool(0.006) {
             tethering = true;
             let extra = self.rng.gen_range(2_000_000u64..40_000_000);
             if assoc_obs.is_some() {
                 rx_wifi += extra;
             } else {
-                self.route_cellular(t, extra, extra / 20, &mut rx_3g, &mut tx_3g, &mut rx_lte, &mut tx_lte);
+                self.route_cellular(
+                    t,
+                    extra,
+                    extra / 20,
+                    &mut rx_3g,
+                    &mut tx_3g,
+                    &mut rx_lte,
+                    &mut tx_lte,
+                );
             }
         }
 
         // Meter cellular downlink for the cap.
         self.cap.record(t, ByteCount::bytes(rx_3g + rx_lte));
 
-        let charging = matches!(activity, Activity::Asleep)
-            || (at_home && self.rng.gen_bool(0.3));
+        let charging = matches!(activity, Activity::Asleep) || (at_home && self.rng.gen_bool(0.3));
 
         let obs = Observation {
             time: t,
@@ -574,7 +563,10 @@ impl DeviceSim {
             // ISP maintenance windows), producing the post-2am dip of
             // Fig. 6b without starving the 22:00–06:00 home-inference
             // window.
-            if self.current_assoc.is_some() && t.hour() >= 1 && t.hour() < 7 && self.rng.gen_bool(0.04)
+            if self.current_assoc.is_some()
+                && t.hour() >= 1
+                && t.hour() < 7
+                && self.rng.gen_bool(0.04)
             {
                 self.night_dropped = true;
                 self.current_assoc = None;
@@ -624,8 +616,7 @@ impl DeviceSim {
                     shared.world.ap(obs.ap).venue,
                     Venue::Public(_) | Venue::Shop | Venue::Office
                 );
-            if (!self.is_known(shared, obs.ap) && !seek_joinable) || obs.rssi.as_f64() < JOIN_RSSI
-            {
+            if (!self.is_known(shared, obs.ap) && !seek_joinable) || obs.rssi.as_f64() < JOIN_RSSI {
                 continue;
             }
             let mut score = obs.rssi.as_f64()

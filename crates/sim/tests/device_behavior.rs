@@ -7,8 +7,8 @@ use mobitrace_deploy::world::WorldSpec;
 use mobitrace_deploy::{ApWorld, DeployParams};
 use mobitrace_geo::{CommutePath, DensitySurface, GeoPoint, Grid, PoiSet};
 use mobitrace_model::{
-    CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Occupation, Os,
-    WifiBinState, Year,
+    CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Occupation, Os, WifiBinState,
+    Year,
 };
 use mobitrace_sim::device::{DeviceSim, SharedWorld};
 use mobitrace_sim::CampaignConfig;
@@ -57,13 +57,8 @@ fn run_device(p: Persona, days: u32, seed: u64) -> Dataset {
     };
     let world = ApWorld::generate(&spec, &mut ChaCha8Rng::seed_from_u64(seed + 2));
     let _ = DensitySurface::public(); // exercise the public constructor path
-    let shared = SharedWorld {
-        world: &world,
-        grid: &grid,
-        pois: &pois,
-        update: None,
-        config: &cfg,
-    };
+    let shared =
+        SharedWorld { world: &world, grid: &grid, pois: &pois, update: None, config: &cfg };
     let server = CollectionServer::new();
     let home_ap = world.participant_home_ap.get(&0).copied();
     let mut dev = DeviceSim::new(
@@ -77,12 +72,7 @@ fn run_device(p: Persona, days: u32, seed: u64) -> Dataset {
     );
     dev.run(&shared, &server);
     let records = server.into_records();
-    let meta = CampaignMeta {
-        year: Year::Y2014,
-        start: Year::Y2014.campaign_start(),
-        days,
-        seed,
-    };
+    let meta = CampaignMeta { year: Year::Y2014, start: Year::Y2014.campaign_start(), days, seed };
     let devices = vec![DeviceInfo {
         device: DeviceId(0),
         os: Os::Android,
@@ -165,10 +155,7 @@ fn always_on_user_associates_at_home_most_evenings() {
         }
     }
     // home_assoc_daily_p for 2014 is 0.75: expect most but not all.
-    assert!(
-        (3..=8).contains(&evenings_assoc),
-        "{evenings_assoc}/8 evenings associated"
-    );
+    assert!((3..=8).contains(&evenings_assoc), "{evenings_assoc}/8 evenings associated");
 }
 
 #[test]

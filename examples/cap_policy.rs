@@ -35,8 +35,7 @@ fn main() {
         let (ds, _) = run_campaign(&cfg);
         let days = user_days(&ds);
         let a = cap_analysis(&days);
-        let cell_mean_mb =
-            mean(&days.iter().map(|d| d.rx_cell() as f64 / 1e6).collect::<Vec<_>>());
+        let cell_mean_mb = mean(&days.iter().map(|d| d.rx_cell() as f64 / 1e6).collect::<Vec<_>>());
         println!("{label}:");
         println!(
             "  potentially-capped users: {:.1}%   mean cellular RX {:.1} MB/day",

@@ -45,10 +45,7 @@ fn main() {
     println!("  wifi: median {:6.1} MB   mean {:6.1} MB", t.wifi.median_mb, t.wifi.mean_mb);
 
     let ratio = wifi_traffic_ratio(&ctx, ClassFilter::All);
-    println!(
-        "\nmean WiFi-traffic ratio: {:.2} (paper 2015: 0.71)",
-        ratio.mean
-    );
+    println!("\nmean WiFi-traffic ratio: {:.2} (paper 2015: 0.71)", ratio.mean);
 
     let counts = &ctx.aps.counts;
     println!(

@@ -26,10 +26,8 @@ fn paper_trends_hold_end_to_end() {
     assert!(shares[2] > 0.55 && shares[2] < 0.8, "2015 share {:.2}", shares[2]);
 
     // (2) Median daily volumes grow every year (Table 3 trend).
-    let medians: Vec<f64> = ctxs
-        .iter()
-        .map(|c| mobitrace_core::volume::volume_table(&c.days).all.median_mb)
-        .collect();
+    let medians: Vec<f64> =
+        ctxs.iter().map(|c| mobitrace_core::volume::volume_table(&c.days).all.median_mb).collect();
     assert!(medians[0] < medians[1] && medians[1] < medians[2], "{medians:?}");
     // WiFi median overtakes cellular by 2015 (finding #2 of the paper).
     let t15 = mobitrace_core::volume::volume_table(&ctxs[2].days);
@@ -46,8 +44,10 @@ fn paper_trends_hold_end_to_end() {
 
     // (4) Heavy hitters offload more than light users, in every year.
     for ctx in &ctxs {
-        let heavy = wifi_traffic_ratio(ctx, ClassFilter::Only(mobitrace_core::daily::TrafficClass::Heavy));
-        let light = wifi_traffic_ratio(ctx, ClassFilter::Only(mobitrace_core::daily::TrafficClass::Light));
+        let heavy =
+            wifi_traffic_ratio(ctx, ClassFilter::Only(mobitrace_core::daily::TrafficClass::Heavy));
+        let light =
+            wifi_traffic_ratio(ctx, ClassFilter::Only(mobitrace_core::daily::TrafficClass::Light));
         assert!(heavy.mean > light.mean, "heavy {} vs light {}", heavy.mean, light.mean);
     }
 

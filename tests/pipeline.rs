@@ -74,8 +74,7 @@ fn update_day_stripping_matches_inline_cleaning() {
     for b in &stripped.bins {
         if let Some(&p) = prev.get(&b.device) {
             assert!(
-                !(p < OsVersion::IOS_8_2 && b.os_version >= OsVersion::IOS_8_2)
-                    || b.time.day() > 0,
+                !(p < OsVersion::IOS_8_2 && b.os_version >= OsVersion::IOS_8_2) || b.time.day() > 0,
                 "transition bin should have been removed"
             );
         }

@@ -90,8 +90,6 @@ fn bench_contended_ingest(c: &mut Criterion) {
             })
             .collect()
     };
-    // `bytes::Bytes` is not a direct dependency of the bench crate, so the
-    // frame type stays inferred.
     let run = |server: &CollectionServer, chunks: &[Vec<_>]| {
         std::thread::scope(|scope| {
             for chunk in chunks {
@@ -123,6 +121,97 @@ fn bench_contended_ingest(c: &mut Criterion) {
             black_box(run(&server, &chunks))
         })
     });
+    group.finish();
+}
+
+/// Batch framing vs per-record allocation: the agent's upload queue and
+/// the server's stream ingest ride these paths.
+fn bench_codec_batch(c: &mut Criterion) {
+    use bytes::BytesMut;
+    use mobitrace_collector::{decode_batch_into, encode_batch};
+    let records: Vec<Record> = (0..1000u32).map(sample_record).collect();
+    let mut stream_buf = BytesMut::new();
+    encode_batch(&records, &mut stream_buf);
+    let stream = stream_buf.freeze();
+    let mut group = c.benchmark_group("codec_batch");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("encode_1000_standalone", |b| {
+        b.iter(|| {
+            let frames: Vec<_> = records.iter().map(encode_frame).collect();
+            black_box(frames)
+        })
+    });
+    group.bench_function("encode_1000_batched", |b| {
+        let mut buf = BytesMut::new();
+        b.iter(|| {
+            buf.clear();
+            encode_batch(&records, &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("decode_1000_stream", |b| {
+        let mut out = Vec::with_capacity(records.len());
+        b.iter(|| {
+            out.clear();
+            let mut s = stream.clone();
+            decode_batch_into(&mut s, &mut out).expect("valid stream");
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+/// The SoA-vs-AoS ablation the columnar layout exists for: the counter
+/// aggregation and per-app CSR walks every hot analysis pass reduces to,
+/// over `DatasetColumns` and over the same `Dataset::bins` rows.
+fn bench_columns_vs_rows(c: &mut Criterion) {
+    let set = bench_set();
+    let ds = set.year(Year::Y2015);
+    let cols = DatasetColumns::build(ds);
+    let mut group = c.benchmark_group("columns_vs_rows");
+    group.throughput(Throughput::Elements(ds.bins.len() as u64));
+    group.bench_function("counter_sum_rows", |b| {
+        b.iter(|| {
+            let mut wifi = 0u64;
+            let mut cell = 0u64;
+            for bin in &ds.bins {
+                wifi += bin.rx_wifi + bin.tx_wifi;
+                cell += bin.rx_cell() + bin.tx_cell();
+            }
+            black_box((wifi, cell))
+        })
+    });
+    group.bench_function("counter_sum_cols", |b| {
+        b.iter(|| {
+            let wifi = cols.rx_wifi.iter().sum::<u64>() + cols.tx_wifi.iter().sum::<u64>();
+            let cell = cols.rx_3g.iter().sum::<u64>()
+                + cols.tx_3g.iter().sum::<u64>()
+                + cols.rx_lte.iter().sum::<u64>()
+                + cols.tx_lte.iter().sum::<u64>();
+            black_box((wifi, cell))
+        })
+    });
+    group.bench_function("app_scan_rows", |b| {
+        b.iter(|| {
+            let mut per_cat = [0u64; AppCategory::ALL.len()];
+            for bin in &ds.bins {
+                for app in &bin.apps {
+                    per_cat[app.category.index()] += app.rx_bytes + app.tx_bytes;
+                }
+            }
+            black_box(per_cat)
+        })
+    });
+    group.bench_function("app_scan_cols", |b| {
+        b.iter(|| {
+            let mut per_cat = [0u64; AppCategory::ALL.len()];
+            for app in &cols.apps {
+                per_cat[app.category.index()] += app.rx_bytes + app.tx_bytes;
+            }
+            black_box(per_cat)
+        })
+    });
+    group.bench_function("build_columns", |b| b.iter(|| black_box(DatasetColumns::build(ds))));
     group.finish();
 }
 
@@ -221,6 +310,8 @@ fn bench_simulation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_codec,
+    bench_codec_batch,
+    bench_columns_vs_rows,
     bench_server_ingest,
     bench_contended_ingest,
     bench_world,

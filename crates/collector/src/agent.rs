@@ -7,9 +7,9 @@
 //! caches the data and sends it later" (§2) — implemented here as a FIFO of
 //! encoded frames retried on every subsequent tick.
 
-use crate::codec::encode_frame;
+use crate::codec::encode_frame_into;
 use crate::transport::LossyTransport;
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use mobitrace_model::{
     AppBin, AppCategory, ByteCount, CellId, CounterSnapshot, DeviceId, Os, OsVersion, Record,
     ScanSummary, SimTime, TrafficCounters, WifiState,
@@ -61,6 +61,9 @@ pub struct DeviceAgent {
     app_counters: Vec<TrafficCounters>,
     battery_pct: f64,
     queue: VecDeque<Bytes>,
+    /// Encode scratch: frames are encoded into this buffer and split off,
+    /// so one block allocation serves many records instead of one each.
+    scratch: BytesMut,
     /// Records produced (for observability).
     pub records_made: u64,
     /// Upload attempts that failed and were re-queued.
@@ -80,6 +83,7 @@ impl DeviceAgent {
             app_counters: vec![TrafficCounters::default(); AppCategory::ALL.len()],
             battery_pct: 90.0,
             queue: VecDeque::new(),
+            scratch: BytesMut::new(),
             records_made: 0,
             retries: 0,
         }
@@ -152,7 +156,14 @@ impl DeviceAgent {
         };
         self.seq += 1;
         self.records_made += 1;
-        self.queue.push_back(encode_frame(&record));
+        // Top the scratch block up in 4 KiB steps (~16 frames each); the
+        // split-off frame keeps a refcounted view of the block, so frames
+        // stay cheap to clone into the transport's in-flight heap.
+        if self.scratch.capacity() < 256 {
+            self.scratch.reserve(4096);
+        }
+        encode_frame_into(&record, &mut self.scratch);
+        self.queue.push_back(self.scratch.split().freeze());
     }
 
     fn update_battery(&mut self, obs: &Observation) {

@@ -144,33 +144,31 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Encode one record into a framed byte buffer.
-pub fn encode_frame(r: &Record) -> Bytes {
-    let mut payload = BytesMut::with_capacity(192);
-    put_varint(&mut payload, u64::from(r.device.0));
+fn encode_payload(r: &Record, payload: &mut BytesMut) {
+    put_varint(payload, u64::from(r.device.0));
     payload.put_u8(match r.os {
         Os::Android => 0,
         Os::Ios => 1,
     });
-    put_varint(&mut payload, u64::from(r.seq));
-    put_varint(&mut payload, u64::from(r.time.minute));
-    put_varint(&mut payload, u64::from(r.boot_epoch));
-    put_counters(&mut payload, &r.counters.cell3g);
-    put_counters(&mut payload, &r.counters.lte);
-    put_counters(&mut payload, &r.counters.wifi);
+    put_varint(payload, u64::from(r.seq));
+    put_varint(payload, u64::from(r.time.minute));
+    put_varint(payload, u64::from(r.boot_epoch));
+    put_counters(payload, &r.counters.cell3g);
+    put_counters(payload, &r.counters.lte);
+    put_counters(payload, &r.counters.wifi);
     match &r.wifi {
         WifiState::Off => payload.put_u8(0),
         WifiState::OnUnassociated => payload.put_u8(1),
         WifiState::Associated(a) => {
             payload.put_u8(2);
             payload.put_slice(&a.bssid.0);
-            put_string(&mut payload, a.essid.as_str());
+            put_string(payload, a.essid.as_str());
             payload.put_u8(match a.band {
                 Band::Ghz24 => 0,
                 Band::Ghz5 => 1,
             });
             payload.put_u8(a.channel.0);
-            put_varint(&mut payload, zigzag(i64::from((a.rssi.as_f64() * 10.0) as i32)));
+            put_varint(payload, zigzag(i64::from((a.rssi.as_f64() * 10.0) as i32)));
         }
     }
     for n in [
@@ -183,32 +181,91 @@ pub fn encode_frame(r: &Record) -> Bytes {
         r.scan.n5_public_all,
         r.scan.n5_public_strong,
     ] {
-        put_varint(&mut payload, u64::from(n));
+        put_varint(payload, u64::from(n));
     }
-    put_varint(&mut payload, r.apps.len() as u64);
+    put_varint(payload, r.apps.len() as u64);
     for app in &r.apps {
         payload.put_u8(app.category.index() as u8);
-        put_counters(&mut payload, &app.counters);
+        put_counters(payload, &app.counters);
     }
-    put_varint(&mut payload, zigzag(i64::from(r.geo.x)));
-    put_varint(&mut payload, zigzag(i64::from(r.geo.y)));
+    put_varint(payload, zigzag(i64::from(r.geo.x)));
+    put_varint(payload, zigzag(i64::from(r.geo.y)));
     payload.put_u8(r.battery_pct);
     payload.put_u8(u8::from(r.tethering));
     payload.put_u8(r.os_version.major);
     payload.put_u8(r.os_version.minor);
+}
 
-    let mut frame = BytesMut::with_capacity(payload.len() + 16);
-    frame.put_slice(&MAGIC);
-    frame.put_u8(VERSION);
-    put_varint(&mut frame, payload.len() as u64);
-    frame.put_slice(&payload);
-    frame.put_u32(crc32(&payload));
-    frame.freeze()
+/// Append one framed record to `out`, reusing the buffer's spare capacity.
+///
+/// The payload is encoded straight into the tail of `out` and then shifted
+/// right to make room for the (varint-sized) header — a sub-200-byte
+/// `memmove` instead of the per-record buffer allocation the standalone
+/// [`encode_frame`] pays. Callers that frame many records (the agent's
+/// upload queue, batch benchmarks) keep one scratch `BytesMut` alive and
+/// carve frames out of it with `split().freeze()`.
+pub fn encode_frame_into(r: &Record, out: &mut BytesMut) {
+    let mark = out.len();
+    encode_payload(r, out);
+    let payload_len = out.len() - mark;
+    let crc = crc32(&out[mark..]);
+    // Header: magic (4) + version (1) + payload-length varint (≤5 for any
+    // sane payload; 12 covers the theoretical maximum comfortably).
+    let mut hdr = [0u8; 12];
+    hdr[..4].copy_from_slice(&MAGIC);
+    hdr[4] = VERSION;
+    let mut hdr_len = 5;
+    let mut v = payload_len as u64;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            hdr[hdr_len] = byte;
+            hdr_len += 1;
+            break;
+        }
+        hdr[hdr_len] = byte | 0x80;
+        hdr_len += 1;
+    }
+    out.resize(mark + hdr_len + payload_len, 0);
+    out.copy_within(mark..mark + payload_len, mark + hdr_len);
+    out[mark..mark + hdr_len].copy_from_slice(&hdr[..hdr_len]);
+    out.put_u32(crc);
+}
+
+/// Encode one record into a framed byte buffer.
+pub fn encode_frame(r: &Record) -> Bytes {
+    let mut out = BytesMut::with_capacity(208);
+    encode_frame_into(r, &mut out);
+    out.freeze()
+}
+
+/// Encode many records back-to-back into `out`, returning the number of
+/// frames appended. The concatenation decodes with [`decode_batch_into`]
+/// (or frame-at-a-time with [`decode_frame_from`]).
+pub fn encode_batch<'a>(
+    records: impl IntoIterator<Item = &'a Record>,
+    out: &mut BytesMut,
+) -> usize {
+    let mut n = 0;
+    for r in records {
+        encode_frame_into(r, out);
+        n += 1;
+    }
+    n
 }
 
 /// Decode one framed record.
 pub fn decode_frame(frame: &Bytes) -> Result<Record, CodecError> {
-    let mut buf = frame.clone();
+    decode_frame_from(&mut frame.clone())
+}
+
+/// Decode one frame from the front of `buf`, consuming exactly that frame
+/// and leaving any following bytes in place — the streaming primitive for
+/// back-to-back frame concatenations ([`encode_batch`] output). On error
+/// `buf` is left partially consumed; the stream cannot be resynchronised
+/// past a bad frame because frame lengths live inside the frames.
+pub fn decode_frame_from(buf: &mut Bytes) -> Result<Record, CodecError> {
     if buf.remaining() < 5 {
         return Err(CodecError::Truncated);
     }
@@ -221,7 +278,7 @@ pub fn decode_frame(frame: &Bytes) -> Result<Record, CodecError> {
     if version != VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    let len = get_varint(&mut buf)? as usize;
+    let len = get_varint(buf)? as usize;
     if buf.remaining() < len + 4 {
         return Err(CodecError::Truncated);
     }
@@ -230,7 +287,23 @@ pub fn decode_frame(frame: &Bytes) -> Result<Record, CodecError> {
     if crc != crc32(&payload) {
         return Err(CodecError::BadChecksum);
     }
+    parse_payload(payload)
+}
 
+/// Decode a concatenation of frames, appending the records to `out`
+/// (reusing its capacity across batches). Returns the number of records
+/// appended, or the first error — `out` then still holds every record
+/// decoded before the bad frame, and the rest of the stream is lost.
+pub fn decode_batch_into(buf: &mut Bytes, out: &mut Vec<Record>) -> Result<usize, CodecError> {
+    let mut n = 0;
+    while buf.has_remaining() {
+        out.push(decode_frame_from(buf)?);
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn parse_payload(payload: Bytes) -> Result<Record, CodecError> {
     let mut p = payload;
     let device = DeviceId(get_varint(&mut p)? as u32);
     let os = match p_get_u8(&mut p)? {
@@ -425,6 +498,65 @@ mod tests {
             let raw = Bytes::copy_from_slice(&frame[..cut]);
             assert!(decode_frame(&raw).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn encode_into_matches_standalone() {
+        // Appending to a dirty, non-empty buffer must produce the same
+        // bytes as the allocating encoder, at the append position.
+        let r = sample_record(9);
+        let standalone = encode_frame(&r);
+        let mut out = BytesMut::new();
+        out.put_slice(b"prefix");
+        encode_frame_into(&r, &mut out);
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(&out[6..], &standalone[..]);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let records: Vec<Record> = (0..50).map(sample_record).collect();
+        let mut out = BytesMut::new();
+        assert_eq!(encode_batch(&records, &mut out), 50);
+        let mut stream = out.freeze();
+        let mut back = Vec::new();
+        assert_eq!(decode_batch_into(&mut stream, &mut back), Ok(50));
+        assert!(!stream.has_remaining());
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn frame_from_leaves_remainder() {
+        let a = sample_record(1);
+        let b = sample_record(2);
+        let mut out = BytesMut::new();
+        encode_frame_into(&a, &mut out);
+        let first_len = out.len();
+        encode_frame_into(&b, &mut out);
+        let mut stream = out.freeze();
+        assert_eq!(decode_frame_from(&mut stream).unwrap(), a);
+        assert_eq!(stream.remaining(), first_len, "second frame intact");
+        assert_eq!(decode_frame_from(&mut stream).unwrap(), b);
+        assert!(!stream.has_remaining());
+    }
+
+    #[test]
+    fn batch_stops_at_corrupt_frame() {
+        let records: Vec<Record> = (0..5).map(sample_record).collect();
+        let mut out = BytesMut::new();
+        let mut third_starts = 0;
+        for (i, r) in records.iter().enumerate() {
+            if i == 2 {
+                third_starts = out.len();
+            }
+            encode_frame_into(r, &mut out);
+        }
+        let mut raw = out.to_vec();
+        raw[third_starts + 10] ^= 0x20; // corrupt inside frame 2's payload
+        let mut stream = Bytes::from(raw);
+        let mut back = Vec::new();
+        assert!(decode_batch_into(&mut stream, &mut back).is_err());
+        assert_eq!(back[..], records[..2], "records before the bad frame survive");
     }
 
     #[test]

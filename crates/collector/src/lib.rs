@@ -27,6 +27,9 @@ pub mod transport;
 
 pub use agent::{DeviceAgent, Observation};
 pub use clean::{clean, strip_update_days, CleanOptions, CleanStats};
-pub use codec::{decode_frame, encode_frame, CodecError};
+pub use codec::{
+    decode_batch_into, decode_frame, decode_frame_from, encode_batch, encode_frame,
+    encode_frame_into, CodecError,
+};
 pub use server::CollectionServer;
 pub use transport::{FaultPlan, LossyTransport};

@@ -16,7 +16,7 @@
 //! [`into_records`](CollectionServer::into_records) always produces the
 //! same (device, time)-sorted output.
 
-use crate::codec::{decode_frame, CodecError};
+use crate::codec::{decode_batch_into, decode_frame, CodecError};
 use bytes::Bytes;
 use mobitrace_model::{DeviceId, Record};
 use parking_lot::RwLock;
@@ -125,17 +125,13 @@ impl CollectionServer {
     /// and each touched shard is locked once for the whole batch. Returns
     /// the number of newly stored records.
     pub fn ingest_batch(&self, frames: impl IntoIterator<Item = Bytes>) -> usize {
-        let n_shards = self.shards.len();
-        let mut by_shard: Vec<Vec<Record>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut records = Vec::new();
         let mut n_frames = 0u64;
         let mut n_rejected = 0u64;
         for frame in frames {
             n_frames += 1;
             match decode_frame(&frame) {
-                Ok(record) => {
-                    let h = u64::from(record.device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-                    by_shard[(h & self.shard_mask) as usize].push(record);
-                }
+                Ok(record) => records.push(record),
                 Err(_) => n_rejected += 1,
             }
         }
@@ -144,6 +140,35 @@ impl CollectionServer {
         }
         if n_rejected > 0 {
             self.rejected.fetch_add(n_rejected, Ordering::Relaxed);
+        }
+        self.store_batch(records)
+    }
+
+    /// Ingest a contiguous concatenation of frames (one upload buffer of
+    /// back-to-back frames, as produced by
+    /// [`encode_batch`](crate::codec::encode_batch)) — decoded in one
+    /// streaming pass with no per-frame slicing. A bad frame loses the rest
+    /// of the stream (frame lengths live inside the frames) and counts as
+    /// one rejection; everything decoded before it is stored. Returns the
+    /// number of newly stored records.
+    pub fn ingest_stream(&self, mut stream: Bytes) -> usize {
+        let mut records = Vec::new();
+        let failed = decode_batch_into(&mut stream, &mut records).is_err();
+        self.frames.fetch_add(records.len() as u64 + u64::from(failed), Ordering::Relaxed);
+        if failed {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.store_batch(records)
+    }
+
+    /// Store decoded records grouped by shard, taking each touched shard
+    /// lock once. Returns the number of newly stored records.
+    fn store_batch(&self, records: Vec<Record>) -> usize {
+        let n_shards = self.shards.len();
+        let mut by_shard: Vec<Vec<Record>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for record in records {
+            let h = u64::from(record.device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            by_shard[(h & self.shard_mask) as usize].push(record);
         }
         let mut stored = 0usize;
         let mut n_duplicates = 0u64;
@@ -343,6 +368,47 @@ mod tests {
         assert_eq!(stored, 9 * 11);
         assert_eq!(batched.stats(), one_by_one.stats());
         assert_eq!(batched.into_records(), one_by_one.into_records());
+    }
+
+    /// One contiguous upload buffer must store the same records as the
+    /// same frames ingested one at a time.
+    #[test]
+    fn stream_matches_individual() {
+        use crate::codec::encode_frame_into;
+        let mut records = Vec::new();
+        for d in 0..7u32 {
+            for s in 0..13u32 {
+                records.push(record(d, s));
+            }
+        }
+        let one_by_one = CollectionServer::new();
+        for r in &records {
+            one_by_one.ingest(&encode_frame(r)).unwrap();
+        }
+        let mut buf = bytes::BytesMut::new();
+        for r in &records {
+            encode_frame_into(r, &mut buf);
+        }
+        let streamed = CollectionServer::new();
+        assert_eq!(streamed.ingest_stream(buf.freeze()), records.len());
+        assert_eq!(streamed.stats(), one_by_one.stats());
+        assert_eq!(streamed.into_records(), one_by_one.into_records());
+    }
+
+    /// A corrupt frame mid-stream keeps the prefix and counts a rejection.
+    #[test]
+    fn stream_corruption_keeps_prefix() {
+        use crate::codec::encode_frame_into;
+        let mut buf = bytes::BytesMut::new();
+        encode_frame_into(&record(0, 0), &mut buf);
+        encode_frame_into(&record(0, 1), &mut buf);
+        let cut = buf.len();
+        encode_frame_into(&record(0, 2), &mut buf);
+        let mut raw = buf.to_vec();
+        raw[cut + 8] ^= 0x10;
+        let server = CollectionServer::new();
+        assert_eq!(server.ingest_stream(Bytes::from(raw)), 2);
+        assert_eq!(server.stats(), IngestStats { frames: 3, rejected: 1, duplicates: 0 });
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! evaluation the original study could not perform.
 
 use crate::daily::TrafficClass;
-use mobitrace_model::{is_public_essid, ApRef, Dataset, DeviceId, Weekday};
+use mobitrace_model::{is_public_essid, ApRef, Dataset, DatasetColumns, DeviceId, SimTime, Weekday};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -83,8 +83,24 @@ impl ApClassification {
     }
 }
 
-/// Run the classifier over a dataset.
+/// Run the classifier over a dataset (row scan; the reference
+/// implementation for [`classify_cols`]).
 pub fn classify(ds: &Dataset) -> ApClassification {
+    classify_impl(ds, ds.bins.iter().map(|b| (b.device, b.time, b.wifi.assoc().map(|a| a.ap))))
+}
+
+/// Columnar variant of [`classify`]: identical output, but streams the
+/// device/time/association columns instead of the row records. The shared
+/// core is generic over the scan, so both entry points monomorphize the
+/// same logic.
+pub fn classify_cols(ds: &Dataset, cols: &DatasetColumns) -> ApClassification {
+    classify_impl(ds, (0..cols.len()).map(|i| (cols.device[i], cols.time[i], cols.assoc_ap_of(i))))
+}
+
+fn classify_impl(
+    ds: &Dataset,
+    bins: impl Iterator<Item = (DeviceId, SimTime, Option<ApRef>)>,
+) -> ApClassification {
     let n_aps = ds.aps.len();
     // Per-pair usage tallies.
     let mut total_bins = vec![0u64; n_aps];
@@ -108,27 +124,26 @@ pub fn classify(ds: &Dataset) -> ApClassification {
             night_bins.clear();
         };
 
-    for b in &ds.bins {
-        if current_device != Some(b.device) {
+    for (device, time, assoc) in bins {
+        if current_device != Some(device) {
             flush_device(current_device, &mut night_bins);
-            current_device = Some(b.device);
+            current_device = Some(device);
         }
-        let Some(assoc) = b.wifi.assoc() else {
+        let Some(ap) = assoc else {
             continue;
         };
-        let ap = assoc.ap;
         total_bins[ap.index()] += 1;
-        let hour = b.time.hour();
-        let weekday: Weekday = b.time.weekday(ds.meta.start);
+        let hour = time.hour();
+        let weekday: Weekday = time.weekday(ds.meta.start);
         if (11..17).contains(&hour) && !weekday.is_weekend() {
             office_window_bins[ap.index()] += 1;
         }
         // Night window: 22:00–24:00 belongs to tonight; 00:00–06:00 to
         // yesterday's night.
         let night_day = if hour >= 22 {
-            Some(b.time.day())
+            Some(time.day())
         } else if hour < 6 {
-            b.time.day().checked_sub(1)
+            time.day().checked_sub(1)
         } else {
             None
         };
@@ -537,6 +552,19 @@ mod tests {
         assert_eq!(hpo.get(&(1, 1, 0)), Some(&1));
         // Days 1/2: home only (night spillover into day 2).
         assert!(hpo.get(&(1, 0, 0)).copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn cols_variant_matches_rows() {
+        let mut b = Builder::new(2, 5);
+        let home = b.ap("aterm-aabbcc");
+        let public = b.ap("0000carrier-a");
+        full_night(&mut b, 0, 0, home);
+        full_night(&mut b, 0, 2, home);
+        b.assoc(1, 0, 70, public);
+        b.assoc(1, 0, 71, public);
+        let ds = b.finish();
+        assert_eq!(classify(&ds), classify_cols(&ds, &DatasetColumns::build(&ds)));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! much of its cellular traffic it could therefore have offloaded.
 
 use crate::stats::ccdf_points;
-use mobitrace_model::{Dataset, DeviceId, WifiBinState};
+use mobitrace_model::{Dataset, DatasetColumns, DeviceId, WifiBinState, WifiTag};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -40,8 +40,29 @@ impl DetectedPublicAps {
 }
 
 /// Collect Fig. 17's samples (WiFi-available bins of Android devices —
-/// only Android reports scans).
-pub fn detected_public_aps(ds: &Dataset) -> DetectedPublicAps {
+/// only Android reports scans). Streams the one-byte WiFi tag and the four
+/// public scan-count columns; the dataset is only consulted for the
+/// per-device OS.
+pub fn detected_public_aps(ds: &Dataset, cols: &DatasetColumns) -> DetectedPublicAps {
+    let mut out = DetectedPublicAps::default();
+    for i in 0..cols.len() {
+        if cols.wifi_tag[i] != WifiTag::OnUnassociated {
+            continue;
+        }
+        if ds.device(cols.device[i]).os != mobitrace_model::Os::Android {
+            continue;
+        }
+        out.g24_all.push(f64::from(cols.scan.n24_public_all[i]));
+        out.g24_strong.push(f64::from(cols.scan.n24_public_strong[i]));
+        out.g5_all.push(f64::from(cols.scan.n5_public_all[i]));
+        out.g5_strong.push(f64::from(cols.scan.n5_public_strong[i]));
+    }
+    out
+}
+
+/// Row-scan reference for [`detected_public_aps`] (kept for equivalence
+/// tests and benchmarks).
+pub fn detected_public_aps_rows(ds: &Dataset) -> DetectedPublicAps {
     let mut out = DetectedPublicAps::default();
     for b in &ds.bins {
         if !matches!(b.wifi, WifiBinState::OnUnassociated) {
@@ -71,10 +92,44 @@ pub struct OffloadPotential {
 }
 
 /// Estimate how much cellular traffic WiFi-available users could offload
-/// to public WiFi (the paper concludes 15–20%).
-pub fn offload_potential(ds: &Dataset) -> OffloadPotential {
-    // Per device: cellular rx in available bins with a strong public AP,
-    // and total cellular rx.
+/// to public WiFi (the paper concludes 15–20%). The per-device tallies
+/// live in a dense vector sized from `ds.devices.len()` — device ids index
+/// the device table directly, so no hash map (and no iteration-order
+/// dependence) is involved.
+pub fn offload_potential(ds: &Dataset, cols: &DatasetColumns) -> OffloadPotential {
+    // Per device: (cellular rx in available bins with a strong public AP,
+    // total cellular rx in available bins, saw an opportunity, seen at all).
+    let mut per_dev: Vec<(u64, u64, bool, bool)> = vec![(0, 0, false, false); ds.devices.len()];
+    for i in 0..cols.len() {
+        if cols.wifi_tag[i] != WifiTag::OnUnassociated {
+            continue;
+        }
+        let e = &mut per_dev[cols.device[i].index()];
+        e.3 = true;
+        e.1 += cols.rx_cell(i);
+        let strong = cols.scan.n24_public_strong[i] > 0 || cols.scan.n5_public_strong[i] > 0;
+        if strong {
+            e.0 += cols.rx_cell(i);
+            e.2 = true;
+        }
+    }
+    let available_devices = per_dev.iter().filter(|(_, _, _, seen)| *seen).count();
+    if available_devices == 0 {
+        return OffloadPotential::default();
+    }
+    let with_opp = per_dev.iter().filter(|(_, _, opp, _)| *opp).count();
+    let offloadable: u64 = per_dev.iter().map(|(o, _, _, _)| o).sum();
+    let total: u64 = per_dev.iter().map(|(_, t, _, _)| t).sum();
+    OffloadPotential {
+        available_devices,
+        devices_with_opportunity: with_opp as f64 / available_devices as f64,
+        offloadable_share: if total == 0 { 0.0 } else { offloadable as f64 / total as f64 },
+    }
+}
+
+/// Row-scan reference for [`offload_potential`] (kept for equivalence
+/// tests and benchmarks).
+pub fn offload_potential_rows(ds: &Dataset) -> OffloadPotential {
     let mut per_dev: HashMap<DeviceId, (u64, u64, bool)> = HashMap::new();
     for b in &ds.bins {
         let available = matches!(b.wifi, WifiBinState::OnUnassociated);
@@ -170,7 +225,8 @@ mod tests {
             ],
             1,
         );
-        let d = detected_public_aps(&ds);
+        let d = detected_public_aps(&ds, &DatasetColumns::build(&ds));
+        assert_eq!(d, detected_public_aps_rows(&ds));
         assert_eq!(d.g24_all, vec![5.0]);
         assert_eq!(d.g24_strong, vec![2.0]);
     }
@@ -186,7 +242,8 @@ mod tests {
             ],
             2,
         );
-        let o = offload_potential(&ds);
+        let o = offload_potential(&ds, &DatasetColumns::build(&ds));
+        assert_eq!(o, offload_potential_rows(&ds));
         assert_eq!(o.available_devices, 2);
         assert!((o.devices_with_opportunity - 0.5).abs() < 1e-12);
         assert!((o.offloadable_share - 0.3).abs() < 1e-12); // 600 / 2000
@@ -195,7 +252,8 @@ mod tests {
     #[test]
     fn empty_dataset_defaults() {
         let ds = dataset(vec![], 0);
-        assert_eq!(offload_potential(&ds), OffloadPotential::default());
+        let cols = DatasetColumns::build(&ds);
+        assert_eq!(offload_potential(&ds, &cols), OffloadPotential::default());
         assert_eq!(DetectedPublicAps::share_nonzero(&[]), 0.0);
     }
 

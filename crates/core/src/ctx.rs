@@ -1,8 +1,8 @@
 //! Shared analysis context.
 
-use crate::apclass::{classify, ApClassification};
-use crate::daily::{classify_user_days, user_days, TrafficClass, UserDay};
-use mobitrace_model::{CellId, Dataset, DatasetIndex, DeviceId};
+use crate::apclass::{classify_cols, ApClassification};
+use crate::daily::{classify_user_days, user_days_cols, TrafficClass, UserDay};
+use mobitrace_model::{CellId, Dataset, DatasetColumns, DatasetIndex, DeviceId};
 use std::collections::HashMap;
 
 /// Below this bin count the context is built sequentially: the passes are
@@ -29,35 +29,45 @@ pub struct AnalysisContext<'a> {
     pub home_cell: HashMap<DeviceId, CellId>,
     /// Precomputed per-device / per-day bin ranges.
     pub index: DatasetIndex,
+    /// Columnar (structure-of-arrays) view of `ds.bins`; the hot full-scan
+    /// passes stream these columns instead of the row records.
+    pub cols: DatasetColumns,
 }
 
 impl<'a> AnalysisContext<'a> {
-    /// Build the context: the bin-range index first, then the three
-    /// independent passes (user-day aggregates + classes, AP
-    /// classification, home cells). On large datasets the passes run on
-    /// separate threads; they touch disjoint products, so the result is
-    /// identical either way.
+    /// Build the context: the bin-range index and the columnar view first,
+    /// then the three independent passes (user-day aggregates + classes,
+    /// AP classification, home cells), all scanning the columns. On large
+    /// datasets the builds and passes run on separate threads; they touch
+    /// disjoint products, so the result is identical either way.
     pub fn new(ds: &'a Dataset) -> AnalysisContext<'a> {
-        let index = DatasetIndex::build(ds);
-        let (days, classes, thresholds, aps, home_cell) =
-            if ds.bins.len() < PARALLEL_BUILD_THRESHOLD {
-                let days = user_days(ds);
-                let (classes, thresholds) = classify_user_days(&days);
-                (days, classes, thresholds, classify(ds), infer_home_cells(ds, &index))
-            } else {
-                std::thread::scope(|scope| {
-                    let daily = scope.spawn(|| {
-                        let days = user_days(ds);
-                        let (classes, thresholds) = classify_user_days(&days);
-                        (days, classes, thresholds)
-                    });
-                    let aps = scope.spawn(|| classify(ds));
-                    let home_cell = infer_home_cells(ds, &index);
-                    let (days, classes, thresholds) = daily.join().expect("daily pass");
-                    (days, classes, thresholds, aps.join().expect("ap pass"), home_cell)
-                })
-            };
-        AnalysisContext { ds, days, classes, thresholds, aps, home_cell, index }
+        let small = ds.bins.len() < PARALLEL_BUILD_THRESHOLD;
+        let (index, cols) = if small {
+            (DatasetIndex::build(ds), DatasetColumns::build(ds))
+        } else {
+            std::thread::scope(|scope| {
+                let cols = scope.spawn(|| DatasetColumns::build(ds));
+                (DatasetIndex::build(ds), cols.join().expect("columns build"))
+            })
+        };
+        let (days, classes, thresholds, aps, home_cell) = if small {
+            let days = user_days_cols(&cols);
+            let (classes, thresholds) = classify_user_days(&days);
+            (days, classes, thresholds, classify_cols(ds, &cols), infer_home_cells(&cols, &index))
+        } else {
+            std::thread::scope(|scope| {
+                let daily = scope.spawn(|| {
+                    let days = user_days_cols(&cols);
+                    let (classes, thresholds) = classify_user_days(&days);
+                    (days, classes, thresholds)
+                });
+                let aps = scope.spawn(|| classify_cols(ds, &cols));
+                let home_cell = infer_home_cells(&cols, &index);
+                let (days, classes, thresholds) = daily.join().expect("daily pass");
+                (days, classes, thresholds, aps.join().expect("ap pass"), home_cell)
+            })
+        };
+        AnalysisContext { ds, days, classes, thresholds, aps, home_cell, index, cols }
     }
 
     /// Traffic class of a (device, day) pair, if that user-day exists.
@@ -74,19 +84,20 @@ impl<'a> AnalysisContext<'a> {
 }
 
 /// Modal night-time (22:00–06:00) cell per device. Walks each device's
-/// indexed bin range with one reused tally map; ties break to the smaller
-/// [`CellId`] so the result never depends on hash-map iteration order.
-fn infer_home_cells(ds: &Dataset, index: &DatasetIndex) -> HashMap<DeviceId, CellId> {
+/// indexed range over the time/geo columns with one reused tally map; ties
+/// break to the smaller [`CellId`] so the result never depends on hash-map
+/// iteration order.
+fn infer_home_cells(cols: &DatasetColumns, index: &DatasetIndex) -> HashMap<DeviceId, CellId> {
     let mut home = HashMap::new();
     let mut tally: HashMap<CellId, u32> = HashMap::new();
     for dev in index.devices_with_bins() {
         tally.clear();
-        for b in index.device_bins(ds, dev) {
-            let h = b.time.hour();
+        for i in index.device_range(dev) {
+            let h = cols.time[i].hour();
             if !(22..24).contains(&h) && h >= 6 {
                 continue;
             }
-            *tally.entry(b.geo).or_default() += 1;
+            *tally.entry(cols.geo[i]).or_default() += 1;
         }
         let mut best: Option<(CellId, u32)> = None;
         for (&cell, &n) in &tally {
@@ -128,8 +139,7 @@ mod tests {
         }
     }
 
-    fn dataset(bins: Vec<BinRecord>) -> Dataset {
-        let n = bins.iter().map(|b| b.device.0).max().unwrap_or(0) + 1;
+    fn dataset(n: u32, bins: Vec<BinRecord>) -> Dataset {
         let mut bins = bins;
         bins.sort_by_key(|b| (b.device, b.time));
         Dataset {
@@ -168,7 +178,7 @@ mod tests {
                 bins.push(bin(0, day, b, office));
             }
         }
-        let ds = dataset(bins);
+        let ds = dataset(1, bins);
         let ctx = AnalysisContext::new(&ds);
         assert_eq!(ctx.home_cell.get(&DeviceId(0)), Some(&home));
         assert!(ctx.is_at_home_cell(DeviceId(0), home));
@@ -185,7 +195,7 @@ mod tests {
         let mut b0 = bin(0, 1, 60, CellId::new(0, 0));
         b0.rx_wifi = 10_000_000_000;
         bins.push(b0);
-        let ds = dataset(bins);
+        let ds = dataset(30, bins);
         let ctx = AnalysisContext::new(&ds);
         assert_eq!(ctx.class_of(DeviceId(0), 1), Some(crate::daily::TrafficClass::Heavy));
         assert_eq!(ctx.class_of(DeviceId(0), 7), None);
@@ -194,7 +204,7 @@ mod tests {
     #[test]
     fn device_with_no_night_bins_has_no_home_cell() {
         let bins = vec![bin(0, 0, 80, CellId::new(1, 1))]; // 13:20 only
-        let ds = dataset(bins);
+        let ds = dataset(1, bins);
         let ctx = AnalysisContext::new(&ds);
         assert!(ctx.home_cell.is_empty());
     }

@@ -5,7 +5,7 @@
 //! — and "one user may be a light user one day and heavy hitter on
 //! another" (§2).
 
-use mobitrace_model::{Dataset, DeviceId};
+use mobitrace_model::{Dataset, DatasetColumns, DeviceId};
 use serde::{Deserialize, Serialize};
 
 /// Daily traffic of one device on one campaign day (bytes).
@@ -51,8 +51,41 @@ impl UserDay {
     }
 }
 
+/// Columnar variant of [`user_days`]: identical output, but streams the
+/// device/time/counter columns instead of pulling whole `BinRecord`s
+/// (plus their app vectors) through cache.
+pub fn user_days_cols(cols: &DatasetColumns) -> Vec<UserDay> {
+    let mut out: Vec<UserDay> = Vec::new();
+    for i in 0..cols.len() {
+        let device = cols.device[i];
+        let day = cols.time[i].day();
+        match out.last_mut() {
+            Some(last) if last.device == device && last.day == day => {
+                last.rx_3g += cols.rx_3g[i];
+                last.tx_3g += cols.tx_3g[i];
+                last.rx_lte += cols.rx_lte[i];
+                last.tx_lte += cols.tx_lte[i];
+                last.rx_wifi += cols.rx_wifi[i];
+                last.tx_wifi += cols.tx_wifi[i];
+            }
+            _ => out.push(UserDay {
+                device,
+                day,
+                rx_3g: cols.rx_3g[i],
+                tx_3g: cols.tx_3g[i],
+                rx_lte: cols.rx_lte[i],
+                tx_lte: cols.tx_lte[i],
+                rx_wifi: cols.rx_wifi[i],
+                tx_wifi: cols.tx_wifi[i],
+            }),
+        }
+    }
+    out
+}
+
 /// Compute per-user-day aggregates (relies on the dataset's
 /// (device, time) sort order). Days with zero bins do not appear.
+/// Retained as the row-scan reference for [`user_days_cols`].
 pub fn user_days(ds: &Dataset) -> Vec<UserDay> {
     let mut out: Vec<UserDay> = Vec::new();
     for b in &ds.bins {
@@ -122,8 +155,7 @@ mod tests {
     use super::*;
     use mobitrace_model::*;
 
-    fn dataset_with_bins(bins: Vec<BinRecord>) -> Dataset {
-        let n_dev = bins.iter().map(|b| b.device.0).max().unwrap_or(0) + 1;
+    fn dataset_with_bins(n_dev: u32, bins: Vec<BinRecord>) -> Dataset {
         Dataset {
             meta: CampaignMeta {
                 year: Year::Y2015,
@@ -166,13 +198,17 @@ mod tests {
 
     #[test]
     fn aggregation_sums_per_day() {
-        let ds = dataset_with_bins(vec![
-            bin(0, 0, 0, 100, 10),
-            bin(0, 0, 5, 200, 20),
-            bin(0, 1, 0, 50, 5),
-            bin(1, 0, 0, 7, 3),
-        ]);
+        let ds = dataset_with_bins(
+            2,
+            vec![
+                bin(0, 0, 0, 100, 10),
+                bin(0, 0, 5, 200, 20),
+                bin(0, 1, 0, 50, 5),
+                bin(1, 0, 0, 7, 3),
+            ],
+        );
         let days = user_days(&ds);
+        assert_eq!(days, user_days_cols(&DatasetColumns::build(&ds)));
         assert_eq!(days.len(), 3);
         assert_eq!(days[0].rx_wifi, 300);
         assert_eq!(days[0].rx_lte, 30);
@@ -186,7 +222,7 @@ mod tests {
         // 100 user-days with volumes 1..=100 MB.
         let bins: Vec<BinRecord> =
             (0..100).map(|i| bin(i, 0, 0, (i as u64 + 1) * 1_000_000, 0)).collect();
-        let ds = dataset_with_bins(bins);
+        let ds = dataset_with_bins(100, bins);
         let days = user_days(&ds);
         let (classes, (p40, p60, p95)) = classify_user_days(&days);
         assert!(p40 < p60 && p60 < p95);
@@ -204,7 +240,7 @@ mod tests {
             bins.push(bin(i, 0, 0, 50_000_000, 0));
         }
         bins.sort_by_key(|b| (b.device, b.time));
-        let ds = dataset_with_bins(bins);
+        let ds = dataset_with_bins(50, bins);
         let days = user_days(&ds);
         let (classes, _) = classify_user_days(&days);
         let dev0: Vec<TrafficClass> = days

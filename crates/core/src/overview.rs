@@ -1,6 +1,6 @@
 //! Dataset overview (Table 1).
 
-use mobitrace_model::{Dataset, Os};
+use mobitrace_model::{Dataset, DatasetColumns, Os};
 use serde::{Deserialize, Serialize};
 
 /// One Table 1 row.
@@ -21,13 +21,26 @@ pub struct Overview {
     pub lte_traffic_share: f64,
 }
 
-/// Compute the Table 1 row for a dataset.
-pub fn overview(ds: &Dataset) -> Overview {
+/// Compute the Table 1 row for a dataset. The volume sums stream the four
+/// cellular counter columns.
+pub fn overview(ds: &Dataset, cols: &DatasetColumns) -> Overview {
+    let lte: u64 = cols.rx_lte.iter().sum::<u64>() + cols.tx_lte.iter().sum::<u64>();
+    let cell3g: u64 = cols.rx_3g.iter().sum::<u64>() + cols.tx_3g.iter().sum::<u64>();
+    finish_overview(ds, lte, cell3g)
+}
+
+/// Row-scan reference for [`overview`] (kept for equivalence tests and
+/// benchmarks).
+pub fn overview_rows(ds: &Dataset) -> Overview {
     let (mut lte, mut cell3g) = (0u64, 0u64);
     for b in &ds.bins {
         lte += b.rx_lte + b.tx_lte;
         cell3g += b.rx_3g + b.tx_3g;
     }
+    finish_overview(ds, lte, cell3g)
+}
+
+fn finish_overview(ds: &Dataset, lte: u64, cell3g: u64) -> Overview {
     let total_cell = lte + cell3g;
     let start = ds.meta.start;
     let end = start.plus_days(i64::from(ds.meta.days) - 1);
@@ -91,7 +104,8 @@ mod tests {
             aps: vec![],
             bins: vec![mk_bin(0, 700, 300), mk_bin(1, 0, 0)],
         };
-        let o = overview(&ds);
+        let o = overview(&ds, &DatasetColumns::build(&ds));
+        assert_eq!(o, overview_rows(&ds));
         assert_eq!(o.year, 2014);
         assert_eq!((o.n_android, o.n_ios, o.n_total), (1, 1, 2));
         assert!((o.lte_traffic_share - 0.7).abs() < 1e-12);

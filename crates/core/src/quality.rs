@@ -3,9 +3,8 @@
 
 use crate::apclass::{ApClass, ApClassification};
 use crate::stats::Histogram;
-use mobitrace_model::{Band, Dataset, Dbm};
+use mobitrace_model::{Band, Dataset, DatasetColumns, Dbm};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Fig. 15: per-class PDF of the *maximum* RSSI observed for each
 /// associated 2.4 GHz AP, plus summary statistics.
@@ -23,20 +22,39 @@ pub struct RssiAnalysis {
     pub weak_shares: (f64, f64, f64),
 }
 
-/// Compute Fig. 15 (2.4 GHz associations only, as in the paper).
-pub fn rssi_analysis(ds: &Dataset, cls: &ApClassification) -> RssiAnalysis {
-    // Max RSSI per associated AP.
-    let mut max_rssi: HashMap<usize, Dbm> = HashMap::new();
-    for b in &ds.bins {
-        if let Some(a) = b.wifi.assoc() {
+/// Compute Fig. 15 (2.4 GHz associations only, as in the paper). Streams
+/// the WiFi tag/band/RSSI columns into a dense per-AP max-RSSI table (no
+/// hash map, and the per-class sums accumulate in AP-table order, so the
+/// floating-point result is deterministic).
+pub fn rssi_analysis(cols: &DatasetColumns, cls: &ApClassification) -> RssiAnalysis {
+    let mut max_rssi: Vec<Option<Dbm>> = vec![None; cls.class_of.len()];
+    for i in 0..cols.len() {
+        if let Some(a) = cols.wifi_assoc(i) {
             if a.band == Band::Ghz24 {
-                max_rssi
-                    .entry(a.ap.index())
-                    .and_modify(|m| *m = (*m).max(a.rssi))
-                    .or_insert(a.rssi);
+                let m = &mut max_rssi[a.ap.index()];
+                *m = Some(m.map_or(a.rssi, |cur| cur.max(a.rssi)));
             }
         }
     }
+    finish_rssi(&max_rssi, cls)
+}
+
+/// Row-scan reference for [`rssi_analysis`] (kept for equivalence tests
+/// and benchmarks).
+pub fn rssi_analysis_rows(ds: &Dataset, cls: &ApClassification) -> RssiAnalysis {
+    let mut max_rssi: Vec<Option<Dbm>> = vec![None; cls.class_of.len()];
+    for b in &ds.bins {
+        if let Some(a) = b.wifi.assoc() {
+            if a.band == Band::Ghz24 {
+                let m = &mut max_rssi[a.ap.index()];
+                *m = Some(m.map_or(a.rssi, |cur| cur.max(a.rssi)));
+            }
+        }
+    }
+    finish_rssi(&max_rssi, cls)
+}
+
+fn finish_rssi(max_rssi: &[Option<Dbm>], cls: &ApClassification) -> RssiAnalysis {
     let mut hists = [
         Histogram::new(-95.0, -20.0, 75),
         Histogram::new(-95.0, -20.0, 75),
@@ -45,7 +63,10 @@ pub fn rssi_analysis(ds: &Dataset, cls: &ApClassification) -> RssiAnalysis {
     let mut sums = [0.0f64; 3];
     let mut weak = [0usize; 3];
     let mut counts = [0usize; 3];
-    for (&idx, &rssi) in &max_rssi {
+    for (idx, rssi) in max_rssi.iter().enumerate() {
+        let Some(rssi) = rssi else {
+            continue;
+        };
         let slot = match cls.class_of[idx] {
             ApClass::Home => 0,
             ApClass::Public => 1,
@@ -96,20 +117,42 @@ impl ChannelAnalysis {
     }
 }
 
-/// Compute Fig. 16.
-pub fn channel_analysis(ds: &Dataset, cls: &ApClassification) -> ChannelAnalysis {
-    let mut chan_of: HashMap<usize, u8> = HashMap::new();
-    for b in &ds.bins {
-        if let Some(a) = b.wifi.assoc() {
-            if a.band == Band::Ghz24 {
-                chan_of.entry(a.ap.index()).or_insert(a.channel.0);
+/// Compute Fig. 16. Streams the WiFi tag/band/channel columns into a dense
+/// per-AP first-seen-channel table.
+pub fn channel_analysis(cols: &DatasetColumns, cls: &ApClassification) -> ChannelAnalysis {
+    let mut chan_of: Vec<Option<u8>> = vec![None; cls.class_of.len()];
+    for i in 0..cols.len() {
+        if let Some(a) = cols.wifi_assoc(i) {
+            if a.band == Band::Ghz24 && chan_of[a.ap.index()].is_none() {
+                chan_of[a.ap.index()] = Some(a.channel.0);
             }
         }
     }
+    finish_channels(&chan_of, cls)
+}
+
+/// Row-scan reference for [`channel_analysis`] (kept for equivalence tests
+/// and benchmarks).
+pub fn channel_analysis_rows(ds: &Dataset, cls: &ApClassification) -> ChannelAnalysis {
+    let mut chan_of: Vec<Option<u8>> = vec![None; cls.class_of.len()];
+    for b in &ds.bins {
+        if let Some(a) = b.wifi.assoc() {
+            if a.band == Band::Ghz24 && chan_of[a.ap.index()].is_none() {
+                chan_of[a.ap.index()] = Some(a.channel.0);
+            }
+        }
+    }
+    finish_channels(&chan_of, cls)
+}
+
+fn finish_channels(chan_of: &[Option<u8>], cls: &ApClassification) -> ChannelAnalysis {
     let mut home = [0.0f64; 13];
     let mut public = [0.0f64; 13];
     let (mut n_home, mut n_public) = (0.0f64, 0.0f64);
-    for (&idx, &ch) in &chan_of {
+    for (idx, ch) in chan_of.iter().enumerate() {
+        let Some(ch) = *ch else {
+            continue;
+        };
         if !(1..=13).contains(&ch) {
             continue;
         }
@@ -207,7 +250,8 @@ mod tests {
         b.assoc_ap("7SPOT", 11, &[-75, -71]);
         let ds = b.0;
         let cls = crate::apclass::classify(&ds);
-        let r = rssi_analysis(&ds, &cls);
+        let r = rssi_analysis(&DatasetColumns::build(&ds), &cls);
+        assert_eq!(r, rssi_analysis_rows(&ds, &cls));
         // Max RSSIs are -60 (strong) and -71 (weak): mean -65.5, weak ½.
         assert!((r.means.1 - (-65.5)).abs() < 1e-9, "{}", r.means.1);
         assert!((r.weak_shares.1 - 0.5).abs() < 1e-12);
@@ -224,7 +268,8 @@ mod tests {
         b.assoc_ap("Metro_Free_Wi-Fi", 11, &[-60]);
         let ds = b.0;
         let cls = crate::apclass::classify(&ds);
-        let c = channel_analysis(&ds, &cls);
+        let c = channel_analysis(&DatasetColumns::build(&ds), &cls);
+        assert_eq!(c, channel_analysis_rows(&ds, &cls));
         assert!((c.public[0] - 0.25).abs() < 1e-12);
         assert!((c.public[10] - 0.5).abs() < 1e-12);
         assert!((c.public_orthogonal_share() - 1.0).abs() < 1e-12);
@@ -237,7 +282,7 @@ mod tests {
         b.assoc_ap("0000carrier-a", 6, &[-55]);
         let ds = b.0;
         let cls = crate::apclass::classify(&ds);
-        let r = rssi_analysis(&ds, &cls);
+        let r = rssi_analysis(&DatasetColumns::build(&ds), &cls);
         let pdf = r.public.pdf();
         let at_55: f64 =
             pdf.iter().filter(|(c, _)| (*c - (-55.0)).abs() < 1.0).map(|(_, d)| *d).sum();

@@ -47,8 +47,27 @@ impl ClassFilter {
     }
 }
 
-/// WiFi-traffic ratio per hour of week (Figs. 6a, 7).
+/// WiFi-traffic ratio per hour of week (Figs. 6a, 7). Streams the columnar
+/// view: only the device/time columns and two counters come through cache.
 pub fn wifi_traffic_ratio(ctx: &AnalysisContext<'_>, filter: ClassFilter) -> RatioSeries {
+    let cols = &ctx.cols;
+    let mut wifi = vec![0.0; WEEK_HOURS];
+    let mut total = vec![0.0; WEEK_HOURS];
+    for i in 0..cols.len() {
+        let t = cols.time[i];
+        if !filter.admits(ctx.class_of(cols.device[i], t.day())) {
+            continue;
+        }
+        let slot = ((t.day() % 7) * 24 + t.hour()) as usize;
+        wifi[slot] += cols.rx_wifi[i] as f64;
+        total[slot] += cols.rx_total(i) as f64;
+    }
+    finish(wifi, total)
+}
+
+/// Row-scan reference for [`wifi_traffic_ratio`] (kept for equivalence
+/// tests and benchmarks).
+pub fn wifi_traffic_ratio_rows(ctx: &AnalysisContext<'_>, filter: ClassFilter) -> RatioSeries {
     let mut wifi = vec![0.0; WEEK_HOURS];
     let mut total = vec![0.0; WEEK_HOURS];
     for b in &ctx.ds.bins {
@@ -68,11 +87,50 @@ pub fn wifi_user_ratio(ctx: &AnalysisContext<'_>, filter: ClassFilter) -> RatioS
     // Count distinct (device, slot-instance) pairs. One device appears
     // once per hour: 6 bins — it counts as a WiFi user if any of them is
     // associated. Exploit the per-device time ordering: bins of one hour
-    // of one device are adjacent.
+    // of one device are adjacent. Columnar scan: device, time and the
+    // one-byte WiFi tag.
+    let cols = &ctx.cols;
     let mut users = vec![0.0; WEEK_HOURS];
     let mut wifi_users = vec![0.0; WEEK_HOURS];
     let mut current: Option<(mobitrace_model::DeviceId, u32, bool, usize, bool)> = None;
     // (device, absolute-hour, associated, slot, admitted)
+    let mut flush = |c: Option<(mobitrace_model::DeviceId, u32, bool, usize, bool)>| {
+        if let Some((_, _, assoc, slot, admitted)) = c {
+            if admitted {
+                users[slot] += 1.0;
+                if assoc {
+                    wifi_users[slot] += 1.0;
+                }
+            }
+        }
+    };
+    for i in 0..cols.len() {
+        let device = cols.device[i];
+        let t = cols.time[i];
+        let abs_hour = t.minute / 60;
+        let slot = ((t.day() % 7) * 24 + t.hour()) as usize;
+        let assoc = cols.wifi_tag[i] == mobitrace_model::WifiTag::Associated;
+        match &mut current {
+            Some((dev, hour, acc_assoc, _, _)) if *dev == device && *hour == abs_hour => {
+                *acc_assoc |= assoc;
+            }
+            other => {
+                let admitted = filter.admits(ctx.class_of(device, t.day()));
+                flush(other.take());
+                current = Some((device, abs_hour, assoc, slot, admitted));
+            }
+        }
+    }
+    flush(current.take());
+    finish(wifi_users, users)
+}
+
+/// Row-scan reference for [`wifi_user_ratio`] (kept for equivalence tests
+/// and benchmarks).
+pub fn wifi_user_ratio_rows(ctx: &AnalysisContext<'_>, filter: ClassFilter) -> RatioSeries {
+    let mut users = vec![0.0; WEEK_HOURS];
+    let mut wifi_users = vec![0.0; WEEK_HOURS];
+    let mut current: Option<(mobitrace_model::DeviceId, u32, bool, usize, bool)> = None;
     let mut flush = |c: Option<(mobitrace_model::DeviceId, u32, bool, usize, bool)>| {
         if let Some((_, _, assoc, slot, admitted)) = c {
             if admitted {
@@ -107,8 +165,7 @@ mod tests {
     use super::*;
     use mobitrace_model::*;
 
-    fn dataset(bins: Vec<BinRecord>) -> Dataset {
-        let n = bins.iter().map(|b| b.device.0).max().unwrap_or(0) + 1;
+    fn dataset(n: u32, bins: Vec<BinRecord>) -> Dataset {
         let mut bins = bins;
         bins.sort_by_key(|b| (b.device, b.time));
         Dataset {
@@ -162,13 +219,17 @@ mod tests {
 
     #[test]
     fn traffic_ratio_per_slot() {
-        let ds = dataset(vec![
-            bin(0, 0, 10, 300, 100, true),
-            bin(1, 0, 10, 100, 300, false),
-            bin(0, 0, 20, 0, 500, false),
-        ]);
+        let ds = dataset(
+            2,
+            vec![
+                bin(0, 0, 10, 300, 100, true),
+                bin(1, 0, 10, 100, 300, false),
+                bin(0, 0, 20, 0, 500, false),
+            ],
+        );
         let ctx = AnalysisContext::new(&ds);
         let r = wifi_traffic_ratio(&ctx, ClassFilter::All);
+        assert_eq!(r, wifi_traffic_ratio_rows(&ctx, ClassFilter::All));
         assert!((r.ratio[10] - 0.5).abs() < 1e-12); // 400/800
         assert_eq!(r.ratio[20], 0.0);
         // Mean = 400 / 1300.
@@ -177,19 +238,23 @@ mod tests {
 
     #[test]
     fn user_ratio_counts_devices_once_per_hour() {
-        let ds = dataset(vec![
-            // Device 0: two bins in hour 10, one associated.
-            bin(0, 0, 10, 0, 10, false),
-            {
-                let mut b = bin(0, 0, 10, 0, 10, true);
-                b.time = SimTime::from_day_minute(0, 10 * 60 + 10);
-                b
-            },
-            // Device 1: hour 10, never associated.
-            bin(1, 0, 10, 0, 10, false),
-        ]);
+        let ds = dataset(
+            2,
+            vec![
+                // Device 0: two bins in hour 10, one associated.
+                bin(0, 0, 10, 0, 10, false),
+                {
+                    let mut b = bin(0, 0, 10, 0, 10, true);
+                    b.time = SimTime::from_day_minute(0, 10 * 60 + 10);
+                    b
+                },
+                // Device 1: hour 10, never associated.
+                bin(1, 0, 10, 0, 10, false),
+            ],
+        );
         let ctx = AnalysisContext::new(&ds);
         let r = wifi_user_ratio(&ctx, ClassFilter::All);
+        assert_eq!(r, wifi_user_ratio_rows(&ctx, ClassFilter::All));
         assert!((r.ratio[10] - 0.5).abs() < 1e-12, "{}", r.ratio[10]);
     }
 
@@ -201,7 +266,7 @@ mod tests {
             bins.push(bin(dev, 0, 10, 1_000_000, 1_000_000, false));
         }
         bins.push(bin(30, 0, 10, 900_000_000, 100_000_000, true));
-        let ds = dataset(bins);
+        let ds = dataset(31, bins);
         let ctx = AnalysisContext::new(&ds);
         let heavy = wifi_traffic_ratio(&ctx, ClassFilter::Only(TrafficClass::Heavy));
         assert!((heavy.ratio[10] - 0.9).abs() < 1e-9, "{}", heavy.ratio[10]);

@@ -6,7 +6,7 @@
 //! rescale to Mbps.
 
 use crate::apclass::{ApClass, ApClassification};
-use mobitrace_model::Dataset;
+use mobitrace_model::{Dataset, DatasetColumns, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Hours in the weekly grid (Sat 00:00 → Fri 23:00, campaign-start
@@ -74,7 +74,7 @@ impl AggregateSeries {
     }
 }
 
-fn weekly_slot(ds: &Dataset, b: &mobitrace_model::BinRecord) -> usize {
+fn weekly_slot(ds: &Dataset, t: SimTime) -> usize {
     // Campaigns start on Saturday, so day-of-campaign % 7 aligns with the
     // paper's Sat..Fri axis.
     debug_assert_eq!(
@@ -82,17 +82,41 @@ fn weekly_slot(ds: &Dataset, b: &mobitrace_model::BinRecord) -> usize {
         mobitrace_model::Weekday::Sat,
         "weekly alignment assumes Saturday start"
     );
-    ((b.time.day() % 7) * 24 + b.time.hour()) as usize
+    ((t.day() % 7) * 24 + t.hour()) as usize
 }
 
-/// Compute Fig. 2's four series.
-pub fn aggregate_series(ds: &Dataset) -> AggregateSeries {
+/// Compute Fig. 2's four series. Streams the time column and the six
+/// counter columns.
+pub fn aggregate_series(ds: &Dataset, cols: &DatasetColumns) -> AggregateSeries {
+    let mut cell_rx = vec![0u64; WEEK_HOURS];
+    let mut cell_tx = vec![0u64; WEEK_HOURS];
+    let mut wifi_rx = vec![0u64; WEEK_HOURS];
+    let mut wifi_tx = vec![0u64; WEEK_HOURS];
+    for i in 0..cols.len() {
+        let slot = weekly_slot(ds, cols.time[i]);
+        cell_rx[slot] += cols.rx_cell(i);
+        cell_tx[slot] += cols.tx_cell(i);
+        wifi_rx[slot] += cols.rx_wifi[i];
+        wifi_tx[slot] += cols.tx_wifi[i];
+    }
+    let weeks = f64::from(ds.meta.days) / 7.0;
+    AggregateSeries {
+        cell_rx: WeeklySeries::from_bytes(&cell_rx, weeks),
+        cell_tx: WeeklySeries::from_bytes(&cell_tx, weeks),
+        wifi_rx: WeeklySeries::from_bytes(&wifi_rx, weeks),
+        wifi_tx: WeeklySeries::from_bytes(&wifi_tx, weeks),
+    }
+}
+
+/// Row-scan reference for [`aggregate_series`] (kept for equivalence tests
+/// and benchmarks).
+pub fn aggregate_series_rows(ds: &Dataset) -> AggregateSeries {
     let mut cell_rx = vec![0u64; WEEK_HOURS];
     let mut cell_tx = vec![0u64; WEEK_HOURS];
     let mut wifi_rx = vec![0u64; WEEK_HOURS];
     let mut wifi_tx = vec![0u64; WEEK_HOURS];
     for b in &ds.bins {
-        let slot = weekly_slot(ds, b);
+        let slot = weekly_slot(ds, b.time);
         cell_rx[slot] += b.rx_cell();
         cell_tx[slot] += b.tx_cell();
         wifi_rx[slot] += b.rx_wifi;
@@ -120,8 +144,54 @@ pub struct VenueSeries {
     pub shares: (f64, f64, f64),
 }
 
-/// Compute Fig. 11's series.
-pub fn venue_series(ds: &Dataset, cls: &ApClassification) -> VenueSeries {
+/// Compute Fig. 11's series. Streams the WiFi tag, AP, time and WiFi
+/// counter columns.
+pub fn venue_series(ds: &Dataset, cols: &DatasetColumns, cls: &ApClassification) -> VenueSeries {
+    let mut rx = [vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS]];
+    let mut tx = [vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS]];
+    let mut totals = [0u64; 4]; // home, public, office, other
+    let mut wifi_total = 0u64;
+    for i in 0..cols.len() {
+        let Some(ap) = cols.assoc_ap_of(i) else {
+            continue;
+        };
+        let slot = weekly_slot(ds, cols.time[i]);
+        let vol = cols.rx_wifi[i] + cols.tx_wifi[i];
+        wifi_total += vol;
+        let idx = match cls.class(ap) {
+            ApClass::Home => 0,
+            ApClass::Public => 1,
+            ApClass::Office => 2,
+            ApClass::Other => 3,
+        };
+        if idx < 3 {
+            rx[idx][slot] += cols.rx_wifi[i];
+            tx[idx][slot] += cols.tx_wifi[i];
+        }
+        totals[idx] += vol;
+    }
+    let weeks = f64::from(ds.meta.days) / 7.0;
+    let series = |i: usize| {
+        (WeeklySeries::from_bytes(&rx[i], weeks), WeeklySeries::from_bytes(&tx[i], weeks))
+    };
+    let share = |i: usize| {
+        if wifi_total == 0 {
+            0.0
+        } else {
+            totals[i] as f64 / wifi_total as f64
+        }
+    };
+    VenueSeries {
+        home: series(0),
+        public: series(1),
+        office: series(2),
+        shares: (share(0), share(1), share(2)),
+    }
+}
+
+/// Row-scan reference for [`venue_series`] (kept for equivalence tests and
+/// benchmarks).
+pub fn venue_series_rows(ds: &Dataset, cls: &ApClassification) -> VenueSeries {
     let mut rx = [vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS]];
     let mut tx = [vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS]];
     let mut totals = [0u64; 4]; // home, public, office, other
@@ -130,7 +200,7 @@ pub fn venue_series(ds: &Dataset, cls: &ApClassification) -> VenueSeries {
         let Some(assoc) = b.wifi.assoc() else {
             continue;
         };
-        let slot = weekly_slot(ds, b);
+        let slot = weekly_slot(ds, b.time);
         let vol = b.rx_wifi + b.tx_wifi;
         wifi_total += vol;
         let idx = match cls.class(assoc.ap) {
@@ -169,8 +239,7 @@ mod tests {
     use super::*;
     use mobitrace_model::*;
 
-    fn dataset(bins: Vec<BinRecord>) -> Dataset {
-        let n = bins.iter().map(|b| b.device.0).max().unwrap_or(0) + 1;
+    fn dataset(n: u32, bins: Vec<BinRecord>) -> Dataset {
         let mut bins = bins;
         bins.sort_by_key(|b| (b.device, b.time));
         Dataset {
@@ -226,8 +295,9 @@ mod tests {
     fn mbps_conversion() {
         // 900 MB in one hourly slot over 2 weeks → 450 MB/week-slot
         // → 450e6 × 8 / 3600 / 1e6 = 1.0 Mbps.
-        let ds = dataset(vec![bin(0, 10, 900_000_000, 0, false)]);
-        let agg = aggregate_series(&ds);
+        let ds = dataset(1, vec![bin(0, 10, 900_000_000, 0, false)]);
+        let agg = aggregate_series(&ds, &DatasetColumns::build(&ds));
+        assert_eq!(agg, aggregate_series_rows(&ds));
         let slot = 10;
         assert!((agg.wifi_rx.mbps[slot] - 1.0).abs() < 1e-9, "{}", agg.wifi_rx.mbps[slot]);
         assert_eq!(agg.wifi_rx.peak_slot(), slot);
@@ -236,25 +306,26 @@ mod tests {
     #[test]
     fn weekly_folding() {
         // Same weekday+hour in two different weeks lands in one slot.
-        let ds = dataset(vec![bin(1, 9, 100, 0, false), bin(8, 9, 100, 0, false)]);
-        let agg = aggregate_series(&ds);
+        let ds = dataset(1, vec![bin(1, 9, 100, 0, false), bin(8, 9, 100, 0, false)]);
+        let agg = aggregate_series(&ds, &DatasetColumns::build(&ds));
         let populated = agg.wifi_rx.mbps.iter().filter(|&&v| v > 0.0).count();
         assert_eq!(populated, 1);
     }
 
     #[test]
     fn wifi_share() {
-        let ds = dataset(vec![bin(0, 10, 670, 330, false)]);
-        let agg = aggregate_series(&ds);
+        let ds = dataset(1, vec![bin(0, 10, 670, 330, false)]);
+        let agg = aggregate_series(&ds, &DatasetColumns::build(&ds));
         // (670+134) / (670+134+330+66) = 0.67.
         assert!((agg.wifi_share() - 0.67).abs() < 0.01, "{}", agg.wifi_share());
     }
 
     #[test]
     fn venue_split_uses_classification() {
-        let ds = dataset(vec![bin(0, 21, 1000, 0, true)]);
+        let ds = dataset(1, vec![bin(0, 21, 1000, 0, true)]);
         let cls = crate::apclass::classify(&ds);
-        let v = venue_series(&ds, &cls);
+        let v = venue_series(&ds, &DatasetColumns::build(&ds), &cls);
+        assert_eq!(v, venue_series_rows(&ds, &cls));
         // Single AP, no night coverage → classified Other; home gets none.
         assert_eq!(v.home.0.mbps.iter().filter(|&&x| x > 0.0).count(), 0);
         // Shares account for "other" implicitly (home+public+office < 1).

@@ -1,0 +1,166 @@
+//! Property test: every columnar analysis pass must produce results
+//! *identical* (bit-exact, including f64 aggregates) to its retained
+//! row-scan reference on arbitrary small datasets. This is the contract
+//! that lets the hot paths scan [`mobitrace_model::DatasetColumns`] while
+//! `Dataset::bins` stays the source of truth.
+
+use mobitrace_core::daily::TrafficClass;
+use mobitrace_core::ratios::ClassFilter;
+use mobitrace_core::{
+    apclass, apps, availability, daily, overview, quality, ratios, timeseries, AnalysisContext,
+};
+use mobitrace_model::{
+    ApEntry, ApRef, AppBin, AppCategory, Band, BinRecord, Bssid, CampaignMeta, Carrier, CellId,
+    Channel, Dataset, Dbm, DeviceId, DeviceInfo, Essid, Os, OsVersion, ScanSummary, SimTime,
+    WifiAssoc, WifiBinState, Year,
+};
+use proptest::prelude::*;
+
+const N_DEV: u32 = 4;
+const N_APS: u32 = 3;
+
+fn wifi_strategy() -> impl Strategy<Value = WifiBinState> {
+    prop_oneof![
+        Just(WifiBinState::Off),
+        Just(WifiBinState::OnUnassociated),
+        (0..N_APS, any::<bool>(), 1u8..=13, -90i16..=-30).prop_map(|(ap, five, ch, rssi)| {
+            WifiBinState::Associated(WifiAssoc {
+                ap: ApRef(ap),
+                band: if five { Band::Ghz5 } else { Band::Ghz24 },
+                channel: Channel(ch),
+                rssi: Dbm::new(rssi),
+            })
+        }),
+    ]
+}
+
+fn apps_strategy() -> impl Strategy<Value = Vec<AppBin>> {
+    proptest::collection::vec(
+        (0usize..AppCategory::ALL.len(), 0u64..2_000_000, 0u64..200_000).prop_map(
+            |(cat, rx, tx)| AppBin { category: AppCategory::ALL[cat], rx_bytes: rx, tx_bytes: tx },
+        ),
+        0..3,
+    )
+}
+
+fn bin_strategy() -> impl Strategy<Value = BinRecord> {
+    (
+        (0..N_DEV, 0u32..7, 0u32..1440, wifi_strategy()),
+        proptest::array::uniform6(0u64..5_000_000),
+        proptest::array::uniform8(0u16..20),
+        apps_strategy(),
+        (-4i16..4, -4i16..4),
+    )
+        .prop_map(|((dev, day, minute, wifi), vol, scan, apps, (gx, gy))| BinRecord {
+            device: DeviceId(dev),
+            time: SimTime::from_day_minute(day, minute),
+            rx_3g: vol[0],
+            tx_3g: vol[1],
+            rx_lte: vol[2],
+            tx_lte: vol[3],
+            rx_wifi: vol[4],
+            tx_wifi: vol[5],
+            wifi,
+            scan: ScanSummary {
+                n24_all: scan[0],
+                n24_strong: scan[1],
+                n5_all: scan[2],
+                n5_strong: scan[3],
+                n24_public_all: scan[4],
+                n24_public_strong: scan[5],
+                n5_public_all: scan[6],
+                n5_public_strong: scan[7],
+            },
+            apps,
+            geo: CellId::new(gx, gy),
+            os_version: OsVersion::new(4, 4),
+        })
+}
+
+/// Assemble a valid dataset: bins sorted by (device, time) and unique per
+/// (device, time), every device present in the device table.
+fn dataset(mut bins: Vec<BinRecord>) -> Dataset {
+    bins.sort_by_key(|b| (b.device, b.time));
+    bins.dedup_by_key(|b| (b.device, b.time));
+    Dataset {
+        meta: CampaignMeta {
+            year: Year::Y2013,
+            start: Year::Y2013.campaign_start(),
+            days: 7,
+            seed: 0,
+        },
+        devices: (0..N_DEV)
+            .map(|i| DeviceInfo {
+                device: DeviceId(i),
+                os: if i % 3 == 2 { Os::Ios } else { Os::Android },
+                carrier: Carrier::ALL[(i % 3) as usize],
+                recruited: true,
+                survey: None,
+                truth: None,
+            })
+            .collect(),
+        aps: (0..N_APS)
+            .map(|i| ApEntry {
+                bssid: Bssid::from_u64(u64::from(i) + 1),
+                essid: Essid::new(format!("ap-{i}")),
+            })
+            .collect(),
+        bins,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn columnar_passes_match_row_references(
+        bins in proptest::collection::vec(bin_strategy(), 0..160),
+    ) {
+        let ds = dataset(bins);
+        let ctx = AnalysisContext::new(&ds);
+        let cols = &ctx.cols;
+
+        prop_assert_eq!(daily::user_days_cols(cols), daily::user_days(&ds));
+        prop_assert_eq!(apclass::classify_cols(&ds, cols), apclass::classify(&ds));
+        prop_assert_eq!(overview::overview(&ds, cols), overview::overview_rows(&ds));
+        prop_assert_eq!(
+            timeseries::aggregate_series(&ds, cols),
+            timeseries::aggregate_series_rows(&ds)
+        );
+        prop_assert_eq!(
+            timeseries::venue_series(&ds, cols, &ctx.aps),
+            timeseries::venue_series_rows(&ds, &ctx.aps)
+        );
+        prop_assert_eq!(
+            quality::rssi_analysis(cols, &ctx.aps),
+            quality::rssi_analysis_rows(&ds, &ctx.aps)
+        );
+        prop_assert_eq!(
+            quality::channel_analysis(cols, &ctx.aps),
+            quality::channel_analysis_rows(&ds, &ctx.aps)
+        );
+        prop_assert_eq!(
+            availability::detected_public_aps(&ds, cols),
+            availability::detected_public_aps_rows(&ds)
+        );
+        prop_assert_eq!(
+            availability::offload_potential(&ds, cols),
+            availability::offload_potential_rows(&ds)
+        );
+        for filter in [ClassFilter::All, ClassFilter::Only(TrafficClass::Heavy)] {
+            prop_assert_eq!(
+                ratios::wifi_traffic_ratio(&ctx, filter),
+                ratios::wifi_traffic_ratio_rows(&ctx, filter)
+            );
+            prop_assert_eq!(
+                ratios::wifi_user_ratio(&ctx, filter),
+                ratios::wifi_user_ratio_rows(&ctx, filter)
+            );
+        }
+        prop_assert_eq!(apps::app_breakdown(&ctx, None), apps::app_breakdown_rows(&ctx, None));
+        prop_assert_eq!(
+            apps::app_breakdown(&ctx, Some(TrafficClass::Light)),
+            apps::app_breakdown_rows(&ctx, Some(TrafficClass::Light))
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! Columnar (structure-of-arrays) view of a [`Dataset`].
+//!
+//! `Dataset::bins` is an array of structs: each [`BinRecord`] is ~150+
+//! bytes with a heap-allocated `Vec<AppBin>`, so a pass that touches only
+//! two counters still drags the whole record (plus a pointer chase) through
+//! cache. [`DatasetColumns`] transposes the bin table once into contiguous
+//! per-field columns — six `Vec<u64>` traffic counters, a one-byte WiFi
+//! state tag with parallel association columns, the scan summary as eight
+//! `u16` columns, and the per-app bins flattened CSR-style (offset array +
+//! one flat `Vec<AppBin>`) — so each analysis pass streams exactly the
+//! bytes it needs.
+//!
+//! `Dataset::bins` stays the source of truth: columns are a derived view,
+//! built in O(n) by [`DatasetColumns::build`] and valid for as long as the
+//! dataset's `bins` vector is unmodified. Row index `i` in every column
+//! corresponds to `ds.bins[i]`, so [`DatasetIndex`](crate::DatasetIndex)
+//! ranges slice columns directly.
+
+use crate::dataset::{ApRef, AppBin, BinRecord, Dataset, ScanSummary, WifiAssoc, WifiBinState};
+use crate::ids::{CellId, DeviceId};
+use crate::net::{Band, Channel};
+use crate::record::OsVersion;
+use crate::time::SimTime;
+use crate::units::Dbm;
+
+/// One-byte discriminant of [`WifiBinState`], stored as its own column so
+/// state filters scan one byte per bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum WifiTag {
+    /// Interface explicitly off.
+    Off = 0,
+    /// On but unassociated.
+    OnUnassociated = 1,
+    /// Associated; the `assoc_*` columns hold the association at this row.
+    Associated = 2,
+}
+
+impl WifiTag {
+    /// The tag of a row state.
+    pub fn of(state: &WifiBinState) -> WifiTag {
+        match state {
+            WifiBinState::Off => WifiTag::Off,
+            WifiBinState::OnUnassociated => WifiTag::OnUnassociated,
+            WifiBinState::Associated(_) => WifiTag::Associated,
+        }
+    }
+
+    /// Interface enabled? Mirrors [`WifiBinState::is_on`].
+    pub fn is_on(self) -> bool {
+        !matches!(self, WifiTag::Off)
+    }
+}
+
+/// [`ScanSummary`] transposed into eight `u16` columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanColumns {
+    /// All 2.4 GHz APs detected.
+    pub n24_all: Vec<u16>,
+    /// 2.4 GHz APs with RSSI ≥ -70 dBm.
+    pub n24_strong: Vec<u16>,
+    /// All 5 GHz APs detected.
+    pub n5_all: Vec<u16>,
+    /// 5 GHz APs with RSSI ≥ -70 dBm.
+    pub n5_strong: Vec<u16>,
+    /// Public-ESSID 2.4 GHz APs detected.
+    pub n24_public_all: Vec<u16>,
+    /// Public-ESSID 2.4 GHz APs with RSSI ≥ -70 dBm.
+    pub n24_public_strong: Vec<u16>,
+    /// Public-ESSID 5 GHz APs detected.
+    pub n5_public_all: Vec<u16>,
+    /// Public-ESSID 5 GHz APs with RSSI ≥ -70 dBm.
+    pub n5_public_strong: Vec<u16>,
+}
+
+impl ScanColumns {
+    fn with_capacity(n: usize) -> ScanColumns {
+        ScanColumns {
+            n24_all: Vec::with_capacity(n),
+            n24_strong: Vec::with_capacity(n),
+            n5_all: Vec::with_capacity(n),
+            n5_strong: Vec::with_capacity(n),
+            n24_public_all: Vec::with_capacity(n),
+            n24_public_strong: Vec::with_capacity(n),
+            n5_public_all: Vec::with_capacity(n),
+            n5_public_strong: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, s: &ScanSummary) {
+        self.n24_all.push(s.n24_all);
+        self.n24_strong.push(s.n24_strong);
+        self.n5_all.push(s.n5_all);
+        self.n5_strong.push(s.n5_strong);
+        self.n24_public_all.push(s.n24_public_all);
+        self.n24_public_strong.push(s.n24_public_strong);
+        self.n5_public_all.push(s.n5_public_all);
+        self.n5_public_strong.push(s.n5_public_strong);
+    }
+
+    /// Reconstruct the row-form summary at row `i`.
+    pub fn summary(&self, i: usize) -> ScanSummary {
+        ScanSummary {
+            n24_all: self.n24_all[i],
+            n24_strong: self.n24_strong[i],
+            n5_all: self.n5_all[i],
+            n5_strong: self.n5_strong[i],
+            n24_public_all: self.n24_public_all[i],
+            n24_public_strong: self.n24_public_strong[i],
+            n5_public_all: self.n5_public_all[i],
+            n5_public_strong: self.n5_public_strong[i],
+        }
+    }
+}
+
+/// Poison AP reference stored in `assoc_ap` for non-associated rows; any
+/// accidental table lookup through it panics instead of aliasing AP 0.
+const NO_AP: ApRef = ApRef(u32::MAX);
+
+/// Structure-of-arrays transpose of `Dataset::bins`.
+///
+/// Every column has one entry per bin record (the CSR `app_offsets` has one
+/// extra trailing entry), in the dataset's (device, time) sort order. For
+/// non-associated rows the `assoc_*` columns hold filler values that must
+/// only be read behind a [`WifiTag::Associated`] check — use
+/// [`wifi_assoc`](DatasetColumns::wifi_assoc) unless scanning `wifi_tag`
+/// explicitly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetColumns {
+    /// Device of each bin.
+    pub device: Vec<DeviceId>,
+    /// Bin start time.
+    pub time: Vec<SimTime>,
+    /// 3G downlink bytes.
+    pub rx_3g: Vec<u64>,
+    /// 3G uplink bytes.
+    pub tx_3g: Vec<u64>,
+    /// LTE downlink bytes.
+    pub rx_lte: Vec<u64>,
+    /// LTE uplink bytes.
+    pub tx_lte: Vec<u64>,
+    /// WiFi downlink bytes.
+    pub rx_wifi: Vec<u64>,
+    /// WiFi uplink bytes.
+    pub tx_wifi: Vec<u64>,
+    /// WiFi interface state tag.
+    pub wifi_tag: Vec<WifiTag>,
+    /// Associated AP (`u32::MAX` poison filler when not associated).
+    pub assoc_ap: Vec<ApRef>,
+    /// Association band (2.4 GHz filler when not associated).
+    pub assoc_band: Vec<Band>,
+    /// Association channel (channel 0 filler when not associated).
+    pub assoc_channel: Vec<Channel>,
+    /// Association max RSSI (0 dBm filler when not associated).
+    pub assoc_rssi: Vec<Dbm>,
+    /// Scan-summary columns.
+    pub scan: ScanColumns,
+    /// CSR offsets into [`apps`](DatasetColumns::apps): bin `i`'s app
+    /// entries are `apps[app_offsets[i]..app_offsets[i + 1]]`. Length is
+    /// `len() + 1`.
+    pub app_offsets: Vec<u32>,
+    /// All per-app-category entries, flattened in bin order.
+    pub apps: Vec<AppBin>,
+    /// Coarse geolocation.
+    pub geo: Vec<CellId>,
+    /// OS version at sample time.
+    pub os_version: Vec<OsVersion>,
+}
+
+impl DatasetColumns {
+    /// Transpose `ds.bins` into columns in one pass.
+    pub fn build(ds: &Dataset) -> DatasetColumns {
+        let n = ds.bins.len();
+        let n_apps = ds.bins.iter().map(|b| b.apps.len()).sum();
+        let mut c = DatasetColumns {
+            device: Vec::with_capacity(n),
+            time: Vec::with_capacity(n),
+            rx_3g: Vec::with_capacity(n),
+            tx_3g: Vec::with_capacity(n),
+            rx_lte: Vec::with_capacity(n),
+            tx_lte: Vec::with_capacity(n),
+            rx_wifi: Vec::with_capacity(n),
+            tx_wifi: Vec::with_capacity(n),
+            wifi_tag: Vec::with_capacity(n),
+            assoc_ap: Vec::with_capacity(n),
+            assoc_band: Vec::with_capacity(n),
+            assoc_channel: Vec::with_capacity(n),
+            assoc_rssi: Vec::with_capacity(n),
+            scan: ScanColumns::with_capacity(n),
+            app_offsets: Vec::with_capacity(n + 1),
+            apps: Vec::with_capacity(n_apps),
+            geo: Vec::with_capacity(n),
+            os_version: Vec::with_capacity(n),
+        };
+        c.app_offsets.push(0);
+        for b in &ds.bins {
+            c.push_bin(b);
+        }
+        c
+    }
+
+    fn push_bin(&mut self, b: &BinRecord) {
+        self.device.push(b.device);
+        self.time.push(b.time);
+        self.rx_3g.push(b.rx_3g);
+        self.tx_3g.push(b.tx_3g);
+        self.rx_lte.push(b.rx_lte);
+        self.tx_lte.push(b.tx_lte);
+        self.rx_wifi.push(b.rx_wifi);
+        self.tx_wifi.push(b.tx_wifi);
+        self.wifi_tag.push(WifiTag::of(&b.wifi));
+        let assoc = b.wifi.assoc();
+        self.assoc_ap.push(assoc.map_or(NO_AP, |a| a.ap));
+        self.assoc_band.push(assoc.map_or(Band::Ghz24, |a| a.band));
+        self.assoc_channel.push(assoc.map_or(Channel(0), |a| a.channel));
+        self.assoc_rssi.push(assoc.map_or(Dbm::new(0), |a| a.rssi));
+        self.scan.push(&b.scan);
+        self.apps.extend_from_slice(&b.apps);
+        self.app_offsets.push(self.apps.len() as u32);
+        self.geo.push(b.geo);
+        self.os_version.push(b.os_version);
+    }
+
+    /// Number of bin rows.
+    pub fn len(&self) -> usize {
+        self.device.len()
+    }
+
+    /// True when no bins were transposed.
+    pub fn is_empty(&self) -> bool {
+        self.device.is_empty()
+    }
+
+    /// Total cellular downlink bytes at row `i` (mirrors
+    /// [`BinRecord::rx_cell`]).
+    pub fn rx_cell(&self, i: usize) -> u64 {
+        self.rx_3g[i] + self.rx_lte[i]
+    }
+
+    /// Total cellular uplink bytes at row `i` (mirrors
+    /// [`BinRecord::tx_cell`]).
+    pub fn tx_cell(&self, i: usize) -> u64 {
+        self.tx_3g[i] + self.tx_lte[i]
+    }
+
+    /// Total downlink bytes at row `i` (mirrors [`BinRecord::rx_total`]).
+    pub fn rx_total(&self, i: usize) -> u64 {
+        self.rx_cell(i) + self.rx_wifi[i]
+    }
+
+    /// Total uplink bytes at row `i` (mirrors [`BinRecord::tx_total`]).
+    pub fn tx_total(&self, i: usize) -> u64 {
+        self.tx_cell(i) + self.tx_wifi[i]
+    }
+
+    /// The associated AP at row `i`, if the bin was associated. Cheaper
+    /// than [`wifi_assoc`](DatasetColumns::wifi_assoc) for passes that only
+    /// need the AP reference: it touches the tag and AP columns only.
+    pub fn assoc_ap_of(&self, i: usize) -> Option<ApRef> {
+        (self.wifi_tag[i] == WifiTag::Associated).then(|| self.assoc_ap[i])
+    }
+
+    /// The association at row `i`, if the bin was associated.
+    pub fn wifi_assoc(&self, i: usize) -> Option<WifiAssoc> {
+        (self.wifi_tag[i] == WifiTag::Associated).then(|| WifiAssoc {
+            ap: self.assoc_ap[i],
+            band: self.assoc_band[i],
+            channel: self.assoc_channel[i],
+            rssi: self.assoc_rssi[i],
+        })
+    }
+
+    /// Reconstruct the row-form WiFi state at row `i`.
+    pub fn wifi_state(&self, i: usize) -> WifiBinState {
+        match self.wifi_tag[i] {
+            WifiTag::Off => WifiBinState::Off,
+            WifiTag::OnUnassociated => WifiBinState::OnUnassociated,
+            WifiTag::Associated => {
+                WifiBinState::Associated(self.wifi_assoc(i).expect("tag says associated"))
+            }
+        }
+    }
+
+    /// The per-app entries of bin `i` (empty for iOS bins).
+    pub fn apps_of(&self, i: usize) -> &[AppBin] {
+        &self.apps[self.app_offsets[i] as usize..self.app_offsets[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppCategory;
+    use crate::dataset::*;
+    use crate::ids::{Bssid, Essid};
+    use crate::record::Os;
+    use crate::time::Year;
+
+    fn bin(dev: u32, minute: u32, wifi: WifiBinState, apps: Vec<AppBin>) -> BinRecord {
+        BinRecord {
+            device: DeviceId(dev),
+            time: SimTime::from_minutes(minute),
+            rx_3g: 1,
+            tx_3g: 2,
+            rx_lte: 3,
+            tx_lte: 4,
+            rx_wifi: 5,
+            tx_wifi: 6,
+            wifi,
+            scan: ScanSummary { n24_all: 7, n5_strong: 8, ..ScanSummary::default() },
+            apps,
+            geo: CellId::new(1, -2),
+            os_version: OsVersion::new(8, 1),
+        }
+    }
+
+    fn dataset(bins: Vec<BinRecord>) -> Dataset {
+        let n_devices = bins.iter().map(|b| b.device.0 + 1).max().unwrap_or(0);
+        let mut bins = bins;
+        bins.sort_by_key(|b| (b.device, b.time));
+        Dataset {
+            meta: CampaignMeta {
+                year: Year::Y2015,
+                start: Year::Y2015.campaign_start(),
+                days: 28,
+                seed: 0,
+            },
+            devices: (0..n_devices)
+                .map(|i| DeviceInfo {
+                    device: DeviceId(i),
+                    os: Os::Android,
+                    carrier: Carrier::A,
+                    recruited: true,
+                    survey: None,
+                    truth: None,
+                })
+                .collect(),
+            aps: vec![ApEntry { bssid: Bssid::from_u64(1), essid: Essid::new("x") }],
+            bins,
+        }
+    }
+
+    fn assoc() -> WifiBinState {
+        WifiBinState::Associated(WifiAssoc {
+            ap: ApRef(0),
+            band: Band::Ghz5,
+            channel: Channel(48),
+            rssi: Dbm::new(-62),
+        })
+    }
+
+    fn app(cat: AppCategory, rx: u64) -> AppBin {
+        AppBin { category: cat, rx_bytes: rx, tx_bytes: rx / 2 }
+    }
+
+    #[test]
+    fn transpose_reconstructs_every_row() {
+        let ds = dataset(vec![
+            bin(0, 0, WifiBinState::Off, vec![app(AppCategory::Social, 10)]),
+            bin(0, 10, assoc(), vec![app(AppCategory::Video, 20), app(AppCategory::Game, 30)]),
+            bin(1, 0, WifiBinState::OnUnassociated, vec![]),
+        ]);
+        let c = DatasetColumns::build(&ds);
+        assert_eq!(c.len(), ds.bins.len());
+        assert_eq!(c.app_offsets.len(), ds.bins.len() + 1);
+        for (i, b) in ds.bins.iter().enumerate() {
+            assert_eq!(c.device[i], b.device);
+            assert_eq!(c.time[i], b.time);
+            assert_eq!(
+                (c.rx_3g[i], c.tx_3g[i], c.rx_lte[i], c.tx_lte[i], c.rx_wifi[i], c.tx_wifi[i]),
+                (b.rx_3g, b.tx_3g, b.rx_lte, b.tx_lte, b.rx_wifi, b.tx_wifi),
+            );
+            assert_eq!(c.wifi_state(i), b.wifi);
+            assert_eq!(c.wifi_assoc(i).as_ref(), b.wifi.assoc());
+            assert_eq!(c.scan.summary(i), b.scan);
+            assert_eq!(c.apps_of(i), b.apps.as_slice());
+            assert_eq!(c.geo[i], b.geo);
+            assert_eq!(c.os_version[i], b.os_version);
+            assert_eq!(c.rx_cell(i), b.rx_cell());
+            assert_eq!(c.tx_cell(i), b.tx_cell());
+            assert_eq!(c.rx_total(i), b.rx_total());
+            assert_eq!(c.tx_total(i), b.tx_total());
+            assert_eq!(c.assoc_ap_of(i), b.wifi.assoc().map(|a| a.ap));
+        }
+    }
+
+    #[test]
+    fn tags_mirror_states() {
+        assert_eq!(WifiTag::of(&WifiBinState::Off), WifiTag::Off);
+        assert!(!WifiTag::Off.is_on());
+        assert!(WifiTag::OnUnassociated.is_on());
+        assert!(WifiTag::Associated.is_on());
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_columns() {
+        let c = DatasetColumns::build(&dataset(vec![]));
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.app_offsets, vec![0]);
+        assert!(c.apps.is_empty());
+    }
+
+    #[test]
+    fn csr_concatenates_in_bin_order() {
+        let ds = dataset(vec![
+            bin(0, 0, WifiBinState::Off, vec![app(AppCategory::Social, 1)]),
+            bin(0, 10, WifiBinState::Off, vec![]),
+            bin(
+                0,
+                20,
+                WifiBinState::Off,
+                vec![app(AppCategory::Video, 2), app(AppCategory::Browser, 3)],
+            ),
+        ]);
+        let c = DatasetColumns::build(&ds);
+        assert_eq!(c.app_offsets, vec![0, 1, 1, 3]);
+        assert_eq!(c.apps.len(), 3);
+        assert!(c.apps_of(1).is_empty());
+        assert_eq!(c.apps_of(2).len(), 2);
+    }
+}

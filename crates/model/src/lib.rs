@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod columns;
 pub mod dataset;
 pub mod error;
 pub mod ids;
@@ -31,6 +32,7 @@ pub mod units;
 pub mod wellknown;
 
 pub use apps::AppCategory;
+pub use columns::{DatasetColumns, ScanColumns, WifiTag};
 pub use dataset::{
     ApEntry, ApRef, AppBin, BinRecord, CampaignMeta, Carrier, Dataset, DeviceInfo, GroundTruth,
     Occupation, ScanSummary, SurveyLocation, SurveyReason, SurveyResponse, WifiAssoc, WifiBinState,

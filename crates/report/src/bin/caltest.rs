@@ -9,10 +9,10 @@ fn main() {
         let (ds, summary) = run_campaign(&cfg);
         let ctx = core_::AnalysisContext::new(&ds);
         let vt = core_::volume::volume_table(&ctx.days);
-        let agg = core_::timeseries::aggregate_series(&ds);
+        let agg = core_::timeseries::aggregate_series(&ds, &ctx.cols);
         let types = core_::usertype::user_type_shares(&ctx.days);
-        let ov = core_::overview::overview(&ds);
-        let venues = core_::timeseries::venue_series(&ds, &ctx.aps);
+        let ov = core_::overview::overview(&ds, &ctx.cols);
+        let venues = core_::timeseries::venue_series(&ds, &ctx.cols, &ctx.aps);
         let f9a = core_::wifistate::wifi_state_series(&ds, mobitrace_model::Os::Android);
         let off_bh = core_::wifistate::business_hours_mean(&f9a.off);
         let score = core_::apclass::score_home_inference(&ds, &ctx.aps);

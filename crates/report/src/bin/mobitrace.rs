@@ -10,7 +10,7 @@
 //! mobitrace bench [--scale S] [--seed N] [--json PATH]
 //! ```
 
-use mobitrace_collector::{clean, encode_frame, CleanOptions, CollectionServer};
+use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
 use mobitrace_model::{
     AssocInfo, Band, Bssid, ByteCount, CampaignMeta, Carrier, CellId, Channel, CounterSnapshot,
     Dbm, DeviceId, DeviceInfo, Essid, Os, OsVersion, Record, ScanSummary, SimTime, WifiState, Year,
@@ -191,6 +191,21 @@ fn main() {
     }
 }
 
+/// Best-of-5 wall clock for one analysis pass.
+fn time_pass<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn rows_cols(rows_s: f64, cols_s: f64) -> serde_json::Value {
+    serde_json::json!({ "rows_s": rows_s, "cols_s": cols_s })
+}
+
 /// Synthetic upload record for the contended-ingest stage: cumulative
 /// counters growing with `k` so the cleaning stage reconstructs non-empty
 /// bins.
@@ -239,14 +254,30 @@ fn run_pipeline_bench(args: &Args) {
     const N_DEVICES: u32 = 200;
     const PER_DEVICE: u32 = 240;
     const THREADS: usize = 8;
-    let mut chunks: Vec<Vec<bytes::Bytes>> = (0..THREADS).map(|_| Vec::new()).collect();
+    let mut records_by_slot: Vec<Vec<Record>> = (0..THREADS).map(|_| Vec::new()).collect();
     for d in 0..N_DEVICES {
         let slot = (d as usize) % THREADS;
         for k in 0..PER_DEVICE {
-            chunks[slot].push(encode_frame(&bench_record(d, k)));
+            records_by_slot[slot].push(bench_record(d, k));
         }
     }
+    let t = std::time::Instant::now();
+    let mut scratch = bytes::BytesMut::new();
+    let chunks: Vec<Vec<bytes::Bytes>> = records_by_slot
+        .iter()
+        .map(|records| {
+            records
+                .iter()
+                .map(|r| {
+                    encode_frame_into(r, &mut scratch);
+                    scratch.split().freeze()
+                })
+                .collect()
+        })
+        .collect();
+    let encode_s = t.elapsed().as_secs_f64();
     let n_frames: usize = chunks.iter().map(Vec::len).sum();
+    eprintln!("  encode ({n_frames} frames, shared scratch): {encode_s:.3}s");
     let timed = |server: &CollectionServer| -> f64 {
         let t = std::time::Instant::now();
         std::thread::scope(|scope| {
@@ -270,6 +301,27 @@ fn run_pipeline_bench(args: &Args) {
         "  ingest ({THREADS} threads, {n_frames} frames): {n_shards} shards {ingest_s:.3}s \
          vs single lock {ingest_single_shard_s:.3}s ({speedup:.1}x)"
     );
+
+    // Same records as one contiguous upload buffer per producer: the
+    // streaming batch path (one decode pass, one store pass per buffer).
+    let streams: Vec<bytes::Bytes> = records_by_slot
+        .iter()
+        .map(|records| {
+            let mut buf = bytes::BytesMut::new();
+            encode_batch(records, &mut buf);
+            buf.freeze()
+        })
+        .collect();
+    let stream_server = CollectionServer::new();
+    let t = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for s in &streams {
+            let server = &stream_server;
+            scope.spawn(move || server.ingest_stream(s.clone()));
+        }
+    });
+    let ingest_stream_s = t.elapsed().as_secs_f64();
+    eprintln!("  ingest ({THREADS} contiguous stream buffers): {ingest_stream_s:.3}s");
 
     let records = sharded.into_records();
     let devices: Vec<DeviceInfo> = (0..N_DEVICES)
@@ -298,6 +350,67 @@ fn run_pipeline_bench(args: &Args) {
     let context_s = t.elapsed().as_secs_f64();
     eprintln!("  contexts: {context_s:.2}s");
 
+    // Per-pass timings on the 2015 campaign: each columnar hot pass vs the
+    // retained row-scan reference it is property-tested against.
+    use mobitrace_core::{apclass, apps, availability, daily, overview, quality, ratios, timeseries};
+    let ds15 = set.year(Year::Y2015);
+    let ctx15 = &ctxs[2];
+    let cols = &ctx15.cols;
+    let aps = &ctx15.aps;
+    let all = ratios::ClassFilter::All;
+    let t = std::time::Instant::now();
+    let passes = serde_json::json!({
+        "user_days": rows_cols(
+            time_pass(|| daily::user_days(ds15)),
+            time_pass(|| daily::user_days_cols(cols)),
+        ),
+        "apclass": rows_cols(
+            time_pass(|| apclass::classify(ds15)),
+            time_pass(|| apclass::classify_cols(ds15, cols)),
+        ),
+        "overview": rows_cols(
+            time_pass(|| overview::overview_rows(ds15)),
+            time_pass(|| overview::overview(ds15, cols)),
+        ),
+        "aggregate_series": rows_cols(
+            time_pass(|| timeseries::aggregate_series_rows(ds15)),
+            time_pass(|| timeseries::aggregate_series(ds15, cols)),
+        ),
+        "venue_series": rows_cols(
+            time_pass(|| timeseries::venue_series_rows(ds15, aps)),
+            time_pass(|| timeseries::venue_series(ds15, cols, aps)),
+        ),
+        "rssi": rows_cols(
+            time_pass(|| quality::rssi_analysis_rows(ds15, aps)),
+            time_pass(|| quality::rssi_analysis(cols, aps)),
+        ),
+        "channels": rows_cols(
+            time_pass(|| quality::channel_analysis_rows(ds15, aps)),
+            time_pass(|| quality::channel_analysis(cols, aps)),
+        ),
+        "public_aps": rows_cols(
+            time_pass(|| availability::detected_public_aps_rows(ds15)),
+            time_pass(|| availability::detected_public_aps(ds15, cols)),
+        ),
+        "offload": rows_cols(
+            time_pass(|| availability::offload_potential_rows(ds15)),
+            time_pass(|| availability::offload_potential(ds15, cols)),
+        ),
+        "wifi_traffic_ratio": rows_cols(
+            time_pass(|| ratios::wifi_traffic_ratio_rows(ctx15, all)),
+            time_pass(|| ratios::wifi_traffic_ratio(ctx15, all)),
+        ),
+        "wifi_user_ratio": rows_cols(
+            time_pass(|| ratios::wifi_user_ratio_rows(ctx15, all)),
+            time_pass(|| ratios::wifi_user_ratio(ctx15, all)),
+        ),
+        "app_breakdown": rows_cols(
+            time_pass(|| apps::app_breakdown_rows(ctx15, None)),
+            time_pass(|| apps::app_breakdown(ctx15, None)),
+        ),
+    });
+    eprintln!("  per-pass rows-vs-cols timings: {:.2}s", t.elapsed().as_secs_f64());
+
     let t = std::time::Instant::now();
     let mut n_reports = 0usize;
     for id in all_experiment_ids() {
@@ -313,7 +426,9 @@ fn run_pipeline_bench(args: &Args) {
         "seed": args.seed,
         "stages": {
             "simulate_s": simulate_s,
+            "encode_s": encode_s,
             "ingest_s": ingest_s,
+            "ingest_stream_s": ingest_stream_s,
             "clean_s": clean_s,
             "context_s": context_s,
             "experiments_s": experiments_s,
@@ -325,7 +440,9 @@ fn run_pipeline_bench(args: &Args) {
             "sharded_s": ingest_s,
             "single_shard_s": ingest_single_shard_s,
             "speedup": speedup,
+            "stream_s": ingest_stream_s,
         },
+        "passes": passes,
         "experiments": n_reports,
     });
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

@@ -28,9 +28,9 @@ pub(super) fn fig1() -> ExperimentReport {
     }
 }
 
-pub(super) fn fig2(set: &CampaignSet) -> ExperimentReport {
-    let agg = mobitrace_core::timeseries::aggregate_series(set.year(Year::Y2015));
-    let agg13 = mobitrace_core::timeseries::aggregate_series(set.year(Year::Y2013));
+pub(super) fn fig2(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
+    let agg = mobitrace_core::timeseries::aggregate_series(set.year(Year::Y2015), &ctxs[2].cols);
+    let agg13 = mobitrace_core::timeseries::aggregate_series(set.year(Year::Y2013), &ctxs[0].cols);
     let mut rendering = String::from("2015 weekly aggregated volume (hourly, Sat→Fri):\n");
     for (name, s) in [
         ("Cellular RX", &agg.cell_rx),
@@ -348,7 +348,8 @@ pub(super) fn fig11(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
     let mut rendering = String::new();
     let mut metrics = Vec::new();
     for (y, year) in [(0usize, Year::Y2013), (2, Year::Y2015)] {
-        let v = mobitrace_core::timeseries::venue_series(set.year(year), &ctxs[y].aps);
+        let v =
+            mobitrace_core::timeseries::venue_series(set.year(year), &ctxs[y].cols, &ctxs[y].aps);
         rendering.push_str(&format!(
             "{}: home RX {}\n      public RX {}\n      office RX {}\n",
             YEAR_LABELS[y],
@@ -504,8 +505,8 @@ pub(super) fn fig14(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
     }
 }
 
-pub(super) fn fig15(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
-    let r = mobitrace_core::quality::rssi_analysis(set.year(Year::Y2015), &ctxs[2].aps);
+pub(super) fn fig15(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
+    let r = mobitrace_core::quality::rssi_analysis(&ctxs[2].cols, &ctxs[2].aps);
     let mut rendering = String::from("2015 max-RSSI PDFs (2.4 GHz):\n");
     let pdf_line = |h: &mobitrace_core::stats::Histogram| {
         sparkline(&downsample(&h.pdf().iter().map(|(_, d)| *d).collect::<Vec<_>>(), 50))
@@ -525,9 +526,9 @@ pub(super) fn fig15(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
     }
 }
 
-pub(super) fn fig16(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
-    let c13 = mobitrace_core::quality::channel_analysis(set.year(Year::Y2013), &ctxs[0].aps);
-    let c15 = mobitrace_core::quality::channel_analysis(set.year(Year::Y2015), &ctxs[2].aps);
+pub(super) fn fig16(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
+    let c13 = mobitrace_core::quality::channel_analysis(&ctxs[0].cols, &ctxs[0].aps);
+    let c15 = mobitrace_core::quality::channel_analysis(&ctxs[2].cols, &ctxs[2].aps);
     let mut rendering = String::from("2.4 GHz channel distribution (ch1..ch13):\n");
     rendering.push_str(&format!("2013 home   {}\n", sparkline(&c13.home)));
     rendering.push_str(&format!("2013 public {}\n", sparkline(&c13.public)));
@@ -546,9 +547,10 @@ pub(super) fn fig16(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> Exper
     }
 }
 
-pub(super) fn fig17(set: &CampaignSet) -> ExperimentReport {
-    let d = mobitrace_core::availability::detected_public_aps(set.year(Year::Y2015));
-    let d13 = mobitrace_core::availability::detected_public_aps(set.year(Year::Y2013));
+pub(super) fn fig17(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
+    let d = mobitrace_core::availability::detected_public_aps(set.year(Year::Y2015), &ctxs[2].cols);
+    let d13 =
+        mobitrace_core::availability::detected_public_aps(set.year(Year::Y2013), &ctxs[0].cols);
     let below10 = if d.g24_all.is_empty() {
         0.0
     } else {
@@ -651,8 +653,11 @@ pub(super) fn fig19(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     }
 }
 
-pub(super) fn offload_potential(set: &CampaignSet) -> ExperimentReport {
-    let o = mobitrace_core::availability::offload_potential(set.year(Year::Y2015));
+pub(super) fn offload_potential(
+    set: &CampaignSet,
+    ctxs: &[AnalysisContext<'_>; 3],
+) -> ExperimentReport {
+    let o = mobitrace_core::availability::offload_potential(set.year(Year::Y2015), &ctxs[2].cols);
     let rendering = format!(
         "WiFi-available devices: {}\nwith ≥1 strong public AP encounter: {:.0}%\noffloadable share of their cellular RX: {:.0}%\n",
         o.available_devices,
@@ -678,7 +683,11 @@ pub(super) fn implications_report(
     set: &CampaignSet,
     ctxs: &[AnalysisContext<'_>; 3],
 ) -> ExperimentReport {
-    let venues = mobitrace_core::timeseries::venue_series(set.year(Year::Y2015), &ctxs[2].aps);
+    let venues = mobitrace_core::timeseries::venue_series(
+        set.year(Year::Y2015),
+        &ctxs[2].cols,
+        &ctxs[2].aps,
+    );
     let imp = mobitrace_core::implications::implications(&ctxs[2].days, &venues);
     let rendering = format!(
         "median daily WiFi {:.1} MB vs cellular {:.1} MB → ratio {:.2}\nhome share of WiFi {:.2}\nsmartphone share of residential broadband {:.2}\nper-home smartphone share {:.2}\n",

@@ -126,7 +126,7 @@ pub fn run_experiment(
     ctxs: &[AnalysisContext<'_>; 3],
 ) -> Option<ExperimentReport> {
     Some(match id {
-        "table1" => tables::table1(set),
+        "table1" => tables::table1(set, ctxs),
         "table2" => tables::table2(set),
         "table3" => tables::table3(ctxs),
         "table4" => tables::table4(set, ctxs),
@@ -136,7 +136,7 @@ pub fn run_experiment(
         "table8" => tables::table8(set),
         "table9" => tables::table9(set),
         "fig1" => figures::fig1(),
-        "fig2" => figures::fig2(set),
+        "fig2" => figures::fig2(set, ctxs),
         "fig3" => figures::fig3(ctxs),
         "fig4" => figures::fig4(ctxs),
         "fig5" => figures::fig5(ctxs),
@@ -149,12 +149,12 @@ pub fn run_experiment(
         "fig12" => figures::fig12(set, ctxs),
         "fig13" => figures::fig13(set, ctxs),
         "fig14" => figures::fig14(set, ctxs),
-        "fig15" => figures::fig15(set, ctxs),
-        "fig16" => figures::fig16(set, ctxs),
-        "fig17" => figures::fig17(set),
+        "fig15" => figures::fig15(ctxs),
+        "fig16" => figures::fig16(ctxs),
+        "fig17" => figures::fig17(set, ctxs),
         "fig18" => figures::fig18(set, ctxs),
         "fig19" => figures::fig19(ctxs),
-        "offload_potential" => figures::offload_potential(set),
+        "offload_potential" => figures::offload_potential(set, ctxs),
         "implications" => figures::implications_report(set, ctxs),
         "home_inference" => tables::home_inference(set, ctxs),
         "home_rule_sweep" => figures::home_rule_sweep_report(set),

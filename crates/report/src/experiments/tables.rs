@@ -10,13 +10,13 @@ use mobitrace_core::stats::annual_growth_rate;
 use mobitrace_core::{overview, AnalysisContext};
 use mobitrace_model::{Occupation, SurveyReason, Year};
 
-pub(super) fn table1(set: &CampaignSet) -> ExperimentReport {
+pub(super) fn table1(set: &CampaignSet, ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     let mut t = Table::new(vec!["year", "duration", "#And", "#iOS", "#total", "%LTE traffic"]);
     let mut metrics = Vec::new();
     let paper_totals = [1755.0, 1676.0, 1616.0];
     let paper_lte = [0.32, 0.70, 0.80];
     for (i, year) in Year::ALL.iter().enumerate() {
-        let o = overview::overview(set.year(*year));
+        let o = overview::overview(set.year(*year), &ctxs[i].cols);
         t.row(vec![
             o.year.to_string(),
             format!("{} - {}", o.window.0, o.window.1),

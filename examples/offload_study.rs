@@ -40,7 +40,7 @@ fn main() {
             types.mixed * 100.0
         );
 
-        let venues = venue_series(&ds, &ctx.aps);
+        let venues = venue_series(&ds, &ctx.cols, &ctx.aps);
         println!(
             "  WiFi volume split   {:.1}% home / {:.1}% public / {:.1}% office",
             venues.shares.0 * 100.0,
@@ -49,7 +49,7 @@ fn main() {
         );
 
         if year == Year::Y2015 {
-            let pot = offload_potential(&ds);
+            let pot = offload_potential(&ds, &ctx.cols);
             println!(
                 "\n  §3.5 offload potential: {:.0}% of WiFi-available users encounter a strong\n  \
                  public AP; {:.0}% of their cellular download is offloadable (paper: 15–20%)",

@@ -20,7 +20,10 @@ fn paper_trends_hold_end_to_end() {
     // (1) WiFi share of aggregate volume grows and exceeds half by 2015.
     let shares: Vec<f64> = Year::ALL
         .iter()
-        .map(|y| mobitrace_core::timeseries::aggregate_series(set.year(*y)).wifi_share())
+        .zip(&ctxs)
+        .map(|(y, c)| {
+            mobitrace_core::timeseries::aggregate_series(set.year(*y), &c.cols).wifi_share()
+        })
         .collect();
     assert!(shares[0] < shares[2], "WiFi share must grow: {shares:?}");
     assert!(shares[2] > 0.55 && shares[2] < 0.8, "2015 share {:.2}", shares[2]);
@@ -52,7 +55,11 @@ fn paper_trends_hold_end_to_end() {
     }
 
     // (5) Home carries the vast majority of WiFi volume.
-    let venues = mobitrace_core::timeseries::venue_series(set.year(Year::Y2015), &ctxs[2].aps);
+    let venues = mobitrace_core::timeseries::venue_series(
+        set.year(Year::Y2015),
+        &ctxs[2].cols,
+        &ctxs[2].aps,
+    );
     assert!(venues.shares.0 > 0.75, "home share {:.2}", venues.shares.0);
 
     // (6) Public AP deployment (unique associated pairs) roughly doubles.

@@ -247,6 +247,64 @@ fn bench_world(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scan hot path unbundled: allocating scan vs buffer reuse vs
+/// scan-plan construction (the once-per-cell cost) vs plan replay (the
+/// per-step cost the cached device loop pays).
+fn bench_world_scan(c: &mut Criterion) {
+    use mobitrace_radio::GaussianPair;
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    let res = DensitySurface::residential();
+    let homes: Vec<(u32, mobitrace_geo::GeoPoint)> =
+        (0..80).map(|k| (k, res.sample_point(&mut rng))).collect();
+    // Probe at a participant home: the dense-neighbourhood case the device
+    // loop hits most often.
+    let probe = homes[0].1;
+    let pois = PoiSet::generate(40, &mut rng);
+    let spec = WorldSpec {
+        params: DeployParams::for_year(Year::Y2015),
+        participant_homes: homes,
+        office_sites: vec![],
+        pois,
+        n_participants: 100,
+        fon_home_share: 0.03,
+    };
+    let world = ApWorld::generate(&spec, &mut rng);
+    let mut group = c.benchmark_group("world_scan");
+    group.bench_function("scan_alloc", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(world.scan(probe, &mut r)))
+    });
+    group.bench_function("scan_into", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut buf = Vec::new();
+        b.iter(|| {
+            world.scan_into(probe, &mut r, &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group
+        .bench_function("plan_build", |b| b.iter(|| black_box(world.build_scan_plan(probe).len())));
+    group.bench_function("plan_sample", |b| {
+        let plan = world.build_scan_plan(probe);
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut gauss = GaussianPair::new();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            plan.sample(&mut r, &mut gauss, |e, rssi| buf.push(e.obs(rssi)));
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("background_homes_into", |b| {
+        let mut ids = Vec::new();
+        b.iter(|| {
+            world.background_homes_near_into(probe, 60.0, &mut ids);
+            black_box(ids.len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_classification(c: &mut Criterion) {
     let set = bench_set();
     let ds = set.year(Year::Y2015);
@@ -315,6 +373,7 @@ criterion_group!(
     bench_server_ingest,
     bench_contended_ingest,
     bench_world,
+    bench_world_scan,
     bench_classification,
     bench_context_build,
     bench_rng_streams,

@@ -15,7 +15,9 @@
 //! evaluation the original study could not perform.
 
 use crate::daily::TrafficClass;
-use mobitrace_model::{is_public_essid, ApRef, Dataset, DatasetColumns, DeviceId, SimTime, Weekday};
+use mobitrace_model::{
+    is_public_essid, ApRef, Dataset, DatasetColumns, DeviceId, SimTime, Weekday,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 

@@ -13,10 +13,12 @@
 
 pub mod ap;
 pub mod evolution;
+pub mod scanplan;
 pub mod spatial;
 pub mod world;
 
 pub use ap::{Ap, ApId, Venue};
 pub use evolution::DeployParams;
+pub use scanplan::{PlanEntry, PlanKey, ScanPlan, ScanPlanCache};
 pub use spatial::SpatialIndex;
 pub use world::ApWorld;

@@ -1,0 +1,165 @@
+//! Position-keyed scan plans: the deterministic half of a WiFi scan,
+//! computed once and replayed with fresh shadowing noise every bin.
+//!
+//! A scan at a fixed position always considers the same candidate radios
+//! with the same mean RSSI — only the shadowing (and, indoors, the
+//! device↔AP micro-distance) is stochastic. Devices spend most bins at a
+//! handful of anchor positions (home, office, friend homes), so the
+//! spatial-index walk, the exact distance math and the per-radio
+//! coefficient derivation can be hoisted out of the per-bin hot path into
+//! a [`ScanPlan`] keyed by a quantized position. Sampling a plan is then
+//! pure arithmetic: one uniform draw for indoor entries, one gaussian per
+//! entry, a clamp and a floor test.
+//!
+//! Plans are built from the *cell centre* of the quantized key, never from
+//! the query position, so every thread derives the identical plan for a
+//! key. That keeps the shared cache free of scheduling effects: a cache
+//! hit or miss can change timing but never content, preserving the
+//! campaign's cross-thread determinism.
+
+use crate::ap::ApId;
+use crate::world::{ApWorld, ScanObs, SCAN_FLOOR};
+use mobitrace_model::{Band, Channel, Dbm};
+use mobitrace_radio::GaussianPair;
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Quantized-position key of a scan plan: metre-grid cell indexes
+/// (east, north) relative to the world's spatial origin.
+pub type PlanKey = (i32, i32);
+
+/// Edge length of the plan quantization grid (metres). Anchor positions
+/// repeat exactly, so 1 m merges float jitter without blurring RSSI:
+/// moving ≤ 1 m changes the mean by well under the shadowing σ.
+pub const PLAN_QUANT_M: f64 = 1.0;
+
+/// Entries whose best-case mean stays `PRUNE_SIGMA` standard deviations
+/// under the scan floor are dropped at plan build: detection odds are
+/// below 1e-15, statistically invisible over any campaign.
+pub(crate) const PRUNE_SIGMA: f64 = 8.0;
+
+/// Capacity bound for the shared plan cache. Popular cells (stations,
+/// offices, dense residential blocks) fit comfortably; beyond the cap new
+/// cells are built on demand without being retained.
+const SHARED_PLAN_CAP: usize = 1 << 15;
+
+/// One candidate radio in a scan plan, with its deterministic signal
+/// parameters folded in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEntry {
+    /// Which AP.
+    pub ap: ApId,
+    /// Radio index within the AP.
+    pub radio: u8,
+    /// Band of the radio's beacon.
+    pub band: Band,
+    /// Channel of the radio's beacon.
+    pub channel: Channel,
+    /// Whether the AP is a public-provider venue (pre-resolved so scan
+    /// summaries need no AP table lookup per observation).
+    pub public: bool,
+    /// Shadowing standard deviation σ (dB).
+    pub sigma_db: f64,
+    /// Mean RSSI (dBm) at the plan position; for indoor entries, the mean
+    /// at the *near* edge of the venue's distance range.
+    pub mean_db: f64,
+    /// Mean-RSSI spread (dB) across the indoor distance range: 0 for
+    /// geometric (outdoor) entries, `indoor_span_db` for indoor ones.
+    pub span_db: f64,
+}
+
+impl PlanEntry {
+    /// Materialise a [`ScanObs`] for this entry at a sampled RSSI.
+    pub fn obs(&self, rssi: Dbm) -> ScanObs {
+        ScanObs { ap: self.ap, radio: self.radio, band: self.band, channel: self.channel, rssi }
+    }
+}
+
+/// The deterministic candidate list for one quantized position.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanPlan {
+    /// Candidate radios in spatial-index visit order (deterministic).
+    pub entries: Vec<PlanEntry>,
+}
+
+impl ScanPlan {
+    /// Sample one scan from the plan: per entry, draw the indoor
+    /// micro-distance (one uniform — the mean is linear in it) and the
+    /// shadowing deviate, clamp to the chipset range, and emit every
+    /// observation clearing the scan floor through `on_obs`.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        gauss: &mut GaussianPair,
+        mut on_obs: impl FnMut(&PlanEntry, Dbm),
+    ) {
+        for e in &self.entries {
+            let mean = if e.span_db > 0.0 {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                e.mean_db - u * e.span_db
+            } else {
+                e.mean_db
+            };
+            let rssi = Dbm::from_f64((mean + gauss.sample(rng) * e.sigma_db).clamp(-95.0, -20.0));
+            if rssi >= SCAN_FLOOR {
+                on_obs(e, rssi);
+            }
+        }
+    }
+
+    /// Number of candidate entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no radio can be heard at this position.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Shared, thread-safe cache of scan plans for popular cells.
+///
+/// Reads take a shared lock; a miss builds the plan *outside* any lock
+/// (plans are pure functions of world + key, so concurrent builders
+/// produce identical plans) and publishes it under the write lock unless
+/// another thread won the race or the cache is at capacity.
+#[derive(Debug, Default)]
+pub struct ScanPlanCache {
+    shared: RwLock<HashMap<PlanKey, Arc<ScanPlan>>>,
+}
+
+impl ScanPlanCache {
+    /// New empty cache.
+    pub fn new() -> ScanPlanCache {
+        ScanPlanCache { shared: RwLock::new(HashMap::new()) }
+    }
+
+    /// The plan for a quantized position, built and published on miss.
+    pub fn plan(&self, world: &ApWorld, key: PlanKey) -> Arc<ScanPlan> {
+        if let Some(p) = self.shared.read().get(&key) {
+            return Arc::clone(p);
+        }
+        let built = Arc::new(world.build_scan_plan(world.plan_cell_centre(key)));
+        let mut w = self.shared.write();
+        if let Some(p) = w.get(&key) {
+            return Arc::clone(p);
+        }
+        if w.len() < SHARED_PLAN_CAP {
+            w.insert(key, Arc::clone(&built));
+        }
+        built
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.shared.read().len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -6,7 +6,7 @@
 //! answers "which items lie within `r` metres of `p`" by scanning the
 //! covering bucket window.
 
-use mobitrace_geo::{point::KM_PER_DEG_LAT, point::KM_PER_DEG_LON, GeoPoint};
+use mobitrace_geo::GeoPoint;
 use std::collections::HashMap;
 
 /// Spatial hash over item indexes.
@@ -26,9 +26,18 @@ impl SpatialIndex {
     }
 
     fn bucket_of(&self, p: GeoPoint) -> (i32, i32) {
-        let east_m = (p.lon - self.origin.lon) * KM_PER_DEG_LON * 1000.0;
-        let north_m = (p.lat - self.origin.lat) * KM_PER_DEG_LAT * 1000.0;
+        let (east_m, north_m) = p.metres_from(self.origin);
         ((east_m / self.bucket_m).floor() as i32, (north_m / self.bucket_m).floor() as i32)
+    }
+
+    /// The origin all buckets are keyed off.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Bucket edge length (metres).
+    pub fn bucket_m(&self) -> f64 {
+        self.bucket_m
     }
 
     /// Insert an item by index at a position.
@@ -50,9 +59,15 @@ impl SpatialIndex {
     /// Visit every item whose bucket intersects the `radius_m` disc around
     /// `p`. Callers receive candidate indexes and perform the exact
     /// distance check themselves (they usually need the distance anyway).
+    ///
+    /// Visit order is deterministic: the bucket window is walked
+    /// row-by-row and each bucket yields items in insertion order — no
+    /// `HashMap` iteration order is ever observable. A zero or negative
+    /// radius degrades to the point's own bucket rather than a negative
+    /// window span that would skip it entirely.
     pub fn candidates_within(&self, p: GeoPoint, radius_m: f64, mut f: impl FnMut(u32)) {
         let (bx, by) = self.bucket_of(p);
-        let span = (radius_m / self.bucket_m).ceil() as i32;
+        let span = if radius_m > 0.0 { (radius_m / self.bucket_m).ceil() as i32 } else { 0 };
         for dy in -span..=span {
             for dx in -span..=span {
                 if let Some(v) = self.map.get(&(bx + dx, by + dy)) {
@@ -124,5 +139,36 @@ mod tests {
         let mut hit = false;
         ix.candidates_within(p, 0.0, |i| hit = i == 9);
         assert!(hit);
+    }
+
+    #[test]
+    fn negative_radius_degrades_to_own_bucket() {
+        let mut ix = SpatialIndex::new(origin(), 100.0);
+        let p = GeoPoint::new(35.3, 139.3);
+        ix.insert(4, p);
+        ix.insert(5, p.offset_km(0.5, 0.0)); // different bucket
+        let mut seen = vec![];
+        ix.candidates_within(p, -25.0, |i| seen.push(i));
+        assert_eq!(seen, vec![4], "negative radius must still visit the own bucket only");
+    }
+
+    #[test]
+    fn candidate_visit_order_is_deterministic() {
+        // Same bucket → insertion order; across buckets → fixed window
+        // walk. Repeated queries and clones must agree element-for-element.
+        let mut ix = SpatialIndex::new(origin(), 100.0);
+        let base = GeoPoint::new(35.4, 139.4);
+        for k in [3u32, 1, 4, 1, 5, 9, 2, 6] {
+            ix.insert(k, base.offset_km(0.01 * f64::from(k % 3), 0.01 * f64::from(k % 2)));
+        }
+        let visit = |ix: &SpatialIndex| {
+            let mut v = vec![];
+            ix.candidates_within(base, 150.0, |i| v.push(i));
+            v
+        };
+        let first = visit(&ix);
+        assert_eq!(first, visit(&ix), "repeated query changed order");
+        assert_eq!(first, visit(&ix.clone()), "clone changed order");
+        assert_eq!(first.len(), 8);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::ap::{Ap, ApId, Radio, Venue};
 use crate::evolution::DeployParams;
+use crate::scanplan::{PlanEntry, PlanKey, ScanPlan, PLAN_QUANT_M, PRUNE_SIGMA};
 use crate::spatial::SpatialIndex;
 use mobitrace_geo::{DensitySurface, GeoPoint, Grid};
 use mobitrace_model::{Band, Bssid, Channel, Dbm, Essid, PublicProvider};
@@ -202,6 +203,14 @@ impl ApWorld {
     /// paper's Fig. 15 RSSI distributions.
     pub fn scan<R: Rng + ?Sized>(&self, pos: GeoPoint, rng: &mut R) -> Vec<ScanObs> {
         let mut out = Vec::new();
+        self.scan_into(pos, rng, &mut out);
+        out
+    }
+
+    /// [`scan`](Self::scan) into a caller-owned buffer (cleared first) so
+    /// the per-bin hot path allocates nothing after warm-up.
+    pub fn scan_into<R: Rng + ?Sized>(&self, pos: GeoPoint, rng: &mut R, out: &mut Vec<ScanObs>) {
+        out.clear();
         self.spatial.candidates_within(pos, SCAN_RADIUS_M, |i| {
             let ap = &self.aps[i as usize];
             let geom_m = ap.pos.distance_km(pos) * 1000.0;
@@ -227,13 +236,76 @@ impl ApWorld {
                 }
             }
         });
-        out
+    }
+
+    /// Quantized scan-plan key for a position: `PLAN_QUANT_M`-metre grid
+    /// cell indexes keyed off the spatial-index origin.
+    pub fn plan_key(&self, pos: GeoPoint) -> PlanKey {
+        let (east_m, north_m) = pos.metres_from(self.spatial.origin());
+        ((east_m / PLAN_QUANT_M).floor() as i32, (north_m / PLAN_QUANT_M).floor() as i32)
+    }
+
+    /// Centre of a plan cell. Plans are always built here — a pure
+    /// function of the key — so every thread derives the identical plan.
+    pub fn plan_cell_centre(&self, key: PlanKey) -> GeoPoint {
+        let east_km = (f64::from(key.0) + 0.5) * PLAN_QUANT_M / 1000.0;
+        let north_km = (f64::from(key.1) + 0.5) * PLAN_QUANT_M / 1000.0;
+        self.spatial.origin().offset_km(east_km, north_km)
+    }
+
+    /// Build the deterministic scan plan for a position: the same
+    /// candidate walk as [`scan`](Self::scan), but emitting precomputed
+    /// (mean, span, σ) coefficients instead of sampling. Radios whose
+    /// best-case mean sits `PRUNE_SIGMA`·σ under the scan floor are
+    /// dropped — they cannot produce a visible observation in practice.
+    pub fn build_scan_plan(&self, pos: GeoPoint) -> ScanPlan {
+        let mut entries = Vec::new();
+        self.spatial.candidates_within(pos, SCAN_RADIUS_M, |i| {
+            let ap = &self.aps[i as usize];
+            let geom_m = ap.pos.distance_km(pos) * 1000.0;
+            if geom_m > SCAN_RADIUS_M {
+                return;
+            }
+            let env = ap.venue.environment();
+            let public = ap.venue.is_public();
+            for (ri, radio) in ap.radios.iter().enumerate() {
+                let c = self.path_loss.coeffs(env, radio.band);
+                let (mean_db, span_db) = if geom_m < env.distance_range_m().0 {
+                    (c.indoor_near_db, c.indoor_span_db)
+                } else {
+                    (c.mean_db_at(geom_m), 0.0)
+                };
+                if mean_db - span_db + PRUNE_SIGMA * c.sigma_db < SCAN_FLOOR.as_f64() {
+                    continue;
+                }
+                entries.push(PlanEntry {
+                    ap: ap.id,
+                    radio: ri as u8,
+                    band: radio.band,
+                    channel: radio.channel,
+                    public,
+                    sigma_db: c.sigma_db,
+                    mean_db,
+                    span_db,
+                });
+            }
+        });
+        ScanPlan { entries }
     }
 
     /// Background (non-participant) home APs within `radius_m` of a point
     /// — the pool a user's friends and relatives live in.
     pub fn background_homes_near(&self, pos: GeoPoint, radius_m: f64) -> Vec<ApId> {
         let mut out = Vec::new();
+        self.background_homes_near_into(pos, radius_m, &mut out);
+        out
+    }
+
+    /// [`background_homes_near`](Self::background_homes_near) into a
+    /// caller-owned buffer (cleared first), sorted by AP id for
+    /// deterministic downstream sampling.
+    pub fn background_homes_near_into(&self, pos: GeoPoint, radius_m: f64, out: &mut Vec<ApId>) {
+        out.clear();
         self.spatial.candidates_within(pos, radius_m, |i| {
             let ap = &self.aps[i as usize];
             if matches!(ap.venue, Venue::Home { participant: None })
@@ -243,7 +315,6 @@ impl ApWorld {
             }
         });
         out.sort_by_key(|id| id.0);
-        out
     }
 
     /// Count APs by a venue predicate.
@@ -395,5 +466,151 @@ mod tests {
             let r24 = ap.radio_on(Band::Ghz24).unwrap();
             assert!(Channel::GHZ24_ORTHOGONAL.contains(&r24.channel));
         }
+    }
+
+    #[test]
+    fn scan_into_matches_scan() {
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let (_, home) = spec.participant_homes[3];
+        let fresh = w.scan(home, &mut ChaCha8Rng::seed_from_u64(21));
+        // Dirty, oversized buffer: scan_into must clear and refill it.
+        let mut buf = vec![
+            ScanObs {
+                ap: ApId(999),
+                radio: 7,
+                band: Band::Ghz5,
+                channel: Channel(1),
+                rssi: Dbm::new(-20)
+            };
+            40
+        ];
+        w.scan_into(home, &mut ChaCha8Rng::seed_from_u64(21), &mut buf);
+        assert_eq!(fresh, buf);
+    }
+
+    #[test]
+    fn background_homes_into_matches_alloc_variant() {
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let (_, home) = spec.participant_homes[5];
+        let fresh = w.background_homes_near(home, 2500.0);
+        let mut buf = vec![ApId(12345); 3];
+        w.background_homes_near_into(home, 2500.0, &mut buf);
+        assert_eq!(fresh, buf);
+        assert!(!fresh.is_empty(), "expected background homes within 2.5 km");
+    }
+
+    /// Sample a plan repeatedly, collecting RSSI of one (ap, band) entry.
+    fn plan_samples(w: &ApWorld, pos: GeoPoint, ap: ApId, band: Band, n: usize) -> Vec<f64> {
+        use mobitrace_radio::GaussianPair;
+        let plan = w.build_scan_plan(pos);
+        assert!(
+            plan.entries.iter().any(|e| e.ap == ap && e.band == band),
+            "target radio missing from plan"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut gauss = GaussianPair::new();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            plan.sample(&mut rng, &mut gauss, |e, rssi| {
+                if e.ap == ap && e.band == band {
+                    out.push(rssi.as_f64());
+                }
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn cached_plan_reproduces_home_rssi_distribution() {
+        // Fig. 15 shape through the plan path: home ≈ −54 dBm, few < −70.
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let (participant, home) = spec.participant_homes[0];
+        let own = w.participant_home_ap[&participant];
+        let pos = w.plan_cell_centre(w.plan_key(home));
+        let samples = plan_samples(&w, pos, own, Band::Ghz24, 4000);
+        assert!(samples.len() > 3800, "own AP mostly heard, got {}", samples.len());
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let weak = samples.iter().filter(|&&r| r < -70.0).count() as f64 / samples.len() as f64;
+        assert!((-58.0..=-50.0).contains(&mean), "home mean {mean}");
+        assert!((0.005..=0.06).contains(&weak), "home weak share {weak}");
+    }
+
+    #[test]
+    fn cached_plan_reproduces_public_rssi_distribution() {
+        // Fig. 15 shape through the plan path: public ≈ −60 dBm, ~12% < −70.
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let ap = w.aps.iter().find(|a| a.venue.is_public()).expect("a public AP");
+        let pos = w.plan_cell_centre(w.plan_key(ap.pos));
+        let samples = plan_samples(&w, pos, ap.id, Band::Ghz24, 4000);
+        assert!(samples.len() > 3600, "public AP mostly heard, got {}", samples.len());
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let weak = samples.iter().filter(|&&r| r < -70.0).count() as f64 / samples.len() as f64;
+        assert!((-64.0..=-56.0).contains(&mean), "public mean {mean}");
+        assert!((0.07..=0.18).contains(&weak), "public weak share {weak}");
+    }
+
+    #[test]
+    fn plan_five_ghz_means_attenuate_more() {
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let mut checked = 0;
+        for ap in w.aps.iter().filter(|a| a.has_5ghz()) {
+            let plan = w.build_scan_plan(ap.pos);
+            let mean_on = |band: Band| {
+                plan.entries.iter().find(|e| e.ap == ap.id && e.band == band).map(|e| e.mean_db)
+            };
+            if let (Some(m24), Some(m5)) = (mean_on(Band::Ghz24), mean_on(Band::Ghz5)) {
+                assert!(m24 > m5 + 4.0, "ap {:?}: 2.4GHz {m24} vs 5GHz {m5}", ap.id);
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "only {checked} dual-band APs checked");
+    }
+
+    #[test]
+    fn plan_covers_every_scanned_radio() {
+        // Safety net: nothing the uncached scan can hear may be pruned
+        // from the plan built at the same position.
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let w = ApWorld::generate(&spec, &mut rng);
+        for &(_, home) in spec.participant_homes.iter().take(10) {
+            let plan = w.build_scan_plan(home);
+            for _ in 0..10 {
+                for obs in w.scan(home, &mut rng) {
+                    assert!(
+                        plan.entries.iter().any(|e| e.ap == obs.ap && e.radio == obs.radio),
+                        "scanned radio {:?}/{} missing from plan",
+                        obs.ap,
+                        obs.radio
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_pure_and_shares_arcs() {
+        use crate::scanplan::ScanPlanCache;
+        use std::sync::Arc;
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let key = w.plan_key(spec.participant_homes[1].1);
+        let (c1, c2) = (ScanPlanCache::new(), ScanPlanCache::new());
+        // Independent caches derive the identical plan for a key …
+        assert_eq!(c1.plan(&w, key).entries, c2.plan(&w, key).entries);
+        // … and a repeat hit returns the same shared allocation.
+        assert!(Arc::ptr_eq(&c1.plan(&w, key), &c1.plan(&w, key)));
+        assert_eq!(c1.len(), 1);
     }
 }

@@ -36,6 +36,17 @@ impl GeoPoint {
         (dx * dx + dy * dy).sqrt()
     }
 
+    /// Project onto the local equirectangular plane anchored at `origin`:
+    /// `(east_m, north_m)`. One multiplication per axis, so hot paths
+    /// (spatial hashing, scan-plan keys) can work in Euclidean metres
+    /// without re-deriving the degree→metre factors.
+    pub fn metres_from(self, origin: GeoPoint) -> (f64, f64) {
+        (
+            (self.lon - origin.lon) * KM_PER_DEG_LON * 1000.0,
+            (self.lat - origin.lat) * KM_PER_DEG_LAT * 1000.0,
+        )
+    }
+
     /// The point offset by `(east_km, north_km)`.
     pub fn offset_km(self, east_km: f64, north_km: f64) -> GeoPoint {
         GeoPoint {
@@ -98,5 +109,16 @@ mod tests {
     #[should_panic]
     fn swapped_lat_lon_panics() {
         let _ = GeoPoint::new(139.7, 35.69);
+    }
+
+    #[test]
+    fn metres_from_agrees_with_distance() {
+        let origin = GeoPoint::new(35.10, 138.90);
+        let p = origin.offset_km(12.5, -3.75);
+        let (e, n) = p.metres_from(origin);
+        assert!((e - 12_500.0).abs() < 1e-6, "east {e}");
+        assert!((n + 3_750.0).abs() < 1e-6, "north {n}");
+        let d = (e * e + n * n).sqrt() / 1000.0;
+        assert!((d - origin.distance_km(p)).abs() < 1e-9);
     }
 }

@@ -62,14 +62,17 @@ impl std::fmt::Display for Bssid {
 ///
 /// ESSIDs drive the paper's public-network taxonomy (`0000docomo`,
 /// `0001softbank`, `eduroam`, …), so we keep the real string rather than an
-/// opaque id.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Essid(pub String);
+/// opaque id. The name is shared (`Arc<str>`): one AP's ESSID appears in
+/// every association record of every device that ever joins it, so a clone
+/// is a reference-count bump rather than a fresh heap string. Serialization
+/// stays a plain JSON string.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Essid(std::sync::Arc<str>);
 
 impl Essid {
     /// Construct from anything string-like.
     pub fn new(s: impl Into<String>) -> Essid {
-        Essid(s.into())
+        Essid(s.into().into())
     }
 
     /// The raw network name.
@@ -81,6 +84,18 @@ impl Essid {
 impl std::fmt::Display for Essid {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.0)
+    }
+}
+
+impl Serialize for Essid {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Essid {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Essid, D::Error> {
+        Ok(Essid::new(String::deserialize(d)?))
     }
 }
 
@@ -151,5 +166,20 @@ mod tests {
     #[test]
     fn essid_display() {
         assert_eq!(Essid::new("0000docomo").to_string(), "0000docomo");
+    }
+
+    #[test]
+    fn essid_serde_is_plain_string() {
+        let e = Essid::new("eduroam");
+        assert_eq!(serde_json::to_string(&e).unwrap(), "\"eduroam\"");
+        let back: Essid = serde_json::from_str("\"eduroam\"").unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn essid_clone_shares_allocation() {
+        let e = Essid::new("0001softbank");
+        let c = e.clone();
+        assert!(std::ptr::eq(e.as_str(), c.as_str()), "clone must share the backing str");
     }
 }

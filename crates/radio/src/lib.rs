@@ -14,5 +14,5 @@ pub mod propagation;
 pub mod quality;
 
 pub use channels::{interference_score, ChannelPolicy};
-pub use propagation::{Environment, PathLossModel};
+pub use propagation::{Environment, GaussianPair, PathLossModel, SignalCoeffs};
 pub use quality::{link_rate, retransmission_probability};

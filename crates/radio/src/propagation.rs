@@ -66,24 +66,80 @@ impl Environment {
 }
 
 /// A log-distance path-loss model.
+///
+/// The Friis reference loss is a band constant, so it is computed once at
+/// construction and cached per band — the scan hot path must not burn two
+/// `log10` calls per sampled radio on a constant. The serialized form
+/// carries only the two physical parameters; the cache is rebuilt on
+/// deserialize.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(from = "PathLossParams", into = "PathLossParams")]
 pub struct PathLossModel {
-    /// Transmit power + antenna gains (dBm). Typical consumer AP ≈ 15 dBm.
-    pub tx_power_dbm: f64,
-    /// Reference distance d0 (metres).
-    pub ref_distance_m: f64,
+    tx_power_dbm: f64,
+    ref_distance_m: f64,
+    /// Cached [`reference_loss_db`](Self::reference_loss_db) per band.
+    ref_loss_db: [f64; 2],
+}
+
+/// Serialized form of [`PathLossModel`]: the physical parameters only.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct PathLossParams {
+    tx_power_dbm: f64,
+    ref_distance_m: f64,
+}
+
+impl From<PathLossParams> for PathLossModel {
+    fn from(p: PathLossParams) -> PathLossModel {
+        PathLossModel::new(p.tx_power_dbm, p.ref_distance_m)
+    }
+}
+
+impl From<PathLossModel> for PathLossParams {
+    fn from(m: PathLossModel) -> PathLossParams {
+        PathLossParams { tx_power_dbm: m.tx_power_dbm, ref_distance_m: m.ref_distance_m }
+    }
+}
+
+/// Index of a band in per-band caches.
+fn band_slot(band: Band) -> usize {
+    match band {
+        Band::Ghz24 => 0,
+        Band::Ghz5 => 1,
+    }
 }
 
 impl PathLossModel {
+    /// Model with explicit transmit power (dBm, incl. antenna gains) and
+    /// reference distance d0 (metres).
+    pub fn new(tx_power_dbm: f64, ref_distance_m: f64) -> PathLossModel {
+        let ref_loss =
+            |band: Band| 20.0 * ref_distance_m.log10() + 20.0 * band.centre_mhz().log10() - 27.55;
+        PathLossModel {
+            tx_power_dbm,
+            ref_distance_m,
+            ref_loss_db: [ref_loss(Band::Ghz24), ref_loss(Band::Ghz5)],
+        }
+    }
+
     /// A typical consumer/carrier AP.
     pub fn default_ap() -> PathLossModel {
-        PathLossModel { tx_power_dbm: 15.0, ref_distance_m: 1.0 }
+        PathLossModel::new(15.0, 1.0)
+    }
+
+    /// Transmit power + antenna gains (dBm). Typical consumer AP ≈ 15 dBm.
+    pub fn tx_power_dbm(&self) -> f64 {
+        self.tx_power_dbm
+    }
+
+    /// Reference distance d0 (metres).
+    pub fn ref_distance_m(&self) -> f64 {
+        self.ref_distance_m
     }
 
     /// Free-space loss at the reference distance for a band (Friis at d0):
-    /// `20·log10(d0) + 20·log10(f_MHz) − 27.55`.
+    /// `20·log10(d0) + 20·log10(f_MHz) − 27.55`. Cached at construction.
     pub fn reference_loss_db(&self, band: Band) -> f64 {
-        20.0 * self.ref_distance_m.log10() + 20.0 * band.centre_mhz().log10() - 27.55
+        self.ref_loss_db[band_slot(band)]
     }
 
     /// Mean RSSI (no shadowing) at `distance_m` in `env` on `band`.
@@ -130,6 +186,85 @@ impl PathLossModel {
             - env.fixed_loss_db()
             - threshold.as_f64();
         self.ref_distance_m * 10f64.powf(budget / (10.0 * env.exponent()))
+    }
+
+    /// Fold model + environment + band into the flat coefficients the
+    /// simulator hot path uses. Computed once per (env, band) when a scan
+    /// plan is built; sampling afterwards is arithmetic only.
+    pub fn coeffs(&self, env: Environment, band: Band) -> SignalCoeffs {
+        let slope_db = 10.0 * env.exponent();
+        let offset_db = self.tx_power_dbm - self.reference_loss_db(band) - env.fixed_loss_db()
+            + slope_db * self.ref_distance_m.log10();
+        let (lo, hi) = env.distance_range_m();
+        // Indoor distances are log-uniform in (lo, hi), so the mean RSSI is
+        // *linear* in the uniform draw u: mean = near − u·span.
+        let indoor_near_db = offset_db - slope_db * lo.max(self.ref_distance_m).log10();
+        let indoor_span_db = slope_db * (hi / lo.max(self.ref_distance_m)).log10();
+        SignalCoeffs {
+            offset_db,
+            slope_db,
+            sigma_db: env.shadowing_sigma_db(),
+            indoor_near_db,
+            indoor_span_db,
+        }
+    }
+}
+
+/// Precomputed mean-RSSI coefficients for one (model, environment, band)
+/// triple. `mean(d) = offset_db − slope_db·log10(d)`, and for venue-typical
+/// (indoor, log-uniform) distances the mean is linear in the uniform draw:
+/// `mean(u) = indoor_near_db − u·indoor_span_db` — no transcendentals at
+/// sample time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalCoeffs {
+    /// Mean RSSI extrapolated to 1 m (dBm): `tx − ref_loss − fixed + slope·log10(d0)`.
+    pub offset_db: f64,
+    /// Path-loss slope `10·n` (dB per decade of distance).
+    pub slope_db: f64,
+    /// Shadowing standard deviation σ (dB).
+    pub sigma_db: f64,
+    /// Mean RSSI at the near edge of the indoor distance range (dBm).
+    pub indoor_near_db: f64,
+    /// Mean-RSSI spread across the indoor distance range (dB, ≥ 0).
+    pub indoor_span_db: f64,
+}
+
+impl SignalCoeffs {
+    /// Mean RSSI (no shadowing) at a geometric distance. Matches
+    /// [`PathLossModel::mean_rssi`] for `distance_m ≥ d0` (the hot path
+    /// only evaluates this beyond the indoor near edge, which exceeds d0).
+    pub fn mean_db_at(&self, distance_m: f64) -> f64 {
+        self.offset_db - self.slope_db * distance_m.max(1e-12).log10()
+    }
+}
+
+/// Paired Box–Muller gaussian source: each polar draw yields two deviates;
+/// the sine half is banked so alternate samples cost no transcendentals.
+/// One instance lives per device so banking never crosses RNG streams.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianPair {
+    spare: Option<f64>,
+}
+
+impl GaussianPair {
+    /// An empty pair (no banked deviate).
+    pub fn new() -> GaussianPair {
+        GaussianPair { spare: None }
+    }
+
+    /// Draw one standard normal deviate, consuming the banked half if
+    /// present, else performing a fresh Box–Muller draw and banking the
+    /// sine half.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        self.spare = Some(r * sin);
+        r * cos
     }
 }
 
@@ -208,6 +343,59 @@ mod tests {
             let r = m.sample_rssi(&mut rng, Environment::Public, Band::Ghz5, 500.0);
             assert!(r.as_f64() >= -95.0 && r.as_f64() <= -20.0);
         }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_cache() {
+        let m = PathLossModel::new(17.5, 1.0);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: PathLossModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.reference_loss_db(Band::Ghz24), m.reference_loss_db(Band::Ghz24));
+    }
+
+    #[test]
+    fn coeffs_match_mean_rssi() {
+        let m = PathLossModel::default_ap();
+        for env in [Environment::Home, Environment::Office, Environment::Public] {
+            for band in [Band::Ghz24, Band::Ghz5] {
+                let c = m.coeffs(env, band);
+                for d in [2.0, 5.0, 17.3, 60.0, 180.0] {
+                    let want = m.mean_rssi(env, band, d);
+                    let got = c.mean_db_at(d);
+                    assert!((want - got).abs() < 1e-9, "{env:?} {band:?} d={d}: {want} vs {got}");
+                }
+                // Indoor linearisation hits mean_rssi exactly at both edges.
+                let (lo, hi) = env.distance_range_m();
+                let near = c.indoor_near_db;
+                let far = c.indoor_near_db - c.indoor_span_db;
+                assert!((near - m.mean_rssi(env, band, lo)).abs() < 1e-9);
+                assert!((far - m.mean_rssi(env, band, hi)).abs() < 1e-9);
+                assert!(c.indoor_span_db > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_pair_is_standard_normal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut g = GaussianPair::new();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_pair_is_deterministic() {
+        let draw = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(12);
+            let mut g = GaussianPair::new();
+            (0..64).map(|_| g.sample(&mut rng)).collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(), draw());
     }
 
     #[test]

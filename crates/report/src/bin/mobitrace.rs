@@ -7,7 +7,7 @@
 //! mobitrace all [--scale S] [--seed N] [--json PATH]
 //! mobitrace simulate --out DIR [--scale S] [--seed N]
 //! mobitrace analyze --data DIR [<id>...]
-//! mobitrace bench [--scale S] [--seed N] [--json PATH]
+//! mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]
 //! ```
 
 use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
@@ -26,6 +26,7 @@ struct Args {
     json: Option<String>,
     out: Option<String>,
     data: Option<String>,
+    quick: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         out: None,
         data: None,
+        quick: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -65,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--data" => {
                 out.data = Some(args.next().ok_or("--data needs a directory")?);
             }
+            "--quick" => out.quick = true,
             other if !other.starts_with('-') => out.ids.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -182,10 +185,11 @@ fn main() {
                  mobitrace all [--scale S] [--seed N] [--json PATH]\n  \
                  mobitrace simulate --out DIR [--scale S] [--seed N]\n  \
                  mobitrace analyze --data DIR [<id>...]\n  \
-                 mobitrace bench [--scale S] [--seed N] [--json PATH]\n\n\
+                 mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
-                 `bench` times each pipeline stage and writes BENCH_pipeline.json."
+                 `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
+                 `--quick` caps the scale at 0.02 for CI smoke runs."
             );
         }
     }
@@ -236,17 +240,108 @@ fn bench_record(device: u32, k: u32) -> Record {
     }
 }
 
+/// Micro-breakdown of the `ApWorld::scan` hot path on a small fixed world
+/// (same shape as the criterion `world` group): allocating scan vs buffer
+/// reuse vs plan construction vs plan replay. All timings are µs/call.
+fn world_scan_breakdown() -> serde_json::Value {
+    use mobitrace_deploy::world::WorldSpec;
+    use mobitrace_deploy::{ApWorld, DeployParams};
+    use mobitrace_geo::{DensitySurface, GeoPoint, PoiSet};
+    use mobitrace_radio::GaussianPair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB0B);
+    let res = DensitySurface::residential();
+    let homes: Vec<(u32, GeoPoint)> = (0..80).map(|k| (k, res.sample_point(&mut rng))).collect();
+    // Probe at a participant home: plans there carry the dense home-AP
+    // neighbourhood, the case the device loop hits most often.
+    let probe = homes[0].1;
+    let pois = PoiSet::generate(40, &mut rng);
+    let spec = WorldSpec {
+        params: DeployParams::for_year(Year::Y2015),
+        participant_homes: homes,
+        office_sites: vec![],
+        pois,
+        n_participants: 100,
+        fon_home_share: 0.03,
+    };
+    let world = ApWorld::generate(&spec, &mut rng);
+
+    const ITERS: u32 = 4000;
+    let per_call_us = |total_s: f64| total_s / f64::from(ITERS) * 1e6;
+
+    let mut r = ChaCha8Rng::seed_from_u64(1);
+    let t = std::time::Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(world.scan(probe, &mut r));
+    }
+    let scan_alloc_us = per_call_us(t.elapsed().as_secs_f64());
+
+    let mut r = ChaCha8Rng::seed_from_u64(1);
+    let mut buf = Vec::new();
+    let t = std::time::Instant::now();
+    for _ in 0..ITERS {
+        world.scan_into(probe, &mut r, &mut buf);
+        std::hint::black_box(buf.len());
+    }
+    let scan_into_us = per_call_us(t.elapsed().as_secs_f64());
+
+    let t = std::time::Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(world.build_scan_plan(probe).len());
+    }
+    let plan_build_us = per_call_us(t.elapsed().as_secs_f64());
+
+    let plan = world.build_scan_plan(probe);
+    let mut r = ChaCha8Rng::seed_from_u64(1);
+    let mut gauss = GaussianPair::new();
+    let t = std::time::Instant::now();
+    for _ in 0..ITERS {
+        buf.clear();
+        plan.sample(&mut r, &mut gauss, |e, rssi| buf.push(e.obs(rssi)));
+        std::hint::black_box(buf.len());
+    }
+    let plan_sample_us = per_call_us(t.elapsed().as_secs_f64());
+
+    eprintln!(
+        "  world_scan ({} plan entries): alloc {scan_alloc_us:.2}us, into {scan_into_us:.2}us, \
+         plan build {plan_build_us:.2}us, plan sample {plan_sample_us:.2}us",
+        plan.len()
+    );
+    serde_json::json!({
+        "iters": ITERS,
+        "plan_entries": plan.len(),
+        "scan_alloc_us": scan_alloc_us,
+        "scan_into_us": scan_into_us,
+        "plan_build_us": plan_build_us,
+        "plan_sample_us": plan_sample_us,
+    })
+}
+
 /// `mobitrace bench`: wall-clock each pipeline stage (simulate → ingest →
 /// clean → contexts → experiments) and write the machine-readable
 /// `BENCH_pipeline.json`.
 fn run_pipeline_bench(args: &Args) {
     let out_path = args.json.clone().unwrap_or_else(|| "BENCH_pipeline.json".into());
-    eprintln!("pipeline bench at scale {} (seed {})...", args.scale, args.seed);
+    let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+    eprintln!("pipeline bench at scale {scale} (seed {})...", args.seed);
 
+    // Simulate twice — scan-plan cache off (the pre-optimisation path)
+    // then on — so the JSON records the simulate-stage speedup directly.
     let t = std::time::Instant::now();
-    let set = CampaignSet::simulate(args.scale, args.seed);
+    std::hint::black_box(CampaignSet::simulate_opts(scale, args.seed, false));
+    let simulate_uncached_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let set = CampaignSet::simulate_opts(scale, args.seed, true);
     let simulate_s = t.elapsed().as_secs_f64();
-    eprintln!("  simulate: {simulate_s:.2}s");
+    let simulate_speedup = simulate_uncached_s / simulate_s.max(1e-9);
+    eprintln!(
+        "  simulate: cached {simulate_s:.2}s vs uncached {simulate_uncached_s:.2}s \
+         ({simulate_speedup:.1}x)"
+    );
+
+    let world_scan = world_scan_breakdown();
 
     // Contended ingest: 8 producers interleaved across devices, first into
     // the lock-striped server, then into a single-stripe one (the old
@@ -352,7 +447,9 @@ fn run_pipeline_bench(args: &Args) {
 
     // Per-pass timings on the 2015 campaign: each columnar hot pass vs the
     // retained row-scan reference it is property-tested against.
-    use mobitrace_core::{apclass, apps, availability, daily, overview, quality, ratios, timeseries};
+    use mobitrace_core::{
+        apclass, apps, availability, daily, overview, quality, ratios, timeseries,
+    };
     let ds15 = set.year(Year::Y2015);
     let ctx15 = &ctxs[2];
     let cols = &ctx15.cols;
@@ -422,8 +519,9 @@ fn run_pipeline_bench(args: &Args) {
     eprintln!("  experiments: {experiments_s:.2}s ({n_reports} reports)");
 
     let doc = serde_json::json!({
-        "scale": args.scale,
+        "scale": scale,
         "seed": args.seed,
+        "quick": args.quick,
         "stages": {
             "simulate_s": simulate_s,
             "encode_s": encode_s,
@@ -433,6 +531,12 @@ fn run_pipeline_bench(args: &Args) {
             "context_s": context_s,
             "experiments_s": experiments_s,
         },
+        "simulate": {
+            "cached_s": simulate_s,
+            "uncached_s": simulate_uncached_s,
+            "speedup": simulate_speedup,
+        },
+        "world_scan": world_scan,
         "ingest": {
             "frames": n_frames,
             "threads": THREADS,

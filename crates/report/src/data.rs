@@ -25,8 +25,16 @@ impl CampaignSet {
     /// RNG streams from the seed), so they simulate concurrently: 2013 and
     /// 2014 on spawned threads, 2015 on the calling thread.
     pub fn simulate(scale: f64, seed: u64) -> CampaignSet {
+        CampaignSet::simulate_opts(scale, seed, true)
+    }
+
+    /// [`simulate`](Self::simulate) with scan-plan caching switched on or
+    /// off — the bench harness runs both to report the simulate-stage
+    /// speedup of the cached hot path.
+    pub fn simulate_opts(scale: f64, seed: u64, scan_cache: bool) -> CampaignSet {
         let sim_year = |year: Year| -> Dataset {
-            let cfg = CampaignConfig::scaled(year, scale).with_seed(seed);
+            let cfg =
+                CampaignConfig::scaled(year, scale).with_seed(seed).with_scan_cache(scan_cache);
             let keep_updates =
                 CleanOptions { remove_update_days: false, ..CleanOptions::default() };
             run_campaign_opts(&cfg, keep_updates).0

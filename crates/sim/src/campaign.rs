@@ -7,7 +7,7 @@ use mobitrace_cellular::CarrierModel;
 use mobitrace_collector::server::IngestStats;
 use mobitrace_collector::{clean, CleanOptions, CleanStats, CollectionServer};
 use mobitrace_deploy::world::WorldSpec;
-use mobitrace_deploy::{ApId, ApWorld};
+use mobitrace_deploy::{ApId, ApWorld, ScanPlanCache};
 use mobitrace_geo::{DensitySurface, GeoPoint, Grid, PoiSet};
 use mobitrace_model::{CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Year};
 use rand::{Rng, SeedableRng};
@@ -104,12 +104,16 @@ pub fn run_campaign_opts(
         byod_users.iter().zip(&world.office_aps).map(|(p, &ap)| (p.index, ap)).collect();
 
     let update_model = (config.year == Year::Y2015).then(UpdateModel::ios_8_2);
+    // Shared scan-plan cache: popular cells (stations, dense residential
+    // blocks) are planned once and replayed by every device that visits.
+    let plans = ScanPlanCache::new();
     let shared = SharedWorld {
         world: &world,
         grid: &grid,
         pois: &pois,
         update: update_model.as_ref(),
         config,
+        plans: &plans,
     };
 
     // Per-device simulation. Devices are independent but far from uniform

@@ -9,14 +9,17 @@ use mobitrace_behavior::{
 use mobitrace_cellular::{cell_link_rate, CapTracker, CarrierModel};
 use mobitrace_collector::{CollectionServer, DeviceAgent, LossyTransport, Observation};
 use mobitrace_deploy::world::ScanObs;
-use mobitrace_deploy::{ApId, ApWorld, Venue};
+use mobitrace_deploy::{ApId, ApWorld, PlanKey, ScanPlan, ScanPlanCache, Venue};
 use mobitrace_geo::{GeoPoint, Grid, PoiSet};
 use mobitrace_model::{
-    AssocInfo, ByteCount, Carrier, CellTech, DeviceId, GroundTruth, Os, OsVersion, PublicProvider,
-    ScanSummary, SimTime, Weekday, WifiState, BINS_PER_DAY,
+    AssocInfo, Band, ByteCount, Carrier, CellTech, Dbm, DeviceId, GroundTruth, Os, OsVersion,
+    PublicProvider, ScanSummary, SimTime, Weekday, WifiState, BINS_PER_DAY,
 };
+use mobitrace_radio::GaussianPair;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Utilisation factor: what share of a bin's link capacity a user's bursty
 /// foreground traffic can realistically occupy.
@@ -32,6 +35,12 @@ const STICK_RSSI: f64 = -80.0;
 /// candidates — modern devices prefer the cleaner band.
 const FIVE_GHZ_BONUS: f64 = 12.0;
 
+/// Capacity of the per-device scan-plan cache: the handful of anchor
+/// positions (home, office, stations, friend homes) a device revisits.
+/// Overflow clears the map — anchors re-fill it from the shared cache in
+/// a few bins, and eviction order must not depend on hash iteration.
+const PLAN_LOCAL_CAP: usize = 64;
+
 /// Everything shared by all devices of a campaign (read-only during the
 /// run).
 pub struct SharedWorld<'a> {
@@ -45,6 +54,9 @@ pub struct SharedWorld<'a> {
     pub update: Option<&'a UpdateModel>,
     /// Campaign config.
     pub config: &'a CampaignConfig,
+    /// Shared scan-plan cache for popular cells. Plans are pure functions
+    /// of (world, key), so concurrent access affects timing only.
+    pub plans: &'a ScanPlanCache,
 }
 
 /// The runtime state of one simulated device.
@@ -111,6 +123,14 @@ pub struct DeviceSim {
     update_remaining: u64,
     /// Campaign minute at which the update completed, if it did.
     pub updated_at: Option<SimTime>,
+    /// Paired-gaussian source for plan sampling (banks the sine half of
+    /// each Box–Muller draw; per-device so banking never crosses streams).
+    gauss: GaussianPair,
+    /// Reusable scan buffer: one allocation per device, not per bin.
+    scan_buf: Vec<ScanObs>,
+    /// Per-device plan cache for this device's anchor positions — hits
+    /// skip even the shared cache's read lock.
+    plan_local: HashMap<PlanKey, Arc<ScanPlan>>,
 }
 
 impl DeviceSim {
@@ -227,6 +247,9 @@ impl DeviceSim {
             update_decision,
             update_remaining: shared.update.map(|m| m.size.as_bytes()).unwrap_or(0),
             updated_at: None,
+            gauss: GaussianPair::new(),
+            scan_buf: Vec::new(),
+            plan_local: HashMap::new(),
             persona,
             carrier,
             tech,
@@ -586,20 +609,39 @@ impl DeviceSim {
             }
         }
 
-        let scan = shared.world.scan(pos, &mut self.rng);
+        // Scan: fill the reusable buffer and tally the summary in one
+        // pass. The cached path replays the position's precomputed plan
+        // (sampling only indoor micro-distance + shadowing); the fallback
+        // walks the spatial index exactly as before.
+        let mut summary = ScanSummary::default();
+        if shared.config.scan_cache {
+            let plan = self.plan_at(shared, pos);
+            let rng = &mut self.rng;
+            let gauss = &mut self.gauss;
+            let buf = &mut self.scan_buf;
+            buf.clear();
+            plan.sample(rng, gauss, |e, rssi| {
+                tally_scan(&mut summary, e.band, e.public, rssi);
+                buf.push(e.obs(rssi));
+            });
+        } else {
+            shared.world.scan_into(pos, &mut self.rng, &mut self.scan_buf);
+            for obs in &self.scan_buf {
+                let public = shared.world.ap(obs.ap).venue.is_public();
+                tally_scan(&mut summary, obs.band, public, obs.rssi);
+            }
+        }
         // Half of commute-bin snapshots catch the user on the train, not
         // dwelling at the station: interface on, nothing joinable.
         if matches!(activity, Activity::Commute { .. }) && self.rng.gen_bool(0.45) {
             self.current_assoc = None;
-            let summary = summarize_scan(shared.world, &scan);
             return (WifiState::OnUnassociated, summary, None);
         }
-        let summary = summarize_scan(shared.world, &scan);
 
         // Candidate set: known networks at joinable strength.
         let mut best: Option<(f64, &ScanObs)> = None;
         let mut current: Option<&ScanObs> = None;
-        for obs in &scan {
+        for obs in &self.scan_buf {
             // Stick to the same AP *and radio*: real devices don't bounce
             // between a dual-band AP's BSSIDs every few minutes, and each
             // radio is its own (BSSID, ESSID) pair in the dataset.
@@ -666,6 +708,21 @@ impl DeviceSim {
         }
     }
 
+    /// The scan plan for a position: per-device anchor cache first (no
+    /// locks), then the shared cache (which builds and publishes on miss).
+    fn plan_at(&mut self, shared: &SharedWorld<'_>, pos: GeoPoint) -> Arc<ScanPlan> {
+        let key = shared.world.plan_key(pos);
+        if let Some(p) = self.plan_local.get(&key) {
+            return Arc::clone(p);
+        }
+        let p = shared.plans.plan(shared.world, key);
+        if self.plan_local.len() >= PLAN_LOCAL_CAP {
+            self.plan_local.clear();
+        }
+        self.plan_local.insert(key, Arc::clone(&p));
+        p
+    }
+
     fn is_known(&self, shared: &SharedWorld<'_>, ap: ApId) -> bool {
         if Some(ap) == self.friend_today {
             // The host shares the password.
@@ -692,34 +749,40 @@ impl DeviceSim {
 pub fn summarize_scan(world: &ApWorld, scan: &[ScanObs]) -> ScanSummary {
     let mut s = ScanSummary::default();
     for obs in scan {
-        let public = world.ap(obs.ap).venue.is_public();
-        let strong = obs.rssi.is_strong();
-        match obs.band {
-            mobitrace_model::Band::Ghz24 => {
-                s.n24_all += 1;
+        tally_scan(&mut s, obs.band, world.ap(obs.ap).venue.is_public(), obs.rssi);
+    }
+    s
+}
+
+/// Fold one observation into a [`ScanSummary`]. Extracted so the scan hot
+/// path can tally while filling the scan buffer (and with venue publicness
+/// pre-resolved in the plan) instead of re-walking the AP table afterwards.
+pub fn tally_scan(s: &mut ScanSummary, band: Band, public: bool, rssi: Dbm) {
+    let strong = rssi.is_strong();
+    match band {
+        Band::Ghz24 => {
+            s.n24_all += 1;
+            if strong {
+                s.n24_strong += 1;
+            }
+            if public {
+                s.n24_public_all += 1;
                 if strong {
-                    s.n24_strong += 1;
-                }
-                if public {
-                    s.n24_public_all += 1;
-                    if strong {
-                        s.n24_public_strong += 1;
-                    }
+                    s.n24_public_strong += 1;
                 }
             }
-            mobitrace_model::Band::Ghz5 => {
-                s.n5_all += 1;
+        }
+        Band::Ghz5 => {
+            s.n5_all += 1;
+            if strong {
+                s.n5_strong += 1;
+            }
+            if public {
+                s.n5_public_all += 1;
                 if strong {
-                    s.n5_strong += 1;
-                }
-                if public {
-                    s.n5_public_all += 1;
-                    if strong {
-                        s.n5_public_strong += 1;
-                    }
+                    s.n5_public_strong += 1;
                 }
             }
         }
     }
-    s
 }

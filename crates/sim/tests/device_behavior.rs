@@ -57,8 +57,15 @@ fn run_device(p: Persona, days: u32, seed: u64) -> Dataset {
     };
     let world = ApWorld::generate(&spec, &mut ChaCha8Rng::seed_from_u64(seed + 2));
     let _ = DensitySurface::public(); // exercise the public constructor path
-    let shared =
-        SharedWorld { world: &world, grid: &grid, pois: &pois, update: None, config: &cfg };
+    let plans = mobitrace_deploy::ScanPlanCache::new();
+    let shared = SharedWorld {
+        world: &world,
+        grid: &grid,
+        pois: &pois,
+        update: None,
+        config: &cfg,
+        plans: &plans,
+    };
     let server = CollectionServer::new();
     let home_ap = world.participant_home_ap.get(&0).copied();
     let mut dev = DeviceSim::new(

@@ -4,8 +4,10 @@
 //! bin's interface and per-app volumes into *cumulative* counters (real
 //! Android `TrafficStats` semantics — counters reset at reboot), frames a
 //! [`Record`], and queues it for upload. "If the upload fails the software
-//! caches the data and sends it later" (§2) — implemented here as a FIFO of
-//! encoded frames retried on every subsequent tick.
+//! caches the data and sends it later" (§2) — implemented here as a
+//! *bounded* FIFO of encoded frames with oldest-first eviction, retried
+//! under an exponential-backoff-with-jitter policy instead of hammering a
+//! dead link on every tick.
 
 use crate::codec::encode_frame_into;
 use crate::transport::LossyTransport;
@@ -16,6 +18,16 @@ use mobitrace_model::{
 };
 use rand::Rng;
 use std::collections::VecDeque;
+
+/// Default upload-cache bound in frames. At one record per 10-minute bin
+/// this is ~28 days of backlog — far beyond any campaign, so evictions
+/// only happen when a test (or a truly catastrophic outage) asks for them.
+pub const DEFAULT_CACHE_CAP: usize = 4096;
+
+/// First backoff step in minutes (one bin).
+const BACKOFF_BASE_MIN: u32 = 10;
+/// Backoff cap: 10 → 20 → 40 → 80 → 160 minutes.
+const BACKOFF_MAX_SHIFT: u32 = 4;
 
 /// What the device experienced during one bin (produced by the simulator,
 /// consumed by the agent).
@@ -64,14 +76,28 @@ pub struct DeviceAgent {
     /// Encode scratch: frames are encoded into this buffer and split off,
     /// so one block allocation serves many records instead of one each.
     scratch: BytesMut,
+    /// Upload-cache bound in frames (oldest evicted first when full).
+    cache_cap: usize,
+    /// No upload attempts before this instant (backoff window).
+    backoff_until: Option<SimTime>,
+    /// Consecutive failed attempts since the last success.
+    failure_streak: u32,
     /// Records produced (for observability).
     pub records_made: u64,
     /// Upload attempts that failed and were re-queued.
     pub retries: u64,
+    /// Frames evicted from the full cache (oldest first), never uploaded.
+    pub dropped_records: u64,
+    /// Ticks skipped because a backoff window was still open.
+    pub backoff_skips: u64,
+    /// Upload rounds refused by server backpressure before any send.
+    pub server_rejects: u64,
+    /// High-water mark of the upload cache.
+    pub max_pending: usize,
 }
 
 impl DeviceAgent {
-    /// New agent.
+    /// New agent with the default cache bound.
     pub fn new(device: DeviceId, os: Os, os_version: OsVersion) -> DeviceAgent {
         DeviceAgent {
             device,
@@ -84,9 +110,32 @@ impl DeviceAgent {
             battery_pct: 90.0,
             queue: VecDeque::new(),
             scratch: BytesMut::new(),
+            cache_cap: DEFAULT_CACHE_CAP,
+            backoff_until: None,
+            failure_streak: 0,
             records_made: 0,
             retries: 0,
+            dropped_records: 0,
+            backoff_skips: 0,
+            server_rejects: 0,
+            max_pending: 0,
         }
+    }
+
+    /// Same agent with a custom upload-cache bound (min 1 frame).
+    pub fn with_cache_cap(mut self, cap: usize) -> DeviceAgent {
+        self.cache_cap = cap.max(1);
+        self
+    }
+
+    /// The upload-cache bound in frames.
+    pub fn cache_cap(&self) -> usize {
+        self.cache_cap
+    }
+
+    /// Whether the agent is inside a backoff window at `now`.
+    pub fn in_backoff(&self, now: SimTime) -> bool {
+        self.backoff_until.is_some_and(|until| now < until)
     }
 
     /// Current OS version.
@@ -164,6 +213,14 @@ impl DeviceAgent {
         }
         encode_frame_into(&record, &mut self.scratch);
         self.queue.push_back(self.scratch.split().freeze());
+        // Bounded cache: a real handset cannot buffer forever, so the
+        // oldest frames go first — the deterministic policy the cleaner's
+        // gap accounting expects (losses are a prefix of the backlog).
+        while self.queue.len() > self.cache_cap {
+            self.queue.pop_front();
+            self.dropped_records += 1;
+        }
+        self.max_pending = self.max_pending.max(self.queue.len());
     }
 
     fn update_battery(&mut self, obs: &Observation) {
@@ -179,22 +236,54 @@ impl DeviceAgent {
         }
     }
 
-    /// Try to flush the cache through the transport. Stops at the first
-    /// visible failure (the link is down — no point hammering it).
+    /// Try to flush the cache through the transport. Skips the whole tick
+    /// while a backoff window is open; stops at the first visible failure
+    /// and opens (or widens) the window — exponential in the failure
+    /// streak, capped, with uniform jitter so a fleet of agents does not
+    /// retry in lockstep. Any success closes the window.
     pub fn try_upload<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
         now: SimTime,
         transport: &mut LossyTransport,
     ) {
+        if self.queue.is_empty() {
+            return;
+        }
+        if self.in_backoff(now) {
+            self.backoff_skips += 1;
+            return;
+        }
         while let Some(frame) = self.queue.front() {
             if transport.send(rng, now, frame.clone()) {
                 self.queue.pop_front();
+                self.failure_streak = 0;
+                self.backoff_until = None;
             } else {
                 self.retries += 1;
+                self.enter_backoff(rng, now);
                 break;
             }
         }
+    }
+
+    /// The server refused the connection before any frame was sent
+    /// (backpressure or a known outage). Counts the reject and feeds the
+    /// same backoff policy as a visible transport failure.
+    pub fn note_server_reject<R: Rng + ?Sized>(&mut self, rng: &mut R, now: SimTime) {
+        if self.queue.is_empty() || self.in_backoff(now) {
+            return;
+        }
+        self.server_rejects += 1;
+        self.enter_backoff(rng, now);
+    }
+
+    fn enter_backoff<R: Rng + ?Sized>(&mut self, rng: &mut R, now: SimTime) {
+        self.failure_streak = self.failure_streak.saturating_add(1);
+        let shift = (self.failure_streak - 1).min(BACKOFF_MAX_SHIFT);
+        let base = BACKOFF_BASE_MIN << shift;
+        let jitter = rng.gen_range(0..=base / 2);
+        self.backoff_until = Some(now.plus_minutes(base + jitter));
     }
 }
 
@@ -276,13 +365,90 @@ mod tests {
         assert_eq!(a.pending(), 5, "all frames must stay cached");
         assert!(a.retries >= 1);
 
-        // Link recovers: everything drains in order.
+        // Link recovers: everything drains in order once the backoff
+        // window (at most base+jitter = 15 minutes here) has passed.
         let mut good = LossyTransport::new(FaultPlan::reliable());
-        a.try_upload(&mut rng, SimTime::from_minutes(60), &mut good);
+        a.try_upload(&mut rng, SimTime::from_minutes(300), &mut good);
         assert_eq!(a.pending(), 0);
-        let frames = good.deliver_due(SimTime::from_minutes(60));
+        let frames = good.deliver_due(SimTime::from_minutes(300));
         let seqs: Vec<u32> = frames.iter().map(|f| decode_frame(f).unwrap().seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cache_bound_evicts_oldest_first_and_counts() {
+        let mut a =
+            DeviceAgent::new(DeviceId(7), Os::Android, OsVersion::new(4, 4)).with_cache_cap(3);
+        for k in 0..5 {
+            a.observe(&obs(k * 10, 100));
+        }
+        assert_eq!(a.pending(), 3, "cache never exceeds its bound");
+        assert_eq!(a.dropped_records, 2);
+        assert_eq!(a.max_pending, 3);
+        let seqs: Vec<u32> = a.queue.iter().map(|f| decode_frame(f).unwrap().seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest frames evicted first");
+    }
+
+    #[test]
+    fn backoff_skips_ticks_then_recovers() {
+        let mut a = DeviceAgent::new(DeviceId(8), Os::Android, OsVersion::new(4, 4));
+        let mut bad = LossyTransport::new(FaultPlan { fail: 1.0, ..FaultPlan::reliable() });
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        a.observe(&obs(0, 100));
+        a.try_upload(&mut rng, SimTime::ZERO, &mut bad);
+        assert_eq!(a.retries, 1);
+        assert!(a.in_backoff(SimTime::from_minutes(9)), "first window is at least 10 min");
+
+        // A tick inside the window must not touch the transport.
+        let sent_before = bad.sent;
+        a.try_upload(&mut rng, SimTime::from_minutes(5), &mut bad);
+        assert_eq!(bad.sent, sent_before, "no send while backing off");
+        assert_eq!(a.backoff_skips, 1);
+
+        // After the window a success closes it and resets the streak.
+        let mut good = LossyTransport::new(FaultPlan::reliable());
+        a.try_upload(&mut rng, SimTime::from_minutes(300), &mut good);
+        assert_eq!(a.pending(), 0);
+        assert!(!a.in_backoff(SimTime::from_minutes(300)));
+    }
+
+    #[test]
+    fn backoff_windows_grow_with_the_failure_streak() {
+        let mut a = DeviceAgent::new(DeviceId(9), Os::Android, OsVersion::new(4, 4));
+        let mut bad = LossyTransport::new(FaultPlan { fail: 1.0, ..FaultPlan::reliable() });
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        a.observe(&obs(0, 100));
+        let mut t = SimTime::ZERO;
+        let mut widths = Vec::new();
+        for _ in 0..6 {
+            a.try_upload(&mut rng, t, &mut bad);
+            let until = a.backoff_until.expect("failure opens a window");
+            widths.push(until.minute - t.minute);
+            t = until; // retry the instant the window closes
+        }
+        // Base doubles 10 → 160 then stays capped; jitter adds ≤ base/2.
+        for (k, w) in widths.iter().enumerate() {
+            let base = 10u32 << k.min(4);
+            assert!((base..=base + base / 2).contains(w), "step {k}: width {w}");
+        }
+    }
+
+    #[test]
+    fn server_reject_feeds_backoff_without_sending() {
+        let mut a = DeviceAgent::new(DeviceId(10), Os::Android, OsVersion::new(4, 4));
+        let mut t = LossyTransport::new(FaultPlan::reliable());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        a.observe(&obs(0, 100));
+        a.note_server_reject(&mut rng, SimTime::ZERO);
+        assert_eq!(a.server_rejects, 1);
+        assert!(a.in_backoff(SimTime::from_minutes(5)));
+        a.try_upload(&mut rng, SimTime::from_minutes(5), &mut t);
+        assert_eq!(t.sent, 0, "reject postpones the whole upload round");
+        // A reject while already backing off is not double-counted.
+        a.note_server_reject(&mut rng, SimTime::from_minutes(5));
+        assert_eq!(a.server_rejects, 1);
+        a.try_upload(&mut rng, SimTime::from_minutes(300), &mut t);
+        assert_eq!(a.pending(), 0);
     }
 
     #[test]

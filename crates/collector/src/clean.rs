@@ -44,6 +44,11 @@ pub struct CleanStats {
     pub reboots: u64,
     /// Sequence gaps (lost uploads) detected.
     pub gaps: u64,
+    /// Records the gaps prove were lost (sum of gap widths, including
+    /// records missing before a device's first delivered record). Lost
+    /// *tails* are invisible here — sequence numbers only witness a loss
+    /// when a later record arrives.
+    pub missing_records: u64,
 }
 
 /// Run the pipeline. `records` must be sorted by (device, seq) — the
@@ -76,21 +81,30 @@ pub fn clean(
                 .then(|| w[1].time.day())
         });
 
-        // Pass 2: delta reconstruction.
+        // Pass 2: delta reconstruction. Sequence numbers are monotonic
+        // across reboots, so gap widths are exact loss counts whether or
+        // not the epoch changed in between.
+        if let Some(first) = dev_records.first() {
+            if first.seq > 0 {
+                stats.gaps += 1;
+                stats.missing_records += u64::from(first.seq);
+            }
+        }
         let mut prev: Option<&Record> = None;
         for r in dev_records {
-            let (d3g, dlte, dwifi, dapps) = match prev {
-                Some(p) if p.boot_epoch == r.boot_epoch => {
-                    if r.seq > p.seq + 1 {
-                        stats.gaps += 1;
-                    }
-                    (
-                        delta(&r.counters.cell3g, &p.counters.cell3g),
-                        delta(&r.counters.lte, &p.counters.lte),
-                        delta(&r.counters.wifi, &p.counters.wifi),
-                        app_deltas(r, Some(p)),
-                    )
+            if let Some(p) = prev {
+                if r.seq > p.seq + 1 {
+                    stats.gaps += 1;
+                    stats.missing_records += u64::from(r.seq - p.seq - 1);
                 }
+            }
+            let (d3g, dlte, dwifi, dapps) = match prev {
+                Some(p) if p.boot_epoch == r.boot_epoch => (
+                    delta(&r.counters.cell3g, &p.counters.cell3g),
+                    delta(&r.counters.lte, &p.counters.lte),
+                    delta(&r.counters.wifi, &p.counters.wifi),
+                    app_deltas(r, Some(p)),
+                ),
                 Some(_) => {
                     // Reboot: counters restarted from zero; everything
                     // accumulated since boot belongs to this bin.
@@ -426,9 +440,35 @@ mod tests {
         let (ds, stats) =
             clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
         assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.missing_records, 1);
         assert_eq!(ds.bins.len(), 2);
         assert_eq!(ds.bins[0].rx_wifi, 1_000);
         assert_eq!(ds.bins[1].rx_wifi, 7_777 + 2_000);
+    }
+
+    /// Records lost before the first delivered one are still witnessed by
+    /// the surviving sequence numbers.
+    #[test]
+    fn leading_gap_counted_as_missing() {
+        let mut agent =
+            DeviceAgent::new(DeviceId(0), Os::Android, mobitrace_model::OsVersion::new(4, 4));
+        let mut frames = Vec::new();
+        for k in 0..4u32 {
+            agent.observe(&obs(k * 10, 500, false));
+        }
+        let mut t = LossyTransport::new(FaultPlan::reliable());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        agent.try_upload(&mut rng, SimTime::ZERO, &mut t);
+        frames.extend(t.drain());
+        let server = CollectionServer::new();
+        // The first two frames (seq 0 and 1) never make it.
+        server.ingest(&frames[2]).unwrap();
+        server.ingest(&frames[3]).unwrap();
+        let records = server.into_records();
+        let (_, stats) =
+            clean(meta(1), device_info(1, Os::Android), &records, CleanOptions::default());
+        assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.missing_records, 2);
     }
 
     proptest! {
@@ -459,11 +499,12 @@ mod tests {
                 agent.try_upload(&mut rng, t, &mut transport);
                 server.ingest_all(transport.deliver_due(t));
             }
-            // End of campaign: retry until the cache is flushed.
+            // End of campaign: retry until the cache is flushed. Time must
+            // advance between attempts or the backoff window never closes.
             let end = SimTime::from_minutes(volumes.len() as u32 * 10);
-            for _ in 0..1000 {
+            for k in 0..1000u32 {
                 if agent.pending() == 0 { break; }
-                agent.try_upload(&mut rng, end, &mut transport);
+                agent.try_upload(&mut rng, end.plus_minutes(k * 10), &mut transport);
             }
             prop_assert_eq!(agent.pending(), 0, "cache never drained");
             server.ingest_all(transport.drain());

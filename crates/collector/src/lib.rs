@@ -6,30 +6,41 @@
 //! - [`codec`]: a hand-rolled binary wire format (varints, length-prefixed
 //!   strings, CRC-32 framing) for agent→server uploads;
 //! - [`transport`]: a fault-injected channel (drop / duplicate / delay /
-//!   corrupt) in the spirit of smoltcp's example fault options;
+//!   corrupt) in the spirit of smoltcp's example fault options, plus
+//!   seeded *chaos schedules* — bursty link-down / congestion /
+//!   server-outage episodes layered over the i.i.d. faults;
 //! - [`agent`]: the on-device agent state machine — samples every
-//!   10 minutes, queues records, caches on upload failure and retries, as
-//!   the paper's measurement software does;
+//!   10 minutes, queues records into a bounded cache, and retries failed
+//!   uploads under exponential backoff with jitter, as the paper's
+//!   measurement software does;
 //! - [`server`]: the collection server — decodes frames, verifies
-//!   checksums, deduplicates, tolerates out-of-order delivery;
+//!   checksums, deduplicates, tolerates out-of-order delivery, and (in
+//!   journaled mode) survives simulated crashes by snapshot + replay;
 //! - [`clean`](mod@clean): the cleaning pipeline — counter-delta reconstruction
 //!   (reboot-safe), tethering removal, iOS-update-day exclusion — producing
-//!   the analysis-ready dataset.
+//!   the analysis-ready dataset;
+//! - [`chaos`]: the fault-convergence harness proving the cleaned dataset
+//!   under any chaos schedule equals the reliable-channel dataset minus
+//!   exactly the losses the cleaner accounts for.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod chaos;
 pub mod clean;
 pub mod codec;
 pub mod server;
 pub mod transport;
 
-pub use agent::{DeviceAgent, Observation};
+pub use agent::{DeviceAgent, Observation, DEFAULT_CACHE_CAP};
+pub use chaos::{run_convergence, ChaosRunConfig, ConvergenceReport};
 pub use clean::{clean, strip_update_days, CleanOptions, CleanStats};
 pub use codec::{
     decode_batch_into, decode_frame, decode_frame_from, encode_batch, encode_frame,
     encode_frame_into, CodecError,
 };
-pub use server::CollectionServer;
-pub use transport::{FaultPlan, LossyTransport};
+pub use server::{CollectionServer, IngestStats};
+pub use transport::{
+    ChaosEffect, ChaosProfile, ChaosSchedule, Episode, EpisodeKind, FaultPlan, LossyTransport,
+};

@@ -15,13 +15,23 @@
 //! thread scheduling and shard count — cannot change the stored contents:
 //! [`into_records`](CollectionServer::into_records) always produces the
 //! same (device, time)-sorted output.
+//!
+//! For crash-recovery tests the server can run **journaled**
+//! ([`with_journal`](CollectionServer::with_journal)): every newly stored
+//! record is appended to a per-shard journal that is periodically folded
+//! into a snapshot, so a simulated [`crash`](CollectionServer::crash) —
+//! which wipes the live store — can be healed by
+//! [`recover`](CollectionServer::recover) replaying snapshot + journal.
+//! A soft ingest limit ([`set_soft_limit`](CollectionServer::set_soft_limit))
+//! adds backpressure: agents consult [`accepting`](CollectionServer::accepting)
+//! and treat a refusal as a visible failure feeding their backoff.
 
 use crate::codec::{decode_batch_into, decode_frame, CodecError};
 use bytes::Bytes;
 use mobitrace_model::{DeviceId, Record};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Ingest statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,13 +42,32 @@ pub struct IngestStats {
     pub rejected: u64,
     /// Frames that duplicated an already-stored record.
     pub duplicates: u64,
+    /// Deliveries thrown away because the server was crashed.
+    pub lost_down: u64,
+    /// Simulated crashes.
+    pub crashes: u64,
 }
 
 /// Default number of shards: enough stripes that 8–16 producer threads
 /// rarely collide, cheap enough to sum for small servers.
 const DEFAULT_SHARDS: usize = 16;
 
-type Shard = RwLock<HashMap<DeviceId, BTreeMap<u32, Record>>>;
+/// Journal entries per shard before they are folded into the snapshot.
+const JOURNAL_CHECKPOINT: usize = 4096;
+
+type Store = HashMap<DeviceId, BTreeMap<u32, Record>>;
+
+/// One stripe of the store. `live` is the volatile working set (lost on
+/// crash); `snapshot` + `journal` are the durable image it is rebuilt
+/// from. Invariant while journaling: `snapshot ∪ journal == live`.
+#[derive(Debug, Default)]
+struct ShardState {
+    live: Store,
+    snapshot: Store,
+    journal: Vec<Record>,
+}
+
+type Shard = RwLock<ShardState>;
 
 /// The collection server.
 #[derive(Debug)]
@@ -48,9 +77,19 @@ pub struct CollectionServer {
     /// `shards.len() - 1`; shard counts are powers of two so the hash can
     /// be masked instead of taken modulo.
     shard_mask: u64,
+    /// Append new records to the per-shard journal (crash-recovery mode).
+    journal_enabled: bool,
+    /// A simulated crash is in progress (deliveries are lost).
+    crashed: AtomicBool,
+    /// Soft record limit for backpressure; 0 disables it.
+    soft_limit: AtomicUsize,
+    /// Cheap live-record count for `overloaded` (len() takes every lock).
+    live_records: AtomicUsize,
     frames: AtomicU64,
     rejected: AtomicU64,
     duplicates: AtomicU64,
+    lost_down: AtomicU64,
+    crashes: AtomicU64,
 }
 
 impl Default for CollectionServer {
@@ -73,10 +112,25 @@ impl CollectionServer {
         CollectionServer {
             shards: (0..n).map(|_| Shard::default()).collect(),
             shard_mask: n as u64 - 1,
+            journal_enabled: false,
+            crashed: AtomicBool::new(false),
+            soft_limit: AtomicUsize::new(0),
+            live_records: AtomicUsize::new(0),
             frames: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
+            lost_down: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
         }
+    }
+
+    /// Enable the per-shard journal + snapshot so the server can
+    /// [`crash`](CollectionServer::crash) and
+    /// [`recover`](CollectionServer::recover). Off by default: journaling
+    /// keeps a second copy of every record, which full-scale campaigns —
+    /// which never crash their server — should not pay for.
+    pub fn with_journal(self) -> CollectionServer {
+        CollectionServer { journal_enabled: true, ..self }
     }
 
     /// Number of shards the store is striped across.
@@ -92,23 +146,117 @@ impl CollectionServer {
         &self.shards[(h & self.shard_mask) as usize]
     }
 
-    /// Store one decoded record. Returns `true` when it was new.
-    fn store(&self, record: Record) -> bool {
-        let mut shard = self.shard_of(record.device).write();
-        let per_device = shard.entry(record.device).or_default();
-        if per_device.contains_key(&record.seq) {
-            self.duplicates.fetch_add(1, Ordering::Relaxed);
+    /// Store one record into a locked shard. Returns `true` when new.
+    fn store_in(state: &mut ShardState, record: Record, journal: bool) -> bool {
+        let dup = state.live.get(&record.device).is_some_and(|m| m.contains_key(&record.seq));
+        if dup {
             return false;
         }
-        per_device.insert(record.seq, record);
+        if journal {
+            state.journal.push(record.clone());
+            if state.journal.len() >= JOURNAL_CHECKPOINT {
+                Self::checkpoint_shard(state);
+            }
+        }
+        state.live.entry(record.device).or_default().insert(record.seq, record);
         true
     }
 
+    /// Fold the journal into the snapshot (keeps `snapshot ∪ journal ==
+    /// live` while shrinking the journal back to empty).
+    fn checkpoint_shard(state: &mut ShardState) {
+        for record in state.journal.drain(..) {
+            state.snapshot.entry(record.device).or_default().insert(record.seq, record);
+        }
+    }
+
+    /// Store one decoded record. Returns `true` when it was new.
+    fn store(&self, record: Record) -> bool {
+        let mut shard = self.shard_of(record.device).write();
+        if Self::store_in(&mut shard, record, self.journal_enabled) {
+            self.live_records.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Simulate a mid-campaign crash: the volatile store is wiped and
+    /// every delivery until [`recover`](CollectionServer::recover) is
+    /// lost (counted in `lost_down`). The journal and snapshot survive.
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        for shard in self.shards.iter() {
+            shard.write().live.clear();
+        }
+        self.live_records.store(0, Ordering::Relaxed);
+    }
+
+    /// Heal a crash: rebuild every shard's live store from snapshot +
+    /// journal replay and resume accepting deliveries. Without
+    /// [`with_journal`](CollectionServer::with_journal) there is nothing
+    /// to replay and the pre-crash records are simply gone.
+    pub fn recover(&self) {
+        let mut total = 0usize;
+        for shard in self.shards.iter() {
+            let mut state = shard.write();
+            let mut live = state.snapshot.clone();
+            for record in &state.journal {
+                let per_device = live.entry(record.device).or_default();
+                if !per_device.contains_key(&record.seq) {
+                    per_device.insert(record.seq, record.clone());
+                }
+            }
+            total += live.values().map(|m| m.len()).sum::<usize>();
+            state.live = live;
+        }
+        self.live_records.store(total, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether a simulated crash is in progress.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Soft backpressure limit on stored records; 0 disables it. The
+    /// limit is advisory — deliveries already in flight still land — but
+    /// [`accepting`](CollectionServer::accepting) turns false so agents
+    /// hold new uploads and back off.
+    pub fn set_soft_limit(&self, limit: usize) {
+        self.soft_limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// Whether the store has reached its soft limit.
+    pub fn overloaded(&self) -> bool {
+        let limit = self.soft_limit.load(Ordering::Relaxed);
+        limit > 0 && self.live_records.load(Ordering::Relaxed) >= limit
+    }
+
+    /// Whether agents should attempt an upload right now (not crashed,
+    /// not overloaded). A `false` here is the backpressure signal agents
+    /// feed into their backoff policy.
+    pub fn accepting(&self) -> bool {
+        !self.is_crashed() && !self.overloaded()
+    }
+
+    /// Records waiting in the per-shard journals (not yet checkpointed).
+    pub fn journal_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().journal.len()).sum()
+    }
+
     /// Ingest one frame. Returns `Ok(true)` when a new record was stored,
-    /// `Ok(false)` for a duplicate, or the codec error for a bad frame.
-    /// Every call counts exactly one frame, and a bad frame counts exactly
-    /// one rejection.
+    /// `Ok(false)` for a duplicate — or for a delivery into a crashed
+    /// server, which is lost and counted in `lost_down` — or the codec
+    /// error for a bad frame. Every live call counts exactly one frame,
+    /// and a bad frame counts exactly one rejection.
     pub fn ingest(&self, frame: &Bytes) -> Result<bool, CodecError> {
+        if self.is_crashed() {
+            self.lost_down.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
         self.frames.fetch_add(1, Ordering::Relaxed);
         let record = match decode_frame(frame) {
             Ok(r) => r,
@@ -125,6 +273,13 @@ impl CollectionServer {
     /// and each touched shard is locked once for the whole batch. Returns
     /// the number of newly stored records.
     pub fn ingest_batch(&self, frames: impl IntoIterator<Item = Bytes>) -> usize {
+        if self.is_crashed() {
+            let lost = frames.into_iter().count() as u64;
+            if lost > 0 {
+                self.lost_down.fetch_add(lost, Ordering::Relaxed);
+            }
+            return 0;
+        }
         let mut records = Vec::new();
         let mut n_frames = 0u64;
         let mut n_rejected = 0u64;
@@ -149,9 +304,14 @@ impl CollectionServer {
     /// [`encode_batch`](crate::codec::encode_batch)) — decoded in one
     /// streaming pass with no per-frame slicing. A bad frame loses the rest
     /// of the stream (frame lengths live inside the frames) and counts as
-    /// one rejection; everything decoded before it is stored. Returns the
-    /// number of newly stored records.
+    /// one rejection; everything decoded before it is stored. A stream
+    /// delivered into a crashed server is lost whole (one `lost_down`).
+    /// Returns the number of newly stored records.
     pub fn ingest_stream(&self, mut stream: Bytes) -> usize {
+        if self.is_crashed() {
+            self.lost_down.fetch_add(1, Ordering::Relaxed);
+            return 0;
+        }
         let mut records = Vec::new();
         let failed = decode_batch_into(&mut stream, &mut records).is_err();
         self.frames.fetch_add(records.len() as u64 + u64::from(failed), Ordering::Relaxed);
@@ -178,14 +338,15 @@ impl CollectionServer {
             }
             let mut shard = self.shards[k].write();
             for record in records {
-                let per_device = shard.entry(record.device).or_default();
-                if per_device.contains_key(&record.seq) {
-                    n_duplicates += 1;
-                } else {
-                    per_device.insert(record.seq, record);
+                if Self::store_in(&mut shard, record, self.journal_enabled) {
                     stored += 1;
+                } else {
+                    n_duplicates += 1;
                 }
             }
+        }
+        if stored > 0 {
+            self.live_records.fetch_add(stored, Ordering::Relaxed);
         }
         if n_duplicates > 0 {
             self.duplicates.fetch_add(n_duplicates, Ordering::Relaxed);
@@ -204,25 +365,29 @@ impl CollectionServer {
             frames: self.frames.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            lost_down: self.lost_down.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
         }
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().values().map(|m| m.len()).sum::<usize>()).sum()
+        self.shards.iter().map(|s| s.read().live.values().map(|m| m.len()).sum::<usize>()).sum()
     }
 
     /// True when nothing has been stored.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().values().all(|m| m.is_empty()))
+        self.shards.iter().all(|s| s.read().live.values().all(|m| m.is_empty()))
     }
 
     /// Extract all records sorted by (device, time), consuming the server.
+    /// Call [`recover`](CollectionServer::recover) first if a crash is in
+    /// progress — this reads the live store.
     pub fn into_records(self) -> Vec<Record> {
         let mut devices: Vec<(DeviceId, BTreeMap<u32, Record>)> = Vec::new();
         let mut total = 0usize;
         for shard in self.shards.into_vec() {
-            for entry in shard.into_inner() {
+            for entry in shard.into_inner().live {
                 total += entry.1.len();
                 devices.push(entry);
             }
@@ -306,13 +471,16 @@ mod tests {
         let server = CollectionServer::new();
         let bad = Bytes::from_static(&[0xFF; 7]);
         assert!(server.ingest(&bad).is_err());
-        assert_eq!(server.stats(), IngestStats { frames: 1, rejected: 1, duplicates: 0 });
+        let expect = IngestStats { frames: 1, rejected: 1, ..IngestStats::default() };
+        assert_eq!(server.stats(), expect);
         server.ingest(&encode_frame(&record(0, 0))).unwrap();
-        assert_eq!(server.stats(), IngestStats { frames: 2, rejected: 1, duplicates: 0 });
+        let expect = IngestStats { frames: 2, rejected: 1, ..IngestStats::default() };
+        assert_eq!(server.stats(), expect);
         // Batch path: same accounting.
         let server = CollectionServer::new();
         server.ingest_all(vec![bad.clone(), encode_frame(&record(0, 0)), bad]);
-        assert_eq!(server.stats(), IngestStats { frames: 3, rejected: 2, duplicates: 0 });
+        let expect = IngestStats { frames: 3, rejected: 2, ..IngestStats::default() };
+        assert_eq!(server.stats(), expect);
     }
 
     /// The stored contents and statistics must be byte-identical for every
@@ -408,7 +576,8 @@ mod tests {
         raw[cut + 8] ^= 0x10;
         let server = CollectionServer::new();
         assert_eq!(server.ingest_stream(Bytes::from(raw)), 2);
-        assert_eq!(server.stats(), IngestStats { frames: 3, rejected: 1, duplicates: 0 });
+        let expect = IngestStats { frames: 3, rejected: 1, ..IngestStats::default() };
+        assert_eq!(server.stats(), expect);
     }
 
     #[test]
@@ -428,5 +597,86 @@ mod tests {
         }
         assert_eq!(server.len(), 1000);
         assert_eq!(server.stats().frames, 1000);
+    }
+
+    /// A crash wipes the live store; recovery replays the journal back to
+    /// exactly the pre-crash contents, and deliveries while down are lost
+    /// and counted — the accounting the convergence proof leans on.
+    #[test]
+    fn crash_and_recover_replays_journal() {
+        let server = CollectionServer::new().with_journal();
+        for d in 0..8u32 {
+            for s in 0..20u32 {
+                server.ingest(&encode_frame(&record(d, s))).unwrap();
+            }
+        }
+        assert_eq!(server.len(), 160);
+        server.crash();
+        assert!(server.is_crashed());
+        assert!(server.is_empty(), "crash wipes the live store");
+        // Deliveries while down are lost, not stored, not counted as frames.
+        assert_eq!(server.ingest(&encode_frame(&record(0, 99))), Ok(false));
+        server.ingest_all(vec![encode_frame(&record(1, 99))]);
+        assert_eq!(server.stats().lost_down, 2);
+        assert_eq!(server.stats().frames, 160);
+
+        server.recover();
+        assert!(!server.is_crashed());
+        assert_eq!(server.len(), 160, "journal replay restores every record");
+        // Re-delivered duplicates are still detected after recovery.
+        assert_eq!(server.ingest(&encode_frame(&record(3, 3))), Ok(false));
+        assert_eq!(server.stats().duplicates, 1);
+        assert_eq!(server.stats().crashes, 1);
+
+        // The recovered store is identical to a never-crashed reference.
+        let reference = CollectionServer::new();
+        for d in 0..8u32 {
+            for s in 0..20u32 {
+                reference.ingest(&encode_frame(&record(d, s))).unwrap();
+            }
+        }
+        assert_eq!(server.into_records(), reference.into_records());
+    }
+
+    /// Checkpointing folds the journal into the snapshot without losing
+    /// anything across a later crash, including a second crash cycle.
+    #[test]
+    fn checkpoint_and_double_crash_keep_consistency() {
+        // One shard so the per-shard auto-checkpoint threshold is reached.
+        let server = CollectionServer::with_shards(1).with_journal();
+        for s in 0..JOURNAL_CHECKPOINT as u32 + 50 {
+            server.ingest(&encode_frame(&record(s % 4, s / 4))).unwrap();
+        }
+        assert!(
+            server.journal_len() < JOURNAL_CHECKPOINT,
+            "auto-checkpoint must bound the journal"
+        );
+        let before = server.len();
+        server.crash();
+        server.recover();
+        assert_eq!(server.len(), before);
+        server.crash();
+        server.recover();
+        assert_eq!(server.len(), before, "second crash cycle is also clean");
+    }
+
+    /// The soft limit flips `accepting` without rejecting in-flight
+    /// deliveries — backpressure is advisory, agents do the waiting.
+    #[test]
+    fn soft_limit_backpressure() {
+        let server = CollectionServer::new();
+        server.set_soft_limit(5);
+        for s in 0..4u32 {
+            server.ingest(&encode_frame(&record(0, s))).unwrap();
+            assert!(server.accepting());
+        }
+        for s in 4..10u32 {
+            assert_eq!(server.ingest(&encode_frame(&record(0, s))), Ok(true));
+        }
+        assert!(server.overloaded());
+        assert!(!server.accepting());
+        assert_eq!(server.len(), 10, "in-flight deliveries still land");
+        server.set_soft_limit(0);
+        assert!(server.accepting(), "limit 0 disables backpressure");
     }
 }

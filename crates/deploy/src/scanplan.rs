@@ -24,6 +24,7 @@ use mobitrace_radio::GaussianPair;
 use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Quantized-position key of a scan plan: metre-grid cell indexes
@@ -40,9 +41,10 @@ pub const PLAN_QUANT_M: f64 = 1.0;
 /// below 1e-15, statistically invisible over any campaign.
 pub(crate) const PRUNE_SIGMA: f64 = 8.0;
 
-/// Capacity bound for the shared plan cache. Popular cells (stations,
-/// offices, dense residential blocks) fit comfortably; beyond the cap new
-/// cells are built on demand without being retained.
+/// Default capacity bound for the shared plan cache. Popular cells
+/// (stations, offices, dense residential blocks) fit comfortably; beyond
+/// the cap the least-recently-used cell is evicted, so city-plus worlds
+/// degrade to bounded memory instead of stalling cache fills.
 const SHARED_PLAN_CAP: usize = 1 << 15;
 
 /// One candidate radio in a scan plan, with its deterministic signal
@@ -120,36 +122,81 @@ impl ScanPlan {
     }
 }
 
-/// Shared, thread-safe cache of scan plans for popular cells.
+/// A cached plan plus its last-touched stamp for LRU eviction. The stamp
+/// is atomic so hits can bump it under the shared (read) lock.
+#[derive(Debug)]
+struct PlanSlot {
+    plan: Arc<ScanPlan>,
+    last_used: AtomicU64,
+}
+
+/// Shared, thread-safe, LRU-bounded cache of scan plans for popular cells.
 ///
-/// Reads take a shared lock; a miss builds the plan *outside* any lock
-/// (plans are pure functions of world + key, so concurrent builders
-/// produce identical plans) and publishes it under the write lock unless
-/// another thread won the race or the cache is at capacity.
-#[derive(Debug, Default)]
+/// Reads take a shared lock and bump the entry's recency stamp; a miss
+/// builds the plan *outside* any lock (plans are pure functions of
+/// world + key, so concurrent builders produce identical plans) and
+/// publishes it under the write lock, evicting the least-recently-used
+/// cell when the cache is at capacity. Which keys are resident can vary
+/// with thread scheduling, but the plan *content* per key never does, so
+/// eviction preserves the campaign's cross-thread determinism.
+#[derive(Debug)]
 pub struct ScanPlanCache {
-    shared: RwLock<HashMap<PlanKey, Arc<ScanPlan>>>,
+    shared: RwLock<HashMap<PlanKey, PlanSlot>>,
+    /// Monotone logical clock stamped onto entries as they are touched.
+    tick: AtomicU64,
+    evictions: AtomicU64,
+    cap: usize,
+}
+
+impl Default for ScanPlanCache {
+    fn default() -> ScanPlanCache {
+        ScanPlanCache::new()
+    }
 }
 
 impl ScanPlanCache {
-    /// New empty cache.
+    /// New empty cache with the default capacity.
     pub fn new() -> ScanPlanCache {
-        ScanPlanCache { shared: RwLock::new(HashMap::new()) }
+        ScanPlanCache::with_capacity(SHARED_PLAN_CAP)
+    }
+
+    /// New empty cache holding at most `cap` plans (minimum 1).
+    pub fn with_capacity(cap: usize) -> ScanPlanCache {
+        ScanPlanCache {
+            shared: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cap: cap.max(1),
+        }
     }
 
     /// The plan for a quantized position, built and published on miss.
     pub fn plan(&self, world: &ApWorld, key: PlanKey) -> Arc<ScanPlan> {
-        if let Some(p) = self.shared.read().get(&key) {
-            return Arc::clone(p);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self.shared.read().get(&key) {
+            slot.last_used.store(now, Ordering::Relaxed);
+            return Arc::clone(&slot.plan);
         }
         let built = Arc::new(world.build_scan_plan(world.plan_cell_centre(key)));
         let mut w = self.shared.write();
-        if let Some(p) = w.get(&key) {
-            return Arc::clone(p);
+        if let Some(slot) = w.get(&key) {
+            slot.last_used.store(now, Ordering::Relaxed);
+            return Arc::clone(&slot.plan);
         }
-        if w.len() < SHARED_PLAN_CAP {
-            w.insert(key, Arc::clone(&built));
+        if w.len() >= self.cap {
+            // Evict the stalest cell; ties break on the key so eviction
+            // order is deterministic for a deterministic access sequence.
+            let victim = w
+                .iter()
+                .map(|(k, s)| (s.last_used.load(Ordering::Relaxed), *k))
+                .min()
+                .map(|(_, k)| k);
+            if let Some(k) = victim {
+                w.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        w.insert(key, PlanSlot { plan: Arc::clone(&built), last_used: AtomicU64::new(now) });
         built
     }
 
@@ -161,5 +208,20 @@ impl ScanPlanCache {
     /// True if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Maximum number of plans retained at once.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether a plan for `key` is currently resident (recency untouched).
+    pub fn contains(&self, key: PlanKey) -> bool {
+        self.shared.read().contains_key(&key)
+    }
+
+    /// Number of plans evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }

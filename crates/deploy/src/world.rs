@@ -613,4 +613,33 @@ mod tests {
         assert!(Arc::ptr_eq(&c1.plan(&w, key), &c1.plan(&w, key)));
         assert_eq!(c1.len(), 1);
     }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used_at_capacity() {
+        use crate::scanplan::ScanPlanCache;
+        let spec = small_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let w = ApWorld::generate(&spec, &mut rng);
+        let (a, b, c) = ((0, 0), (7, 7), (14, 14));
+
+        let cache = ScanPlanCache::with_capacity(2);
+        cache.plan(&w, a);
+        cache.plan(&w, b);
+        cache.plan(&w, a); // refresh a: b is now the LRU entry
+        cache.plan(&w, c); // at capacity → evicts b, not a
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(a) && cache.contains(c) && !cache.contains(b));
+        assert_eq!(cache.evictions(), 1);
+
+        // Eviction never changes content: a rebuilt-after-eviction plan
+        // equals the one a fresh cache derives for the same key.
+        let fresh = ScanPlanCache::new();
+        assert_eq!(cache.plan(&w, b).entries, fresh.plan(&w, b).entries);
+
+        // The bound holds under sustained pressure.
+        for i in 0..50 {
+            cache.plan(&w, (i, -i));
+            assert!(cache.len() <= cache.capacity());
+        }
+    }
 }

@@ -8,6 +8,7 @@
 //! mobitrace simulate --out DIR [--scale S] [--seed N]
 //! mobitrace analyze --data DIR [<id>...]
 //! mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]
+//! mobitrace chaos [--quick] [--scale S] [--seed N]
 //! ```
 
 use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
@@ -177,6 +178,7 @@ fn main() {
             }
         }
         "bench" => run_pipeline_bench(&args),
+        "chaos" => run_chaos(&args),
         _ => {
             println!(
                 "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
@@ -185,13 +187,79 @@ fn main() {
                  mobitrace all [--scale S] [--seed N] [--json PATH]\n  \
                  mobitrace simulate --out DIR [--scale S] [--seed N]\n  \
                  mobitrace analyze --data DIR [<id>...]\n  \
-                 mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]\n\n\
+                 mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]\n  \
+                 mobitrace chaos [--quick] [--scale S] [--seed N]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
                  `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
+                 `chaos` proves fault convergence (crash + recovery included) and\n\
+                 reports what a chaos-scheduled campaign did to the upload stream;\n\
                  `--quick` caps the scale at 0.02 for CI smoke runs."
             );
         }
+    }
+}
+
+/// `mobitrace chaos`: run the fault-convergence harness (reliable lane vs
+/// chaos lane over identical observation streams, mid-campaign server
+/// crash included), then a chaos-scheduled campaign through the full
+/// simulator, reporting delivery/recovery/eviction statistics. Exits
+/// non-zero if the convergence invariant is violated.
+fn run_chaos(args: &Args) {
+    use mobitrace_collector::{run_convergence, ChaosProfile, ChaosRunConfig, FaultPlan};
+    use mobitrace_sim::{run_campaign, CampaignConfig};
+
+    let cfg = if args.quick {
+        ChaosRunConfig::quick(args.seed)
+    } else {
+        ChaosRunConfig {
+            n_devices: 16,
+            days: 6,
+            faults: FaultPlan::hostile(),
+            profile: Some(ChaosProfile::hostile()),
+            cache_cap: 128,
+            crash_at: Some(SimTime::from_day_bin(2, 40)),
+            crash_duration_min: 300,
+            ..ChaosRunConfig::quick(args.seed)
+        }
+    };
+    eprintln!(
+        "convergence harness: {} devices, {} days, seed {} ({} chaos profile)...",
+        cfg.n_devices, cfg.days, cfg.seed, if args.quick { "flaky" } else { "hostile" }
+    );
+    let report = run_convergence(&cfg);
+    println!("{report}");
+
+    let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+    let profile = if args.quick { ChaosProfile::flaky() } else { ChaosProfile::hostile() };
+    let mut camp =
+        CampaignConfig::scaled(Year::Y2014, scale).with_seed(args.seed).with_chaos(profile);
+    camp.days = if args.quick { 4 } else { 8 };
+    eprintln!("\nchaos campaign: {} devices, {} days...", camp.n_users, camp.days);
+    let (ds, summary) = run_campaign(&camp);
+    let net = &summary.net;
+    println!(
+        "chaos campaign: {} records made, {} frames sent, {} failed sends \
+         ({} chaos-attributed), {} retries, {} backoff skips",
+        net.records_made, net.sent, net.failed, net.chaos_failed, net.retries, net.backoff_skips
+    );
+    println!(
+        "  in flight: {} dropped, {} duplicated, {} corrupted, {} lost to server outages",
+        net.dropped, net.duplicated, net.corrupted, net.lost_server_down
+    );
+    println!(
+        "  agents: {} evicted records, deepest cache {} frames; \
+         server: {} duplicates deduped, {} rejected",
+        net.evicted, net.max_pending, summary.ingest.duplicates, summary.ingest.rejected
+    );
+    println!(
+        "  cleaned: {} bins from {} devices, {} gaps, {} records missing",
+        ds.bins.len(), ds.devices.len(), summary.clean.gaps, summary.clean.missing_records
+    );
+
+    if !report.converged {
+        eprintln!("error: convergence invariant violated");
+        std::process::exit(1);
     }
 }
 

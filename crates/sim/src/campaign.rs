@@ -5,13 +5,82 @@ use crate::device::{DeviceSim, SharedWorld};
 use mobitrace_behavior::{Persona, SurveyModel, UpdateModel};
 use mobitrace_cellular::CarrierModel;
 use mobitrace_collector::server::IngestStats;
-use mobitrace_collector::{clean, CleanOptions, CleanStats, CollectionServer};
+use mobitrace_collector::{clean, ChaosSchedule, CleanOptions, CleanStats, CollectionServer};
 use mobitrace_deploy::world::WorldSpec;
 use mobitrace_deploy::{ApId, ApWorld, ScanPlanCache};
 use mobitrace_geo::{DensitySurface, GeoPoint, Grid, PoiSet};
 use mobitrace_model::{CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Year};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Aggregate upload-path counters across every device's agent and
+/// channel: what the campaign's network weather did to the measurement
+/// stream, independent of what the cleaner later reconstructs.
+#[derive(Debug, Clone, Default)]
+pub struct NetSummary {
+    /// Records sampled by agents.
+    pub records_made: u64,
+    /// Frames accepted onto the wire.
+    pub sent: u64,
+    /// Failed send attempts (fault plan plus chaos link-down windows).
+    pub failed: u64,
+    /// Failures attributable to chaos episodes rather than base faults.
+    pub chaos_failed: u64,
+    /// Frames silently dropped in flight.
+    pub dropped: u64,
+    /// Frames duplicated in flight.
+    pub duplicated: u64,
+    /// Frames corrupted in flight.
+    pub corrupted: u64,
+    /// Frames discarded because they arrived during a server outage.
+    pub lost_server_down: u64,
+    /// Upload retries after failed sends.
+    pub retries: u64,
+    /// Upload ticks skipped inside backoff windows.
+    pub backoff_skips: u64,
+    /// Uploads refused by server backpressure.
+    pub server_rejects: u64,
+    /// Records evicted from full agent caches (oldest first).
+    pub evicted: u64,
+    /// Deepest pending queue any single agent reached.
+    pub max_pending: usize,
+}
+
+impl NetSummary {
+    /// Fold one finished device's counters into the aggregate.
+    fn absorb(&mut self, dev: &DeviceSim) {
+        self.records_made += dev.agent.records_made;
+        self.sent += dev.transport.sent;
+        self.failed += dev.transport.failed;
+        self.chaos_failed += dev.transport.chaos_failed;
+        self.dropped += dev.transport.dropped;
+        self.duplicated += dev.transport.duplicated;
+        self.corrupted += dev.transport.corrupted;
+        self.lost_server_down += dev.transport.lost_server_down;
+        self.retries += dev.agent.retries;
+        self.backoff_skips += dev.agent.backoff_skips;
+        self.server_rejects += dev.agent.server_rejects;
+        self.evicted += dev.agent.dropped_records;
+        self.max_pending = self.max_pending.max(dev.agent.max_pending);
+    }
+
+    /// Merge another aggregate (one worker thread's share) into this one.
+    fn merge(&mut self, other: &NetSummary) {
+        self.records_made += other.records_made;
+        self.sent += other.sent;
+        self.failed += other.failed;
+        self.chaos_failed += other.chaos_failed;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.corrupted += other.corrupted;
+        self.lost_server_down += other.lost_server_down;
+        self.retries += other.retries;
+        self.backoff_skips += other.backoff_skips;
+        self.server_rejects += other.server_rejects;
+        self.evicted += other.evicted;
+        self.max_pending = self.max_pending.max(other.max_pending);
+    }
+}
 
 /// Summary of a simulated campaign run.
 #[derive(Debug, Clone, Default)]
@@ -20,6 +89,8 @@ pub struct SimSummary {
     pub clean: CleanStats,
     /// Server ingest statistics.
     pub ingest: IngestStats,
+    /// Aggregate upload-path (transport + agent) counters.
+    pub net: NetSummary,
     /// Android devices.
     pub n_android: usize,
     /// iOS devices.
@@ -107,6 +178,14 @@ pub fn run_campaign_opts(
     // Shared scan-plan cache: popular cells (stations, dense residential
     // blocks) are planned once and replayed by every device that visits.
     let plans = ScanPlanCache::new();
+    // Campaign-global chaos: server outages hit every device over the same
+    // wall-clock windows (per-device link faults are drawn inside each
+    // device's own stream, in `DeviceSim::new`).
+    let mut chaos_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(5));
+    let server_chaos = match &config.chaos {
+        Some(profile) => ChaosSchedule::server_schedule(profile, config.days, &mut chaos_rng),
+        None => ChaosSchedule::none(),
+    };
     let shared = SharedWorld {
         world: &world,
         grid: &grid,
@@ -114,6 +193,7 @@ pub fn run_campaign_opts(
         update: update_model.as_ref(),
         config,
         plans: &plans,
+        chaos: &server_chaos,
     };
 
     // Per-device simulation. Devices are independent but far from uniform
@@ -127,11 +207,11 @@ pub fn run_campaign_opts(
     let n_threads = config.effective_threads().min(personas.len().max(1));
     let mut updated_at: Vec<Option<mobitrace_model::SimTime>> = vec![None; personas.len()];
     let mut truths: Vec<Option<mobitrace_model::GroundTruth>> = vec![None; personas.len()];
+    let mut net = NetSummary::default();
     {
+        type DeviceOut = (u32, Option<mobitrace_model::SimTime>, mobitrace_model::GroundTruth);
         let cursor = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<
-            Vec<(u32, Option<mobitrace_model::SimTime>, mobitrace_model::GroundTruth)>,
-        > = std::thread::scope(|scope| {
+        let results: Vec<(Vec<DeviceOut>, NetSummary)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_threads)
                 .map(|_| {
                     let cursor = &cursor;
@@ -144,6 +224,7 @@ pub fn run_campaign_opts(
                     let world = &world;
                     scope.spawn(move || {
                         let mut out = Vec::new();
+                        let mut net = NetSummary::default();
                         loop {
                             let idx = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if idx >= personas.len() {
@@ -160,15 +241,17 @@ pub fn run_campaign_opts(
                                 device_rng(shared.config.seed, persona.index),
                             );
                             dev.run(shared, server);
+                            net.absorb(&dev);
                             out.push((persona.index, dev.updated_at, dev.ground_truth(shared)));
                         }
-                        out
+                        (out, net)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("device thread")).collect()
         });
-        for chunk in results {
+        for (chunk, thread_net) in results {
+            net.merge(&thread_net);
             for (index, up, truth) in chunk {
                 updated_at[index as usize] = up;
                 truths[index as usize] = Some(truth);
@@ -208,6 +291,7 @@ pub fn run_campaign_opts(
     let summary = SimSummary {
         clean: clean_stats,
         ingest,
+        net,
         n_android: personas.iter().filter(|p| p.os == Os::Android).count(),
         n_ios: personas.iter().filter(|p| p.os == Os::Ios).count(),
         n_lte: techs.iter().filter(|&&t| t == CellTech::Lte).count(),
@@ -269,6 +353,36 @@ mod tests {
         let mut cfg = CampaignConfig::scaled(Year::Y2014, 0.03);
         cfg.days = 4;
         cfg.seed = 11;
+        let (a, _) = run_campaign(&cfg.clone().with_threads(1));
+        let (b, _) = run_campaign(&cfg.with_threads(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_campaign_is_valid_deterministic_and_behaviour_invariant() {
+        use mobitrace_collector::ChaosProfile;
+        let mut cfg = CampaignConfig::scaled(Year::Y2014, 0.03).with_chaos(ChaosProfile::flaky());
+        cfg.days = 4;
+        cfg.seed = 12;
+        cfg.tether_users = 0.0;
+        let (ds, summary) = run_campaign(&cfg);
+        ds.validate().unwrap();
+        // ~50 devices × 4 days × 2 link-down episodes/day: chaos must be
+        // visible in the counters, and the backoff machinery must engage.
+        assert!(summary.net.chaos_failed > 0, "no chaos-attributed failures");
+        assert!(summary.net.retries > 0, "failures without retries");
+        assert!(summary.net.backoff_skips > 0, "failures without backoff");
+
+        // Chaos perturbs *delivery*, never behaviour: the same campaign
+        // without chaos samples exactly the same number of records.
+        let mut calm = cfg.clone();
+        calm.chaos = None;
+        let (calm_ds, calm_summary) = run_campaign(&calm);
+        assert_eq!(summary.net.records_made, calm_summary.net.records_made);
+        assert_eq!(ds.devices.len(), calm_ds.devices.len());
+
+        // Chaos schedules live in device-owned streams, so the thread
+        // schedule still cannot leak into the output.
         let (a, _) = run_campaign(&cfg.clone().with_threads(1));
         let (b, _) = run_campaign(&cfg.with_threads(8));
         assert_eq!(a, b);

@@ -2,7 +2,7 @@
 
 use mobitrace_behavior::BehaviorParams;
 use mobitrace_cellular::CapPolicy;
-use mobitrace_collector::FaultPlan;
+use mobitrace_collector::{ChaosProfile, FaultPlan};
 use mobitrace_deploy::DeployParams;
 use mobitrace_model::Year;
 
@@ -21,6 +21,13 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Upload-channel fault plan.
     pub faults: FaultPlan,
+    /// Chaos-episode profile layered over the fault plan: seeded bursty
+    /// link-down / congestion windows per device plus campaign-global
+    /// server outages. `None` keeps faults i.i.d. (the default). The
+    /// behavioural simulation is invariant to this setting — chaos only
+    /// perturbs *delivery*, and the cleaner's gap counters account for
+    /// every loss (see the collector's convergence harness).
+    pub chaos: Option<ChaosProfile>,
     /// Population behaviour parameters.
     pub behavior: BehaviorParams,
     /// AP deployment parameters.
@@ -65,6 +72,7 @@ impl CampaignConfig {
             days,
             seed: 20151028, // IMC'15 opening day
             faults: FaultPlan::mobile(),
+            chaos: None,
             behavior: BehaviorParams::for_year(year),
             deploy: DeployParams::for_year(year),
             fon_home_share: 0.03,
@@ -100,6 +108,12 @@ impl CampaignConfig {
     /// Same campaign with scan-plan caching switched on or off.
     pub fn with_scan_cache(mut self, on: bool) -> CampaignConfig {
         self.scan_cache = on;
+        self
+    }
+
+    /// Same campaign with a chaos-episode profile layered over the faults.
+    pub fn with_chaos(mut self, profile: ChaosProfile) -> CampaignConfig {
+        self.chaos = Some(profile);
         self
     }
 

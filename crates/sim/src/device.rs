@@ -7,7 +7,9 @@ use mobitrace_behavior::{
     Activity, AppContext, AppMix, DaySchedule, DemandModel, Persona, UpdateModel, WifiAttitude,
 };
 use mobitrace_cellular::{cell_link_rate, CapTracker, CarrierModel};
-use mobitrace_collector::{CollectionServer, DeviceAgent, LossyTransport, Observation};
+use mobitrace_collector::{
+    ChaosSchedule, CollectionServer, DeviceAgent, LossyTransport, Observation,
+};
 use mobitrace_deploy::world::ScanObs;
 use mobitrace_deploy::{ApId, ApWorld, PlanKey, ScanPlan, ScanPlanCache, Venue};
 use mobitrace_geo::{GeoPoint, Grid, PoiSet};
@@ -57,6 +59,9 @@ pub struct SharedWorld<'a> {
     /// Shared scan-plan cache for popular cells. Plans are pure functions
     /// of (world, key), so concurrent access affects timing only.
     pub plans: &'a ScanPlanCache,
+    /// Campaign-global chaos episodes (server outages) merged into every
+    /// device's schedule; [`ChaosSchedule::none`] when chaos is off.
+    pub chaos: &'a ChaosSchedule,
 }
 
 /// The runtime state of one simulated device.
@@ -205,7 +210,20 @@ impl DeviceSim {
         let wifi_boost_user =
             1.0 + (cfg.behavior.wifi_boost - 1.0) * persona.demand_scale.clamp(0.6, 2.5);
         let device = DeviceId(persona.index);
+        // Chaos and transport-fault streams are forked off the behaviour
+        // stream up front (and unconditionally), so the behavioural
+        // sequence is identical across fault plans *and* chaos settings —
+        // a hostile channel must not change what the user does.
+        let chaos_seed: u64 = rng.gen();
         let net_rng = ChaCha8Rng::seed_from_u64(rng.gen());
+        let chaos = match &cfg.chaos {
+            Some(profile) => {
+                let mut chaos_rng = ChaCha8Rng::seed_from_u64(chaos_seed);
+                ChaosSchedule::device_schedule(profile, cfg.days, &mut chaos_rng)
+                    .merged_with(shared.chaos)
+            }
+            None => ChaosSchedule::none(),
+        };
         DeviceSim {
             agent: DeviceAgent::new(device, os, initial_version),
             rng,
@@ -213,7 +231,7 @@ impl DeviceSim {
             home_station,
             office_station,
             demand_factor,
-            transport: LossyTransport::new(cfg.faults),
+            transport: LossyTransport::with_chaos(cfg.faults, chaos),
             cap: CapTracker::new(
                 cfg.cap_override
                     .clone()
@@ -279,18 +297,31 @@ impl DeviceSim {
             for bin in 0..BINS_PER_DAY {
                 let t = SimTime::from_day_bin(day, bin);
                 self.step(shared, t);
-                // Upload attempt every bin; deliveries flow to the server.
-                self.agent.try_upload(&mut self.net_rng, t, &mut self.transport);
+                // Upload attempt every bin (server backpressure feeds the
+                // agent's backoff instead); deliveries flow to the server.
+                if server.accepting() {
+                    self.agent.try_upload(&mut self.net_rng, t, &mut self.transport);
+                } else {
+                    self.agent.note_server_reject(&mut self.net_rng, t);
+                }
                 server.ingest_all(self.transport.deliver_due(t));
             }
         }
-        // End of campaign: flush the cache and the channel.
+        // End of campaign: flush the cache and the channel. The clock must
+        // keep advancing here — at a frozen time a backed-off agent would
+        // skip every retry and the flush would spin without progress.
         let end = SimTime::from_day_bin(days, 0);
-        for _ in 0..2000 {
+        for k in 0..2000u32 {
             if self.agent.pending() == 0 {
                 break;
             }
-            self.agent.try_upload(&mut self.net_rng, end, &mut self.transport);
+            let t = end.plus_minutes(k * 10);
+            if server.accepting() {
+                self.agent.try_upload(&mut self.net_rng, t, &mut self.transport);
+            } else {
+                self.agent.note_server_reject(&mut self.net_rng, t);
+            }
+            server.ingest_all(self.transport.deliver_due(t));
         }
         server.ingest_all(self.transport.drain());
     }

@@ -58,6 +58,7 @@ fn run_device(p: Persona, days: u32, seed: u64) -> Dataset {
     let world = ApWorld::generate(&spec, &mut ChaCha8Rng::seed_from_u64(seed + 2));
     let _ = DensitySurface::public(); // exercise the public constructor path
     let plans = mobitrace_deploy::ScanPlanCache::new();
+    let chaos = mobitrace_collector::ChaosSchedule::none();
     let shared = SharedWorld {
         world: &world,
         grid: &grid,
@@ -65,6 +66,7 @@ fn run_device(p: Persona, days: u32, seed: u64) -> Dataset {
         update: None,
         config: &cfg,
         plans: &plans,
+        chaos: &chaos,
     };
     let server = CollectionServer::new();
     let home_ap = world.participant_home_ap.get(&0).copied();

@@ -74,10 +74,13 @@ fn main() {
                     }
                 }
             }
-            // Flush the cache and the channel at campaign end.
+            // Flush the cache and the channel at campaign end, advancing
+            // the clock so backoff windows expire instead of spinning.
             let end = SimTime::from_day_bin(DAYS, 0);
+            let mut k = 0u32;
             while agent.pending() > 0 {
-                agent.try_upload(&mut rng, end, &mut link);
+                agent.try_upload(&mut rng, end.plus_minutes(k * 10), &mut link);
+                k += 1;
             }
             for frame in link.drain() {
                 tx.send(frame).expect("ingester alive");

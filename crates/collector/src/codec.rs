@@ -13,17 +13,71 @@
 //! varint length prefix. The CRC-32 (IEEE, table-driven) covers the
 //! payload; the server rejects frames whose checksum fails (the transport
 //! may corrupt bytes in flight).
+//!
+//! Version 2 adds a **per-stream ESSID dictionary**: within one contiguous
+//! upload buffer ([`encode_batch`] → [`decode_batch_into`]) each distinct
+//! ESSID is written inline once and referenced by index afterwards. The
+//! reference is a varint tag in front of the string slot — `0` means an
+//! inline string follows (and is appended to the stream's table), `n > 0`
+//! means entry `n - 1` of the table. Standalone frames always inline
+//! (tag 0), so they stay self-contained under lossy frame-at-a-time
+//! delivery, and version-1 frames (no tag at all) still decode.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mobitrace_model::{
     AppCategory, AppCounter, AssocInfo, Band, Bssid, CellId, Channel, CounterSnapshot, Dbm,
     DeviceId, Essid, Os, OsVersion, Record, ScanSummary, SimTime, TrafficCounters, WifiState,
 };
+use std::collections::HashMap;
 
 /// Frame magic bytes.
 pub const MAGIC: [u8; 4] = *b"MTRC";
 /// Wire format version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
+/// Oldest version the decoder still accepts.
+pub const MIN_VERSION: u8 = 1;
+
+/// Bound on per-stream dictionary size. Encoder and decoder apply the
+/// identical rule (grow only while under the cap), so their tables stay
+/// index-for-index aligned; strings past the cap are simply inlined.
+const ESSID_DICT_CAP: usize = 4096;
+
+/// Encoder half of the per-stream ESSID dictionary: string → index of its
+/// first (inline) occurrence in the stream.
+#[derive(Debug, Default)]
+pub struct EssidDict {
+    indices: HashMap<String, u32>,
+}
+
+/// Decoder half of the per-stream ESSID dictionary. `table` mirrors the
+/// encoder's index assignment; `interner` dedups the backing `Arc<str>`
+/// across every frame decoded through the same table, so a stream of
+/// records at one AP shares a single allocation server-side.
+#[derive(Debug, Default)]
+pub struct EssidTable {
+    table: Vec<Essid>,
+    interner: HashMap<String, Essid>,
+}
+
+impl EssidTable {
+    fn intern(&mut self, s: String, inline_in_stream: bool) -> Essid {
+        let essid = match self.interner.get(&s) {
+            Some(e) => e.clone(),
+            None => {
+                let e = Essid::new(s.as_str());
+                self.interner.insert(s, e.clone());
+                e
+            }
+        };
+        // Mirror the encoder: every inline occurrence below the cap claims
+        // the next index (the encoder never inlines a string it already
+        // indexed, so the two tables agree entry for entry).
+        if inline_in_stream && self.table.len() < ESSID_DICT_CAP {
+            self.table.push(essid.clone());
+        }
+        essid
+    }
+}
 
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,7 +198,7 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn encode_payload(r: &Record, payload: &mut BytesMut) {
+fn encode_payload(r: &Record, payload: &mut BytesMut, mut dict: Option<&mut EssidDict>) {
     put_varint(payload, u64::from(r.device.0));
     payload.put_u8(match r.os {
         Os::Android => 0,
@@ -162,7 +216,19 @@ fn encode_payload(r: &Record, payload: &mut BytesMut) {
         WifiState::Associated(a) => {
             payload.put_u8(2);
             payload.put_slice(&a.bssid.0);
-            put_string(payload, a.essid.as_str());
+            match dict.as_deref_mut().and_then(|d| d.indices.get(a.essid.as_str()).copied()) {
+                Some(idx) => put_varint(payload, u64::from(idx) + 1),
+                None => {
+                    put_varint(payload, 0);
+                    put_string(payload, a.essid.as_str());
+                    if let Some(d) = dict.as_deref_mut() {
+                        if d.indices.len() < ESSID_DICT_CAP {
+                            let idx = d.indices.len() as u32;
+                            d.indices.insert(a.essid.as_str().to_owned(), idx);
+                        }
+                    }
+                }
+            }
             payload.put_u8(match a.band {
                 Band::Ghz24 => 0,
                 Band::Ghz5 => 1,
@@ -205,8 +271,18 @@ fn encode_payload(r: &Record, payload: &mut BytesMut) {
 /// upload queue, batch benchmarks) keep one scratch `BytesMut` alive and
 /// carve frames out of it with `split().freeze()`.
 pub fn encode_frame_into(r: &Record, out: &mut BytesMut) {
+    encode_frame_dict_into(r, out, None);
+}
+
+/// [`encode_frame_into`] with an optional per-stream ESSID dictionary:
+/// with `Some(dict)`, an ESSID already seen through the same dictionary is
+/// written as an index instead of the string. Frames encoded this way only
+/// decode through a [`decode_batch_into`]-style pass sharing one
+/// [`EssidTable`] — use `None` (always inline) for frames delivered
+/// individually over a lossy transport.
+pub fn encode_frame_dict_into(r: &Record, out: &mut BytesMut, dict: Option<&mut EssidDict>) {
     let mark = out.len();
-    encode_payload(r, out);
+    encode_payload(r, out, dict);
     let payload_len = out.len() - mark;
     let crc = crc32(&out[mark..]);
     // Header: magic (4) + version (1) + payload-length varint (≤5 for any
@@ -241,15 +317,18 @@ pub fn encode_frame(r: &Record) -> Bytes {
 }
 
 /// Encode many records back-to-back into `out`, returning the number of
-/// frames appended. The concatenation decodes with [`decode_batch_into`]
-/// (or frame-at-a-time with [`decode_frame_from`]).
+/// frames appended. The batch shares one ESSID dictionary — repeated
+/// ESSIDs are written as indexes — so the concatenation decodes with
+/// [`decode_batch_into`] (which replays the table); it is *not* safe to
+/// slice the output into individually-delivered frames.
 pub fn encode_batch<'a>(
     records: impl IntoIterator<Item = &'a Record>,
     out: &mut BytesMut,
 ) -> usize {
+    let mut dict = EssidDict::default();
     let mut n = 0;
     for r in records {
-        encode_frame_into(r, out);
+        encode_frame_dict_into(r, out, Some(&mut dict));
         n += 1;
     }
     n
@@ -260,12 +339,27 @@ pub fn decode_frame(frame: &Bytes) -> Result<Record, CodecError> {
     decode_frame_from(&mut frame.clone())
 }
 
+/// Decode one framed record, interning ESSIDs through `table` (shared
+/// across the frames of one delivery so equal ESSIDs share one `Arc<str>`).
+pub fn decode_frame_with(frame: &Bytes, table: &mut EssidTable) -> Result<Record, CodecError> {
+    decode_frame_from_with(&mut frame.clone(), Some(table))
+}
+
 /// Decode one frame from the front of `buf`, consuming exactly that frame
 /// and leaving any following bytes in place — the streaming primitive for
 /// back-to-back frame concatenations ([`encode_batch`] output). On error
 /// `buf` is left partially consumed; the stream cannot be resynchronised
 /// past a bad frame because frame lengths live inside the frames.
 pub fn decode_frame_from(buf: &mut Bytes) -> Result<Record, CodecError> {
+    decode_frame_from_with(buf, None)
+}
+
+/// [`decode_frame_from`] with an optional shared ESSID table (the decoder
+/// half of the per-stream dictionary; also interns inline strings).
+pub fn decode_frame_from_with(
+    buf: &mut Bytes,
+    table: Option<&mut EssidTable>,
+) -> Result<Record, CodecError> {
     if buf.remaining() < 5 {
         return Err(CodecError::Truncated);
     }
@@ -275,7 +369,7 @@ pub fn decode_frame_from(buf: &mut Bytes) -> Result<Record, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::BadVersion(version));
     }
     let len = get_varint(buf)? as usize;
@@ -287,7 +381,7 @@ pub fn decode_frame_from(buf: &mut Bytes) -> Result<Record, CodecError> {
     if crc != crc32(&payload) {
         return Err(CodecError::BadChecksum);
     }
-    parse_payload(payload)
+    parse_payload(payload, version, table)
 }
 
 /// Decode a concatenation of frames, appending the records to `out`
@@ -295,15 +389,20 @@ pub fn decode_frame_from(buf: &mut Bytes) -> Result<Record, CodecError> {
 /// appended, or the first error — `out` then still holds every record
 /// decoded before the bad frame, and the rest of the stream is lost.
 pub fn decode_batch_into(buf: &mut Bytes, out: &mut Vec<Record>) -> Result<usize, CodecError> {
+    let mut table = EssidTable::default();
     let mut n = 0;
     while buf.has_remaining() {
-        out.push(decode_frame_from(buf)?);
+        out.push(decode_frame_from_with(buf, Some(&mut table))?);
         n += 1;
     }
     Ok(n)
 }
 
-fn parse_payload(payload: Bytes) -> Result<Record, CodecError> {
+fn parse_payload(
+    payload: Bytes,
+    version: u8,
+    mut table: Option<&mut EssidTable>,
+) -> Result<Record, CodecError> {
     let mut p = payload;
     let device = DeviceId(get_varint(&mut p)? as u32);
     let os = match p_get_u8(&mut p)? {
@@ -328,7 +427,28 @@ fn parse_payload(payload: Bytes) -> Result<Record, CodecError> {
                 return Err(CodecError::Truncated);
             }
             p.copy_to_slice(&mut mac);
-            let essid = Essid::new(get_string(&mut p)?);
+            // v1: bare string. v2: varint tag — 0 = inline string (claims
+            // the next table index), n > 0 = table entry n − 1.
+            let essid = if version < 2 {
+                match table.as_deref_mut() {
+                    Some(t) => t.intern(get_string(&mut p)?, false),
+                    None => Essid::new(get_string(&mut p)?),
+                }
+            } else {
+                match get_varint(&mut p)? {
+                    0 => match table.as_deref_mut() {
+                        Some(t) => t.intern(get_string(&mut p)?, true),
+                        None => Essid::new(get_string(&mut p)?),
+                    },
+                    n => {
+                        let idx = (n - 1) as usize;
+                        table
+                            .as_deref_mut()
+                            .and_then(|t| t.table.get(idx).cloned())
+                            .ok_or(CodecError::Malformed("essid dictionary reference"))?
+                    }
+                }
+            };
             let band = match p_get_u8(&mut p)? {
                 0 => Band::Ghz24,
                 1 => Band::Ghz5,
@@ -557,6 +677,148 @@ mod tests {
         let mut back = Vec::new();
         assert!(decode_batch_into(&mut stream, &mut back).is_err());
         assert_eq!(back[..], records[..2], "records before the bad frame survive");
+    }
+
+    /// Encode one record as a version-1 frame (no ESSID tag byte) — the
+    /// historical format the decoder must keep accepting.
+    fn encode_frame_v1(r: &Record) -> Bytes {
+        let mut payload = BytesMut::new();
+        put_varint(&mut payload, u64::from(r.device.0));
+        payload.put_u8(match r.os {
+            Os::Android => 0,
+            Os::Ios => 1,
+        });
+        put_varint(&mut payload, u64::from(r.seq));
+        put_varint(&mut payload, u64::from(r.time.minute));
+        put_varint(&mut payload, u64::from(r.boot_epoch));
+        put_counters(&mut payload, &r.counters.cell3g);
+        put_counters(&mut payload, &r.counters.lte);
+        put_counters(&mut payload, &r.counters.wifi);
+        match &r.wifi {
+            WifiState::Off => payload.put_u8(0),
+            WifiState::OnUnassociated => payload.put_u8(1),
+            WifiState::Associated(a) => {
+                payload.put_u8(2);
+                payload.put_slice(&a.bssid.0);
+                put_string(&mut payload, a.essid.as_str());
+                payload.put_u8(match a.band {
+                    Band::Ghz24 => 0,
+                    Band::Ghz5 => 1,
+                });
+                payload.put_u8(a.channel.0);
+                put_varint(&mut payload, zigzag(i64::from((a.rssi.as_f64() * 10.0) as i32)));
+            }
+        }
+        for n in [
+            r.scan.n24_all,
+            r.scan.n24_strong,
+            r.scan.n5_all,
+            r.scan.n5_strong,
+            r.scan.n24_public_all,
+            r.scan.n24_public_strong,
+            r.scan.n5_public_all,
+            r.scan.n5_public_strong,
+        ] {
+            put_varint(&mut payload, u64::from(n));
+        }
+        put_varint(&mut payload, r.apps.len() as u64);
+        for app in &r.apps {
+            payload.put_u8(app.category.index() as u8);
+            put_counters(&mut payload, &app.counters);
+        }
+        put_varint(&mut payload, zigzag(i64::from(r.geo.x)));
+        put_varint(&mut payload, zigzag(i64::from(r.geo.y)));
+        payload.put_u8(r.battery_pct);
+        payload.put_u8(u8::from(r.tethering));
+        payload.put_u8(r.os_version.major);
+        payload.put_u8(r.os_version.minor);
+
+        let mut out = BytesMut::new();
+        out.put_slice(&MAGIC);
+        out.put_u8(1);
+        put_varint(&mut out, payload.len() as u64);
+        let crc = crc32(&payload);
+        out.put_slice(&payload);
+        out.put_u32(crc);
+        out.freeze()
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        for r in [sample_record(5), {
+            let mut r = sample_record(6);
+            r.wifi = WifiState::Off;
+            r
+        }] {
+            let frame = encode_frame_v1(&r);
+            assert_eq!(frame[4], 1, "v1 header version byte");
+            assert_eq!(decode_frame(&frame).unwrap(), r);
+            // And through a batch pass sharing a table.
+            let mut stream = frame.clone();
+            let mut out = Vec::new();
+            assert_eq!(decode_batch_into(&mut stream, &mut out), Ok(1));
+            assert_eq!(out, vec![r]);
+        }
+    }
+
+    #[test]
+    fn dictionary_shrinks_repeated_essids() {
+        let records: Vec<Record> = (0..40).map(sample_record).collect();
+        let mut dict = BytesMut::new();
+        assert_eq!(encode_batch(&records, &mut dict), 40);
+        let mut inline = BytesMut::new();
+        for r in &records {
+            encode_frame_into(r, &mut inline);
+        }
+        // 39 of the 40 frames replace a 13-byte string slot with a 1-byte
+        // index.
+        assert!(
+            dict.len() + 39 * 12 <= inline.len(),
+            "dictionary stream not smaller: {} vs {}",
+            dict.len(),
+            inline.len()
+        );
+        let mut stream = dict.freeze();
+        let mut back = Vec::new();
+        assert_eq!(decode_batch_into(&mut stream, &mut back), Ok(40));
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn batch_decode_interns_essids() {
+        let records: Vec<Record> = (0..8).map(sample_record).collect();
+        let mut out = BytesMut::new();
+        encode_batch(&records, &mut out);
+        let mut stream = out.freeze();
+        let mut back = Vec::new();
+        decode_batch_into(&mut stream, &mut back).unwrap();
+        let essids: Vec<&Essid> =
+            back.iter().filter_map(|r| r.wifi.assoc().map(|a| &a.essid)).collect();
+        assert_eq!(essids.len(), 8);
+        for e in &essids[1..] {
+            assert!(
+                Essid::ptr_eq(essids[0], e),
+                "batch-decoded equal ESSIDs must share one Arc"
+            );
+        }
+    }
+
+    #[test]
+    fn dictionary_reference_outside_stream_rejected() {
+        // Second frame of a dictionary batch references the table, so it
+        // must not decode standalone.
+        let records: Vec<Record> = (0..2).map(sample_record).collect();
+        let mut out = BytesMut::new();
+        let mut dict = EssidDict::default();
+        encode_frame_dict_into(&records[0], &mut out, Some(&mut dict));
+        let first_len = out.len();
+        encode_frame_dict_into(&records[1], &mut out, Some(&mut dict));
+        let stream = out.freeze();
+        let second = stream.slice(first_len..);
+        assert_eq!(
+            decode_frame(&second),
+            Err(CodecError::Malformed("essid dictionary reference"))
+        );
     }
 
     #[test]

@@ -26,12 +26,14 @@
 //! adds backpressure: agents consult [`accepting`](CollectionServer::accepting)
 //! and treat a refusal as a visible failure feeding their backoff.
 
-use crate::codec::{decode_batch_into, decode_frame, CodecError};
+use crate::codec::{decode_batch_into, decode_frame, decode_frame_with, CodecError, EssidTable};
 use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use mobitrace_model::{DeviceId, Record};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Ingest statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +59,134 @@ const JOURNAL_CHECKPOINT: usize = 4096;
 
 type Store = HashMap<DeviceId, BTreeMap<u32, Record>>;
 
+/// Bound on each tap shard's channel, in batches. Past it, publishes spill
+/// into an unbounded side buffer (counted in
+/// [`overflow`](IngestTap::overflow)) instead of blocking ingest.
+const TAP_CHANNEL_BOUND: usize = 64;
+
+/// One batch of records published through an [`IngestTap`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TapBatch {
+    /// Which server shard accepted the records.
+    pub shard: usize,
+    /// True for records re-published by [`CollectionServer::recover`]
+    /// (the consumer may already hold some of them).
+    pub replay: bool,
+    /// The accepted records, in shard-acceptance order.
+    pub records: Vec<Record>,
+}
+
+#[derive(Debug)]
+struct TapShard {
+    tx: Sender<TapBatch>,
+    rx: Receiver<TapBatch>,
+    /// Overflow past the channel bound; drained after the channel so a
+    /// shard's batches are still consumed in publish order.
+    spill: Mutex<Vec<TapBatch>>,
+}
+
+/// A subscription on server ingest: every *accepted* (newly stored) record
+/// is re-published, per shard, into a bounded channel the live analysis
+/// engine drains in batches. Publishing never blocks and never drops — a
+/// full channel spills to a side buffer — with one deliberate exception:
+/// [`CollectionServer::crash`] discards undrained batches (they were "in
+/// flight" inside the dead process), and the subsequent
+/// [`recover`](CollectionServer::recover) re-publishes the whole rebuilt
+/// store as replay batches, so a consumer that deduplicates replays
+/// converges back to exactly the server's contents.
+#[derive(Debug)]
+pub struct IngestTap {
+    shards: Box<[TapShard]>,
+    published: AtomicU64,
+    overflow: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl IngestTap {
+    fn new(n_shards: usize) -> IngestTap {
+        IngestTap {
+            shards: (0..n_shards)
+                .map(|_| {
+                    let (tx, rx) = bounded(TAP_CHANNEL_BOUND);
+                    TapShard { tx, rx, spill: Mutex::new(Vec::new()) }
+                })
+                .collect(),
+            published: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish one batch for a shard (records already accepted as new).
+    fn publish(&self, shard: usize, records: Vec<Record>, replay: bool) {
+        if records.is_empty() {
+            return;
+        }
+        self.published.fetch_add(records.len() as u64, Ordering::Relaxed);
+        let slot = &self.shards[shard];
+        let batch = TapBatch { shard, replay, records };
+        // Keep channel→spill ordering: once anything spilled, later
+        // batches must spill too until the consumer drains the backlog.
+        let mut spill = slot.spill.lock();
+        if spill.is_empty() {
+            match slot.tx.try_send(batch) {
+                Ok(()) => return,
+                Err(TrySendError::Full(batch)) | Err(TrySendError::Disconnected(batch)) => {
+                    self.overflow.fetch_add(batch.records.len() as u64, Ordering::Relaxed);
+                    spill.push(batch);
+                }
+            }
+        } else {
+            self.overflow.fetch_add(batch.records.len() as u64, Ordering::Relaxed);
+            spill.push(batch);
+        }
+    }
+
+    /// Drain every pending batch into `out`. Per shard, batches arrive in
+    /// publish order; across shards the interleaving is arbitrary (device
+    /// streams never span shards, so per-device order is preserved).
+    pub fn drain_into(&self, out: &mut Vec<TapBatch>) {
+        for slot in self.shards.iter() {
+            while let Ok(batch) = slot.rx.try_recv() {
+                out.push(batch);
+            }
+            let mut spill = slot.spill.lock();
+            out.append(&mut spill);
+        }
+    }
+
+    /// Drop everything not yet drained (simulated crash loss) and return
+    /// how many records were discarded.
+    fn discard_pending(&self) -> u64 {
+        let mut n = 0u64;
+        for slot in self.shards.iter() {
+            while let Ok(batch) = slot.rx.try_recv() {
+                n += batch.records.len() as u64;
+            }
+            for batch in slot.spill.lock().drain(..) {
+                n += batch.records.len() as u64;
+            }
+        }
+        self.discarded.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// Records published since the tap was attached (replays included).
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Records that had to take the spill path because a channel was full.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Records discarded undrained by a crash.
+    pub fn discarded(&self) -> u64 {
+        self.discarded.load(Ordering::Relaxed)
+    }
+}
+
 /// One stripe of the store. `live` is the volatile working set (lost on
 /// crash); `snapshot` + `journal` are the durable image it is rebuilt
 /// from. Invariant while journaling: `snapshot ∪ journal == live`.
@@ -79,6 +209,8 @@ pub struct CollectionServer {
     shard_mask: u64,
     /// Append new records to the per-shard journal (crash-recovery mode).
     journal_enabled: bool,
+    /// Attached ingest subscription, if any (set once, before ingest).
+    tap: OnceLock<Arc<IngestTap>>,
     /// A simulated crash is in progress (deliveries are lost).
     crashed: AtomicBool,
     /// Soft record limit for backpressure; 0 disables it.
@@ -113,6 +245,7 @@ impl CollectionServer {
             shards: (0..n).map(|_| Shard::default()).collect(),
             shard_mask: n as u64 - 1,
             journal_enabled: false,
+            tap: OnceLock::new(),
             crashed: AtomicBool::new(false),
             soft_limit: AtomicUsize::new(0),
             live_records: AtomicUsize::new(0),
@@ -138,12 +271,15 @@ impl CollectionServer {
         self.shards.len()
     }
 
-    /// Which shard a device's records live in (Fibonacci multiplicative
-    /// hash — device ids are dense small integers, so the multiply spreads
-    /// consecutive ids across stripes).
-    fn shard_of(&self, device: DeviceId) -> &Shard {
-        let h = u64::from(device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.shards[(h & self.shard_mask) as usize]
+    /// Attach (or fetch) the ingest tap: from now on every newly stored
+    /// record is also published into the tap's per-shard channels for a
+    /// streaming consumer. Idempotent — repeated calls return the same
+    /// tap. Records stored *before* the first call are not republished
+    /// (attach before ingesting, or call [`recover`] to replay).
+    ///
+    /// [`recover`]: CollectionServer::recover
+    pub fn attach_tap(&self) -> Arc<IngestTap> {
+        Arc::clone(self.tap.get_or_init(|| Arc::new(IngestTap::new(self.shards.len()))))
     }
 
     /// Store one record into a locked shard. Returns `true` when new.
@@ -170,11 +306,28 @@ impl CollectionServer {
         }
     }
 
+    /// Which shard a device's records live in (Fibonacci multiplicative
+    /// hash — device ids are dense small integers, so the multiply spreads
+    /// consecutive ids across stripes).
+    fn shard_index_of(&self, device: DeviceId) -> usize {
+        let h = u64::from(device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h & self.shard_mask) as usize
+    }
+
     /// Store one decoded record. Returns `true` when it was new.
     fn store(&self, record: Record) -> bool {
-        let mut shard = self.shard_of(record.device).write();
-        if Self::store_in(&mut shard, record, self.journal_enabled) {
+        let tap = self.tap.get();
+        let copy = tap.map(|_| record.clone());
+        let k = self.shard_index_of(record.device);
+        let stored = {
+            let mut shard = self.shards[k].write();
+            Self::store_in(&mut shard, record, self.journal_enabled)
+        };
+        if stored {
             self.live_records.fetch_add(1, Ordering::Relaxed);
+            if let (Some(tap), Some(copy)) = (tap, copy) {
+                tap.publish(k, vec![copy], false);
+            }
             true
         } else {
             self.duplicates.fetch_add(1, Ordering::Relaxed);
@@ -192,6 +345,12 @@ impl CollectionServer {
             shard.write().live.clear();
         }
         self.live_records.store(0, Ordering::Relaxed);
+        // Undrained tap batches were in flight inside the dead process:
+        // they are lost too, and only the recovery replay brings their
+        // records back.
+        if let Some(tap) = self.tap.get() {
+            tap.discard_pending();
+        }
     }
 
     /// Heal a crash: rebuild every shard's live store from snapshot +
@@ -199,18 +358,31 @@ impl CollectionServer {
     /// [`with_journal`](CollectionServer::with_journal) there is nothing
     /// to replay and the pre-crash records are simply gone.
     pub fn recover(&self) {
+        let tap = self.tap.get();
         let mut total = 0usize;
-        for shard in self.shards.iter() {
-            let mut state = shard.write();
-            let mut live = state.snapshot.clone();
-            for record in &state.journal {
-                let per_device = live.entry(record.device).or_default();
-                if !per_device.contains_key(&record.seq) {
-                    per_device.insert(record.seq, record.clone());
+        for (k, shard) in self.shards.iter().enumerate() {
+            let replay: Option<Vec<Record>>;
+            {
+                let mut state = shard.write();
+                let mut live = state.snapshot.clone();
+                for record in &state.journal {
+                    let per_device = live.entry(record.device).or_default();
+                    if !per_device.contains_key(&record.seq) {
+                        per_device.insert(record.seq, record.clone());
+                    }
                 }
+                total += live.values().map(|m| m.len()).sum::<usize>();
+                // A tapped consumer lost whatever it had not drained at
+                // the crash; replay the shard's full recovered contents
+                // (per device in seq order) and let it deduplicate.
+                replay = tap.map(|_| {
+                    live.values().flat_map(|m| m.values().cloned()).collect::<Vec<Record>>()
+                });
+                state.live = live;
             }
-            total += live.values().map(|m| m.len()).sum::<usize>();
-            state.live = live;
+            if let (Some(tap), Some(records)) = (tap, replay) {
+                tap.publish(k, records, true);
+            }
         }
         self.live_records.store(total, Ordering::Relaxed);
         self.crashed.store(false, Ordering::SeqCst);
@@ -283,9 +455,12 @@ impl CollectionServer {
         let mut records = Vec::new();
         let mut n_frames = 0u64;
         let mut n_rejected = 0u64;
+        // One ESSID table per delivery: every record of the batch that
+        // names the same network shares one interned `Arc<str>`.
+        let mut essids = EssidTable::default();
         for frame in frames {
             n_frames += 1;
-            match decode_frame(&frame) {
+            match decode_frame_with(&frame, &mut essids) {
                 Ok(record) => records.push(record),
                 Err(_) => n_rejected += 1,
             }
@@ -324,11 +499,11 @@ impl CollectionServer {
     /// Store decoded records grouped by shard, taking each touched shard
     /// lock once. Returns the number of newly stored records.
     fn store_batch(&self, records: Vec<Record>) -> usize {
+        let tap = self.tap.get();
         let n_shards = self.shards.len();
         let mut by_shard: Vec<Vec<Record>> = (0..n_shards).map(|_| Vec::new()).collect();
         for record in records {
-            let h = u64::from(record.device.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-            by_shard[(h & self.shard_mask) as usize].push(record);
+            by_shard[self.shard_index_of(record.device)].push(record);
         }
         let mut stored = 0usize;
         let mut n_duplicates = 0u64;
@@ -336,13 +511,26 @@ impl CollectionServer {
             if records.is_empty() {
                 continue;
             }
-            let mut shard = self.shards[k].write();
-            for record in records {
-                if Self::store_in(&mut shard, record, self.journal_enabled) {
-                    stored += 1;
-                } else {
-                    n_duplicates += 1;
+            // Accepted records are cloned for the tap under the shard lock
+            // (so acceptance and publication agree) but published after it
+            // is released.
+            let mut accepted: Vec<Record> = Vec::new();
+            {
+                let mut shard = self.shards[k].write();
+                for record in records {
+                    let copy = tap.map(|_| record.clone());
+                    if Self::store_in(&mut shard, record, self.journal_enabled) {
+                        stored += 1;
+                        if let Some(copy) = copy {
+                            accepted.push(copy);
+                        }
+                    } else {
+                        n_duplicates += 1;
+                    }
                 }
+            }
+            if let Some(tap) = tap {
+                tap.publish(k, accepted, false);
             }
         }
         if stored > 0 {
@@ -658,6 +846,97 @@ mod tests {
         server.crash();
         server.recover();
         assert_eq!(server.len(), before, "second crash cycle is also clean");
+    }
+
+    /// Every accepted record — frame, batch, or stream ingest — comes out
+    /// of the tap exactly once; duplicates and corrupt frames never do.
+    #[test]
+    fn tap_publishes_each_accepted_record_once() {
+        use crate::codec::encode_frame_into;
+        let server = CollectionServer::new();
+        let tap = server.attach_tap();
+
+        server.ingest(&encode_frame(&record(0, 0))).unwrap();
+        server.ingest(&encode_frame(&record(0, 0))).unwrap(); // duplicate
+        let _ = server.ingest(&Bytes::from_static(&[0xFF; 7])); // corrupt
+        server.ingest_batch(vec![
+            encode_frame(&record(1, 0)),
+            encode_frame(&record(0, 0)), // duplicate again
+            encode_frame(&record(1, 1)),
+        ]);
+        let mut buf = bytes::BytesMut::new();
+        encode_frame_into(&record(2, 0), &mut buf);
+        encode_frame_into(&record(2, 1), &mut buf);
+        server.ingest_stream(buf.freeze());
+
+        let mut batches = Vec::new();
+        tap.drain_into(&mut batches);
+        let mut keys: Vec<(u32, u32)> =
+            batches.iter().flat_map(|b| b.records.iter().map(|r| (r.device.0, r.seq))).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![(0, 0), (1, 0), (1, 1), (2, 0), (2, 1)]);
+        assert!(batches.iter().all(|b| !b.replay));
+        assert_eq!(tap.published(), 5);
+        assert_eq!(tap.discarded(), 0);
+    }
+
+    /// Past the channel bound, publishes spill instead of blocking — and a
+    /// drain still yields every batch of a shard in publish order.
+    #[test]
+    fn tap_overflow_spills_and_preserves_order() {
+        let server = CollectionServer::with_shards(1);
+        let tap = server.attach_tap();
+        let n = super::TAP_CHANNEL_BOUND as u32 + 40;
+        for s in 0..n {
+            server.ingest(&encode_frame(&record(0, s))).unwrap();
+        }
+        assert!(tap.overflow() > 0, "spill path must have engaged");
+        assert_eq!(tap.published(), n as u64);
+        let mut batches = Vec::new();
+        tap.drain_into(&mut batches);
+        let seqs: Vec<u32> = batches.iter().flat_map(|b| b.records.iter().map(|r| r.seq)).collect();
+        assert_eq!(seqs, (0..n).collect::<Vec<_>>(), "publish order survives the spill");
+    }
+
+    /// A crash discards what the consumer had not drained; recovery
+    /// re-publishes the whole rebuilt store as replay batches, so a
+    /// deduplicating consumer converges back to the server's contents.
+    #[test]
+    fn tap_crash_discards_then_recover_replays() {
+        let server = CollectionServer::new().with_journal();
+        let tap = server.attach_tap();
+        for s in 0..10u32 {
+            server.ingest(&encode_frame(&record(0, s))).unwrap();
+        }
+        // Consumer drains the first half of the stream...
+        let mut drained = Vec::new();
+        tap.drain_into(&mut drained);
+        assert_eq!(drained.iter().map(|b| b.records.len()).sum::<usize>(), 10);
+        // ...then five more land and the server dies before another drain.
+        for s in 10..15u32 {
+            server.ingest(&encode_frame(&record(0, s))).unwrap();
+        }
+        server.crash();
+        assert_eq!(tap.discarded(), 5, "undrained records die with the process");
+        let mut lost = Vec::new();
+        tap.drain_into(&mut lost);
+        assert!(lost.is_empty());
+
+        server.recover();
+        let mut replays = Vec::new();
+        tap.drain_into(&mut replays);
+        assert!(!replays.is_empty() && replays.iter().all(|b| b.replay));
+        // Dedup the replay against what was already held: the union is
+        // exactly the server's store.
+        let mut seen: std::collections::BTreeSet<u32> =
+            drained.iter().flat_map(|b| b.records.iter().map(|r| r.seq)).collect();
+        for b in &replays {
+            for r in &b.records {
+                seen.insert(r.seq);
+            }
+        }
+        assert_eq!(seen.len(), server.len());
+        assert_eq!(seen, (0..15u32).collect());
     }
 
     /// The soft limit flips `accepting` without rejecting in-flight

@@ -41,8 +41,7 @@ impl<'a> AnalysisContext<'a> {
     /// datasets the builds and passes run on separate threads; they touch
     /// disjoint products, so the result is identical either way.
     pub fn new(ds: &'a Dataset) -> AnalysisContext<'a> {
-        let small = ds.bins.len() < PARALLEL_BUILD_THRESHOLD;
-        let (index, cols) = if small {
+        let (index, cols) = if ds.bins.len() < PARALLEL_BUILD_THRESHOLD {
             (DatasetIndex::build(ds), DatasetColumns::build(ds))
         } else {
             std::thread::scope(|scope| {
@@ -50,6 +49,20 @@ impl<'a> AnalysisContext<'a> {
                 (DatasetIndex::build(ds), cols.join().expect("columns build"))
             })
         };
+        AnalysisContext::from_parts(ds, index, cols)
+    }
+
+    /// Build the context from an already-built index and columnar view —
+    /// the entry point for incrementally maintained datasets (the live
+    /// engine's snapshots carry both), skipping the two full-scan builds.
+    /// `index` and `cols` must describe exactly `ds.bins`; the analysis
+    /// passes here scan only the provided views.
+    pub fn from_parts(
+        ds: &'a Dataset,
+        index: DatasetIndex,
+        cols: DatasetColumns,
+    ) -> AnalysisContext<'a> {
+        let small = ds.bins.len() < PARALLEL_BUILD_THRESHOLD;
         let (days, classes, thresholds, aps, home_cell) = if small {
             let days = user_days_cols(&cols);
             let (classes, thresholds) = classify_user_days(&days);
@@ -199,6 +212,28 @@ mod tests {
         let ctx = AnalysisContext::new(&ds);
         assert_eq!(ctx.class_of(DeviceId(0), 1), Some(crate::daily::TrafficClass::Heavy));
         assert_eq!(ctx.class_of(DeviceId(0), 7), None);
+    }
+
+    #[test]
+    fn from_parts_matches_new() {
+        let mut bins = Vec::new();
+        for dev in 0..10 {
+            for day in 0..3 {
+                bins.push(bin(dev, day, 10, CellId::new(dev as i16, 0)));
+                bins.push(bin(dev, day, 130, CellId::new(0, dev as i16)));
+            }
+        }
+        let ds = dataset(10, bins);
+        let a = AnalysisContext::new(&ds);
+        let b =
+            AnalysisContext::from_parts(&ds, DatasetIndex::build(&ds), DatasetColumns::build(&ds));
+        assert_eq!(a.days, b.days);
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.thresholds, b.thresholds);
+        assert_eq!(a.aps, b.aps);
+        assert_eq!(a.home_cell, b.home_cell);
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.cols, b.cols);
     }
 
     #[test]

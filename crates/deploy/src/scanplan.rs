@@ -145,6 +145,8 @@ pub struct ScanPlanCache {
     /// Monotone logical clock stamped onto entries as they are touched.
     tick: AtomicU64,
     evictions: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
     cap: usize,
 }
 
@@ -166,6 +168,8 @@ impl ScanPlanCache {
             shared: RwLock::new(HashMap::new()),
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
             cap: cap.max(1),
         }
     }
@@ -175,8 +179,10 @@ impl ScanPlanCache {
         let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(slot) = self.shared.read().get(&key) {
             slot.last_used.store(now, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(&slot.plan);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(world.build_scan_plan(world.plan_cell_centre(key)));
         let mut w = self.shared.write();
         if let Some(slot) = w.get(&key) {
@@ -223,5 +229,15 @@ impl ScanPlanCache {
     /// Number of plans evicted to stay within capacity.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served from a resident plan (shared-lock fast path).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build a plan (racy double-builds both count).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }

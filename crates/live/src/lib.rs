@@ -1,0 +1,31 @@
+//! # mobitrace-live
+//!
+//! Streaming analysis engine behind the sharded
+//! [`CollectionServer`](mobitrace_collector::CollectionServer): an
+//! [ingest-tap](mobitrace_collector::IngestTap) consumer that cleans
+//! records *online* (watermarked lateness, dedup, tethering and
+//! iOS-update-day rules) and incrementally maintains the analysis-ready
+//! dataset — bins, AP table, bin-range index and columnar view — behind
+//! cheap copy-on-write snapshots.
+//!
+//! The convergence contract is exact: when the stream ends, the live
+//! snapshot is **bit-identical** to the batch pipeline's output over the
+//! same records (minus the late arrivals the engine refused, which are
+//! excluded from the reference too). [`check_convergence`] asserts it;
+//! `mobitrace live` runs a whole simulated campaign through the engine
+//! and fails loudly if the identity ever breaks.
+//!
+//! - [`engine`]: the incremental cleaner and dataset builder.
+//! - [`campaign`]: a campaign runner that taps the server mid-flight.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod engine;
+
+pub use campaign::{run_live_campaign, LiveRunReport, SnapshotMetric};
+pub use engine::{
+    batch_reference, check_convergence, placeholder_devices, FinishedLive, LiveEngine, LiveOptions,
+    LiveStats,
+};

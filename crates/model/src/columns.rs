@@ -199,7 +199,15 @@ impl DatasetColumns {
         c
     }
 
-    fn push_bin(&mut self, b: &BinRecord) {
+    /// Empty columns ready for [`push_bin`](DatasetColumns::push_bin)
+    /// appends (the CSR offset array needs its leading zero).
+    pub(crate) fn new_for_push() -> DatasetColumns {
+        let mut c = DatasetColumns::default();
+        c.app_offsets.push(0);
+        c
+    }
+
+    pub(crate) fn push_bin(&mut self, b: &BinRecord) {
         self.device.push(b.device);
         self.time.push(b.time);
         self.rx_3g.push(b.rx_3g);

@@ -79,6 +79,12 @@ impl Essid {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Whether two ESSIDs share the same backing allocation (an interner
+    /// property — equality of contents is just `==`).
+    pub fn ptr_eq(a: &Essid, b: &Essid) -> bool {
+        std::sync::Arc::ptr_eq(&a.0, &b.0)
+    }
 }
 
 impl std::fmt::Display for Essid {

@@ -126,6 +126,91 @@ impl DatasetIndex {
     }
 }
 
+/// Streaming construction of a [`DatasetIndex`]: rows are pushed one at a
+/// time in (device, time) order and the per-device ranges and day spans are
+/// extended in place, so the live pipeline's compaction walk builds the
+/// index in the same single pass that builds the bins and columns —
+/// without a second scan over the dataset.
+///
+/// Produces bit-identical output to [`DatasetIndex::build`] over the same
+/// rows (the builder's tests and the live-vs-batch equivalence suite hold
+/// it to that).
+#[derive(Debug, Default)]
+pub struct DatasetIndexBuilder {
+    device_start: Vec<u32>,
+    day_offsets: Vec<u32>,
+    day_spans: Vec<DaySpan>,
+    /// Rows pushed so far.
+    rows: u32,
+    /// The (device, day) run currently being extended.
+    open: Option<(DeviceId, u32, u32)>,
+    /// Devices whose start offsets are already recorded.
+    next_device: usize,
+}
+
+impl DatasetIndexBuilder {
+    /// Empty builder.
+    pub fn new() -> DatasetIndexBuilder {
+        DatasetIndexBuilder::default()
+    }
+
+    /// Append one row. Rows must arrive sorted by (device, time) — the
+    /// dataset invariant [`Dataset::validate`] enforces.
+    pub fn push(&mut self, device: DeviceId, time: crate::time::SimTime) {
+        let day = time.day();
+        match self.open {
+            Some((d, od, _)) if d == device && od == day => {}
+            Some((d, od, start)) if d == device => {
+                debug_assert!(od < day, "rows out of time order within a device");
+                self.day_spans.push(DaySpan { day: od, start, end: self.rows });
+                self.open = Some((device, day, self.rows));
+            }
+            _ => {
+                if let Some((d, od, start)) = self.open.take() {
+                    debug_assert!(d < device, "rows out of device order");
+                    self.day_spans.push(DaySpan { day: od, start, end: self.rows });
+                }
+                while self.next_device <= device.index() {
+                    self.device_start.push(self.rows);
+                    self.day_offsets.push(self.day_spans.len() as u32);
+                    self.next_device += 1;
+                }
+                self.open = Some((device, day, self.rows));
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// True when nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Close the index over a device table of `n_devices` entries (every
+    /// pushed device id must be below it).
+    pub fn finish(mut self, n_devices: usize) -> DatasetIndex {
+        if let Some((_, od, start)) = self.open.take() {
+            self.day_spans.push(DaySpan { day: od, start, end: self.rows });
+        }
+        debug_assert!(self.next_device <= n_devices, "pushed device outside the table");
+        while self.next_device <= n_devices {
+            self.device_start.push(self.rows);
+            self.day_offsets.push(self.day_spans.len() as u32);
+            self.next_device += 1;
+        }
+        DatasetIndex {
+            device_start: self.device_start,
+            day_offsets: self.day_offsets,
+            day_spans: self.day_spans,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +315,29 @@ mod tests {
         assert_eq!(index.n_bins(), 0);
         assert!(index.device_range(DeviceId(0)).is_empty());
         assert_eq!(index.day_range(DeviceId(0), 0), None);
+    }
+
+    /// The streaming builder must reproduce `build` exactly, including
+    /// around empty devices at the start, middle and end of the table.
+    #[test]
+    fn builder_matches_batch_build() {
+        let cases: Vec<(u32, Vec<BinRecord>)> = vec![
+            (0, vec![]),
+            (3, vec![]),
+            (3, vec![bin(0, 0, 3), bin(0, 0, 9), bin(0, 2, 1), bin(2, 1, 0), bin(2, 1, 5)]),
+            (5, vec![bin(1, 0, 0), bin(1, 1, 0), bin(1, 1, 1), bin(3, 0, 7)]),
+            (2, vec![bin(0, 0, 0), bin(0, 1, 0), bin(1, 0, 0), bin(1, 2, 0)]),
+        ];
+        for (n, bins) in cases {
+            let ds = dataset(n, bins);
+            let batch = DatasetIndex::build(&ds);
+            let mut builder = DatasetIndexBuilder::new();
+            for b in &ds.bins {
+                builder.push(b.device, b.time);
+            }
+            assert_eq!(builder.len(), ds.bins.len());
+            let streamed = builder.finish(n as usize);
+            assert_eq!(streamed, batch, "{n} devices, {} bins", ds.bins.len());
+        }
     }
 }

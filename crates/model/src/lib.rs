@@ -25,6 +25,7 @@ pub mod dataset;
 pub mod error;
 pub mod ids;
 pub mod index;
+pub mod live;
 pub mod net;
 pub mod record;
 pub mod time;
@@ -40,7 +41,8 @@ pub use dataset::{
 };
 pub use error::ModelError;
 pub use ids::{Bssid, CellId, DeviceId, Essid};
-pub use index::DatasetIndex;
+pub use index::{DatasetIndex, DatasetIndexBuilder};
+pub use live::{LiveRow, LiveSnapshot, LiveTableBuilder};
 pub use net::{AssocInfo, Band, CellTech, Channel, NetKind, WifiState};
 pub use record::{AppCounter, CounterSnapshot, Os, OsVersion, Record, ScanEntry, TrafficCounters};
 pub use time::{CivilDate, SimTime, Weekday, Year, BINS_PER_DAY, BIN_MINUTES};

@@ -9,6 +9,7 @@
 //! mobitrace analyze --data DIR [<id>...]
 //! mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]
 //! mobitrace chaos [--quick] [--scale S] [--seed N]
+//! mobitrace live [--quick] [--chaos] [--scale S] [--seed N]
 //! ```
 
 use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
@@ -28,6 +29,7 @@ struct Args {
     out: Option<String>,
     data: Option<String>,
     quick: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         data: None,
         quick: false,
+        chaos: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -69,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
                 out.data = Some(args.next().ok_or("--data needs a directory")?);
             }
             "--quick" => out.quick = true,
+            "--chaos" => out.chaos = true,
             other if !other.starts_with('-') => out.ids.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -179,6 +183,7 @@ fn main() {
         }
         "bench" => run_pipeline_bench(&args),
         "chaos" => run_chaos(&args),
+        "live" => run_live(&args),
         _ => {
             println!(
                 "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
@@ -188,12 +193,16 @@ fn main() {
                  mobitrace simulate --out DIR [--scale S] [--seed N]\n  \
                  mobitrace analyze --data DIR [<id>...]\n  \
                  mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]\n  \
-                 mobitrace chaos [--quick] [--scale S] [--seed N]\n\n\
+                 mobitrace chaos [--quick] [--scale S] [--seed N]\n  \
+                 mobitrace live [--quick] [--chaos] [--scale S] [--seed N]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
                  `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
                  `chaos` proves fault convergence (crash + recovery included) and\n\
                  reports what a chaos-scheduled campaign did to the upload stream;\n\
+                 `live` streams a campaign through the incremental analysis engine\n\
+                 and asserts bit-identity with the batch pipeline (exit 1 on\n\
+                 divergence; `--chaos` layers a chaos schedule on top);\n\
                  `--quick` caps the scale at 0.02 for CI smoke runs."
             );
         }
@@ -225,7 +234,10 @@ fn run_chaos(args: &Args) {
     };
     eprintln!(
         "convergence harness: {} devices, {} days, seed {} ({} chaos profile)...",
-        cfg.n_devices, cfg.days, cfg.seed, if args.quick { "flaky" } else { "hostile" }
+        cfg.n_devices,
+        cfg.days,
+        cfg.seed,
+        if args.quick { "flaky" } else { "hostile" }
     );
     let report = run_convergence(&cfg);
     println!("{report}");
@@ -254,13 +266,109 @@ fn run_chaos(args: &Args) {
     );
     println!(
         "  cleaned: {} bins from {} devices, {} gaps, {} records missing",
-        ds.bins.len(), ds.devices.len(), summary.clean.gaps, summary.clean.missing_records
+        ds.bins.len(),
+        ds.devices.len(),
+        summary.clean.gaps,
+        summary.clean.missing_records
     );
 
     if !report.converged {
         eprintln!("error: convergence invariant violated");
         std::process::exit(1);
     }
+}
+
+/// `mobitrace live`: run a simulated campaign through the streaming
+/// analysis engine — the server's ingest tap feeding the incremental
+/// cleaner while devices are still uploading — print the periodic snapshot
+/// metrics, and assert end-of-campaign bit-identity between the live-built
+/// snapshot and the batch pipeline. Exits non-zero on any divergence.
+fn run_live(args: &Args) {
+    use mobitrace_core::AnalysisContext;
+    use mobitrace_live::{run_live_campaign, LiveOptions};
+    use mobitrace_sim::CampaignConfig;
+
+    let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+    let mut cfg = CampaignConfig::scaled(Year::Y2015, scale).with_seed(args.seed);
+    if args.quick {
+        cfg.days = 3;
+    }
+    if args.chaos {
+        cfg = cfg.with_chaos(mobitrace_collector::ChaosProfile::flaky());
+    }
+    eprintln!(
+        "live campaign: {} devices, {} days, seed {}{}...",
+        cfg.n_users,
+        cfg.days,
+        cfg.seed,
+        if args.chaos { " (chaos schedule on)" } else { "" }
+    );
+    let report = run_live_campaign(&cfg, LiveOptions::default());
+    let stats = &report.finished.stats;
+
+    println!("{} snapshots published while streaming:", report.snapshots.len());
+    let (mut pf, mut pn, mut pc) = (0u64, 0u64, 0u64);
+    for (i, s) in report.snapshots.iter().enumerate() {
+        println!(
+            "  #{i:>2}: {} bins, +{} records folded (+{:.2}ms fold, +{:.2}ms compact)",
+            s.bins,
+            s.folded - pf,
+            (s.fold_nanos - pn) as f64 / 1e6,
+            (s.compact_nanos - pc) as f64 / 1e6
+        );
+        (pf, pn, pc) = (s.folded, s.fold_nanos, s.compact_nanos);
+    }
+    println!(
+        "stream: {} records seen, {} folded, {} late, {} duplicates, \
+         {} batches ({} replays)",
+        stats.records_seen,
+        stats.folded,
+        stats.late_dropped,
+        stats.dup_dropped,
+        stats.batches,
+        stats.replay_batches
+    );
+    println!(
+        "clean (live): {} bins, {} tethering removed, {} update-day removed, \
+         {} reboots, {} gaps ({} records missing)",
+        stats.bins_out,
+        stats.tethering_removed,
+        stats.update_days_removed,
+        stats.reboots,
+        stats.gaps,
+        stats.missing_records
+    );
+    println!(
+        "tap: {} records published, {} overflowed to spill",
+        report.tap_published, report.tap_overflow
+    );
+
+    if let Some(why) = &report.divergence {
+        eprintln!("error: live snapshot diverged from the batch pipeline: {why}");
+        std::process::exit(1);
+    }
+    // Bit-identity held. Also serve the analysis passes from the live
+    // snapshot's prebuilt index/columns and cross-check them against a
+    // context derived from scratch.
+    let snap = &report.finished.snapshot;
+    let live_ctx = AnalysisContext::from_parts(&snap.ds, snap.index.clone(), snap.cols.clone());
+    let batch_ctx = AnalysisContext::new(&snap.ds);
+    if live_ctx.days != batch_ctx.days
+        || live_ctx.classes != batch_ctx.classes
+        || live_ctx.thresholds != batch_ctx.thresholds
+        || live_ctx.aps != batch_ctx.aps
+        || live_ctx.home_cell != batch_ctx.home_cell
+    {
+        eprintln!("error: analysis context served from the live snapshot diverged");
+        std::process::exit(1);
+    }
+    println!(
+        "converged: live snapshot is bit-identical to the batch pipeline \
+         ({} bins, {} compactions; context passes agree) in {:.1}s",
+        snap.ds.bins.len(),
+        stats.compactions,
+        report.wall_s
+    );
 }
 
 /// Best-of-5 wall clock for one analysis pass.
@@ -409,7 +517,7 @@ fn run_pipeline_bench(args: &Args) {
          ({simulate_speedup:.1}x)"
     );
 
-    let world_scan = world_scan_breakdown();
+    let mut world_scan = world_scan_breakdown();
 
     // Contended ingest: 8 producers interleaved across devices, first into
     // the lock-striped server, then into a single-stripe one (the old
@@ -586,6 +694,77 @@ fn run_pipeline_bench(args: &Args) {
     let experiments_s = t.elapsed().as_secs_f64();
     eprintln!("  experiments: {experiments_s:.2}s ({n_reports} reports)");
 
+    // Live engine: stream a small campaign through the tap-fed incremental
+    // cleaner and record its stage costs. The per-snapshot deltas are the
+    // point: fold/compact time between snapshots tracks the records folded
+    // since the last one, not the dataset size.
+    use mobitrace_live::{run_live_campaign, LiveOptions, SnapshotMetric};
+    use mobitrace_sim::CampaignConfig;
+    let live_cfg = {
+        let mut c = CampaignConfig::scaled(Year::Y2015, scale.min(0.05)).with_seed(args.seed);
+        c.days = 3;
+        c
+    };
+    let live_report = run_live_campaign(&live_cfg, LiveOptions::default());
+    let ls = &live_report.finished.stats;
+    let mut prev = SnapshotMetric {
+        compactions: 0,
+        bins: 0,
+        folded: 0,
+        batches: 0,
+        fold_nanos: 0,
+        compact_nanos: 0,
+    };
+    let live_snapshots: Vec<serde_json::Value> = live_report
+        .snapshots
+        .iter()
+        .map(|s| {
+            let v = serde_json::json!({
+                "bins": s.bins,
+                "folded_delta": s.folded - prev.folded,
+                "fold_ms_delta": (s.fold_nanos - prev.fold_nanos) as f64 / 1e6,
+                "compact_ms_delta": (s.compact_nanos - prev.compact_nanos) as f64 / 1e6,
+            });
+            prev = *s;
+            v
+        })
+        .collect();
+    let live = serde_json::json!({
+        "records": ls.records_seen,
+        "batches": ls.batches,
+        "compactions": ls.compactions,
+        "fold_s": ls.fold_nanos as f64 / 1e9,
+        "compact_s": ls.compact_nanos as f64 / 1e9,
+        "converged": live_report.converged(),
+        "wall_s": live_report.wall_s,
+        "snapshots": live_snapshots,
+    });
+    eprintln!(
+        "  live engine: {} records in {} batches, fold {:.3}s, compact {:.3}s \
+         over {} compactions (converged: {})",
+        ls.records_seen,
+        ls.batches,
+        ls.fold_nanos as f64 / 1e9,
+        ls.compact_nanos as f64 / 1e9,
+        ls.compactions,
+        live_report.converged()
+    );
+
+    // Scan-plan cache effectiveness in a real device loop (the micro
+    // timings above replay one plan; this is the campaign-wide hit rate).
+    let (plan_hits, plan_misses) = (live_report.raw.plan_hits, live_report.raw.plan_misses);
+    let plan_hit_rate = plan_hits as f64 / ((plan_hits + plan_misses) as f64).max(1.0);
+    world_scan["plan_cache"] = serde_json::json!({
+        "hits": plan_hits,
+        "misses": plan_misses,
+        "hit_rate": plan_hit_rate,
+    });
+    eprintln!(
+        "  scan-plan cache: {plan_hits} hits / {plan_misses} misses \
+         ({:.1}% hit rate)",
+        plan_hit_rate * 100.0
+    );
+
     let doc = serde_json::json!({
         "scale": scale,
         "seed": args.seed,
@@ -594,10 +773,11 @@ fn run_pipeline_bench(args: &Args) {
             "simulate_s": simulate_s,
             "encode_s": encode_s,
             "ingest_s": ingest_s,
-            "ingest_stream_s": ingest_stream_s,
             "clean_s": clean_s,
             "context_s": context_s,
             "experiments_s": experiments_s,
+            "live_fold_s": ls.fold_nanos as f64 / 1e9,
+            "live_compact_s": ls.compact_nanos as f64 / 1e9,
         },
         "simulate": {
             "cached_s": simulate_s,
@@ -615,6 +795,7 @@ fn run_pipeline_bench(args: &Args) {
             "stream_s": ingest_stream_s,
         },
         "passes": passes,
+        "live": live,
         "experiments": n_reports,
     });
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

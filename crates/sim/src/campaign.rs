@@ -9,7 +9,9 @@ use mobitrace_collector::{clean, ChaosSchedule, CleanOptions, CleanStats, Collec
 use mobitrace_deploy::world::WorldSpec;
 use mobitrace_deploy::{ApId, ApWorld, ScanPlanCache};
 use mobitrace_geo::{DensitySurface, GeoPoint, Grid, PoiSet};
-use mobitrace_model::{CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Year};
+use mobitrace_model::{
+    CampaignMeta, Carrier, CellTech, Dataset, DeviceId, DeviceInfo, Os, Record, Year,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -102,6 +104,66 @@ pub struct SimSummary {
     /// Deployed APs by class: (participant home, background home, public,
     /// office, shop).
     pub ap_counts: (usize, usize, usize, usize, usize),
+    /// Shared scan-plan cache hits across all devices.
+    pub plan_hits: u64,
+    /// Shared scan-plan cache misses (plans built from scratch).
+    pub plan_misses: u64,
+}
+
+/// A finished campaign before cleaning: the device table, the records the
+/// server retained (sorted by device then seq), and every counter the run
+/// produced. Splitting this out of [`run_campaign_opts`] lets the live
+/// analysis engine tap the server during the run and then clean the very
+/// same record set for its convergence check.
+#[derive(Debug, Clone)]
+pub struct RawCampaign {
+    /// Campaign metadata (year, start date, days, seed).
+    pub meta: CampaignMeta,
+    /// Per-device metadata, survey answers and ground truth attached.
+    pub devices: Vec<DeviceInfo>,
+    /// Records the server retained, in (device, seq) order.
+    pub records: Vec<Record>,
+    /// Server ingest statistics.
+    pub ingest: IngestStats,
+    /// Aggregate upload-path (transport + agent) counters.
+    pub net: NetSummary,
+    /// Android devices.
+    pub n_android: usize,
+    /// iOS devices.
+    pub n_ios: usize,
+    /// LTE devices.
+    pub n_lte: usize,
+    /// iOS devices that completed the 8.2 update during the window.
+    pub n_updated: usize,
+    /// Deployed APs by class: (participant home, background home, public,
+    /// office, shop).
+    pub ap_counts: (usize, usize, usize, usize, usize),
+    /// Shared scan-plan cache hits across all devices.
+    pub plan_hits: u64,
+    /// Shared scan-plan cache misses.
+    pub plan_misses: u64,
+}
+
+impl RawCampaign {
+    /// Run the cleaning pipeline over the retained records and fold the
+    /// counters into a [`SimSummary`].
+    pub fn clean(self, clean_opts: CleanOptions) -> (Dataset, SimSummary) {
+        let (dataset, clean_stats) = clean(self.meta, self.devices, &self.records, clean_opts);
+        debug_assert!(dataset.validate().is_ok());
+        let summary = SimSummary {
+            clean: clean_stats,
+            ingest: self.ingest,
+            net: self.net,
+            n_android: self.n_android,
+            n_ios: self.n_ios,
+            n_lte: self.n_lte,
+            n_updated: self.n_updated,
+            ap_counts: self.ap_counts,
+            plan_hits: self.plan_hits,
+            plan_misses: self.plan_misses,
+        };
+        (dataset, summary)
+    }
 }
 
 /// Derive the independent per-device RNG stream.
@@ -125,6 +187,18 @@ pub fn run_campaign_opts(
     config: &CampaignConfig,
     clean_opts: CleanOptions,
 ) -> (Dataset, SimSummary) {
+    run_campaign_raw(config, |_| {}).clean(clean_opts)
+}
+
+/// Run the simulation and ingest phases of a campaign, stopping short of
+/// cleaning. `on_server` runs after the collection server is created and
+/// before any device uploads — the live engine uses it to attach its
+/// [ingest tap](mobitrace_collector::IngestTap) and start draining while
+/// the campaign is still in flight. The hook must not block.
+pub fn run_campaign_raw(
+    config: &CampaignConfig,
+    on_server: impl FnOnce(&CollectionServer),
+) -> RawCampaign {
     let grid = Grid::greater_tokyo();
     let residential = DensitySurface::residential();
     let office_surface = DensitySurface::office();
@@ -204,6 +278,7 @@ pub fn run_campaign_opts(
     // change the output — every device draws from its own RNG stream and
     // the server's keyed store makes ingest order irrelevant.
     let server = CollectionServer::new();
+    on_server(&server);
     let n_threads = config.effective_threads().min(personas.len().max(1));
     let mut updated_at: Vec<Option<mobitrace_model::SimTime>> = vec![None; personas.len()];
     let mut truths: Vec<Option<mobitrace_model::GroundTruth>> = vec![None; personas.len()];
@@ -285,11 +360,11 @@ pub fn run_campaign_opts(
         days: config.days,
         seed: config.seed,
     };
-    let (dataset, clean_stats) = clean(meta, devices, &records, clean_opts);
-    debug_assert!(dataset.validate().is_ok());
 
-    let summary = SimSummary {
-        clean: clean_stats,
+    RawCampaign {
+        meta,
+        devices,
+        records,
         ingest,
         net,
         n_android: personas.iter().filter(|p| p.os == Os::Android).count(),
@@ -303,8 +378,9 @@ pub fn run_campaign_opts(
             world.office_aps.len(),
             world.count_venue(|v| matches!(v, mobitrace_deploy::Venue::Shop)),
         ),
-    };
-    (dataset, summary)
+        plan_hits: plans.hits(),
+        plan_misses: plans.misses(),
+    }
 }
 
 #[cfg(test)]

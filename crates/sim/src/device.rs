@@ -43,6 +43,12 @@ const FIVE_GHZ_BONUS: f64 = 12.0;
 /// a few bins, and eviction order must not depend on hash iteration.
 const PLAN_LOCAL_CAP: usize = 64;
 
+/// Commute-progress quantization: reciprocal rung width of the waypoint
+/// ladder. 16 rungs keep ≤ 11 mid-commute waypoints per path (p in
+/// 0.15–0.85), well inside `PLAN_LOCAL_CAP`, while moving any position by
+/// at most 1/32 of the commute length.
+const COMMUTE_WAYPOINTS: f64 = 16.0;
+
 /// Everything shared by all devices of a campaign (read-only during the
 /// run).
 pub struct SharedWorld<'a> {
@@ -556,6 +562,12 @@ impl DeviceSim {
                 // Commutes start and end at rail stations — where public
                 // WiFi lives.
                 let p = if to_work { progress } else { 1.0 - progress };
+                // Quantize progress onto a coarse ladder so the two
+                // commute directions (and consecutive bins) land on the
+                // same handful of waypoints: each waypoint then maps to
+                // one 1 m scan-plan key instead of a fresh key per bin,
+                // so commute scans hit the shared plan cache.
+                let p = (p * COMMUTE_WAYPOINTS).round() / COMMUTE_WAYPOINTS;
                 if p < 0.15 {
                     self.home_station
                 } else if p > 0.85 {

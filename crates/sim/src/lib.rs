@@ -20,6 +20,6 @@ pub mod campaign;
 pub mod config;
 pub mod device;
 
-pub use campaign::{run_campaign, NetSummary, SimSummary};
+pub use campaign::{run_campaign, run_campaign_raw, NetSummary, RawCampaign, SimSummary};
 pub use config::CampaignConfig;
 pub use device::DeviceSim;

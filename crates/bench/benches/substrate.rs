@@ -165,6 +165,7 @@ fn bench_codec_batch(c: &mut Criterion) {
 /// aggregation and per-app CSR walks every hot analysis pass reduces to,
 /// over `DatasetColumns` and over the same `Dataset::bins` rows.
 fn bench_columns_vs_rows(c: &mut Criterion) {
+    use mobitrace_model::lanes;
     let set = bench_set();
     let ds = set.year(Year::Y2015);
     let cols = DatasetColumns::build(ds);
@@ -190,6 +191,20 @@ fn bench_columns_vs_rows(c: &mut Criterion) {
                 + cols.tx_lte.iter().sum::<u64>();
             black_box((wifi, cell))
         })
+    });
+    group.bench_function("counter_sum_cols_simd", |b| {
+        b.iter(|| {
+            let wifi = lanes::sum_paired(&cols.rx_wifi, &cols.tx_wifi);
+            let cell = lanes::sum_paired(&cols.rx_3g, &cols.tx_3g)
+                + lanes::sum_paired(&cols.rx_lte, &cols.tx_lte);
+            black_box((wifi, cell))
+        })
+    });
+    group.bench_function("user_days_rows", |b| {
+        b.iter(|| black_box(mobitrace_core::daily::user_days(ds)))
+    });
+    group.bench_function("user_days_cols_simd", |b| {
+        b.iter(|| black_box(mobitrace_core::daily::user_days_cols(&cols)))
     });
     group.bench_function("app_scan_rows", |b| {
         b.iter(|| {
@@ -305,6 +320,56 @@ fn bench_world_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Plan replay ablation: the blocked two-phase `sample` against the
+/// retained scalar reference, on the densest home plan the bench world
+/// offers (the same shape the cached device loop replays every bin).
+fn bench_scan_replay(c: &mut Criterion) {
+    use mobitrace_radio::GaussianPair;
+    let mut rng = ChaCha8Rng::seed_from_u64(BENCH_SEED);
+    let res = DensitySurface::residential();
+    let homes: Vec<(u32, mobitrace_geo::GeoPoint)> =
+        (0..400).map(|k| (k, res.sample_point(&mut rng))).collect();
+    let pois = PoiSet::generate(80, &mut rng);
+    let spec = WorldSpec {
+        params: DeployParams::for_year(Year::Y2015),
+        participant_homes: homes.clone(),
+        office_sites: vec![],
+        pois,
+        n_participants: 400,
+        fon_home_share: 0.03,
+    };
+    let world = ApWorld::generate(&spec, &mut rng);
+    let probe = homes
+        .iter()
+        .map(|&(_, p)| p)
+        .max_by_key(|&p| world.build_scan_plan(p).len())
+        .expect("homes non-empty");
+    let plan = world.build_scan_plan(probe);
+    let mut group = c.benchmark_group("scan_replay");
+    group.throughput(Throughput::Elements(plan.len() as u64));
+    group.bench_function("sample_blocked", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut gauss = GaussianPair::new();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            plan.sample(&mut r, &mut gauss, |e, rssi| buf.push(e.obs(rssi)));
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("sample_scalar", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let mut gauss = GaussianPair::new();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            plan.sample_scalar(&mut r, &mut gauss, |e, rssi| buf.push(e.obs(rssi)));
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_classification(c: &mut Criterion) {
     let set = bench_set();
     let ds = set.year(Year::Y2015);
@@ -374,6 +439,7 @@ criterion_group!(
     bench_contended_ingest,
     bench_world,
     bench_world_scan,
+    bench_scan_replay,
     bench_classification,
     bench_context_build,
     bench_rng_streams,

@@ -345,11 +345,8 @@ fn verify(
     if chaos_keys.len() != records_chaos.len() {
         return Some("duplicate (device, seq) keys in the chaos store".into());
     }
-    let filtered: Vec<Record> = records_rel
-        .iter()
-        .filter(|r| chaos_keys.contains(&(r.device, r.seq)))
-        .cloned()
-        .collect();
+    let filtered: Vec<Record> =
+        records_rel.iter().filter(|r| chaos_keys.contains(&(r.device, r.seq))).cloned().collect();
     if filtered.len() != records_chaos.len() {
         return Some("chaos store holds keys the reliable lane never produced".into());
     }

@@ -221,7 +221,7 @@ fn encode_payload(r: &Record, payload: &mut BytesMut, mut dict: Option<&mut Essi
                 None => {
                     put_varint(payload, 0);
                     put_string(payload, a.essid.as_str());
-                    if let Some(d) = dict.as_deref_mut() {
+                    if let Some(d) = dict {
                         if d.indices.len() < ESSID_DICT_CAP {
                             let idx = d.indices.len() as u32;
                             d.indices.insert(a.essid.as_str().to_owned(), idx);
@@ -443,7 +443,6 @@ fn parse_payload(
                     n => {
                         let idx = (n - 1) as usize;
                         table
-                            .as_deref_mut()
                             .and_then(|t| t.table.get(idx).cloned())
                             .ok_or(CodecError::Malformed("essid dictionary reference"))?
                     }
@@ -796,10 +795,7 @@ mod tests {
             back.iter().filter_map(|r| r.wifi.assoc().map(|a| &a.essid)).collect();
         assert_eq!(essids.len(), 8);
         for e in &essids[1..] {
-            assert!(
-                Essid::ptr_eq(essids[0], e),
-                "batch-decoded equal ESSIDs must share one Arc"
-            );
+            assert!(Essid::ptr_eq(essids[0], e), "batch-decoded equal ESSIDs must share one Arc");
         }
     }
 
@@ -815,10 +811,7 @@ mod tests {
         encode_frame_dict_into(&records[1], &mut out, Some(&mut dict));
         let stream = out.freeze();
         let second = stream.slice(first_len..);
-        assert_eq!(
-            decode_frame(&second),
-            Err(CodecError::Malformed("essid dictionary reference"))
-        );
+        assert_eq!(decode_frame(&second), Err(CodecError::Malformed("essid dictionary reference")));
     }
 
     #[test]

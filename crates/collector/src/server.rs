@@ -130,7 +130,7 @@ impl IngestTap {
         let mut spill = slot.spill.lock();
         if spill.is_empty() {
             match slot.tx.try_send(batch) {
-                Ok(()) => return,
+                Ok(()) => (),
                 Err(TrySendError::Full(batch)) | Err(TrySendError::Disconnected(batch)) => {
                     self.overflow.fetch_add(batch.records.len() as u64, Ordering::Relaxed);
                     spill.push(batch);
@@ -367,9 +367,7 @@ impl CollectionServer {
                 let mut live = state.snapshot.clone();
                 for record in &state.journal {
                     let per_device = live.entry(record.device).or_default();
-                    if !per_device.contains_key(&record.seq) {
-                        per_device.insert(record.seq, record.clone());
-                    }
+                    per_device.entry(record.seq).or_insert_with(|| record.clone());
                 }
                 total += live.values().map(|m| m.len()).sum::<usize>();
                 // A tapped consumer lost whatever it had not drained at

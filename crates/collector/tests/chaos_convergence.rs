@@ -7,7 +7,7 @@
 //! that internally; these tests pin the scenarios and fuzz the space.
 
 use mobitrace_collector::transport::EpisodeKind;
-use mobitrace_collector::{ChaosProfile, ChaosRunConfig, Episode, FaultPlan, run_convergence};
+use mobitrace_collector::{run_convergence, ChaosProfile, ChaosRunConfig, Episode, FaultPlan};
 use mobitrace_model::SimTime;
 use proptest::prelude::*;
 

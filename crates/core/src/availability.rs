@@ -6,7 +6,7 @@
 //! much of its cellular traffic it could therefore have offloaded.
 
 use crate::stats::ccdf_points;
-use mobitrace_model::{Dataset, DatasetColumns, DeviceId, WifiBinState, WifiTag};
+use mobitrace_model::{Dataset, DatasetColumns, DeviceId, WifiBinState};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -40,16 +40,17 @@ impl DetectedPublicAps {
 }
 
 /// Collect Fig. 17's samples (WiFi-available bins of Android devices —
-/// only Android reports scans). Streams the one-byte WiFi tag and the four
-/// public scan-count columns; the dataset is only consulted for the
-/// per-device OS.
+/// only Android reports scans). Iterates the `sel_available` selection
+/// vector — the WiFi-available rows in ascending order, so samples are
+/// pushed in exactly the order of [`detected_public_aps_rows`] — against a
+/// dense per-device Android table built once from the device list.
 pub fn detected_public_aps(ds: &Dataset, cols: &DatasetColumns) -> DetectedPublicAps {
     let mut out = DetectedPublicAps::default();
-    for i in 0..cols.len() {
-        if cols.wifi_tag[i] != WifiTag::OnUnassociated {
-            continue;
-        }
-        if ds.device(cols.device[i]).os != mobitrace_model::Os::Android {
+    let android: Vec<bool> =
+        ds.devices.iter().map(|d| d.os == mobitrace_model::Os::Android).collect();
+    for &ri in &cols.sel_available {
+        let i = ri as usize;
+        if !android[cols.device[i].index()] {
             continue;
         }
         out.g24_all.push(f64::from(cols.scan.n24_public_all[i]));
@@ -100,16 +101,18 @@ pub fn offload_potential(ds: &Dataset, cols: &DatasetColumns) -> OffloadPotentia
     // Per device: (cellular rx in available bins with a strong public AP,
     // total cellular rx in available bins, saw an opportunity, seen at all).
     let mut per_dev: Vec<(u64, u64, bool, bool)> = vec![(0, 0, false, false); ds.devices.len()];
-    for i in 0..cols.len() {
-        if cols.wifi_tag[i] != WifiTag::OnUnassociated {
-            continue;
-        }
+    // The `sel_available` selection vector walks exactly the
+    // WiFi-available rows in ascending order; per-device tallies are
+    // integer sums, so the result is identical to the full scan.
+    for &ri in &cols.sel_available {
+        let i = ri as usize;
+        let cell_rx = cols.rx_3g[i] + cols.rx_lte[i];
         let e = &mut per_dev[cols.device[i].index()];
         e.3 = true;
-        e.1 += cols.rx_cell(i);
+        e.1 += cell_rx;
         let strong = cols.scan.n24_public_strong[i] > 0 || cols.scan.n5_public_strong[i] > 0;
         if strong {
-            e.0 += cols.rx_cell(i);
+            e.0 += cell_rx;
             e.2 = true;
         }
     }

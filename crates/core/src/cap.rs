@@ -68,7 +68,7 @@ pub fn cap_analysis(days: &[UserDay]) -> CapAnalysis {
             let mut have = 0u32;
             for prev in dev_days[..k].iter().rev() {
                 let gap = d.day - prev.day;
-                if gap >= 1 && gap <= 3 {
+                if (1..=3).contains(&gap) {
                     trailing += prev.rx_cell();
                     have += 1;
                 }

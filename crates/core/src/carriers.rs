@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn ratios_split_by_carrier_and_os() {
-        let devices = vec![(Carrier::A, Os::Ios), (Carrier::B, Os::Ios), (Carrier::C, Os::Android)];
+        let devices = [(Carrier::A, Os::Ios), (Carrier::B, Os::Ios), (Carrier::C, Os::Android)];
         let ds = Dataset {
             meta: CampaignMeta {
                 year: Year::Y2015,

@@ -54,31 +54,35 @@ impl UserDay {
 /// Columnar variant of [`user_days`]: identical output, but streams the
 /// device/time/counter columns instead of pulling whole `BinRecord`s
 /// (plus their app vectors) through cache.
+///
+/// Rows are segmented into maximal runs of one (device, day) — the same
+/// grouping [`user_days`]'s `last_mut()` merge produces, including a fresh
+/// entry for any non-consecutive repeat of a pair — and each run's six
+/// counters reduce through lane-chunked sums (integer addition is
+/// associative, so the reassociated totals are bit-identical).
 pub fn user_days_cols(cols: &DatasetColumns) -> Vec<UserDay> {
+    use mobitrace_model::lanes;
+    let n = cols.len();
     let mut out: Vec<UserDay> = Vec::new();
-    for i in 0..cols.len() {
-        let device = cols.device[i];
-        let day = cols.time[i].day();
-        match out.last_mut() {
-            Some(last) if last.device == device && last.day == day => {
-                last.rx_3g += cols.rx_3g[i];
-                last.tx_3g += cols.tx_3g[i];
-                last.rx_lte += cols.rx_lte[i];
-                last.tx_lte += cols.tx_lte[i];
-                last.rx_wifi += cols.rx_wifi[i];
-                last.tx_wifi += cols.tx_wifi[i];
-            }
-            _ => out.push(UserDay {
-                device,
-                day,
-                rx_3g: cols.rx_3g[i],
-                tx_3g: cols.tx_3g[i],
-                rx_lte: cols.rx_lte[i],
-                tx_lte: cols.tx_lte[i],
-                rx_wifi: cols.rx_wifi[i],
-                tx_wifi: cols.tx_wifi[i],
-            }),
+    let mut start = 0usize;
+    while start < n {
+        let device = cols.device[start];
+        let day = cols.time[start].day();
+        let mut end = start + 1;
+        while end < n && cols.device[end] == device && cols.time[end].day() == day {
+            end += 1;
         }
+        out.push(UserDay {
+            device,
+            day,
+            rx_3g: lanes::sum(&cols.rx_3g[start..end]),
+            tx_3g: lanes::sum(&cols.tx_3g[start..end]),
+            rx_lte: lanes::sum(&cols.rx_lte[start..end]),
+            tx_lte: lanes::sum(&cols.tx_lte[start..end]),
+            rx_wifi: lanes::sum(&cols.rx_wifi[start..end]),
+            tx_wifi: lanes::sum(&cols.tx_wifi[start..end]),
+        });
+        start = end;
     }
     out
 }

@@ -1,6 +1,6 @@
 //! Dataset overview (Table 1).
 
-use mobitrace_model::{Dataset, DatasetColumns, Os};
+use mobitrace_model::{lanes, Dataset, DatasetColumns, Os};
 use serde::{Deserialize, Serialize};
 
 /// One Table 1 row.
@@ -22,10 +22,12 @@ pub struct Overview {
 }
 
 /// Compute the Table 1 row for a dataset. The volume sums stream the four
-/// cellular counter columns.
+/// cellular counter columns through lane-chunked reductions (integer sums
+/// are associative, so the chunked result is bit-identical to
+/// [`overview_rows`]).
 pub fn overview(ds: &Dataset, cols: &DatasetColumns) -> Overview {
-    let lte: u64 = cols.rx_lte.iter().sum::<u64>() + cols.tx_lte.iter().sum::<u64>();
-    let cell3g: u64 = cols.rx_3g.iter().sum::<u64>() + cols.tx_3g.iter().sum::<u64>();
+    let lte = lanes::sum_paired(&cols.rx_lte, &cols.tx_lte);
+    let cell3g = lanes::sum_paired(&cols.rx_3g, &cols.tx_3g);
     finish_overview(ds, lte, cell3g)
 }
 

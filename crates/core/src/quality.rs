@@ -22,18 +22,20 @@ pub struct RssiAnalysis {
     pub weak_shares: (f64, f64, f64),
 }
 
-/// Compute Fig. 15 (2.4 GHz associations only, as in the paper). Streams
-/// the WiFi tag/band/RSSI columns into a dense per-AP max-RSSI table (no
-/// hash map, and the per-class sums accumulate in AP-table order, so the
-/// floating-point result is deterministic).
+/// Compute Fig. 15 (2.4 GHz associations only, as in the paper). Iterates
+/// the `sel_associated` selection vector — only the associated rows, in
+/// ascending row order — gathering band/AP/RSSI into a dense per-AP
+/// max-RSSI table (no hash map; max is order-independent and the per-class
+/// sums accumulate in AP-table order, so the floating-point result is
+/// deterministic and identical to [`rssi_analysis_rows`]).
 pub fn rssi_analysis(cols: &DatasetColumns, cls: &ApClassification) -> RssiAnalysis {
     let mut max_rssi: Vec<Option<Dbm>> = vec![None; cls.class_of.len()];
-    for i in 0..cols.len() {
-        if let Some(a) = cols.wifi_assoc(i) {
-            if a.band == Band::Ghz24 {
-                let m = &mut max_rssi[a.ap.index()];
-                *m = Some(m.map_or(a.rssi, |cur| cur.max(a.rssi)));
-            }
+    for &ri in &cols.sel_associated {
+        let i = ri as usize;
+        if cols.assoc_band[i] == Band::Ghz24 {
+            let rssi = cols.assoc_rssi[i];
+            let m = &mut max_rssi[cols.assoc_ap[i].index()];
+            *m = Some(m.map_or(rssi, |cur| cur.max(rssi)));
         }
     }
     finish_rssi(&max_rssi, cls)
@@ -117,15 +119,17 @@ impl ChannelAnalysis {
     }
 }
 
-/// Compute Fig. 16. Streams the WiFi tag/band/channel columns into a dense
-/// per-AP first-seen-channel table.
+/// Compute Fig. 16. Iterates the `sel_associated` selection vector (the
+/// associated rows in ascending order, so "first seen" is the same row as
+/// in [`channel_analysis_rows`]) into a dense per-AP first-seen-channel
+/// table.
 pub fn channel_analysis(cols: &DatasetColumns, cls: &ApClassification) -> ChannelAnalysis {
     let mut chan_of: Vec<Option<u8>> = vec![None; cls.class_of.len()];
-    for i in 0..cols.len() {
-        if let Some(a) = cols.wifi_assoc(i) {
-            if a.band == Band::Ghz24 && chan_of[a.ap.index()].is_none() {
-                chan_of[a.ap.index()] = Some(a.channel.0);
-            }
+    for &ri in &cols.sel_associated {
+        let i = ri as usize;
+        let ap = cols.assoc_ap[i].index();
+        if cols.assoc_band[i] == Band::Ghz24 && chan_of[ap].is_none() {
+            chan_of[ap] = Some(cols.assoc_channel[i].0);
         }
     }
     finish_channels(&chan_of, cls)

@@ -29,9 +29,9 @@ pub fn connected_table(ds: &Dataset) -> ConnectedTable {
     }
     let mut out = ConnectedTable::default();
     if total > 0 {
-        for loc in 0..3 {
-            for a in 0..3 {
-                out.pct[loc][a] = counts[loc][a] as f64 / total as f64 * 100.0;
+        for (loc, row) in counts.iter().enumerate() {
+            for (a, &n) in row.iter().enumerate() {
+                out.pct[loc][a] = n as f64 / total as f64 * 100.0;
             }
         }
     }

@@ -86,18 +86,39 @@ fn weekly_slot(ds: &Dataset, t: SimTime) -> usize {
 }
 
 /// Compute Fig. 2's four series. Streams the time column and the six
-/// counter columns.
+/// counter columns in fixed-size blocks: per block, the weekly slots and
+/// the paired cellular totals are precomputed into stack buffers (branch-
+/// free lane loops the optimizer vectorizes), then a scalar pass scatters
+/// them into the slot accumulators. Row order — and therefore every
+/// integer accumulation — is identical to [`aggregate_series_rows`].
 pub fn aggregate_series(ds: &Dataset, cols: &DatasetColumns) -> AggregateSeries {
+    const BLOCK: usize = 128;
     let mut cell_rx = vec![0u64; WEEK_HOURS];
     let mut cell_tx = vec![0u64; WEEK_HOURS];
     let mut wifi_rx = vec![0u64; WEEK_HOURS];
     let mut wifi_tx = vec![0u64; WEEK_HOURS];
-    for i in 0..cols.len() {
-        let slot = weekly_slot(ds, cols.time[i]);
-        cell_rx[slot] += cols.rx_cell(i);
-        cell_tx[slot] += cols.tx_cell(i);
-        wifi_rx[slot] += cols.rx_wifi[i];
-        wifi_tx[slot] += cols.tx_wifi[i];
+    let n = cols.len();
+    let mut slots = [0u16; BLOCK];
+    let mut crx = [0u64; BLOCK];
+    let mut ctx = [0u64; BLOCK];
+    let mut start = 0usize;
+    while start < n {
+        let m = BLOCK.min(n - start);
+        for (k, s) in slots.iter_mut().take(m).enumerate() {
+            *s = weekly_slot(ds, cols.time[start + k]) as u16;
+        }
+        for k in 0..m {
+            crx[k] = cols.rx_3g[start + k] + cols.rx_lte[start + k];
+            ctx[k] = cols.tx_3g[start + k] + cols.tx_lte[start + k];
+        }
+        for k in 0..m {
+            let slot = usize::from(slots[k]);
+            cell_rx[slot] += crx[k];
+            cell_tx[slot] += ctx[k];
+            wifi_rx[slot] += cols.rx_wifi[start + k];
+            wifi_tx[slot] += cols.tx_wifi[start + k];
+        }
+        start += m;
     }
     let weeks = f64::from(ds.meta.days) / 7.0;
     AggregateSeries {
@@ -144,17 +165,18 @@ pub struct VenueSeries {
     pub shares: (f64, f64, f64),
 }
 
-/// Compute Fig. 11's series. Streams the WiFi tag, AP, time and WiFi
-/// counter columns.
+/// Compute Fig. 11's series. Iterates the `sel_associated` selection
+/// vector — the associated rows in ascending order, so every accumulation
+/// happens in the same order as [`venue_series_rows`] — instead of
+/// re-testing the WiFi tag on every row.
 pub fn venue_series(ds: &Dataset, cols: &DatasetColumns, cls: &ApClassification) -> VenueSeries {
     let mut rx = [vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS]];
     let mut tx = [vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS], vec![0u64; WEEK_HOURS]];
     let mut totals = [0u64; 4]; // home, public, office, other
     let mut wifi_total = 0u64;
-    for i in 0..cols.len() {
-        let Some(ap) = cols.assoc_ap_of(i) else {
-            continue;
-        };
+    for &ri in &cols.sel_associated {
+        let i = ri as usize;
+        let ap = cols.assoc_ap[i];
         let slot = weekly_slot(ds, cols.time[i]);
         let vol = cols.rx_wifi[i] + cols.tx_wifi[i];
         wifi_total += vol;

@@ -36,6 +36,11 @@ pub struct UpdateAnalysis {
     pub adoption_home: f64,
     /// Adoption among devices without a home AP (the paper: 14%).
     pub adoption_no_home: f64,
+    /// iOS devices with an inferred home AP (denominator of
+    /// `adoption_home`).
+    pub n_home: usize,
+    /// iOS devices without one (denominator of `adoption_no_home`).
+    pub n_no_home: usize,
     /// Median update day (days since release) with / without home AP.
     pub median_delay_home: f64,
     /// Median delay without home AP.
@@ -149,6 +154,8 @@ pub fn update_analysis(ds: &Dataset, cls: &ApClassification, release_day: u32) -
     out.adoption_home = if n_home > 0 { delays_home.len() as f64 / n_home as f64 } else { 0.0 };
     out.adoption_no_home =
         if n_no_home > 0 { delays_no_home.len() as f64 / n_no_home as f64 } else { 0.0 };
+    out.n_home = n_home;
+    out.n_no_home = n_no_home;
     out.median_delay_home = crate::stats::median(&delays_home);
     out.median_delay_no_home = crate::stats::median(&delays_no_home);
     out.no_home_via = (

@@ -109,6 +109,48 @@ fn dataset(mut bins: Vec<BinRecord>) -> Dataset {
     }
 }
 
+/// Run every columnar pass against its row-scan reference, asserting
+/// bit-exact equality. Panics on mismatch, so it works both as a plain
+/// test body and inside `proptest!` (shrinking treats panics as failures).
+fn assert_passes_match(ds: &Dataset) {
+    let ctx = AnalysisContext::new(ds);
+    let cols = &ctx.cols;
+
+    assert_eq!(daily::user_days_cols(cols), daily::user_days(ds));
+    assert_eq!(apclass::classify_cols(ds, cols), apclass::classify(ds));
+    assert_eq!(overview::overview(ds, cols), overview::overview_rows(ds));
+    assert_eq!(timeseries::aggregate_series(ds, cols), timeseries::aggregate_series_rows(ds));
+    assert_eq!(
+        timeseries::venue_series(ds, cols, &ctx.aps),
+        timeseries::venue_series_rows(ds, &ctx.aps)
+    );
+    assert_eq!(quality::rssi_analysis(cols, &ctx.aps), quality::rssi_analysis_rows(ds, &ctx.aps));
+    assert_eq!(
+        quality::channel_analysis(cols, &ctx.aps),
+        quality::channel_analysis_rows(ds, &ctx.aps)
+    );
+    assert_eq!(
+        availability::detected_public_aps(ds, cols),
+        availability::detected_public_aps_rows(ds)
+    );
+    assert_eq!(availability::offload_potential(ds, cols), availability::offload_potential_rows(ds));
+    for filter in [ClassFilter::All, ClassFilter::Only(TrafficClass::Heavy)] {
+        assert_eq!(
+            ratios::wifi_traffic_ratio(&ctx, filter),
+            ratios::wifi_traffic_ratio_rows(&ctx, filter)
+        );
+        assert_eq!(
+            ratios::wifi_user_ratio(&ctx, filter),
+            ratios::wifi_user_ratio_rows(&ctx, filter)
+        );
+    }
+    assert_eq!(apps::app_breakdown(&ctx, None), apps::app_breakdown_rows(&ctx, None));
+    assert_eq!(
+        apps::app_breakdown(&ctx, Some(TrafficClass::Light)),
+        apps::app_breakdown_rows(&ctx, Some(TrafficClass::Light))
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -116,51 +158,92 @@ proptest! {
     fn columnar_passes_match_row_references(
         bins in proptest::collection::vec(bin_strategy(), 0..160),
     ) {
-        let ds = dataset(bins);
-        let ctx = AnalysisContext::new(&ds);
-        let cols = &ctx.cols;
+        assert_passes_match(&dataset(bins));
+    }
 
-        prop_assert_eq!(daily::user_days_cols(cols), daily::user_days(&ds));
-        prop_assert_eq!(apclass::classify_cols(&ds, cols), apclass::classify(&ds));
-        prop_assert_eq!(overview::overview(&ds, cols), overview::overview_rows(&ds));
-        prop_assert_eq!(
-            timeseries::aggregate_series(&ds, cols),
-            timeseries::aggregate_series_rows(&ds)
-        );
-        prop_assert_eq!(
-            timeseries::venue_series(&ds, cols, &ctx.aps),
-            timeseries::venue_series_rows(&ds, &ctx.aps)
-        );
-        prop_assert_eq!(
-            quality::rssi_analysis(cols, &ctx.aps),
-            quality::rssi_analysis_rows(&ds, &ctx.aps)
-        );
-        prop_assert_eq!(
-            quality::channel_analysis(cols, &ctx.aps),
-            quality::channel_analysis_rows(&ds, &ctx.aps)
-        );
-        prop_assert_eq!(
-            availability::detected_public_aps(&ds, cols),
-            availability::detected_public_aps_rows(&ds)
-        );
-        prop_assert_eq!(
-            availability::offload_potential(&ds, cols),
-            availability::offload_potential_rows(&ds)
-        );
-        for filter in [ClassFilter::All, ClassFilter::Only(TrafficClass::Heavy)] {
-            prop_assert_eq!(
-                ratios::wifi_traffic_ratio(&ctx, filter),
-                ratios::wifi_traffic_ratio_rows(&ctx, filter)
-            );
-            prop_assert_eq!(
-                ratios::wifi_user_ratio(&ctx, filter),
-                ratios::wifi_user_ratio_rows(&ctx, filter)
-            );
+    /// Adversarial shape: every bin of the dataset shares one WiFi state,
+    /// so one selection vector covers all rows while the other is empty —
+    /// the extreme fill cases of the lane-chunked selection kernels.
+    #[test]
+    fn all_one_wifi_state_days_match(
+        state in 0u8..3,
+        bins in proptest::collection::vec(bin_strategy(), 1..96),
+    ) {
+        let mut bins = bins;
+        for b in &mut bins {
+            b.wifi = match state {
+                0 => WifiBinState::Off,
+                1 => WifiBinState::OnUnassociated,
+                _ => WifiBinState::Associated(WifiAssoc {
+                    ap: ApRef(b.device.0 % N_APS),
+                    band: Band::Ghz24,
+                    channel: Channel(1 + (b.device.0 % 13) as u8),
+                    rssi: Dbm::new(-60),
+                }),
+            };
         }
-        prop_assert_eq!(apps::app_breakdown(&ctx, None), apps::app_breakdown_rows(&ctx, None));
-        prop_assert_eq!(
-            apps::app_breakdown(&ctx, Some(TrafficClass::Light)),
-            apps::app_breakdown_rows(&ctx, Some(TrafficClass::Light))
-        );
+        assert_passes_match(&dataset(bins));
+    }
+
+    /// Adversarial shape: every device contributes exactly one bin —
+    /// every (device, day) run the segmented kernels see has length 1.
+    #[test]
+    fn single_record_devices_match(
+        bins in proptest::collection::vec(bin_strategy(), 1..=N_DEV as usize),
+    ) {
+        let mut bins = bins;
+        for (k, b) in bins.iter_mut().enumerate() {
+            b.device = DeviceId(k as u32); // one bin per device
+        }
+        assert_passes_match(&dataset(bins));
+    }
+}
+
+#[test]
+fn empty_dataset_matches() {
+    assert_passes_match(&dataset(vec![]));
+}
+
+/// Row counts straddling the lane width (8) and the staging blocks
+/// (64/128): tails of every length, exact lane multiples, and one-over.
+#[test]
+fn non_lane_multiple_row_counts_match() {
+    for n in [1usize, 2, 3, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 127, 128, 129] {
+        let bins: Vec<BinRecord> = (0..n)
+            .map(|i| BinRecord {
+                device: DeviceId((i % N_DEV as usize) as u32),
+                time: SimTime::from_day_minute((i / 144) as u32 % 7, (i * 10 % 1440) as u32),
+                rx_3g: i as u64 * 17,
+                tx_3g: i as u64 * 3,
+                rx_lte: i as u64 * 23,
+                tx_lte: i as u64 * 5,
+                rx_wifi: i as u64 * 31,
+                tx_wifi: i as u64 * 7,
+                wifi: match i % 3 {
+                    0 => WifiBinState::Off,
+                    1 => WifiBinState::OnUnassociated,
+                    _ => WifiBinState::Associated(WifiAssoc {
+                        ap: ApRef((i % N_APS as usize) as u32),
+                        band: if i % 2 == 0 { Band::Ghz24 } else { Band::Ghz5 },
+                        channel: Channel(1 + (i % 13) as u8),
+                        rssi: Dbm::new(-40 - (i % 50) as i16),
+                    }),
+                },
+                scan: ScanSummary {
+                    n24_all: (i % 9) as u16,
+                    n24_strong: (i % 4) as u16,
+                    n5_all: (i % 5) as u16,
+                    n5_strong: (i % 3) as u16,
+                    n24_public_all: (i % 7) as u16,
+                    n24_public_strong: (i % 2) as u16,
+                    n5_public_all: (i % 6) as u16,
+                    n5_public_strong: (i % 2) as u16,
+                },
+                apps: vec![],
+                geo: CellId::new((i % 5) as i16 - 2, (i % 7) as i16 - 3),
+                os_version: OsVersion::new(4, 4),
+            })
+            .collect();
+        assert_passes_match(&dataset(bins));
     }
 }

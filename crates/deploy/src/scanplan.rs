@@ -79,25 +79,123 @@ impl PlanEntry {
     }
 }
 
-/// The deterministic candidate list for one quantized position.
+/// The deterministic candidate list for one quantized position, stored
+/// structure-of-arrays: the replay hot loop touches only the three `f64`
+/// coefficient columns (contiguous, lane-friendly), while the identity
+/// columns are read only for entries that clear the scan floor.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScanPlan {
-    /// Candidate radios in spatial-index visit order (deterministic).
-    pub entries: Vec<PlanEntry>,
+    aps: Vec<ApId>,
+    radios: Vec<u8>,
+    bands: Vec<Band>,
+    channels: Vec<Channel>,
+    publics: Vec<bool>,
+    sigma_db: Vec<f64>,
+    mean_db: Vec<f64>,
+    span_db: Vec<f64>,
 }
 
+/// Block width of the two-phase replay loop: stack buffers for the drawn
+/// deviates and the computed RSSI, so sampling allocates nothing.
+const SAMPLE_BLOCK: usize = 64;
+
 impl ScanPlan {
+    /// Build a plan from entries in spatial-index visit order.
+    pub fn from_entries(entries: impl IntoIterator<Item = PlanEntry>) -> ScanPlan {
+        let mut plan = ScanPlan::default();
+        for e in entries {
+            plan.push(e);
+        }
+        plan
+    }
+
+    /// Append one candidate entry.
+    pub fn push(&mut self, e: PlanEntry) {
+        self.aps.push(e.ap);
+        self.radios.push(e.radio);
+        self.bands.push(e.band);
+        self.channels.push(e.channel);
+        self.publics.push(e.public);
+        self.sigma_db.push(e.sigma_db);
+        self.mean_db.push(e.mean_db);
+        self.span_db.push(e.span_db);
+    }
+
+    /// Materialise the row form of entry `i`.
+    pub fn entry(&self, i: usize) -> PlanEntry {
+        PlanEntry {
+            ap: self.aps[i],
+            radio: self.radios[i],
+            band: self.bands[i],
+            channel: self.channels[i],
+            public: self.publics[i],
+            sigma_db: self.sigma_db[i],
+            mean_db: self.mean_db[i],
+            span_db: self.span_db[i],
+        }
+    }
+
+    /// Iterate the entries in plan order (materialised rows).
+    pub fn entries(&self) -> impl Iterator<Item = PlanEntry> + '_ {
+        (0..self.len()).map(|i| self.entry(i))
+    }
+
     /// Sample one scan from the plan: per entry, draw the indoor
     /// micro-distance (one uniform — the mean is linear in it) and the
     /// shadowing deviate, clamp to the chipset range, and emit every
     /// observation clearing the scan floor through `on_obs`.
+    ///
+    /// Runs in [`SAMPLE_BLOCK`]-entry blocks of three phases. Phase 1
+    /// draws the deviates in strict entry order — one uniform for indoor
+    /// (`span_db > 0`) entries, then the gaussian — so the RNG stream is
+    /// bit-identical to [`sample_scalar`](Self::sample_scalar). Phase 2 is
+    /// the pure lane math `(mean - u·span) + g·σ` over the coefficient
+    /// columns (outdoor entries use `u = 0`, and `x - 0.0·span == x`
+    /// exactly, so the association matches the scalar form). Phase 3
+    /// floor-tests and emits in entry order.
     pub fn sample<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         gauss: &mut GaussianPair,
         mut on_obs: impl FnMut(&PlanEntry, Dbm),
     ) {
-        for e in &self.entries {
+        let n = self.len();
+        let mut u = [0.0f64; SAMPLE_BLOCK];
+        let mut g = [0.0f64; SAMPLE_BLOCK];
+        let mut rs = [0.0f64; SAMPLE_BLOCK];
+        let mut start = 0usize;
+        while start < n {
+            let m = SAMPLE_BLOCK.min(n - start);
+            for k in 0..m {
+                u[k] = if self.span_db[start + k] > 0.0 { rng.gen_range(0.0..1.0) } else { 0.0 };
+                g[k] = gauss.sample(rng);
+            }
+            for k in 0..m {
+                rs[k] = ((self.mean_db[start + k] - u[k] * self.span_db[start + k])
+                    + g[k] * self.sigma_db[start + k])
+                    .clamp(-95.0, -20.0);
+            }
+            for (k, &r) in rs.iter().enumerate().take(m) {
+                let rssi = Dbm::from_f64(r);
+                if rssi >= SCAN_FLOOR {
+                    on_obs(&self.entry(start + k), rssi);
+                }
+            }
+            start += m;
+        }
+    }
+
+    /// Scalar reference for [`sample`](Self::sample) — the original
+    /// entry-at-a-time loop, kept for the replay equivalence tests and
+    /// benchmarks.
+    pub fn sample_scalar<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        gauss: &mut GaussianPair,
+        mut on_obs: impl FnMut(&PlanEntry, Dbm),
+    ) {
+        for i in 0..self.len() {
+            let e = self.entry(i);
             let mean = if e.span_db > 0.0 {
                 let u: f64 = rng.gen_range(0.0..1.0);
                 e.mean_db - u * e.span_db
@@ -106,19 +204,19 @@ impl ScanPlan {
             };
             let rssi = Dbm::from_f64((mean + gauss.sample(rng) * e.sigma_db).clamp(-95.0, -20.0));
             if rssi >= SCAN_FLOOR {
-                on_obs(e, rssi);
+                on_obs(&e, rssi);
             }
         }
     }
 
     /// Number of candidate entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.aps.len()
     }
 
     /// True if no radio can be heard at this position.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.aps.is_empty()
     }
 }
 
@@ -239,5 +337,98 @@ impl ScanPlanCache {
     /// Lookups that had to build a plan (racy double-builds both count).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Synthetic plan of `n` entries mixing indoor (span > 0) and outdoor
+    /// (span == 0) rows, with means straddling the scan floor so both
+    /// emitted and suppressed observations occur.
+    fn synthetic_plan(n: usize) -> ScanPlan {
+        ScanPlan::from_entries((0..n).map(|i| PlanEntry {
+            ap: ApId(i as u32),
+            radio: (i % 2) as u8,
+            band: if i % 2 == 0 { Band::Ghz24 } else { Band::Ghz5 },
+            channel: Channel((i % 13 + 1) as u8),
+            public: i % 3 == 0,
+            sigma_db: 4.0 + (i % 5) as f64,
+            mean_db: -60.0 - (i % 40) as f64,
+            span_db: if i % 2 == 0 { 12.0 } else { 0.0 },
+        }))
+    }
+
+    #[test]
+    fn blocked_sample_matches_scalar_for_every_tail_shape() {
+        // Non-multiples of SAMPLE_BLOCK exercise the tail block; the plans
+        // mix indoor and outdoor entries so the uniform draw is skipped
+        // for some entries, stressing the RNG stream alignment.
+        for n in [0usize, 1, 2, 63, 64, 65, 127, 128, 200] {
+            let plan = synthetic_plan(n);
+            let mut obs_blocked = Vec::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut gauss = GaussianPair::new();
+            for _ in 0..20 {
+                plan.sample(&mut rng, &mut gauss, |e, r| obs_blocked.push((*e, r)));
+            }
+            let mut obs_scalar = Vec::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut gauss = GaussianPair::new();
+            for _ in 0..20 {
+                plan.sample_scalar(&mut rng, &mut gauss, |e, r| obs_scalar.push((*e, r)));
+            }
+            assert_eq!(obs_blocked, obs_scalar, "n = {n}");
+            // The shared RNG stream must also end at the same point.
+            assert_eq!(rng.gen_range(0..u64::MAX), {
+                let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+                let mut gauss2 = GaussianPair::new();
+                for _ in 0..20 {
+                    plan.sample_scalar(&mut rng2, &mut gauss2, |_, _| {});
+                }
+                rng2.gen_range(0..u64::MAX)
+            });
+        }
+    }
+
+    #[test]
+    fn all_outdoor_plan_draws_no_uniforms() {
+        // An all-outdoor plan (span == 0 everywhere) must leave u = 0 and
+        // read only the gaussian stream, matching the scalar path exactly.
+        let plan = ScanPlan::from_entries((0..70).map(|i| PlanEntry {
+            ap: ApId(i),
+            radio: 0,
+            band: Band::Ghz24,
+            channel: Channel(1),
+            public: false,
+            sigma_db: 6.0,
+            mean_db: -80.0,
+            span_db: 0.0,
+        }));
+        let run = |scalar: bool| {
+            let mut out = Vec::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut gauss = GaussianPair::new();
+            if scalar {
+                plan.sample_scalar(&mut rng, &mut gauss, |e, r| out.push((e.ap, r)));
+            } else {
+                plan.sample(&mut rng, &mut gauss, |e, r| out.push((e.ap, r)));
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn entries_round_trip_push() {
+        let plan = synthetic_plan(9);
+        assert_eq!(plan.len(), 9);
+        assert!(!plan.is_empty());
+        let rows: Vec<PlanEntry> = plan.entries().collect();
+        assert_eq!(ScanPlan::from_entries(rows.iter().copied()), plan);
+        assert_eq!(plan.entry(4), rows[4]);
     }
 }

@@ -218,8 +218,9 @@ impl ApWorld {
                 return;
             }
             let env = ap.venue.environment();
+            let near_m = env.distance_range_m().0;
             for (ri, radio) in ap.radios.iter().enumerate() {
-                let d = if geom_m < env.distance_range_m().0 {
+                let d = if geom_m < near_m {
                     self.path_loss.sample_distance_m(rng, env)
                 } else {
                     geom_m
@@ -259,7 +260,7 @@ impl ApWorld {
     /// best-case mean sits `PRUNE_SIGMA`·σ under the scan floor are
     /// dropped — they cannot produce a visible observation in practice.
     pub fn build_scan_plan(&self, pos: GeoPoint) -> ScanPlan {
-        let mut entries = Vec::new();
+        let mut plan = ScanPlan::default();
         self.spatial.candidates_within(pos, SCAN_RADIUS_M, |i| {
             let ap = &self.aps[i as usize];
             let geom_m = ap.pos.distance_km(pos) * 1000.0;
@@ -278,7 +279,7 @@ impl ApWorld {
                 if mean_db - span_db + PRUNE_SIGMA * c.sigma_db < SCAN_FLOOR.as_f64() {
                     continue;
                 }
-                entries.push(PlanEntry {
+                plan.push(PlanEntry {
                     ap: ap.id,
                     radio: ri as u8,
                     band: radio.band,
@@ -290,7 +291,7 @@ impl ApWorld {
                 });
             }
         });
-        ScanPlan { entries }
+        plan
     }
 
     /// Background (non-participant) home APs within `radius_m` of a point
@@ -508,7 +509,7 @@ mod tests {
         use mobitrace_radio::GaussianPair;
         let plan = w.build_scan_plan(pos);
         assert!(
-            plan.entries.iter().any(|e| e.ap == ap && e.band == band),
+            plan.entries().any(|e| e.ap == ap && e.band == band),
             "target radio missing from plan"
         );
         let mut rng = ChaCha8Rng::seed_from_u64(31);
@@ -566,7 +567,7 @@ mod tests {
         for ap in w.aps.iter().filter(|a| a.has_5ghz()) {
             let plan = w.build_scan_plan(ap.pos);
             let mean_on = |band: Band| {
-                plan.entries.iter().find(|e| e.ap == ap.id && e.band == band).map(|e| e.mean_db)
+                plan.entries().find(|e| e.ap == ap.id && e.band == band).map(|e| e.mean_db)
             };
             if let (Some(m24), Some(m5)) = (mean_on(Band::Ghz24), mean_on(Band::Ghz5)) {
                 assert!(m24 > m5 + 4.0, "ap {:?}: 2.4GHz {m24} vs 5GHz {m5}", ap.id);
@@ -588,7 +589,7 @@ mod tests {
             for _ in 0..10 {
                 for obs in w.scan(home, &mut rng) {
                     assert!(
-                        plan.entries.iter().any(|e| e.ap == obs.ap && e.radio == obs.radio),
+                        plan.entries().any(|e| e.ap == obs.ap && e.radio == obs.radio),
                         "scanned radio {:?}/{} missing from plan",
                         obs.ap,
                         obs.radio
@@ -608,7 +609,7 @@ mod tests {
         let key = w.plan_key(spec.participant_homes[1].1);
         let (c1, c2) = (ScanPlanCache::new(), ScanPlanCache::new());
         // Independent caches derive the identical plan for a key …
-        assert_eq!(c1.plan(&w, key).entries, c2.plan(&w, key).entries);
+        assert_eq!(c1.plan(&w, key), c2.plan(&w, key));
         // … and a repeat hit returns the same shared allocation.
         assert!(Arc::ptr_eq(&c1.plan(&w, key), &c1.plan(&w, key)));
         assert_eq!(c1.len(), 1);
@@ -634,7 +635,7 @@ mod tests {
         // Eviction never changes content: a rebuilt-after-eviction plan
         // equals the one a fresh cache derives for the same key.
         let fresh = ScanPlanCache::new();
-        assert_eq!(cache.plan(&w, b).entries, fresh.plan(&w, b).entries);
+        assert_eq!(cache.plan(&w, b), fresh.plan(&w, b));
 
         // The bound holds under sustained pressure.
         for i in 0..50 {

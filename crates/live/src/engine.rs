@@ -286,7 +286,7 @@ impl LiveEngine {
         let d = r.device.index();
         assert!(d < self.lanes.len(), "record for unknown device {}", r.device);
         let lane = &mut self.lanes[d];
-        if lane.max_time.map_or(true, |m| r.time > m) {
+        if lane.max_time.is_none_or(|m| r.time > m) {
             lane.max_time = Some(r.time);
         }
         if !lane.dirty {
@@ -392,7 +392,7 @@ impl LiveEngine {
         }
 
         debug_assert!(
-            lane.folded_seqs.last().map_or(true, |&s| s < r.seq),
+            lane.folded_seqs.last().is_none_or(|&s| s < r.seq),
             "folds must advance in sequence order"
         );
         lane.folded_seqs.push(r.seq);

@@ -57,7 +57,7 @@ fn counters(cum: u64) -> CounterSnapshot {
 /// sample carries a cumulative per-app counter (exercising app-delta
 /// replication).
 fn rec(dev: u32, seq: u32, cum: u64, tether: bool, osv: OsVersion) -> Record {
-    let wifi = if (seq + dev) % 3 == 0 {
+    let wifi = if (seq + dev).is_multiple_of(3) {
         let k = (seq / 3 + dev) % 5;
         WifiState::Associated(AssocInfo {
             bssid: Bssid::from_u64(0xA0_0000 + u64::from(k)),

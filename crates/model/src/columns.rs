@@ -165,6 +165,15 @@ pub struct DatasetColumns {
     pub geo: Vec<CellId>,
     /// OS version at sample time.
     pub os_version: Vec<OsVersion>,
+    /// Selection vector: row indexes (ascending) whose `wifi_tag` is
+    /// [`WifiTag::Associated`]. Venue/quality passes iterate this instead
+    /// of scanning the tag column — same rows in the same order, no
+    /// per-row branch.
+    pub sel_associated: Vec<u32>,
+    /// Selection vector: row indexes (ascending) whose `wifi_tag` is
+    /// [`WifiTag::OnUnassociated`] (the "WiFi-available" bins of the
+    /// offload analyses).
+    pub sel_available: Vec<u32>,
 }
 
 impl DatasetColumns {
@@ -191,6 +200,8 @@ impl DatasetColumns {
             apps: Vec::with_capacity(n_apps),
             geo: Vec::with_capacity(n),
             os_version: Vec::with_capacity(n),
+            sel_associated: Vec::new(),
+            sel_available: Vec::new(),
         };
         c.app_offsets.push(0);
         for b in &ds.bins {
@@ -208,6 +219,7 @@ impl DatasetColumns {
     }
 
     pub(crate) fn push_bin(&mut self, b: &BinRecord) {
+        let row = self.device.len() as u32;
         self.device.push(b.device);
         self.time.push(b.time);
         self.rx_3g.push(b.rx_3g);
@@ -216,7 +228,13 @@ impl DatasetColumns {
         self.tx_lte.push(b.tx_lte);
         self.rx_wifi.push(b.rx_wifi);
         self.tx_wifi.push(b.tx_wifi);
-        self.wifi_tag.push(WifiTag::of(&b.wifi));
+        let tag = WifiTag::of(&b.wifi);
+        self.wifi_tag.push(tag);
+        match tag {
+            WifiTag::Associated => self.sel_associated.push(row),
+            WifiTag::OnUnassociated => self.sel_available.push(row),
+            WifiTag::Off => {}
+        }
         let assoc = b.wifi.assoc();
         self.assoc_ap.push(assoc.map_or(NO_AP, |a| a.ap));
         self.assoc_band.push(assoc.map_or(Band::Ghz24, |a| a.band));
@@ -407,6 +425,27 @@ mod tests {
         assert_eq!(c.len(), 0);
         assert_eq!(c.app_offsets, vec![0]);
         assert!(c.apps.is_empty());
+    }
+
+    #[test]
+    fn selection_vectors_partition_wifi_states() {
+        let ds = dataset(vec![
+            bin(0, 0, WifiBinState::Off, vec![]),
+            bin(0, 10, assoc(), vec![]),
+            bin(0, 20, WifiBinState::OnUnassociated, vec![]),
+            bin(1, 0, assoc(), vec![]),
+            bin(1, 10, WifiBinState::OnUnassociated, vec![]),
+        ]);
+        let c = DatasetColumns::build(&ds);
+        let expect = |tag: WifiTag| -> Vec<u32> {
+            (0..c.len()).filter(|&i| c.wifi_tag[i] == tag).map(|i| i as u32).collect()
+        };
+        assert_eq!(c.sel_associated, expect(WifiTag::Associated));
+        assert_eq!(c.sel_available, expect(WifiTag::OnUnassociated));
+        assert_eq!(
+            c.sel_associated.len() + c.sel_available.len(),
+            c.wifi_tag.iter().filter(|t| t.is_on()).count()
+        );
     }
 
     #[test]

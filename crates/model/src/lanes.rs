@@ -1,0 +1,77 @@
+//! Lane-chunked reduction primitives for the columnar analysis kernels.
+//!
+//! The hot analysis passes reduce contiguous `u64` counter columns.
+//! Written as a plain `iter().sum()` the compiler often keeps a single
+//! serial accumulator (the loop-carried dependence limits it to one add
+//! per cycle); splitting the reduction into [`LANES`] independent
+//! accumulators over `chunks_exact` blocks — with a scalar tail for the
+//! remainder — gives the optimizer a loop shape it reliably turns into
+//! packed vector adds on any 64-bit target.
+//!
+//! Integer addition is associative, so the reassociated chunked sums are
+//! bit-identical to a sequential fold; every caller is pinned to its
+//! row-scan reference by the `columnar_equivalence` proptest suite.
+
+/// Lane width of the chunked reductions. Eight `u64` lanes fill two AVX2
+/// registers (four on NEON) without spilling accumulators.
+pub const LANES: usize = 8;
+
+/// Lane-chunked sum of a `u64` column.
+#[inline]
+pub fn sum(xs: &[u64]) -> u64 {
+    let mut acc = [0u64; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(c) {
+            *a += x;
+        }
+    }
+    let tail: u64 = chunks.remainder().iter().sum();
+    acc.iter().sum::<u64>() + tail
+}
+
+/// Lane-chunked sum of the elementwise total of two equal-length columns
+/// (a paired rx/tx counter): `Σ (a[i] + b[i])`.
+#[inline]
+pub fn sum_paired(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len(), "paired columns must be parallel");
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0u64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..LANES {
+            acc[k] += xa[k] + xb[k];
+        }
+    }
+    let tail: u64 = ca.remainder().iter().zip(cb.remainder()).map(|(&x, &y)| x + y).sum();
+    acc.iter().sum::<u64>() + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40).collect()
+    }
+
+    #[test]
+    fn sum_matches_sequential_fold_for_every_tail_shape() {
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let xs = column(n);
+            assert_eq!(sum(&xs), xs.iter().sum::<u64>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sum_paired_matches_sequential_fold_for_every_tail_shape() {
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
+            let a = column(n);
+            let b: Vec<u64> = column(n).iter().map(|x| x ^ 0xFF).collect();
+            let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| x + y).sum();
+            assert_eq!(sum_paired(&a, &b), expect, "n = {n}");
+        }
+    }
+}

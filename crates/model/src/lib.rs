@@ -25,6 +25,7 @@ pub mod dataset;
 pub mod error;
 pub mod ids;
 pub mod index;
+pub mod lanes;
 pub mod live;
 pub mod net;
 pub mod record;

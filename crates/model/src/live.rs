@@ -195,7 +195,7 @@ impl LiveTableBuilder {
     pub fn append(&mut self, row: LiveRow) {
         let d = row.device.index();
         debug_assert!(
-            self.tails[d].last().map_or(true, |p| p.time < row.time),
+            self.tails[d].last().is_none_or(|p| p.time < row.time),
             "tail appends must be in ascending time order"
         );
         self.tails[d].push(row);

@@ -30,6 +30,10 @@ struct Args {
     data: Option<String>,
     quick: bool,
     chaos: bool,
+    compare: Option<String>,
+    history: Option<String>,
+    label: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +49,10 @@ fn parse_args() -> Result<Args, String> {
         data: None,
         quick: false,
         chaos: false,
+        compare: None,
+        history: None,
+        label: None,
+        tolerance: mobitrace_report::benchhist::DEFAULT_TOLERANCE,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -73,12 +81,31 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quick" => out.quick = true,
             "--chaos" => out.chaos = true,
+            "--compare" => {
+                out.compare = Some(args.next().ok_or("--compare needs a baseline .jsonl path")?);
+            }
+            "--history" => {
+                out.history = Some(args.next().ok_or("--history needs a .jsonl path")?);
+            }
+            "--label" => {
+                out.label = Some(args.next().ok_or("--label needs a value")?);
+            }
+            "--tolerance" => {
+                out.tolerance = args
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
             other if !other.starts_with('-') => out.ids.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if !(0.005..=1.5).contains(&out.scale) {
         return Err(format!("--scale {} out of range (0.005–1.5)", out.scale));
+    }
+    if out.tolerance <= 0.0 {
+        return Err(format!("--tolerance {} must be positive", out.tolerance));
     }
     Ok(out)
 }
@@ -192,12 +219,17 @@ fn main() {
                  mobitrace all [--scale S] [--seed N] [--json PATH]\n  \
                  mobitrace simulate --out DIR [--scale S] [--seed N]\n  \
                  mobitrace analyze --data DIR [<id>...]\n  \
-                 mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]\n  \
+                 mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]\n          \
+                 [--compare BASELINE.jsonl] [--tolerance X] [--history HIST.jsonl]\n          \
+                 [--label NAME]\n  \
                  mobitrace chaos [--quick] [--scale S] [--seed N]\n  \
                  mobitrace live [--quick] [--chaos] [--scale S] [--seed N]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
                  `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
+                 `bench --compare B.jsonl` gates tracked metrics against the last\n\
+                 entry of a committed history (exit 1 on regression) and\n\
+                 `bench --history H.jsonl` appends this run as a new entry;\n\
                  `chaos` proves fault convergence (crash + recovery included) and\n\
                  reports what a chaos-scheduled campaign did to the upload stream;\n\
                  `live` streams a campaign through the incremental analysis engine\n\
@@ -371,15 +403,19 @@ fn run_live(args: &Args) {
     );
 }
 
-/// Best-of-5 wall clock for one analysis pass.
+/// Median-of-9 wall clock for one analysis pass. The median (rather than
+/// the best) is what the committed bench history records, so one lucky
+/// cache-hot run cannot mask a real regression and one noisy run cannot
+/// fake one.
 fn time_pass<T>(mut f: impl FnMut() -> T) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..5 {
+    let mut samples = [0.0f64; 9];
+    for s in &mut samples {
         let t = std::time::Instant::now();
         std::hint::black_box(f());
-        best = best.min(t.elapsed().as_secs_f64());
+        *s = t.elapsed().as_secs_f64();
     }
-    best
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples[4]
 }
 
 fn rows_cols(rows_s: f64, cols_s: f64) -> serde_json::Value {
@@ -429,20 +465,29 @@ fn world_scan_breakdown() -> serde_json::Value {
 
     let mut rng = ChaCha8Rng::seed_from_u64(0xB0B);
     let res = DensitySurface::residential();
-    let homes: Vec<(u32, GeoPoint)> = (0..80).map(|k| (k, res.sample_point(&mut rng))).collect();
-    // Probe at a participant home: plans there carry the dense home-AP
-    // neighbourhood, the case the device loop hits most often.
-    let probe = homes[0].1;
-    let pois = PoiSet::generate(40, &mut rng);
+    // A campaign-sized home population: the residential density surface
+    // concentrates homes into clusters, so the densest probe below sees a
+    // realistic urban neighbourhood rather than a 2-entry plan.
+    let homes: Vec<(u32, GeoPoint)> = (0..800).map(|k| (k, res.sample_point(&mut rng))).collect();
+    let home_pts: Vec<GeoPoint> = homes.iter().map(|&(_, p)| p).collect();
+    let pois = PoiSet::generate(120, &mut rng);
     let spec = WorldSpec {
         params: DeployParams::for_year(Year::Y2015),
         participant_homes: homes,
         office_sites: vec![],
         pois,
-        n_participants: 100,
+        n_participants: 800,
         fon_home_share: 0.03,
     };
     let world = ApWorld::generate(&spec, &mut rng);
+    // Probe at the participant home with the densest scan-plan
+    // neighbourhood: sparse probes finish in a handful of entries and time
+    // call overhead instead of the replay loop itself.
+    let probe = home_pts
+        .iter()
+        .copied()
+        .max_by_key(|&p| world.build_scan_plan(p).len())
+        .expect("homes non-empty");
 
     const ITERS: u32 = 4000;
     let per_call_us = |total_s: f64| total_s / f64::from(ITERS) * 1e6;
@@ -497,11 +542,19 @@ fn world_scan_breakdown() -> serde_json::Value {
 
 /// `mobitrace bench`: wall-clock each pipeline stage (simulate → ingest →
 /// clean → contexts → experiments) and write the machine-readable
-/// `BENCH_pipeline.json`.
+/// `BENCH_pipeline.json`. With `--history` the run also appends a
+/// [`benchhist::BenchEntry`] to the committed JSONL trajectory; with
+/// `--compare` it is gated against the last committed entry (exit 1 on
+/// regression).
 fn run_pipeline_bench(args: &Args) {
+    use mobitrace_report::benchhist;
+
     let out_path = args.json.clone().unwrap_or_else(|| "BENCH_pipeline.json".into());
     let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
     eprintln!("pipeline bench at scale {scale} (seed {})...", args.seed);
+    // Flat dotted metric map — the stable namespace (`sim.*`, `ingest.*`,
+    // `analysis.<pass>.*`, `live.*`, `world_scan.*`; see `benchhist`).
+    let mut metrics: std::collections::BTreeMap<String, f64> = Default::default();
 
     // Simulate twice — scan-plan cache off (the pre-optimisation path)
     // then on — so the JSON records the simulate-stage speedup directly.
@@ -516,8 +569,27 @@ fn run_pipeline_bench(args: &Args) {
         "  simulate: cached {simulate_s:.2}s vs uncached {simulate_uncached_s:.2}s \
          ({simulate_speedup:.1}x)"
     );
+    metrics.insert("sim.cached_s".into(), simulate_s);
+    metrics.insert("sim.uncached_s".into(), simulate_uncached_s);
+    metrics.insert("sim.speedup".into(), simulate_speedup);
 
     let mut world_scan = world_scan_breakdown();
+    {
+        let us = |key: &str| world_scan[key].as_f64().expect("breakdown field");
+        let plan_build_us = us("plan_build_us");
+        metrics.insert("world_scan.scan_alloc_us".into(), us("scan_alloc_us"));
+        metrics.insert("world_scan.scan_into_us".into(), us("scan_into_us"));
+        metrics.insert("world_scan.plan_build_us".into(), plan_build_us);
+        metrics.insert("world_scan.plan_sample_us".into(), us("plan_sample_us"));
+        // Dimensionless forms the regression gate can carry across
+        // machines and scales: refill / replay cost per plan build.
+        metrics
+            .insert("world_scan.into_ratio".into(), us("scan_into_us") / plan_build_us.max(1e-9));
+        metrics.insert(
+            "world_scan.replay_ratio".into(),
+            us("plan_sample_us") / plan_build_us.max(1e-9),
+        );
+    }
 
     // Contended ingest: 8 producers interleaved across devices, first into
     // the lock-striped server, then into a single-stripe one (the old
@@ -593,6 +665,11 @@ fn run_pipeline_bench(args: &Args) {
     });
     let ingest_stream_s = t.elapsed().as_secs_f64();
     eprintln!("  ingest ({THREADS} contiguous stream buffers): {ingest_stream_s:.3}s");
+    metrics.insert("ingest.encode_s".into(), encode_s);
+    metrics.insert("ingest.sharded_s".into(), ingest_s);
+    metrics.insert("ingest.single_shard_s".into(), ingest_single_shard_s);
+    metrics.insert("ingest.speedup".into(), speedup);
+    metrics.insert("ingest.stream_s".into(), ingest_stream_s);
 
     let records = sharded.into_records();
     let devices: Vec<DeviceInfo> = (0..N_DEVICES)
@@ -615,11 +692,13 @@ fn run_pipeline_bench(args: &Args) {
     let (ds, _) = clean(meta, devices, &records, CleanOptions::default());
     let clean_s = t.elapsed().as_secs_f64();
     eprintln!("  clean: {clean_s:.3}s ({} bins)", ds.bins.len());
+    metrics.insert("ingest.clean_s".into(), clean_s);
 
     let t = std::time::Instant::now();
     let ctxs = set.contexts();
     let context_s = t.elapsed().as_secs_f64();
     eprintln!("  contexts: {context_s:.2}s");
+    metrics.insert("analysis.context_s".into(), context_s);
 
     // Per-pass timings on the 2015 campaign: each columnar hot pass vs the
     // retained row-scan reference it is property-tested against.
@@ -632,56 +711,76 @@ fn run_pipeline_bench(args: &Args) {
     let aps = &ctx15.aps;
     let all = ratios::ClassFilter::All;
     let t = std::time::Instant::now();
-    let passes = serde_json::json!({
-        "user_days": rows_cols(
+    let pass_timings: Vec<(&str, f64, f64)> = vec![
+        (
+            "user_days",
             time_pass(|| daily::user_days(ds15)),
             time_pass(|| daily::user_days_cols(cols)),
         ),
-        "apclass": rows_cols(
+        (
+            "apclass",
             time_pass(|| apclass::classify(ds15)),
             time_pass(|| apclass::classify_cols(ds15, cols)),
         ),
-        "overview": rows_cols(
+        (
+            "overview",
             time_pass(|| overview::overview_rows(ds15)),
             time_pass(|| overview::overview(ds15, cols)),
         ),
-        "aggregate_series": rows_cols(
+        (
+            "aggregate_series",
             time_pass(|| timeseries::aggregate_series_rows(ds15)),
             time_pass(|| timeseries::aggregate_series(ds15, cols)),
         ),
-        "venue_series": rows_cols(
+        (
+            "venue_series",
             time_pass(|| timeseries::venue_series_rows(ds15, aps)),
             time_pass(|| timeseries::venue_series(ds15, cols, aps)),
         ),
-        "rssi": rows_cols(
+        (
+            "rssi",
             time_pass(|| quality::rssi_analysis_rows(ds15, aps)),
             time_pass(|| quality::rssi_analysis(cols, aps)),
         ),
-        "channels": rows_cols(
+        (
+            "channels",
             time_pass(|| quality::channel_analysis_rows(ds15, aps)),
             time_pass(|| quality::channel_analysis(cols, aps)),
         ),
-        "public_aps": rows_cols(
+        (
+            "public_aps",
             time_pass(|| availability::detected_public_aps_rows(ds15)),
             time_pass(|| availability::detected_public_aps(ds15, cols)),
         ),
-        "offload": rows_cols(
+        (
+            "offload",
             time_pass(|| availability::offload_potential_rows(ds15)),
             time_pass(|| availability::offload_potential(ds15, cols)),
         ),
-        "wifi_traffic_ratio": rows_cols(
+        (
+            "wifi_traffic_ratio",
             time_pass(|| ratios::wifi_traffic_ratio_rows(ctx15, all)),
             time_pass(|| ratios::wifi_traffic_ratio(ctx15, all)),
         ),
-        "wifi_user_ratio": rows_cols(
+        (
+            "wifi_user_ratio",
             time_pass(|| ratios::wifi_user_ratio_rows(ctx15, all)),
             time_pass(|| ratios::wifi_user_ratio(ctx15, all)),
         ),
-        "app_breakdown": rows_cols(
+        (
+            "app_breakdown",
             time_pass(|| apps::app_breakdown_rows(ctx15, None)),
             time_pass(|| apps::app_breakdown(ctx15, None)),
         ),
-    });
+    ];
+    let mut passes_map = serde_json::Map::new();
+    for &(name, rows_s, cols_s) in &pass_timings {
+        passes_map.insert(name.to_string(), rows_cols(rows_s, cols_s));
+        metrics.insert(format!("analysis.{name}.rows_s"), rows_s);
+        metrics.insert(format!("analysis.{name}.cols_s"), cols_s);
+        metrics.insert(format!("analysis.{name}.ratio"), cols_s / rows_s.max(1e-12));
+    }
+    let passes = serde_json::Value::Object(passes_map);
     eprintln!("  per-pass rows-vs-cols timings: {:.2}s", t.elapsed().as_secs_f64());
 
     let t = std::time::Instant::now();
@@ -693,6 +792,7 @@ fn run_pipeline_bench(args: &Args) {
     }
     let experiments_s = t.elapsed().as_secs_f64();
     eprintln!("  experiments: {experiments_s:.2}s ({n_reports} reports)");
+    metrics.insert("analysis.experiments_s".into(), experiments_s);
 
     // Live engine: stream a small campaign through the tap-fed incremental
     // cleaner and record its stage costs. The per-snapshot deltas are the
@@ -739,6 +839,9 @@ fn run_pipeline_bench(args: &Args) {
         "wall_s": live_report.wall_s,
         "snapshots": live_snapshots,
     });
+    metrics.insert("live.fold_s".into(), ls.fold_nanos as f64 / 1e9);
+    metrics.insert("live.compact_s".into(), ls.compact_nanos as f64 / 1e9);
+    metrics.insert("live.wall_s".into(), live_report.wall_s);
     eprintln!(
         "  live engine: {} records in {} batches, fold {:.3}s, compact {:.3}s \
          over {} compactions (converged: {})",
@@ -759,16 +862,24 @@ fn run_pipeline_bench(args: &Args) {
         "misses": plan_misses,
         "hit_rate": plan_hit_rate,
     });
+    metrics.insert("world_scan.plan_cache.hit_rate".into(), plan_hit_rate);
     eprintln!(
         "  scan-plan cache: {plan_hits} hits / {plan_misses} misses \
          ({:.1}% hit rate)",
         plan_hit_rate * 100.0
     );
 
+    // `metrics` is the canonical flat namespace (`sim.*`, `ingest.*`,
+    // `analysis.<pass>.*`, `live.*`, `world_scan.*`). The nested objects
+    // below (`stages`, `simulate`, `ingest`, `passes`, ...) are deprecated
+    // aliases kept for one release; new consumers should read `metrics`.
+    let metric_map: serde_json::Map =
+        metrics.iter().map(|(k, &v)| (k.clone(), serde_json::json!(v))).collect();
     let doc = serde_json::json!({
         "scale": scale,
         "seed": args.seed,
         "quick": args.quick,
+        "metrics": serde_json::Value::Object(metric_map),
         "stages": {
             "simulate_s": simulate_s,
             "encode_s": encode_s,
@@ -804,4 +915,52 @@ fn run_pipeline_bench(args: &Args) {
         std::process::exit(1);
     }
     eprintln!("wrote {out_path}");
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = benchhist::BenchEntry {
+        git_sha: benchhist::git_head_sha(),
+        timestamp: benchhist::utc_timestamp(unix_secs),
+        label: args.label.clone().unwrap_or_else(|| "bench".into()),
+        scale,
+        seed: args.seed,
+        quick: args.quick,
+        metrics,
+    };
+
+    if let Some(baseline_path) = &args.compare {
+        let history = match benchhist::load_history(std::path::Path::new(baseline_path)) {
+            Ok(h) if !h.is_empty() => h,
+            Ok(_) => {
+                eprintln!("error: baseline {baseline_path} has no entries");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = history.last().expect("non-empty");
+        let report = benchhist::compare(baseline, &entry, args.tolerance);
+        eprint!("{report}");
+        if report.regressed() {
+            eprintln!(
+                "regression gate FAILED. If this perf change is intentional, append a \
+                 fresh entry with `mobitrace bench --history {baseline_path} --label <why>` \
+                 and commit the updated history."
+            );
+            std::process::exit(1);
+        }
+        eprintln!("regression gate passed");
+    }
+
+    if let Some(history_path) = &args.history {
+        if let Err(e) = benchhist::append_history(std::path::Path::new(history_path), &entry) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("appended entry '{}' ({}) to {history_path}", entry.label, entry.git_sha);
+    }
 }

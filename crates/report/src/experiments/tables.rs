@@ -73,6 +73,7 @@ pub(super) fn table3(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
     let tables: Vec<_> =
         ctxs.iter().map(|c| mobitrace_core::volume::volume_table(&c.days)).collect();
     let mut t = Table::new(vec!["stat", "2013", "2014", "2015", "AGR"]);
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, fn(&mobitrace_core::volume::VolumeTable) -> f64); 6] = [
         ("median All", |v| v.all.median_mb),
         ("median Cell", |v| v.cell.median_mb),
@@ -91,7 +92,7 @@ pub(super) fn table3(ctxs: &[AnalysisContext<'_>; 3]) -> ExperimentReport {
         [60.7, 121.5, 168.1],
     ];
     for (r, (name, f)) in rows.iter().enumerate() {
-        let series: Vec<f64> = tables.iter().map(|v| f(v)).collect();
+        let series: Vec<f64> = tables.iter().map(f).collect();
         let agr = annual_growth_rate(&series);
         t.row(vec![
             name.to_string(),

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchhist;
 pub mod data;
 pub mod experiments;
 pub mod render;

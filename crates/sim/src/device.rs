@@ -531,6 +531,7 @@ impl DeviceSim {
         self.agent.observe(&obs);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn route_cellular(
         &self,
         _t: SimTime,

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Mirrors the registration surface the workspace benches use —
+//! [`Criterion::benchmark_group`], `bench_function`, `sample_size`,
+//! `throughput`, `iter`/`iter_batched`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a much simpler
+//! measurement core: per benchmark it calibrates an iteration count to a
+//! ~50 ms batch, takes `sample_size` batch samples, and prints the median
+//! per-iteration time (plus throughput when configured). Like upstream,
+//! running the binary *without* `--bench` (as `cargo test` does for
+//! harness-less bench targets) executes each benchmark once as a smoke
+//! test instead of measuring.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a quantity relates to one benchmark iteration, for derived
+/// throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration input handling policy for [`Bencher::iter_batched`];
+/// ignored by the stand-in (setup always runs once per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: upstream batches few.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run each benchmark body once (no timing) — `cargo test` behaviour.
+    Test,
+    /// Calibrate and measure.
+    Bench,
+}
+
+/// The benchmark registry / driver.
+pub struct Criterion {
+    mode: Mode,
+    /// Substring filter from the command line, like upstream.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--bench") { Mode::Bench } else { Mode::Test };
+        let filter = args.iter().skip(1).find(|a| !a.starts_with("--") && !a.is_empty()).cloned();
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Register and (in bench mode) measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher =
+            Bencher { mode: self.criterion.mode, sample_size: self.sample_size, median_ns: None };
+        f(&mut bencher);
+        match self.criterion.mode {
+            Mode::Test => eprintln!("test {full} ... ok"),
+            Mode::Bench => {
+                let median_ns = bencher.median_ns.unwrap_or(0.0);
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Bytes(n) => {
+                        format!(
+                            " thrpt: {:.1} MiB/s",
+                            n as f64 / (median_ns * 1e-9) / (1 << 20) as f64
+                        )
+                    }
+                    Throughput::Elements(n) => {
+                        format!(" thrpt: {:.0} elem/s", n as f64 / (median_ns * 1e-9))
+                    }
+                });
+                eprintln!(
+                    "{full:<48} time: [{}]{}",
+                    format_time(median_ns),
+                    rate.unwrap_or_default()
+                );
+            }
+        }
+        self
+    }
+
+    /// Close the group (upstream writes reports here; the stand-in has
+    /// nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+const BATCH_TARGET: Duration = Duration::from_millis(50);
+
+impl Bencher {
+    /// Measure a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: double the batch size until one batch takes long
+        // enough to time reliably.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET || iters >= 1 << 28 {
+                break;
+            }
+            iters = iters.saturating_mul(if elapsed.as_nanos() == 0 { 8 } else { 2 });
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+
+    /// Measure a routine whose per-iteration input comes from `setup`
+    /// (setup time excluded from timing).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Test {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One timed call per sample: inputs are rebuilt outside the timed
+        // region, so setup cost never pollutes the measurement.
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut criterion = Criterion { mode: Mode::Test, filter: None };
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures_median() {
+        let mut criterion = Criterion { mode: Mode::Bench, filter: None };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        let mut acc = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut criterion = Criterion { mode: Mode::Test, filter: Some("zzz".into()) };
+        let mut runs = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

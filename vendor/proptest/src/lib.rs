@@ -1,0 +1,703 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Keeps proptest's surface — the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_oneof!`] macros, [`strategy::Strategy`]
+//! with `prop_map`, range/tuple/collection/array strategies, `any::<T>()`,
+//! and [`test_runner::ProptestConfig`] — but generates cases with a plain
+//! seeded RNG and **does not shrink** failures: a failing case reports its
+//! generated inputs via the assertion message only. Each test function
+//! draws from a ChaCha stream seeded from its module path, so runs are
+//! deterministic and distinct per test. `PROPTEST_CASES` overrides the
+//! default case count, as upstream supports.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// String literals are regex strategies, as upstream. Supported subset:
+    /// literal characters, `[...]` classes with ranges and a literal
+    /// leading/trailing `-`, and the quantifiers `{n}`, `{m,n}`, `?`, `+`,
+    /// `*` (`+`/`*` capped at 8 repetitions). Anything else panics — extend
+    /// the parser rather than silently mis-generating.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            use rand::Rng;
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let reps = rng.gen_range(*lo..=*hi);
+                for _ in 0..reps {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parse the regex subset into (alternatives, min-reps, max-reps) runs.
+    fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match it.next() {
+                            None => panic!("unterminated [ in pattern {pattern:?}"),
+                            Some(']') => break,
+                            Some('-') if prev.is_some() && it.peek() != Some(&']') => {
+                                let lo = prev.take().expect("range start");
+                                let hi = it.next().expect("range end");
+                                set.extend(lo..=hi);
+                            }
+                            Some('\\') => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(it.next().expect("escaped char"));
+                            }
+                            Some(ch) => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(ch);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                    set
+                }
+                '\\' => vec![it.next().expect("escaped char")],
+                '{' | '}' | '?' | '+' | '*' | '(' | ')' | '|' | '.' => {
+                    panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+                }
+                ch => vec![ch],
+            };
+            let (lo, hi) = match it.peek() {
+                Some('{') => {
+                    it.next();
+                    let body: String = it.by_ref().take_while(|&ch| ch != '}').collect();
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("repeat lower bound"),
+                            hi.trim().parse().expect("repeat upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    it.next();
+                    (0, 1)
+                }
+                Some('+') => {
+                    it.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    it.next();
+                    (0, 8)
+                }
+                _ => (1, 1),
+            };
+            atoms.push((chars, lo, hi));
+        }
+        atoms
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (built by
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// From a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies; a seeded ChaCha8 stream.
+    pub struct TestRng(rand_chacha::ChaCha8Rng);
+
+    impl TestRng {
+        /// Deterministic stream keyed by `name` (the generated test's
+        /// module path), so every test function explores a distinct but
+        /// reproducible case sequence.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(hash))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Per-block configuration; only `cases` is consulted by this
+    /// stand-in, the other fields exist so upstream-style struct-update
+    /// (`..ProptestConfig::default()`) keeps compiling.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Unused (no shrinking in the stand-in).
+        pub max_shrink_iters: u32,
+        /// Unused (no rejection sampling in the stand-in).
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            ProptestConfig { cases, max_shrink_iters: 0, max_global_rejects: 0 }
+        }
+    }
+
+    /// A test-case failure surfaced by `prop_assert*` or returned
+    /// explicitly from a test body.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The generated input was unusable (treated as failure here —
+        /// the stand-in has no rejection budget).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected input.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(reason) => write!(f, "{reason}"),
+                TestCaseError::Reject(reason) => write!(f, "input rejected: {reason}"),
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Build it.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-range strategy for primitives (via the rand `StandardSample`
+    /// distribution).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Strategy for Any<T>
+    where
+        T: rand::StandardSample,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen::<T>(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Arbitrary for $ty {
+                type Strategy = Any<$ty>;
+                fn arbitrary() -> Any<$ty> {
+                    Any(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(bool, u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Acceptable length specifications for [`vec`]: an exact length or a
+    /// (half-open / inclusive) range.
+    pub trait SizeRange {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]` drawing each element independently.
+    pub struct ArrayStrategy<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),* $(,)?) => {$(
+            /// Array strategy with independent identically-distributed
+            /// elements.
+            pub fn $name<S: Strategy>(element: S) -> ArrayStrategy<S, $n> {
+                ArrayStrategy(element)
+            }
+        )*};
+    }
+
+    uniform_fns! {
+        uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform5 => 5,
+        uniform6 => 6, uniform7 => 7, uniform8 => 8,
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    /// See [`weighted`].
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(rng, self.p)
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `Some` (p = 0.75, like upstream's default
+    /// weighting) or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::gen_bool(rng, 0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// A deferred index: generated without knowing the collection size,
+    /// resolved against a length later via [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    /// Strategy for [`Index`].
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rand::Rng::gen::<u64>(rng) as usize)
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+        fn arbitrary() -> IndexStrategy {
+            IndexStrategy
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Accepts an optional leading
+/// `#![proptest_config(..)]`, then any number of
+/// `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        #[allow(unused_variables, unused_mut, unreachable_code)]
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!("proptest {} case {}/{} failed: {}",
+                        stringify!($name), case + 1, config.cases, err);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a property, returning a [`test_runner::TestCaseError`] (not
+/// panicking) so the runner reports it with case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality of two expressions under a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), ::std::format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Assert inequality of two expressions under a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn ranges_respect_bounds(a in 3u8..=13, b in -90i16..=-30, c in 0.0f64..1.0) {
+            prop_assert!((3..=13).contains(&a));
+            prop_assert!((-90..=-30).contains(&b));
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        fn combinators_compose(
+            v in prop::collection::vec((0u32..10, any::<bool>()).prop_map(|(n, b)| if b { n } else { 0 }), 0..20),
+            exact in prop::collection::vec(any::<u8>(), 3),
+            pick in any::<prop::sample::Index>(),
+            arr in crate::array::uniform6(0u8..4),
+            choice in prop_oneof![Just(1u8), Just(2u8), 5u8..7],
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(pick.index(7) < 7);
+            prop_assert!(arr.iter().all(|&x| x < 4));
+            prop_assert!(choice == 1 || choice == 2 || choice == 5 || choice == 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        let (va, vb, vc) = (
+            rand::Rng::gen::<u64>(&mut a),
+            rand::Rng::gen::<u64>(&mut b),
+            rand::Rng::gen::<u64>(&mut c),
+        );
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements the genuine ChaCha block function (RFC 8439 quarter-rounds)
+//! at 8, 12 and 20 rounds behind the `rand` traits. Output is a true
+//! ChaCha keystream — cryptographic-quality, deterministic per seed —
+//! though the word order is not guaranteed byte-identical to upstream
+//! `rand_chacha` (nothing in this workspace depends on upstream streams,
+//! only on within-repo determinism and distribution quality).
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k" constants.
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646E;
+    state[2] = 0x7962_2D32;
+    state[3] = 0x6B20_6574;
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // Nonce fixed at zero: one stream per seed.
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            /// Next unread word in `buf`; 16 means exhausted.
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buf = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> $name {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name { key, counter: 0, buf: [0; 16], index: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_u32());
+                let hi = u64::from(self.next_u32());
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds: the fast statistical-quality generator.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (full-strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn rfc8439_chacha20_block() {
+        // RFC 8439 §2.3.2 test vector (counter 1, zero nonce in our layout
+        // differs from the RFC's nonce, so check the zero-key invariants
+        // instead: block must differ per counter and be non-degenerate).
+        let key = [0u32; 8];
+        let b0 = chacha_block(&key, 0, 20);
+        let b1 = chacha_block(&key, 1, 20);
+        assert_ne!(b0, b1);
+        assert!(b0.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = f64::from(ones) / 64_000.0;
+        assert!((0.49..0.51).contains(&frac), "bit balance {frac}");
+    }
+}

@@ -1,0 +1,464 @@
+//! Deserialization half of the vendored serde stand-in.
+//!
+//! Instead of upstream's visitor protocol, a [`Deserializer`] exposes its
+//! input as a [`Content`] tree via the single required method
+//! [`Deserializer::de_any`]; every typed accessor has a default built on
+//! it. The free functions [`struct_fields`], [`take_field`],
+//! [`enum_variant`], and [`variant_payload`] are the runtime support
+//! called by `serde_derive`-generated impls; they implement upstream's
+//! defaults (unknown struct fields ignored, missing `Option` fields read
+//! as `None`, externally-tagged enums).
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::fmt::Debug {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A deserializer's input, lifted into serde's data model.
+///
+/// Nested values stay wrapped in the deserializer type `D` so they can be
+/// handed to nested `Deserialize` impls unconverted.
+pub enum Content<D> {
+    /// JSON `null` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of nested values.
+    Seq(Vec<D>),
+    /// Key/value pairs of nested values.
+    Map(Vec<(D, D)>),
+}
+
+fn kind<D>(content: &Content<D>) -> &'static str {
+    match content {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::U64(_) | Content::I64(_) => "integer",
+        Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    }
+}
+
+/// A value that can reconstruct itself from any [`Deserializer`].
+///
+/// The `'de` lifetime mirrors upstream's signature so trait bounds written
+/// against real serde keep compiling; this stand-in always produces owned
+/// data.
+pub trait Deserialize<'de>: Sized {
+    /// Read `Self` out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that a value can be read from.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Lift the input into the [`Content`] data model.
+    fn de_any(self) -> Result<Content<Self>, Self::Error>;
+
+    /// True when the input is `null`/absent; drives the
+    /// [`de_option`](Deserializer::de_option) default without consuming
+    /// `self`.
+    fn is_null(&self) -> bool;
+
+    /// Read a boolean.
+    fn de_bool(self) -> Result<bool, Self::Error> {
+        match self.de_any()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected(&other, "bool")),
+        }
+    }
+
+    /// Read an unsigned integer. Accepts in-range signed values,
+    /// fraction-free floats, and numeric strings (JSON map keys arrive as
+    /// strings).
+    fn de_u64(self) -> Result<u64, Self::Error> {
+        match self.de_any()? {
+            Content::U64(v) => Ok(v),
+            Content::I64(v) => {
+                u64::try_from(v).map_err(|_| Self::Error::custom("negative integer for u64"))
+            }
+            Content::F64(v) if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+            Content::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| Self::Error::custom(format_args!("non-numeric key {s:?} for u64"))),
+            other => Err(unexpected(&other, "u64")),
+        }
+    }
+
+    /// Read a signed integer (same leniency as
+    /// [`de_u64`](Deserializer::de_u64)).
+    fn de_i64(self) -> Result<i64, Self::Error> {
+        match self.de_any()? {
+            Content::I64(v) => Ok(v),
+            Content::U64(v) => {
+                i64::try_from(v).map_err(|_| Self::Error::custom("integer overflows i64"))
+            }
+            Content::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Ok(v as i64)
+            }
+            Content::Str(s) => s
+                .parse::<i64>()
+                .map_err(|_| Self::Error::custom(format_args!("non-numeric key {s:?} for i64"))),
+            other => Err(unexpected(&other, "i64")),
+        }
+    }
+
+    /// Read a float; any numeric content widens.
+    fn de_f64(self) -> Result<f64, Self::Error> {
+        match self.de_any()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            Content::Str(s) => s
+                .parse::<f64>()
+                .map_err(|_| Self::Error::custom(format_args!("non-numeric key {s:?} for f64"))),
+            other => Err(unexpected(&other, "f64")),
+        }
+    }
+
+    /// Read a string.
+    fn de_str(self) -> Result<String, Self::Error> {
+        match self.de_any()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected(&other, "string")),
+        }
+    }
+
+    /// Read a unit value.
+    fn de_unit(self) -> Result<(), Self::Error> {
+        match self.de_any()? {
+            Content::Null => Ok(()),
+            other => Err(unexpected(&other, "null")),
+        }
+    }
+
+    /// Split an optional: `None` for null input, otherwise the intact
+    /// deserializer for the `Some` payload.
+    fn de_option(self) -> Result<Option<Self>, Self::Error> {
+        if self.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(self))
+        }
+    }
+
+    /// Read a sequence as nested deserializers.
+    fn de_seq(self) -> Result<Vec<Self>, Self::Error> {
+        match self.de_any()? {
+            Content::Seq(items) => Ok(items),
+            other => Err(unexpected(&other, "sequence")),
+        }
+    }
+
+    /// Read a map as nested key/value deserializer pairs.
+    fn de_map(self) -> Result<Vec<(Self, Self)>, Self::Error> {
+        match self.de_any()? {
+            Content::Map(entries) => Ok(entries),
+            other => Err(unexpected(&other, "map")),
+        }
+    }
+
+    /// Unwrap a newtype struct; transparent by default.
+    fn de_newtype(self, _name: &'static str) -> Result<Self, Self::Error> {
+        Ok(self)
+    }
+}
+
+fn unexpected<'de, D: Deserializer<'de>>(content: &Content<D>, expected: &str) -> D::Error {
+    D::Error::custom(format_args!("expected {expected}, found {}", kind(content)))
+}
+
+// ---------------------------------------------------------------------------
+// Runtime support for derived impls.
+// ---------------------------------------------------------------------------
+
+/// Read a struct body: a map whose recognized keys are slotted into
+/// `fields` order. Unknown keys are ignored (upstream's default); missing
+/// keys stay `None` for [`take_field`] to resolve.
+pub fn struct_fields<'de, D: Deserializer<'de>>(
+    deserializer: D,
+    name: &'static str,
+    fields: &'static [&'static str],
+) -> Result<Vec<Option<D>>, D::Error> {
+    match deserializer.de_any()? {
+        Content::Map(entries) => {
+            let mut slots: Vec<Option<D>> = fields.iter().map(|_| None).collect();
+            for (key, value) in entries {
+                let key = key.de_str()?;
+                if let Some(idx) = fields.iter().position(|f| *f == key) {
+                    slots[idx] = Some(value);
+                }
+            }
+            Ok(slots)
+        }
+        other => Err(D::Error::custom(format_args!(
+            "expected map for struct {name}, found {}",
+            kind(&other)
+        ))),
+    }
+}
+
+/// Resolve one field slot produced by [`struct_fields`]. Present fields
+/// deserialize from their value; absent fields go through
+/// [`missing_field`], which yields `None` for `Option` targets and an
+/// error otherwise.
+pub fn take_field<'de, D: Deserializer<'de>, T: Deserialize<'de>>(
+    slots: &mut [Option<D>],
+    index: usize,
+    name: &'static str,
+) -> Result<T, D::Error> {
+    match slots[index].take() {
+        Some(value) => T::deserialize(value),
+        None => missing_field::<T, D::Error>(name),
+    }
+}
+
+/// A deserializer for a field absent from the input: reads as `None` for
+/// `Option` targets and errors with the field name for anything else.
+struct MissingField<E> {
+    field: &'static str,
+    _marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> Deserializer<'de> for MissingField<E> {
+    type Error = E;
+
+    fn de_any(self) -> Result<Content<Self>, E> {
+        Err(E::custom(format_args!("missing field `{}`", self.field)))
+    }
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Deserialize `T` for a field that was absent from the input.
+pub fn missing_field<'de, T: Deserialize<'de>, E: Error>(field: &'static str) -> Result<T, E> {
+    T::deserialize(MissingField { field, _marker: PhantomData })
+}
+
+/// Read an externally-tagged enum: a bare string is a unit variant; a
+/// single-entry map carries the variant payload.
+pub fn enum_variant<'de, D: Deserializer<'de>>(
+    deserializer: D,
+    name: &'static str,
+) -> Result<(String, Option<D>), D::Error> {
+    match deserializer.de_any()? {
+        Content::Str(variant) => Ok((variant, None)),
+        Content::Map(mut entries) if entries.len() == 1 => {
+            let (key, value) = entries.pop().expect("one entry");
+            Ok((key.de_str()?, Some(value)))
+        }
+        other => Err(D::Error::custom(format_args!(
+            "expected string or single-entry map for enum {name}, found {}",
+            kind(&other)
+        ))),
+    }
+}
+
+/// Unwrap the payload of a non-unit enum variant.
+pub fn variant_payload<'de, D: Deserializer<'de>>(
+    payload: Option<D>,
+    variant: &str,
+) -> Result<D, D::Error> {
+    payload.ok_or_else(|| D::Error::custom(format_args!("variant `{variant}` expects a payload")))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($ty:ty => $via:ident),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide = deserializer.$via()?;
+                <$ty>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {wide} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int! {
+    u8 => de_u64,
+    u16 => de_u64,
+    u32 => de_u64,
+    u64 => de_u64,
+    usize => de_u64,
+    i8 => de_i64,
+    i16 => de_i64,
+    i32 => de_i64,
+    i64 => de_i64,
+    isize => de_i64,
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_bool()
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_f64()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserializer.de_f64()? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_str()
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = deserializer.de_str()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_unit()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.de_option()? {
+            None => Ok(None),
+            Some(inner) => T::deserialize(inner).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_seq()?.into_iter().map(T::deserialize).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_seq()?.into_iter().map(T::deserialize).collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items).map_err(|_| {
+            D::Error::custom(format_args!("expected array of length {N}, found {len}"))
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_seq()?.into_iter().map(T::deserialize).collect()
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.de_seq()?.into_iter().map(T::deserialize).collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .de_map()?
+            .into_iter()
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .de_map()?
+            .into_iter()
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let items = deserializer.de_seq()?;
+                if items.len() != $len {
+                    return Err(De::Error::custom(format_args!(
+                        "expected tuple of length {}, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut items = items.into_iter();
+                Ok(($($name::deserialize(items.next().expect("length checked"))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+    (5; T0, T1, T2, T3, T4)
+    (6; T0, T1, T2, T3, T4, T5)
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This environment cannot reach a cargo registry, so the workspace
+//! vendors a reduced serialization framework under serde's public names:
+//! the [`Serialize`]/[`Serializer`] and [`Deserialize`]/[`Deserializer`]
+//! trait pairs, blanket implementations for the std types this workspace
+//! serializes, and re-exported derive macros from the companion
+//! `serde_derive` stand-in. The data model is a simplification of
+//! upstream's 29-method visitor architecture: serializers expose typed
+//! primitive sinks plus one [`ser::Composite`] builder for
+//! sequences/maps/structs/variants, and deserializers expose their input
+//! as a [`de::Content`] tree. The only consumer is the vendored
+//! `serde_json`, which round-trips the same external JSON shapes upstream
+//! serde_json produces (externally tagged enums, newtype transparency,
+//! `null` options).
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,364 @@
+//! Serialization half of the vendored serde stand-in.
+//!
+//! [`Serializer`] exposes typed primitive sinks plus composite builders
+//! ([`Composite`]) for sequences, maps, structs, and struct variants.
+//! Enum representation follows upstream's externally-tagged default:
+//! unit variants serialize as the variant name string, newtype variants
+//! as `{"Variant": value}`, struct variants as `{"Variant": {..fields..}}`.
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::fmt::Debug {
+    /// Build an error from any displayable message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A value that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Feed `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Builder for an in-progress sequence, map, struct, or struct variant.
+///
+/// One trait covers all four composite shapes (upstream splits them into
+/// `SerializeSeq`/`SerializeMap`/`SerializeStruct`/...); the serializer
+/// remembers which shape it opened and how to close it in [`end`].
+///
+/// [`end`]: Composite::end
+pub trait Composite {
+    /// Final output of the serializer that opened this composite.
+    type Ok;
+    /// Error type of the serializer that opened this composite.
+    type Error: Error;
+
+    /// Append one sequence element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Append one named struct field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Append one map entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+
+    /// Close the composite and produce the serializer's output.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can receive a serialized value.
+pub trait Serializer: Sized {
+    /// Output produced on success (e.g. `()` for a writer).
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Builder type for composite values.
+    type Composite: Composite<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Emit a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Emit a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Emit an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Emit a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Emit a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Emit a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Emit an absent optional.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Emit `{"variant": value}` for an externally-tagged newtype variant.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Open a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::Composite, Self::Error>;
+    /// Open a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::Composite, Self::Error>;
+    /// Open a struct (named-field composite).
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::Composite, Self::Error>;
+    /// Open `{"variant": {...}}` for an externally-tagged struct variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::Composite, Self::Error>;
+
+    /// Emit a present optional; transparent by default.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+
+    /// Emit a char; defaults to a one-character string.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error> {
+        let mut buf = [0u8; 4];
+        self.serialize_str(v.encode_utf8(&mut buf))
+    }
+
+    /// Emit an `i8` (widens to [`serialize_i64`](Serializer::serialize_i64)).
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Emit an `i16` (widens).
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Emit an `i32` (widens).
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Emit a `u8` (widens to [`serialize_u64`](Serializer::serialize_u64)).
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Emit a `u16` (widens).
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Emit a `u32` (widens).
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Emit an `f32` (widens to `f64`).
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    /// Emit a unit struct; unit by default.
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_unit()
+    }
+
+    /// Emit a newtype struct; transparent by default.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+
+    /// Emit an externally-tagged unit variant; the variant name string by
+    /// default.
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(variant)
+    }
+
+    /// Open a tuple; a fixed-length sequence by default.
+    fn serialize_tuple(self, len: usize) -> Result<Self::Composite, Self::Error> {
+        self.serialize_seq(Some(len))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_primitive {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+impl_ser_primitive! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+
+fn serialize_iter<S, I>(serializer: S, len: Option<usize>, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: IntoIterator,
+    I::Item: Serialize,
+{
+    let mut seq = serializer.serialize_seq(len)?;
+    for item in iter {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, Some(self.len()), self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, Some(self.len()), self)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, Some(self.len()), self)
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, Some(self.len()), self)
+    }
+}
+
+fn serialize_map_iter<'a, S, K, V, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = serializer.serialize_map(Some(len))?;
+    for (k, v) in iter {
+        map.serialize_entry(k, v)?;
+    }
+    map.end()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_tuple(0 $(+ { let _ = $idx; 1 })+)?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the reduced serde traits
+//! in the vendored `serde` crate, without syn or quote: the input item is
+//! hand-parsed from the raw `TokenStream` (only field and variant *names*
+//! are needed — field types are skipped with angle-bracket depth tracking
+//! and recovered by inference in the generated code), and output code is
+//! built as a string and re-parsed.
+//!
+//! Supported input shapes — everything this workspace derives on:
+//! non-generic named-field structs, newtype structs, unit structs, and
+//! enums with unit / newtype / named-field variants (discriminants
+//! allowed). The only container attribute honoured is
+//! `#[serde(from = "T", into = "T")]`; any other serde attribute is a
+//! compile-time panic rather than silently changing semantics.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match (&item.attrs.into_ty, &item.shape) {
+        (Some(proxy), _) => ser_via_into(&item.name, proxy),
+        (None, Shape::NamedStruct(fields)) => ser_named_struct(&item.name, fields),
+        (None, Shape::NewtypeStruct) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(serializer, \"{}\", &self.0)",
+            item.name
+        ),
+        (None, Shape::UnitStruct) => format!(
+            "::serde::ser::Serializer::serialize_unit_struct(serializer, \"{}\")",
+            item.name
+        ),
+        (None, Shape::Enum(variants)) => ser_enum(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n",
+        name = item.name,
+        body = body
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match (&item.attrs.from_ty, &item.shape) {
+        (Some(proxy), _) => de_via_from(proxy),
+        (None, Shape::NamedStruct(fields)) => de_named_struct(&item.name, fields, "deserializer"),
+        (None, Shape::NewtypeStruct) => format!(
+            "::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(\
+             ::serde::de::Deserializer::de_newtype(deserializer, \"{name}\")?)?))",
+            name = item.name
+        ),
+        (None, Shape::UnitStruct) => format!(
+            "{{ ::serde::de::Deserializer::de_unit(deserializer)?; \
+             ::core::result::Result::Ok({}) }}",
+            item.name
+        ),
+        (None, Shape::Enum(variants)) => de_enum(&item.name, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n",
+        name = item.name,
+        body = body
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn ser_via_into(_name: &str, proxy: &str) -> String {
+    format!(
+        "let proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+         ::serde::ser::Serialize::serialize(&proxy, serializer)"
+    )
+}
+
+fn de_via_from(proxy: &str) -> String {
+    format!(
+        "let proxy: {proxy} = ::serde::de::Deserialize::deserialize(deserializer)?;\n\
+         ::core::result::Result::Ok(::core::convert::From::from(proxy))"
+    )
+}
+
+fn ser_named_struct(name: &str, fields: &[String]) -> String {
+    let mut out = format!(
+        "let mut state = ::serde::ser::Serializer::serialize_struct(serializer, \"{name}\", {n}usize)?;\n",
+        name = name,
+        n = fields.len()
+    );
+    for field in fields {
+        out.push_str(&format!(
+            "::serde::ser::Composite::serialize_field(&mut state, \"{field}\", &self.{field})?;\n"
+        ));
+    }
+    out.push_str("::serde::ser::Composite::end(state)");
+    out
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => out.push_str(&format!(
+                "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(serializer, \"{name}\", \"{v}\"),\n"
+            )),
+            VariantKind::Newtype => out.push_str(&format!(
+                "{name}::{v}(__field0) => ::serde::ser::Serializer::serialize_newtype_variant(serializer, \"{name}\", \"{v}\", __field0),\n"
+            )),
+            VariantKind::Struct(fields) => {
+                let bindings = fields.join(", ");
+                out.push_str(&format!(
+                    "{name}::{v} {{ {bindings} }} => {{\n\
+                     let mut state = ::serde::ser::Serializer::serialize_struct_variant(serializer, \"{name}\", \"{v}\", {n}usize)?;\n",
+                    n = fields.len()
+                ));
+                for field in fields {
+                    out.push_str(&format!(
+                        "::serde::ser::Composite::serialize_field(&mut state, \"{field}\", {field})?;\n"
+                    ));
+                }
+                out.push_str("::serde::ser::Composite::end(state)\n},\n");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn de_named_struct(name: &str, fields: &[String], deserializer: &str) -> String {
+    let field_list = fields.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ");
+    let mut out = format!(
+        "{{ let mut slots = ::serde::de::struct_fields({deserializer}, \"{name}\", &[{field_list}])?;\n\
+         ::core::result::Result::Ok({name} {{\n"
+    );
+    for (idx, field) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "{field}: ::serde::de::take_field(&mut slots, {idx}usize, \"{field}\")?,\n"
+        ));
+    }
+    out.push_str("}) }");
+    out
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let mut out = format!(
+        "let (variant, payload) = ::serde::de::enum_variant(deserializer, \"{name}\")?;\n\
+         let _ = &payload;\n\
+         match variant.as_str() {{\n"
+    );
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => out.push_str(&format!(
+                "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+            )),
+            VariantKind::Newtype => out.push_str(&format!(
+                "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                 ::serde::de::Deserialize::deserialize(::serde::de::variant_payload(payload, \"{v}\")?)?)),\n"
+            )),
+            VariantKind::Struct(fields) => {
+                let inner = de_named_struct(
+                    &format!("{name}::{v}"),
+                    fields,
+                    &format!("::serde::de::variant_payload(payload, \"{v}\")?"),
+                );
+                // de_named_struct quotes the name it was given in error
+                // messages and the constructor path alike; both are valid
+                // for an enum variant.
+                out.push_str(&format!("\"{v}\" => {inner},\n"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+         ::core::format_args!(\"unknown variant `{{}}` of enum {name}\", other))),\n}}"
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    NewtypeStruct,
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let mut attrs = ContainerAttrs::default();
+    while is_punct(tokens.get(pos), '#') {
+        if let Some(TokenTree::Group(group)) = tokens.get(pos + 1) {
+            parse_container_attr(group, &mut attrs);
+        }
+        pos += 2;
+    }
+
+    pos = skip_visibility(&tokens, pos);
+
+    let keyword = expect_ident(tokens.get(pos), "`struct` or `enum`");
+    pos += 1;
+    let name = expect_ident(tokens.get(pos), "item name");
+    pos += 1;
+
+    if is_punct(tokens.get(pos), '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            None | Some(TokenTree::Punct(_)) => Shape::UnitStruct,
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(group))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                match count_top_level_fields(group) {
+                    1 => Shape::NewtypeStruct,
+                    n => panic!(
+                        "vendored serde_derive supports only single-field tuple structs \
+                         (`{name}` has {n})"
+                    ),
+                }
+            }
+            other => panic!("unexpected token after struct name `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(group))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("vendored serde_derive cannot derive for `{other}` items"),
+    };
+
+    Item { name, attrs, shape }
+}
+
+/// Parse one outer attribute group (the `[...]` after `#`). Only
+/// `#[serde(...)]` is inspected; within it only `from`/`into` key-value
+/// pairs are accepted.
+fn parse_container_attr(group: &Group, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = tokens.get(1) else {
+        panic!("malformed #[serde] attribute");
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut pos = 0;
+    while pos < inner.len() {
+        let key = expect_ident(inner.get(pos), "serde attribute key");
+        if !is_punct(inner.get(pos + 1), '=') {
+            panic!("vendored serde_derive: unsupported serde attribute `{key}`");
+        }
+        let value = match inner.get(pos + 2) {
+            Some(TokenTree::Literal(lit)) => lit.to_string().trim_matches('"').to_string(),
+            other => panic!("expected string value for serde attribute `{key}`, found {other:?}"),
+        };
+        match key.as_str() {
+            "from" => attrs.from_ty = Some(value),
+            "into" => attrs.into_ty = Some(value),
+            other => panic!("vendored serde_derive: unsupported serde attribute `{other}`"),
+        }
+        pos += 3;
+        if is_punct(inner.get(pos), ',') {
+            pos += 1;
+        }
+    }
+}
+
+/// Field names from a `{ ... }` struct body. Types are skipped, not
+/// parsed: after each `name:` we consume tokens to the next top-level
+/// comma, tracking `<`/`>` depth so commas inside generics don't split.
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        pos = skip_field_attrs(&tokens, pos);
+        pos = skip_visibility(&tokens, pos);
+        names.push(expect_ident(tokens.get(pos), "field name"));
+        pos += 1; // name
+        pos += 1; // ':'
+        pos = skip_to_top_level_comma(&tokens, pos);
+    }
+    names
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        pos = skip_field_attrs(&tokens, pos);
+        let name = expect_ident(tokens.get(pos), "variant name");
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(body))
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                match count_top_level_fields(body) {
+                    1 => VariantKind::Newtype,
+                    n => panic!(
+                        "vendored serde_derive supports only single-field tuple variants \
+                         (`{name}` has {n})"
+                    ),
+                }
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`) and the trailing comma.
+        pos = skip_to_top_level_comma(&tokens, pos);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Token-walking helpers.
+// ---------------------------------------------------------------------------
+
+fn is_punct(token: Option<&TokenTree>, ch: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn expect_ident(token: Option<&TokenTree>, what: &str) -> String {
+    match token {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("vendored serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(pos) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    pos += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+    pos
+}
+
+fn skip_field_attrs(tokens: &[TokenTree], mut pos: usize) -> usize {
+    while is_punct(tokens.get(pos), '#') {
+        if let Some(TokenTree::Group(group)) = tokens.get(pos + 1) {
+            let mut probe = ContainerAttrs::default();
+            // Reuse the container-attr parser purely as a guard: any
+            // #[serde(...)] on a field would change semantics we don't
+            // implement, and it panics on everything but from/into, which
+            // are container-only.
+            parse_container_attr(group, &mut probe);
+            if probe.from_ty.is_some() || probe.into_ty.is_some() {
+                panic!("vendored serde_derive: serde attributes on fields are unsupported");
+            }
+        }
+        pos += 2;
+    }
+    pos
+}
+
+/// Advance past the next `,` at angle-bracket depth zero (or to the end).
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut depth = 0i32;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return pos + 1,
+            _ => {}
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// Number of comma-separated fields in a parenthesized tuple body,
+/// ignoring a trailing comma.
+fn count_top_level_fields(group: &Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut depth = 0i32;
+    for (idx, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 < tokens.len() {
+                    fields += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,974 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Implements the subset this workspace uses: the [`Value`] tree with
+//! string indexing, the [`json!`] macro, [`to_string`] /
+//! [`to_string_pretty`] / [`to_writer`] and [`from_str`] / [`from_reader`]
+//! entry points, and a conforming JSON parser/printer (string escapes
+//! including surrogate pairs, i64/u64/f64 numbers, non-finite floats
+//! printed as `null` like upstream). Objects are sorted maps, matching
+//! upstream's default (non-`preserve_order`) behaviour. Serialization
+//! goes through an intermediate [`Value`]; at the sizes this workspace
+//! writes (bench reports, small datasets in tests) the extra tree is
+//! irrelevant.
+
+use serde::de::{Content, Deserialize, Deserializer};
+use serde::ser::{Composite, Serialize, Serializer};
+
+/// Alias for the object representation (upstream's `serde_json::Map`).
+pub type Map<K = String, V = Value> = std::collections::BTreeMap<K, V>;
+
+/// Any JSON value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted by key, like upstream's default `Map`).
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: non-negative integer, negative integer, or float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// From an unsigned integer.
+    pub fn from_u64(v: u64) -> Number {
+        Number { n: N::PosInt(v) }
+    }
+
+    /// From a signed integer (normalized: non-negative values store as
+    /// unsigned so `1i64` and `1u64` compare equal).
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number { n: N::PosInt(v as u64) }
+        } else {
+            Number { n: N::NegInt(v) }
+        }
+    }
+
+    /// From a float.
+    pub fn from_f64(v: f64) -> Number {
+        Number { n: N::Float(v) }
+    }
+
+    /// Numeric value widened to `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match self.n {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        }
+    }
+
+    /// As `u64` when representable exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As `i64` when representable exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+}
+
+impl Value {
+    /// Object member by key, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// As a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As a float (any number widens).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// As an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifies: indexing a non-object replaces it with an object,
+    /// and a missing key is inserted as `null` (upstream behaviour).
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if !matches!(self, Value::Object(_)) {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(map) => map.entry(key.to_string()).or_insert(Value::Null),
+            _ => unreachable!("just coerced to object"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error type.
+// ---------------------------------------------------------------------------
+
+/// Error for any serde_json operation.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::fmt::Debug for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Error {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Error {
+        Error::new(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize for Value itself.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(n) => match n.n {
+                N::PosInt(v) => serializer.serialize_u64(v),
+                N::NegInt(v) => serializer.serialize_i64(v),
+                N::Float(v) => serializer.serialize_f64(v),
+            },
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(items) => {
+                let mut seq = serializer.serialize_seq(Some(items.len()))?;
+                for item in items {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+            Value::Object(map) => {
+                let mut out = serializer.serialize_map(Some(map.len()))?;
+                for (key, value) in map {
+                    out.serialize_entry(key, value)?;
+                }
+                out.end()
+            }
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(match deserializer.de_any()? {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::Number(Number::from_u64(v)),
+            Content::I64(v) => Value::Number(Number::from_i64(v)),
+            Content::F64(v) => Value::Number(Number::from_f64(v)),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::deserialize).collect::<Result<_, _>>()?)
+            }
+            Content::Map(entries) => {
+                let mut map = Map::new();
+                for (key, value) in entries {
+                    map.insert(key.de_str()?, Value::deserialize(value)?);
+                }
+                Value::Object(map)
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializer producing a Value tree.
+// ---------------------------------------------------------------------------
+
+struct ValueSerializer;
+
+enum ValueComposite {
+    Seq(Vec<Value>),
+    Map { map: Map<String, Value>, variant: Option<&'static str> },
+}
+
+fn key_string(value: Value) -> Result<String, Error> {
+    match value {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => {
+            let mut out = String::new();
+            write_number(&mut out, &n);
+            Ok(out)
+        }
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::new(format!("unsupported JSON map key: {other}"))),
+    }
+}
+
+impl Composite for ValueComposite {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        match self {
+            ValueComposite::Seq(items) => {
+                items.push(value.serialize(ValueSerializer)?);
+                Ok(())
+            }
+            ValueComposite::Map { .. } => Err(Error::new("element in map composite")),
+        }
+    }
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        match self {
+            ValueComposite::Map { map, .. } => {
+                map.insert(key.to_string(), value.serialize(ValueSerializer)?);
+                Ok(())
+            }
+            ValueComposite::Seq(_) => Err(Error::new("field in sequence composite")),
+        }
+    }
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        match self {
+            ValueComposite::Map { map, .. } => {
+                let key = key_string(key.serialize(ValueSerializer)?)?;
+                map.insert(key, value.serialize(ValueSerializer)?);
+                Ok(())
+            }
+            ValueComposite::Seq(_) => Err(Error::new("entry in sequence composite")),
+        }
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(match self {
+            ValueComposite::Seq(items) => Value::Array(items),
+            ValueComposite::Map { map, variant: None } => Value::Object(map),
+            ValueComposite::Map { map, variant: Some(variant) } => {
+                let mut outer = Map::new();
+                outer.insert(variant.to_string(), Value::Object(map));
+                Value::Object(outer)
+            }
+        })
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type Composite = ValueComposite;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_i64(v)))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_u64(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_f64(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let mut map = Map::new();
+        map.insert(variant.to_string(), value.serialize(ValueSerializer)?);
+        Ok(Value::Object(map))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueComposite, Error> {
+        Ok(ValueComposite::Seq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<ValueComposite, Error> {
+        Ok(ValueComposite::Map { map: Map::new(), variant: None })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<ValueComposite, Error> {
+        Ok(ValueComposite::Map { map: Map::new(), variant: None })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<ValueComposite, Error> {
+        Ok(ValueComposite::Map { map: Map::new(), variant: Some(variant) })
+    }
+}
+
+/// Lift any serializable value into a [`Value`] tree.
+///
+/// Unlike upstream this is infallible: the only failure mode in the
+/// reduced data model is a non-stringable map key, which panics with a
+/// clear message instead (the `json!` macro relies on infallibility).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize(ValueSerializer).expect("value serialization cannot fail")
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer reading from a Value tree.
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = Error;
+
+    fn de_any(self) -> Result<Content<Self>, Error> {
+        Ok(match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Number(n) => match n.n {
+                N::PosInt(v) => Content::U64(v),
+                N::NegInt(v) => Content::I64(v),
+                N::Float(v) => Content::F64(v),
+            },
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => Content::Seq(items),
+            Value::Object(map) => {
+                Content::Map(map.into_iter().map(|(k, v)| (Value::String(k), v)).collect())
+            }
+        })
+    }
+
+    fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Deserialize a `T` out of a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = value.serialize(ValueSerializer)?;
+    let mut out = String::new();
+    write_value(&mut out, &tree, None, 0);
+    Ok(out)
+}
+
+/// Serialize to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = value.serialize(ValueSerializer)?;
+    let mut out = String::new();
+    write_value(&mut out, &tree, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Serialize pretty JSON into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    writer.write_all(text.as_bytes()).map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", parser.pos)));
+    }
+    T::deserialize(value)
+}
+
+/// Deserialize from a reader.
+pub fn from_reader<R: std::io::Read, T: for<'de> Deserialize<'de>>(
+    mut reader: R,
+) -> Result<T, Error> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(|e| Error::new(format!("io error: {e}")))?;
+    from_str(&text)
+}
+
+/// Deserialize from a byte slice.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+// ---------------------------------------------------------------------------
+// Printer.
+// ---------------------------------------------------------------------------
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write;
+    match n.n {
+        N::PosInt(v) => write!(out, "{v}").expect("string write"),
+        N::NegInt(v) => write!(out, "{v}").expect("string write"),
+        N::Float(v) if !v.is_finite() => out.push_str("null"),
+        N::Float(v) => {
+            // Rust's shortest-roundtrip Display is valid JSON for finite
+            // floats; integral floats print without a fraction ("2"), which
+            // parses back as an integer — the lenient numeric accessors in
+            // the vendored serde absorb that.
+            write!(out, "{v}").expect("string write");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (idx, item) in items.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            push_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (idx, (key, item)) in map.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            push_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", expected as char, self.pos)))
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => {
+                Err(Error::new(format!("unexpected byte `{}` at {}", other as char, self.pos)))
+            }
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let code = u16::from_str_radix(hex, 16)
+            .map_err(|_| Error::new(format!("invalid \\u escape at byte {}", self.pos)))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.utf8_run(run_start)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.utf8_run(run_start)?);
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let high = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&high) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(high) - 0xD800) << 10)
+                                    + (u32::from(low) - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(u32::from(high))
+                                    .ok_or_else(|| Error::new("lone surrogate"))?
+                            };
+                            out.push(c);
+                            run_start = self.pos;
+                            continue;
+                        }
+                        _ => return Err(Error::new(format!("bad escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                    run_start = self.pos;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn utf8_run(&self, start: usize) -> Result<&str, Error> {
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(format!("invalid utf-8 in string: {e}")))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::from_f64(v)))
+            .map_err(|_| Error::new(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro.
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from JSON-like syntax.
+///
+/// Supports the shapes this workspace writes: object/array literals with
+/// string-literal keys, `null`, and arbitrary Rust expressions as values
+/// (converted via [`to_value`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_entries!(object, $($entries)*);
+        $crate::Value::Object(object)
+    }};
+    ([ $($elems:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut array = ::std::vec::Vec::new();
+        $crate::json_elems!(array, $($elems)*);
+        $crate::Value::Array(array)
+    }};
+    ($value:expr) => { $crate::to_value(&$value) };
+}
+
+/// Internal helper for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($object:ident,) => {};
+    ($object:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $object.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_entries!($object, $($($rest)*)?);
+    };
+    ($object:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $object.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_entries!($object, $($($rest)*)?);
+    };
+    ($object:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $object.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_entries!($object, $($($rest)*)?);
+    };
+    ($object:ident, $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $object.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json_entries!($object, $($($rest)*)?);
+    };
+}
+
+/// Internal helper for [`json!`] array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ($array:ident,) => {};
+    ($array:ident, null $(, $($rest:tt)*)?) => {
+        $array.push($crate::Value::Null);
+        $crate::json_elems!($array, $($($rest)*)?);
+    };
+    ($array:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $array.push($crate::json!({ $($inner)* }));
+        $crate::json_elems!($array, $($($rest)*)?);
+    };
+    ($array:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $array.push($crate::json!([ $($inner)* ]));
+        $crate::json_elems!($array, $($($rest)*)?);
+    };
+    ($array:ident, $value:expr $(, $($rest:tt)*)?) => {
+        $array.push($crate::to_value(&$value));
+        $crate::json_elems!($array, $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_value() {
+        let v = json!({
+            "name": "bench",
+            "n": 3,
+            "ratio": 1.5,
+            "flags": [true, false, null],
+            "inner": { "empty": {}, "list": [] },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({ "s": "a\"b\\c\nd\te\u{1}" });
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+        let unicode: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(unicode, Value::String("é😀".to_string()));
+    }
+
+    #[test]
+    fn numbers_and_keys() {
+        let v: Value = from_str("{\"a\": -3, \"b\": 18446744073709551615, \"c\": 2.5e3}").unwrap();
+        assert_eq!(v["a"].as_f64(), Some(-3.0));
+        assert_eq!(v["b"].as_u64(), Some(u64::MAX));
+        assert_eq!(v["c"].as_f64(), Some(2500.0));
+    }
+
+    #[test]
+    fn index_mut_vivifies() {
+        let mut v = json!({ "a": 1 });
+        v["b"] = json!({ "x": [1, 2, 3] });
+        assert_eq!(v["b"]["x"][1].as_u64(), Some(2));
+        assert!(v["missing"].is_null());
+    }
+}

@@ -13,8 +13,11 @@
 //! pipeline, so chaos schedules and live analysis compose.
 
 use crate::engine::{check_convergence, FinishedLive, LiveEngine, LiveOptions};
+use crate::pool_sink::{PoolSpoolStats, SnapshotPoolSink};
 use mobitrace_collector::CleanStats;
+use mobitrace_pool::PoolError;
 use mobitrace_sim::{run_campaign_raw, CampaignConfig, RawCampaign};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -79,9 +82,35 @@ const DRAIN_IDLE: Duration = Duration::from_millis(1);
 /// on drain timing (timing moves work between batches, not records
 /// between outcomes).
 pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunReport {
+    run_live_campaign_inner(config, opts, None).0
+}
+
+/// [`run_live_campaign`], plus streaming persistence: every snapshot the
+/// engine publishes mid-run is appended to the pool at `path` as its own
+/// generation and committed, so other processes can mmap the file and
+/// analyze the latest complete generation while the campaign is still
+/// uploading. Creating the pool (taking the writer lock) can fail; append
+/// failures after that degrade persistence only and are reported in the
+/// returned [`PoolSpoolStats`].
+pub fn run_live_campaign_to_pool(
+    config: &CampaignConfig,
+    opts: LiveOptions,
+    path: &Path,
+) -> Result<(LiveRunReport, PoolSpoolStats), PoolError> {
+    let sink = SnapshotPoolSink::create(path)?;
+    let (report, stats) = run_live_campaign_inner(config, opts, Some(sink));
+    Ok((report, stats.expect("sink passed in is returned")))
+}
+
+fn run_live_campaign_inner(
+    config: &CampaignConfig,
+    opts: LiveOptions,
+    mut sink: Option<SnapshotPoolSink>,
+) -> (LiveRunReport, Option<PoolSpoolStats>) {
     let t0 = Instant::now();
     let stop = Arc::new(AtomicBool::new(false));
-    let mut worker: Option<std::thread::JoinHandle<(LiveEngine, Vec<SnapshotMetric>)>> = None;
+    type WorkerOut = (LiveEngine, Vec<SnapshotMetric>, Option<SnapshotPoolSink>);
+    let mut worker: Option<std::thread::JoinHandle<WorkerOut>> = None;
     let mut tap_handle = None;
 
     let raw = run_campaign_raw(config, |server| {
@@ -98,6 +127,7 @@ pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunR
             config.n_users,
             opts,
         );
+        let mut sink = sink.take();
         worker = Some(std::thread::spawn(move || {
             let mut batches = Vec::new();
             let mut metrics = Vec::new();
@@ -115,9 +145,13 @@ pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunR
                 let s = engine.stats();
                 if s.compactions > seen_compactions {
                     seen_compactions = s.compactions;
+                    let snap = engine.snapshot();
+                    if let Some(sink) = sink.as_mut() {
+                        sink.append(&snap);
+                    }
                     metrics.push(SnapshotMetric {
                         compactions: s.compactions,
-                        bins: engine.snapshot().len(),
+                        bins: snap.len(),
                         folded: s.folded,
                         batches: s.batches,
                         fold_nanos: s.fold_nanos,
@@ -131,13 +165,13 @@ pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunR
                     std::thread::sleep(DRAIN_IDLE);
                 }
             }
-            (engine, metrics)
+            (engine, metrics, sink)
         }));
     });
 
     // The campaign (and its last upload) is over; let the drainer finish.
     stop.store(true, Ordering::Release);
-    let (mut engine, mut snapshots) =
+    let (mut engine, mut snapshots, mut sink) =
         worker.expect("on_server hook ran").join().expect("live drain thread");
     let tap = tap_handle.expect("tap attached");
 
@@ -145,6 +179,9 @@ pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunR
     // now; swap it in before the final fold + compaction.
     engine.install_devices(raw.devices.clone());
     let finished = engine.finish();
+    if let Some(s) = sink.as_mut() {
+        s.append(&finished.snapshot);
+    }
     snapshots.push(SnapshotMetric {
         compactions: finished.stats.compactions,
         bins: finished.snapshot.len(),
@@ -159,7 +196,7 @@ pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunR
         Err(why) => (Some(why), None),
     };
 
-    LiveRunReport {
+    let report = LiveRunReport {
         finished,
         raw,
         snapshots,
@@ -168,7 +205,8 @@ pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunR
         tap_published: tap.published(),
         tap_overflow: tap.overflow(),
         wall_s: t0.elapsed().as_secs_f64(),
-    }
+    };
+    (report, sink.map(|s| s.stats()))
 }
 
 #[cfg(test)]
@@ -207,6 +245,62 @@ mod tests {
         let report = run_live_campaign(&cfg, LiveOptions::default());
         assert!(report.converged(), "diverged under chaos: {:?}", report.divergence);
         assert!(report.raw.net.chaos_failed > 0, "chaos did not bite");
+    }
+
+    #[test]
+    fn live_pool_spool_serves_concurrent_readers_and_lands_on_final_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "mt-live-pool-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.mtpool");
+
+        // A second "process": polls the pool while the writer appends.
+        // Every successful open must decode cleanly (atomic publication);
+        // opens may fail benignly before the file exists or mid-slot-flip
+        // (the reader just retries), but a decode of a published
+        // generation must never fail.
+        let stop = Arc::new(AtomicBool::new(false));
+        let rpath = path.clone();
+        let rstop = Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            let mut decoded = 0u64;
+            while !rstop.load(Ordering::Acquire) {
+                if let Ok(Some(pd)) = crate::pool_sink::latest_generation(&rpath) {
+                    assert_eq!(pd.ds.bins.len(), pd.cols.device.len());
+                    decoded += 1;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            decoded
+        });
+
+        let (report, spool) =
+            run_live_campaign_to_pool(&tiny(24), LiveOptions::default(), &path).unwrap();
+        stop.store(true, Ordering::Release);
+        let mid_run_decodes = reader.join().expect("reader thread");
+
+        assert!(report.converged(), "diverged: {:?}", report.divergence);
+        assert_eq!(spool.error, None, "spool degraded: {:?}", spool.error);
+        // One generation per published snapshot metric (mid-run
+        // compactions plus the final finished snapshot).
+        assert_eq!(spool.generations, report.snapshots.len() as u64);
+        assert!(spool.generations >= 1);
+        assert!(spool.epoch >= spool.generations);
+
+        // After the run, the newest generation is the finished snapshot,
+        // bit-identical — ground truth device table included.
+        let pd = crate::pool_sink::latest_generation(&path).unwrap().expect("final generation");
+        assert_eq!(pd.ds, report.finished.snapshot.ds);
+        assert_eq!(pd.index, report.finished.snapshot.index);
+        assert_eq!(pd.cols, report.finished.snapshot.cols);
+
+        // The mid-run reader is timing-dependent; just surface the count
+        // so a regression to "readers always blocked" would be visible.
+        let _ = mid_run_decodes;
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

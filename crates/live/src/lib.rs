@@ -23,9 +23,11 @@
 
 pub mod campaign;
 pub mod engine;
+pub mod pool_sink;
 
-pub use campaign::{run_live_campaign, LiveRunReport, SnapshotMetric};
+pub use campaign::{run_live_campaign, run_live_campaign_to_pool, LiveRunReport, SnapshotMetric};
 pub use engine::{
     batch_reference, check_convergence, placeholder_devices, FinishedLive, LiveEngine, LiveOptions,
     LiveStats,
 };
+pub use pool_sink::{latest_generation, PoolSpoolStats, SnapshotPoolSink};

@@ -1,0 +1,78 @@
+//! Streaming snapshot persistence: the live engine as pool writer.
+//!
+//! Each compaction publishes a fresh [`LiveSnapshot`]; a
+//! [`SnapshotPoolSink`] appends every published generation to one
+//! `.mtpool` file as its own dataset stream and commits, so concurrent
+//! readers (other processes mmap-ing the same file) always see the
+//! latest *complete* generation — the pool's atomic slot flip is the
+//! publication barrier. This is the "one serialized writer, many mmap
+//! readers" half of the pool's concurrency story; the sink holds the
+//! writer lock for its lifetime.
+
+use mobitrace_model::LiveSnapshot;
+use mobitrace_pool::{PoolError, PoolReader, PoolWriter};
+use std::path::Path;
+
+/// Appends live snapshot generations to a pool file.
+pub struct SnapshotPoolSink {
+    writer: PoolWriter,
+    /// Next generation's stream id.
+    next: u16,
+    /// First append failure, if any; later appends are skipped so a
+    /// mid-run disk problem degrades persistence, not the analysis run.
+    error: Option<String>,
+}
+
+/// What a sink did over a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSpoolStats {
+    /// Snapshot generations committed.
+    pub generations: u64,
+    /// Last published pool epoch (0 when nothing was committed).
+    pub epoch: u64,
+    /// First append error, if persistence degraded mid-run.
+    pub error: Option<String>,
+}
+
+impl SnapshotPoolSink {
+    /// Create (truncate) the pool at `path` and take the writer lock.
+    pub fn create(path: &Path) -> Result<SnapshotPoolSink, PoolError> {
+        Ok(SnapshotPoolSink { writer: PoolWriter::create(path)?, next: 0, error: None })
+    }
+
+    /// Append one snapshot as the next generation and publish it.
+    /// After a failure this becomes a no-op (the error is kept).
+    pub fn append(&mut self, snap: &LiveSnapshot) {
+        if self.error.is_some() {
+            return;
+        }
+        let stream = self.next;
+        let result = self
+            .writer
+            .append_dataset(stream, &snap.ds, &snap.index, &snap.cols)
+            .and_then(|()| self.writer.commit());
+        match result {
+            Ok(_) => self.next += 1,
+            Err(e) => self.error = Some(format!("generation {stream}: {e}")),
+        }
+    }
+
+    /// Commit summary for the run report.
+    pub fn stats(&self) -> PoolSpoolStats {
+        PoolSpoolStats {
+            generations: u64::from(self.next),
+            epoch: self.writer.epoch(),
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// Open `path` and decode its newest committed generation, if any —
+/// what a concurrent monitoring process does while the engine appends.
+pub fn latest_generation(path: &Path) -> Result<Option<mobitrace_pool::PoolDataset>, PoolError> {
+    let r = PoolReader::open(path)?;
+    match r.dataset_streams().last() {
+        Some(&stream) => Ok(Some(r.decode_dataset(stream)?)),
+        None => Ok(None),
+    }
+}

@@ -50,6 +50,18 @@ impl WifiTag {
     pub fn is_on(self) -> bool {
         !matches!(self, WifiTag::Off)
     }
+
+    /// Decode the on-disk `u8` discriminant; `None` for anything outside
+    /// the three defined tags (so corrupt persisted data surfaces as an
+    /// error instead of undefined behaviour).
+    pub fn from_u8(raw: u8) -> Option<WifiTag> {
+        match raw {
+            0 => Some(WifiTag::Off),
+            1 => Some(WifiTag::OnUnassociated),
+            2 => Some(WifiTag::Associated),
+            _ => None,
+        }
+    }
 }
 
 /// [`ScanSummary`] transposed into eight `u16` columns.

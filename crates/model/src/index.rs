@@ -11,6 +11,7 @@
 //! and shared freely across analysis threads.
 
 use crate::dataset::{BinRecord, Dataset};
+use crate::error::ModelError;
 use crate::ids::DeviceId;
 use std::ops::Range;
 
@@ -124,6 +125,82 @@ impl DatasetIndex {
         let k = spans.binary_search_by_key(&day, |s| s.day).ok()?;
         Some(spans[k].start as usize..spans[k].end as usize)
     }
+
+    /// Flatten the index into plain `u32` columns for persistence. The
+    /// inverse of [`from_columns`](Self::from_columns); together they
+    /// round-trip the index losslessly without re-scanning the dataset.
+    pub fn to_columns(&self) -> IndexColumns {
+        IndexColumns {
+            device_start: self.device_start.clone(),
+            day_offsets: self.day_offsets.clone(),
+            span_day: self.day_spans.iter().map(|s| s.day).collect(),
+            span_start: self.day_spans.iter().map(|s| s.start).collect(),
+            span_end: self.day_spans.iter().map(|s| s.end).collect(),
+        }
+    }
+
+    /// Reassemble an index from persisted columns, re-checking the shape
+    /// invariants [`build`](Self::build) guarantees (equal table lengths,
+    /// monotone offsets, spans nested in their device range) so corrupt
+    /// input surfaces as [`ModelError::Inconsistent`] instead of panics
+    /// or silent wrong slicing later.
+    pub fn from_columns(c: IndexColumns) -> Result<DatasetIndex, ModelError> {
+        let bad = |what: &str| ModelError::Inconsistent(format!("index columns: {what}"));
+        if c.device_start.len() != c.day_offsets.len() || c.device_start.is_empty() {
+            return Err(bad("device_start / day_offsets length mismatch"));
+        }
+        let ns = c.span_day.len();
+        if c.span_start.len() != ns || c.span_end.len() != ns {
+            return Err(bad("span column length mismatch"));
+        }
+        if c.day_offsets.last().copied().unwrap_or(0) as usize != ns {
+            return Err(bad("day_offsets does not close over the span table"));
+        }
+        if c.device_start.windows(2).any(|w| w[0] > w[1])
+            || c.day_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(bad("offsets not monotone"));
+        }
+        let day_spans: Vec<DaySpan> = (0..ns)
+            .map(|i| DaySpan { day: c.span_day[i], start: c.span_start[i], end: c.span_end[i] })
+            .collect();
+        for d in 0..c.device_start.len() - 1 {
+            let (lo, hi) = (c.device_start[d], c.device_start[d + 1]);
+            let spans = day_spans
+                .get(c.day_offsets[d] as usize..c.day_offsets[d + 1] as usize)
+                .ok_or_else(|| bad("day_offsets outside the span table"))?;
+            let mut cursor = lo;
+            for s in spans {
+                if s.start != cursor || s.end < s.start || s.end > hi {
+                    return Err(bad("span not contiguous within its device range"));
+                }
+                cursor = s.end;
+            }
+            if cursor != hi {
+                return Err(bad("spans do not cover the device range"));
+            }
+            if spans.windows(2).any(|w| w[0].day >= w[1].day) {
+                return Err(bad("span days not strictly ascending"));
+            }
+        }
+        Ok(DatasetIndex { device_start: c.device_start, day_offsets: c.day_offsets, day_spans })
+    }
+}
+
+/// [`DatasetIndex`] flattened into plain columns — the persistence
+/// exchange format used by the `.mtpool` pool codec.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexColumns {
+    /// `device_start[d]..device_start[d + 1]` is device `d`'s bin range.
+    pub device_start: Vec<u32>,
+    /// `day_offsets[d]..day_offsets[d + 1]` indexes the span columns.
+    pub day_offsets: Vec<u32>,
+    /// Campaign day of each span.
+    pub span_day: Vec<u32>,
+    /// First bin of each span.
+    pub span_start: Vec<u32>,
+    /// One past the last bin of each span.
+    pub span_end: Vec<u32>,
 }
 
 /// Streaming construction of a [`DatasetIndex`]: rows are pushed one at a

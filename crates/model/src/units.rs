@@ -199,6 +199,19 @@ impl Dbm {
         f64::from(self.0) / 10.0
     }
 
+    /// The raw stored value in tenths of a dBm — the exact wire/on-disk
+    /// representation. Round-trips losslessly through
+    /// [`from_tenths`](Self::from_tenths).
+    pub const fn to_tenths(self) -> i16 {
+        self.0
+    }
+
+    /// Reconstruct from a raw tenths-of-a-dBm value produced by
+    /// [`to_tenths`](Self::to_tenths).
+    pub const fn from_tenths(tenths: i16) -> Dbm {
+        Dbm(tenths)
+    }
+
     /// True if at least the -70 dBm usability threshold ("strong" in the
     /// paper's public-AP availability analysis).
     pub fn is_strong(self) -> bool {

@@ -1,0 +1,246 @@
+//! The safe little-endian accessor layer.
+//!
+//! Every read of mapped pool bytes goes through these helpers: plain
+//! `from_le_bytes` over byte slices, with no pointer casts and no
+//! alignment assumptions, so the format decodes identically on any
+//! architecture and any mmap base address (the `unaligned_access` test
+//! feeds these deliberately misaligned buffers). Bulk column decodes
+//! compile down to a memcpy-class loop on little-endian targets.
+
+use crate::err::PoolError;
+
+/// Sequential reader over a byte slice; all accesses bounds-checked,
+/// short reads surface as [`PoolError::Truncated`].
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context string for error messages ("what is being decoded").
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    /// Read `buf` from the start; `what` labels truncation errors.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Cursor<'a> {
+        Cursor { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], PoolError> {
+        let end = self.pos.checked_add(n).ok_or(PoolError::Truncated {
+            what: self.what,
+            need: u64::MAX,
+            have: self.buf.len() as u64,
+        })?;
+        let s = self.buf.get(self.pos..end).ok_or(PoolError::Truncated {
+            what: self.what,
+            need: end as u64,
+            have: self.buf.len() as u64,
+        })?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// One `u8`.
+    pub fn u8(&mut self) -> Result<u8, PoolError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// One little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, PoolError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// One little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PoolError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// One little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PoolError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A `u64` length field validated to fit in memory as a count.
+    pub fn len_u64(&mut self) -> Result<usize, PoolError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PoolError::Corrupt {
+            what: format!("{}: length {v} overflows usize", self.what),
+        })
+    }
+
+    /// A column of `n` little-endian `u64`s.
+    pub fn u64s(&mut self, n: usize) -> Result<Vec<u64>, PoolError> {
+        let raw = self.col_bytes(n, 8)?;
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect())
+    }
+
+    /// A column of `n` little-endian `u32`s.
+    pub fn u32s(&mut self, n: usize) -> Result<Vec<u32>, PoolError> {
+        let raw = self.col_bytes(n, 4)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
+    /// A column of `n` little-endian `u16`s.
+    pub fn u16s(&mut self, n: usize) -> Result<Vec<u16>, PoolError> {
+        let raw = self.col_bytes(n, 2)?;
+        Ok(raw.chunks_exact(2).map(|c| u16::from_le_bytes(c.try_into().expect("2"))).collect())
+    }
+
+    /// A column of `n` little-endian `i16`s.
+    pub fn i16s(&mut self, n: usize) -> Result<Vec<i16>, PoolError> {
+        let raw = self.col_bytes(n, 2)?;
+        Ok(raw.chunks_exact(2).map(|c| i16::from_le_bytes(c.try_into().expect("2"))).collect())
+    }
+
+    /// A column of `n` raw bytes.
+    pub fn u8s(&mut self, n: usize) -> Result<&'a [u8], PoolError> {
+        self.bytes(n)
+    }
+
+    /// `n * width` bytes with overflow-checked multiplication.
+    fn col_bytes(&mut self, n: usize, width: usize) -> Result<&'a [u8], PoolError> {
+        let total = n.checked_mul(width).ok_or_else(|| PoolError::Corrupt {
+            what: format!("{}: column of {n} x {width} bytes overflows", self.what),
+        })?;
+        self.bytes(total)
+    }
+
+    /// Error unless the cursor consumed the slice exactly.
+    pub fn finish(self) -> Result<(), PoolError> {
+        if self.pos != self.buf.len() {
+            return Err(PoolError::Corrupt {
+                what: format!(
+                    "{}: {} trailing bytes after decode",
+                    self.what,
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Append-only little-endian encoder (the writer-side mirror of
+/// [`Cursor`]).
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Encoder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Enc {
+        Enc { buf: Vec::with_capacity(cap) }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append one `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append one `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append one `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a `u64` column, little-endian.
+    pub fn u64s(&mut self, col: &[u64]) {
+        self.buf.reserve(col.len() * 8);
+        for v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a `u32` column, little-endian.
+    pub fn u32s(&mut self, col: &[u32]) {
+        self.buf.reserve(col.len() * 4);
+        for v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append a `u16` column, little-endian.
+    pub fn u16s(&mut self, col: &[u16]) {
+        self.buf.reserve(col.len() * 2);
+        for v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Append an `i16` column, little-endian.
+    pub fn i16s(&mut self, col: &[i16]) {
+        self.buf.reserve(col.len() * 2);
+        for v in col {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_truncation_is_typed() {
+        let mut c = Cursor::new(&[1, 2, 3], "t");
+        assert_eq!(c.u16().unwrap(), 0x0201);
+        match c.u32() {
+            Err(PoolError::Truncated { what: "t", need: 6, have: 3 }) => {}
+            other => panic!("expected typed truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.i16s(&[-1, 0, 32767, -32768]);
+        e.u16s(&[5, 6]);
+        e.u32s(&[9]);
+        e.u64s(&[10, 11]);
+        let b = e.into_bytes();
+        let mut c = Cursor::new(&b, "t");
+        assert_eq!(c.u8().unwrap(), 7);
+        assert_eq!(c.u16().unwrap(), 0xBEEF);
+        assert_eq!(c.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.i16s(4).unwrap(), vec![-1, 0, 32767, -32768]);
+        assert_eq!(c.u16s(2).unwrap(), vec![5, 6]);
+        assert_eq!(c.u32s(1).unwrap(), vec![9]);
+        assert_eq!(c.u64s(2).unwrap(), vec![10, 11]);
+        c.finish().unwrap();
+    }
+}

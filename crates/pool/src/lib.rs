@@ -1,0 +1,55 @@
+//! # mobitrace-pool
+//!
+//! The memory-mapped single-file columnar pool: `.mtpool`.
+//!
+//! Re-analysis is the dominant workload of the longitudinal study — the
+//! same three campaign years are analyzed many ways — yet JSON
+//! persistence pays a full parse + transpose on every load. A pool
+//! stores datasets in the exact [`DatasetColumns`] structure-of-arrays
+//! shapes with explicit little-endian fixed-width encoding, so loading
+//! is an mmap plus one bulk `from_le_bytes` sweep per column (a
+//! memcpy-class loop on LE targets) — no serde on the hot columns, no
+//! per-record parse, no transpose, and the persisted
+//! [`DatasetIndex`] means no re-index either. `mobitrace bench` records
+//! the result: analyze-from-pool beats both JSON load and full
+//! resimulation (see README "Persistence").
+//!
+//! Format in one breath (details in `format` and DESIGN.md §3i): a
+//! 128-byte header with two checksummed publication slots, append-only
+//! 8-aligned segments, an append-only segment directory, per-segment
+//! checksums, and atomic publication by flipping the older slot —
+//! many concurrent mmap readers stay safe while one locked writer
+//! appends.
+//!
+//! ```no_run
+//! use mobitrace_pool::{PoolReader, PoolWriter};
+//! # fn demo(ds: &mobitrace_model::Dataset) -> Result<(), mobitrace_pool::PoolError> {
+//! let index = mobitrace_model::DatasetIndex::build(ds);
+//! let cols = mobitrace_model::DatasetColumns::build(ds);
+//! let mut w = PoolWriter::create(std::path::Path::new("campaigns.mtpool"))?;
+//! w.append_dataset(0, ds, &index, &cols)?;
+//! w.commit()?;
+//!
+//! let r = PoolReader::open(std::path::Path::new("campaigns.mtpool"))?;
+//! let pd = r.decode_dataset(0)?; // → AnalysisContext::from_parts(&pd.ds, pd.index, pd.cols)
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dscodec;
+pub mod err;
+pub mod format;
+pub mod le;
+pub mod mmap;
+pub mod reader;
+pub mod writer;
+
+pub use err::PoolError;
+pub use format::{kind, SegDesc, VERSION};
+pub use reader::{PoolDataset, PoolReader, VerifyReport};
+pub use writer::PoolWriter;
+
+// Doc-link anchors.
+#[allow(unused_imports)]
+use mobitrace_model::{DatasetColumns, DatasetIndex};

@@ -1,0 +1,187 @@
+//! The serialized pool appender.
+//!
+//! One `PoolWriter` holds the file's exclusive advisory lock for its
+//! lifetime, so at most one process appends at a time while any number
+//! of [`PoolReader`](crate::PoolReader)s map the same file. Writes are
+//! strictly append-only; a publication ([`commit`](PoolWriter::commit))
+//! appends the full directory, syncs data, then flips the older header
+//! slot to the new epoch and syncs again. A crash at any point leaves
+//! the previous epoch intact (unpublished tail bytes are simply
+//! overwritten by the next writer).
+
+use crate::dscodec;
+use crate::err::PoolError;
+use crate::format::{
+    self, align_up, encode_directory, encode_slot, DirSlot, SegDesc, HEADER_LEN, MAGIC,
+    SLOT_OFFSETS, VERSION,
+};
+use crate::mmap::try_lock_exclusive;
+use crate::reader::parse_pool;
+use mobitrace_model::{Dataset, DatasetColumns, DatasetIndex};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-only writer over one `.mtpool` file.
+pub struct PoolWriter {
+    file: File,
+    path: PathBuf,
+    /// Full directory to publish at the next commit (committed entries
+    /// plus appended-but-unpublished ones).
+    segs: Vec<SegDesc>,
+    /// Last published epoch (0 for a fresh pool).
+    epoch: u64,
+    /// Append cursor.
+    end: u64,
+    /// Entries in `segs` already covered by a published directory.
+    published: usize,
+}
+
+impl PoolWriter {
+    /// Create (or truncate) a pool at `path` and take the writer lock.
+    pub fn create(path: &Path) -> Result<PoolWriter, PoolError> {
+        // Truncation is deferred to the set_len below, *after* the writer
+        // lock is held, so losing the lock race never clobbers the file.
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        if !try_lock_exclusive(&file)? {
+            return Err(PoolError::Locked { path: path.to_path_buf() });
+        }
+        file.set_len(0)?;
+        let mut w = PoolWriter {
+            file,
+            path: path.to_path_buf(),
+            segs: Vec::new(),
+            epoch: 0,
+            end: HEADER_LEN,
+            published: 0,
+        };
+        let mut header = vec![0u8; HEADER_LEN as usize];
+        header[..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(HEADER_LEN as u32).to_le_bytes());
+        w.write_at(0, &header)?;
+        w.file.sync_data()?;
+        Ok(w)
+    }
+
+    /// Open an existing pool for appending: takes the lock, adopts the
+    /// published directory, and positions the cursor past all published
+    /// bytes (a crashed predecessor's unpublished tail is overwritten).
+    pub fn open_append(path: &Path) -> Result<PoolWriter, PoolError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if !try_lock_exclusive(&file)? {
+            return Err(PoolError::Locked { path: path.to_path_buf() });
+        }
+        let bytes = std::fs::read(path)?;
+        let parsed = parse_pool(&bytes)?;
+        let mut end = HEADER_LEN;
+        for s in &parsed.segs {
+            end = end.max(s.offset.saturating_add(s.len));
+        }
+        if let Some(slot) = parsed.slot {
+            end = end.max(slot.dir_off.saturating_add(slot.dir_len));
+        }
+        let published = parsed.segs.len();
+        Ok(PoolWriter {
+            file,
+            path: path.to_path_buf(),
+            epoch: parsed.slot.map_or(0, |s| s.epoch),
+            segs: parsed.segs,
+            end: align_up(end),
+            published,
+        })
+    }
+
+    /// The pool file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Last published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Directory entries (published and pending).
+    pub fn segments(&self) -> &[SegDesc] {
+        &self.segs
+    }
+
+    /// Append one raw segment; visible to readers only after
+    /// [`commit`](Self::commit).
+    pub fn append_raw(
+        &mut self,
+        kind: u16,
+        stream: u16,
+        rows: u64,
+        payload: &[u8],
+    ) -> Result<(), PoolError> {
+        let offset = align_up(self.end);
+        self.write_at(offset, payload)?;
+        self.segs.push(SegDesc {
+            kind,
+            stream,
+            offset,
+            len: payload.len() as u64,
+            rows,
+            hash: format::pool_hash(payload),
+        });
+        self.end = offset + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Append a full dataset stream (all columnar segments + metadata +
+    /// persisted index) under stream id `stream`. The stream must not
+    /// already exist in the pool.
+    pub fn append_dataset(
+        &mut self,
+        stream: u16,
+        ds: &Dataset,
+        index: &DatasetIndex,
+        cols: &DatasetColumns,
+    ) -> Result<(), PoolError> {
+        if self.segs.iter().any(|s| s.stream == stream && s.kind != format::kind::RAW) {
+            return Err(PoolError::Corrupt {
+                what: format!("dataset stream {stream} already present in pool"),
+            });
+        }
+        dscodec::encode_dataset(self, stream, ds, index, cols)
+    }
+
+    /// Publish everything appended so far: write the directory, sync,
+    /// flip the older slot to epoch+1, sync. Returns the new epoch.
+    /// A no-op (returning the current epoch) when nothing is pending.
+    pub fn commit(&mut self) -> Result<u64, PoolError> {
+        if self.published == self.segs.len() && self.epoch != 0 {
+            return Ok(self.epoch);
+        }
+        let dir = encode_directory(&self.segs);
+        let dir_off = align_up(self.end);
+        self.write_at(dir_off, &dir)?;
+        self.end = dir_off + dir.len() as u64;
+        self.file.sync_data()?;
+
+        let slot = DirSlot {
+            epoch: self.epoch + 1,
+            dir_off,
+            dir_len: dir.len() as u64,
+            dir_hash: format::pool_hash(&dir),
+        };
+        // Alternate slots: epoch 1 → slot A, epoch 2 → slot B, … so the
+        // slot being overwritten is never the one a reader of the
+        // current epoch depends on.
+        let slot_off = SLOT_OFFSETS[((slot.epoch + 1) % 2) as usize];
+        self.write_at(slot_off, &encode_slot(&slot))?;
+        self.file.sync_data()?;
+        self.epoch = slot.epoch;
+        self.published = self.segs.len();
+        Ok(self.epoch)
+    }
+
+    fn write_at(&mut self, off: u64, bytes: &[u8]) -> Result<(), PoolError> {
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(bytes)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,218 @@
+//! Corruption must fail loudly with a typed [`PoolError`] — never UB,
+//! never a release-mode panic: truncated files, flipped segment bytes,
+//! future format versions, and torn directory publications.
+
+use mobitrace_model::{
+    ApEntry, AppBin, AppCategory, BinRecord, Bssid, CampaignMeta, Carrier, CellId, Dataset,
+    DatasetColumns, DatasetIndex, DeviceId, DeviceInfo, Essid, Os, OsVersion, ScanSummary, SimTime,
+    WifiBinState, Year,
+};
+use mobitrace_pool::{PoolError, PoolReader, PoolWriter};
+use std::path::{Path, PathBuf};
+
+fn tiny_dataset() -> Dataset {
+    let bins = (0..6u32)
+        .map(|i| BinRecord {
+            device: DeviceId(i % 2),
+            time: SimTime::from_day_minute(i / 2, 30 * i),
+            rx_3g: u64::from(i) * 11,
+            tx_3g: 1,
+            rx_lte: 2,
+            tx_lte: 3,
+            rx_wifi: 4,
+            tx_wifi: 5,
+            wifi: WifiBinState::OnUnassociated,
+            scan: ScanSummary::default(),
+            apps: vec![AppBin { category: AppCategory::ALL[0], rx_bytes: 9, tx_bytes: 2 }],
+            geo: CellId::new(0, 0),
+            os_version: OsVersion::new(4, 4),
+        })
+        .collect::<Vec<_>>();
+    let mut bins = bins;
+    bins.sort_by_key(|b| (b.device, b.time));
+    Dataset {
+        meta: CampaignMeta {
+            year: Year::Y2013,
+            start: Year::Y2013.campaign_start(),
+            days: 7,
+            seed: 0,
+        },
+        devices: (0..2)
+            .map(|i| DeviceInfo {
+                device: DeviceId(i),
+                os: Os::Android,
+                carrier: Carrier::ALL[0],
+                recruited: true,
+                survey: None,
+                truth: None,
+            })
+            .collect(),
+        aps: vec![ApEntry { bssid: Bssid::from_u64(1), essid: Essid::new("ap") }],
+        bins,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mtpool-corrupt-{}-{:?}-{tag}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Build a committed single-stream pool; returns its path.
+fn build_pool(dir: &Path, commits: u32) -> PathBuf {
+    let path = dir.join("c.mtpool");
+    let ds = tiny_dataset();
+    let index = DatasetIndex::build(&ds);
+    let cols = DatasetColumns::build(&ds);
+    let mut w = PoolWriter::create(&path).expect("create");
+    w.append_dataset(0, &ds, &index, &cols).expect("append");
+    w.commit().expect("commit");
+    for extra in 1..commits {
+        w.append_raw(mobitrace_pool::kind::RAW, extra as u16, 0, b"tail").expect("raw append");
+        w.commit().expect("recommit");
+    }
+    drop(w);
+    path
+}
+
+#[test]
+fn truncated_header_is_typed() {
+    let dir = scratch("trunc-header");
+    let path = build_pool(&dir, 1);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..64]).unwrap();
+    match PoolReader::open(&path) {
+        Err(PoolError::Truncated { what: "header", .. }) => {}
+        other => panic!("expected header truncation, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_segments_are_typed() {
+    let dir = scratch("trunc-seg");
+    let path = build_pool(&dir, 1);
+    let bytes = std::fs::read(&path).unwrap();
+    // Cut mid-data: the directory (written last) is gone, so the slot
+    // points past the end of the file.
+    std::fs::write(&path, &bytes[..200]).unwrap();
+    match PoolReader::open(&path) {
+        Err(PoolError::Truncated { .. }) => {}
+        other => panic!("expected truncation, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_segment_byte_is_checksum_mismatch() {
+    let dir = scratch("bitflip");
+    let path = build_pool(&dir, 1);
+    // Locate the COUNTERS segment via the intact pool, then flip one
+    // byte inside its checksummed payload.
+    let target = {
+        let r = PoolReader::open(&path).expect("intact open");
+        let seg = r
+            .segments()
+            .iter()
+            .find(|s| s.kind == mobitrace_pool::kind::COUNTERS)
+            .copied()
+            .expect("counters segment present");
+        seg.offset as usize + 8
+    };
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[target] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let r = PoolReader::open(&path).expect("open still succeeds; payloads are lazy");
+    match r.verify() {
+        Err(PoolError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch, got {:?}", other.map(|_| ())),
+    }
+    match r.decode_dataset(0) {
+        Err(PoolError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected checksum mismatch on decode, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let dir = scratch("version");
+    let path = build_pool(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&(mobitrace_pool::VERSION + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match PoolReader::open(&path) {
+        Err(PoolError::BadVersion { found, supported }) => {
+            assert_eq!(found, mobitrace_pool::VERSION + 1);
+            assert_eq!(supported, mobitrace_pool::VERSION);
+        }
+        other => panic!("expected version rejection, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let dir = scratch("magic");
+    let path = build_pool(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = b'X';
+    std::fs::write(&path, &bytes).unwrap();
+    match PoolReader::open(&path) {
+        Err(PoolError::BadMagic) => {}
+        other => panic!("expected bad magic, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn write of the *newest* slot falls back to the previous epoch:
+/// the older publication's directory bytes are append-only and intact.
+#[test]
+fn torn_newest_slot_falls_back_to_previous_epoch() {
+    let dir = scratch("torn-fallback");
+    let path = build_pool(&dir, 2); // epochs 1 and 2 published
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Epoch 2 lives in slot B (offset 56): scribble over it mid-write.
+    bytes[60] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let r = PoolReader::open(&path).expect("fallback open");
+    assert_eq!(r.epoch(), 1, "should adopt the surviving epoch");
+    r.decode_dataset(0).expect("epoch-1 contents intact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Both slots torn: nothing to fall back to — loud typed error.
+#[test]
+fn torn_both_slots_is_typed() {
+    let dir = scratch("torn-both");
+    let path = build_pool(&dir, 2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[20] ^= 0xFF; // slot A body
+    bytes[60] ^= 0xFF; // slot B body
+    std::fs::write(&path, &bytes).unwrap();
+    match PoolReader::open(&path) {
+        Err(PoolError::TornDirectory) => {}
+        other => panic!("expected torn directory, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An empty (never-published) pool opens cleanly with no streams.
+#[test]
+fn empty_pool_reads_as_no_streams() {
+    let dir = scratch("empty");
+    let path = dir.join("e.mtpool");
+    drop(PoolWriter::create(&path).expect("create"));
+    let r = PoolReader::open(&path).expect("open empty");
+    assert_eq!(r.epoch(), 0);
+    assert!(r.dataset_streams().is_empty());
+    match r.decode_dataset(0) {
+        Err(PoolError::MissingSegment { .. }) => {}
+        other => panic!("expected missing segment, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

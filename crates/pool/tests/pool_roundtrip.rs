@@ -1,0 +1,260 @@
+//! Pool round-trip property tests: arbitrary datasets → write → mmap →
+//! decode → `AnalysisContext::from_parts` → every columnar pass must be
+//! bit-equal (including f64 aggregates) to the same pass over the
+//! in-memory dataset. This is the pool's contract: persistence is
+//! invisible to analysis.
+
+use mobitrace_core::daily::TrafficClass;
+use mobitrace_core::ratios::ClassFilter;
+use mobitrace_core::{
+    apclass, apps, availability, daily, overview, quality, ratios, timeseries, AnalysisContext,
+};
+use mobitrace_model::{
+    ApEntry, ApRef, AppBin, AppCategory, Band, BinRecord, Bssid, CampaignMeta, Carrier, CellId,
+    Channel, Dataset, DatasetColumns, DatasetIndex, Dbm, DeviceId, DeviceInfo, Essid, Os,
+    OsVersion, ScanSummary, SimTime, WifiAssoc, WifiBinState, Year,
+};
+use mobitrace_pool::{PoolReader, PoolWriter};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const N_DEV: u32 = 4;
+const N_APS: u32 = 3;
+
+fn wifi_strategy() -> impl Strategy<Value = WifiBinState> {
+    prop_oneof![
+        Just(WifiBinState::Off),
+        Just(WifiBinState::OnUnassociated),
+        (0..N_APS, any::<bool>(), 1u8..=13, -90i16..=-30).prop_map(|(ap, five, ch, rssi)| {
+            WifiBinState::Associated(WifiAssoc {
+                ap: ApRef(ap),
+                band: if five { Band::Ghz5 } else { Band::Ghz24 },
+                channel: Channel(ch),
+                rssi: Dbm::new(rssi),
+            })
+        }),
+    ]
+}
+
+fn apps_strategy() -> impl Strategy<Value = Vec<AppBin>> {
+    proptest::collection::vec(
+        (0usize..AppCategory::ALL.len(), 0u64..2_000_000, 0u64..200_000).prop_map(
+            |(cat, rx, tx)| AppBin { category: AppCategory::ALL[cat], rx_bytes: rx, tx_bytes: tx },
+        ),
+        0..3,
+    )
+}
+
+fn bin_strategy() -> impl Strategy<Value = BinRecord> {
+    (
+        (0..N_DEV, 0u32..7, 0u32..1440, wifi_strategy()),
+        proptest::array::uniform6(0u64..5_000_000),
+        proptest::array::uniform8(0u16..20),
+        apps_strategy(),
+        (-4i16..4, -4i16..4),
+    )
+        .prop_map(|((dev, day, minute, wifi), vol, scan, apps, (gx, gy))| BinRecord {
+            device: DeviceId(dev),
+            time: SimTime::from_day_minute(day, minute),
+            rx_3g: vol[0],
+            tx_3g: vol[1],
+            rx_lte: vol[2],
+            tx_lte: vol[3],
+            rx_wifi: vol[4],
+            tx_wifi: vol[5],
+            wifi,
+            scan: ScanSummary {
+                n24_all: scan[0],
+                n24_strong: scan[1],
+                n5_all: scan[2],
+                n5_strong: scan[3],
+                n24_public_all: scan[4],
+                n24_public_strong: scan[5],
+                n5_public_all: scan[6],
+                n5_public_strong: scan[7],
+            },
+            apps,
+            geo: CellId::new(gx, gy),
+            os_version: OsVersion::new(4, 4),
+        })
+}
+
+fn dataset(mut bins: Vec<BinRecord>) -> Dataset {
+    bins.sort_by_key(|b| (b.device, b.time));
+    bins.dedup_by_key(|b| (b.device, b.time));
+    Dataset {
+        meta: CampaignMeta {
+            year: Year::Y2013,
+            start: Year::Y2013.campaign_start(),
+            days: 7,
+            seed: 0,
+        },
+        devices: (0..N_DEV)
+            .map(|i| DeviceInfo {
+                device: DeviceId(i),
+                os: if i % 3 == 2 { Os::Ios } else { Os::Android },
+                carrier: Carrier::ALL[(i % 3) as usize],
+                recruited: true,
+                survey: None,
+                truth: None,
+            })
+            .collect(),
+        aps: (0..N_APS)
+            .map(|i| ApEntry {
+                bssid: Bssid::from_u64(u64::from(i) + 1),
+                // Repeat one name so the dictionary dedup path is hit.
+                essid: Essid::new(if i == 2 { "ap-0".to_string() } else { format!("ap-{i}") }),
+            })
+            .collect(),
+        bins,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mtpool-roundtrip-{}-{:?}-{tag}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Write `ds` to a fresh pool, mmap it back, and return the decoded
+/// parts. Asserts the raw parts are bit-equal to their in-memory twins.
+fn roundtrip(ds: &Dataset, tag: &str) -> (Dataset, DatasetIndex, DatasetColumns) {
+    let dir = scratch(tag);
+    let path = dir.join("rt.mtpool");
+    let index = DatasetIndex::build(ds);
+    let cols = DatasetColumns::build(ds);
+    {
+        let mut w = PoolWriter::create(&path).expect("create pool");
+        w.append_dataset(0, ds, &index, &cols).expect("append");
+        w.commit().expect("commit");
+    }
+    let r = PoolReader::open(&path).expect("open pool");
+    let pd = r.decode_dataset(0).expect("decode");
+    assert_eq!(&pd.ds, ds, "materialized rows differ");
+    assert_eq!(pd.index, index, "persisted index differs");
+    assert_eq!(pd.cols, cols, "decoded columns differ");
+    drop(r);
+    let _ = std::fs::remove_dir_all(&dir);
+    (pd.ds, pd.index, pd.cols)
+}
+
+/// All twelve columnar passes, pool context vs in-memory context.
+fn assert_passes_bit_equal(mem: &Dataset, pool: &AnalysisContext<'_>) {
+    let ctx = AnalysisContext::new(mem);
+    let (a, b) = (&ctx, pool);
+    let (ca, cb) = (&a.cols, &b.cols);
+
+    assert_eq!(daily::user_days_cols(ca), daily::user_days_cols(cb));
+    assert_eq!(apclass::classify_cols(mem, ca), apclass::classify_cols(b.ds, cb));
+    assert_eq!(overview::overview(mem, ca), overview::overview(b.ds, cb));
+    assert_eq!(timeseries::aggregate_series(mem, ca), timeseries::aggregate_series(b.ds, cb));
+    assert_eq!(
+        timeseries::venue_series(mem, ca, &a.aps),
+        timeseries::venue_series(b.ds, cb, &b.aps)
+    );
+    assert_eq!(quality::rssi_analysis(ca, &a.aps), quality::rssi_analysis(cb, &b.aps));
+    assert_eq!(quality::channel_analysis(ca, &a.aps), quality::channel_analysis(cb, &b.aps));
+    assert_eq!(
+        availability::detected_public_aps(mem, ca),
+        availability::detected_public_aps(b.ds, cb)
+    );
+    assert_eq!(availability::offload_potential(mem, ca), availability::offload_potential(b.ds, cb));
+    for filter in [ClassFilter::All, ClassFilter::Only(TrafficClass::Heavy)] {
+        assert_eq!(ratios::wifi_traffic_ratio(a, filter), ratios::wifi_traffic_ratio(b, filter));
+        assert_eq!(ratios::wifi_user_ratio(a, filter), ratios::wifi_user_ratio(b, filter));
+    }
+    assert_eq!(apps::app_breakdown(a, None), apps::app_breakdown(b, None));
+    assert_eq!(
+        apps::app_breakdown(a, Some(TrafficClass::Light)),
+        apps::app_breakdown(b, Some(TrafficClass::Light))
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pool_roundtrip_passes_bit_equal(
+        bins in proptest::collection::vec(bin_strategy(), 0..160),
+    ) {
+        let ds = dataset(bins);
+        let (pds, pindex, pcols) = roundtrip(&ds, "prop");
+        let pool_ctx = AnalysisContext::from_parts(&pds, pindex, pcols);
+        assert_passes_bit_equal(&ds, &pool_ctx);
+    }
+}
+
+#[test]
+fn multi_stream_append_and_reopen() {
+    let a = dataset(vec![]);
+    let mut bins = Vec::new();
+    for d in 0..N_DEV {
+        for day in 0..3u32 {
+            bins.push(BinRecord {
+                device: DeviceId(d),
+                time: SimTime::from_day_minute(day, 60 * d),
+                rx_3g: u64::from(d) * 1000 + u64::from(day),
+                tx_3g: 1,
+                rx_lte: 2,
+                tx_lte: 3,
+                rx_wifi: 4,
+                tx_wifi: 5,
+                wifi: WifiBinState::OnUnassociated,
+                scan: ScanSummary::default(),
+                apps: vec![AppBin { category: AppCategory::ALL[1], rx_bytes: 7, tx_bytes: 8 }],
+                geo: CellId::new(0, 0),
+                os_version: OsVersion::new(4, 4),
+            });
+        }
+    }
+    let b = dataset(bins);
+
+    let dir = scratch("multi");
+    let path = dir.join("multi.mtpool");
+    {
+        let mut w = PoolWriter::create(&path).expect("create");
+        w.append_dataset(0, &a, &DatasetIndex::build(&a), &DatasetColumns::build(&a))
+            .expect("append 0");
+        w.commit().expect("commit 1");
+    }
+    {
+        // Second writer session: adopt the published directory, append
+        // another stream, publish epoch 2.
+        let mut w = PoolWriter::open_append(&path).expect("reopen");
+        assert_eq!(w.epoch(), 1);
+        w.append_dataset(1, &b, &DatasetIndex::build(&b), &DatasetColumns::build(&b))
+            .expect("append 1");
+        assert_eq!(w.commit().expect("commit 2"), 2);
+    }
+    let r = PoolReader::open(&path).expect("open");
+    assert_eq!(r.epoch(), 2);
+    assert_eq!(r.dataset_streams(), vec![0, 1]);
+    assert_eq!(r.decode_dataset(0).expect("ds 0").ds, a);
+    assert_eq!(r.decode_dataset(1).expect("ds 1").ds, b);
+    let report = r.verify().expect("verify");
+    assert_eq!(report.datasets, 2);
+    assert_eq!(report.epoch, 2);
+    drop(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_writer_is_excluded_while_first_holds_lock() {
+    let dir = scratch("lock");
+    let path = dir.join("locked.mtpool");
+    let w = PoolWriter::create(&path).expect("create");
+    #[cfg(unix)]
+    {
+        match PoolWriter::open_append(&path) {
+            Err(mobitrace_pool::PoolError::Locked { .. }) => {}
+            other => panic!("expected Locked, got {:?}", other.map(|_| ())),
+        }
+    }
+    drop(w);
+    PoolWriter::open_append(&path).expect("lock released on drop");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,15 +11,24 @@
 //!
 //! # Metric namespace
 //!
-//! Metrics are flat dotted keys, the stable interface of
-//! `BENCH_pipeline.json` and this history:
+//! Metrics are flat dotted keys, the stable — and only — interface of
+//! `BENCH_pipeline.json` and this history (the nested per-stage aliases
+//! that once shadowed this map were removed after their one-release
+//! deprecation window):
 //!
-//! - `sim.*` — simulator stage (`cached_s`, `uncached_s`, `speedup`)
+//! - `sim.*` — simulator stage (`cached_s`, `uncached_s`, `speedup`,
+//!   and `total_s` = cached sim + context build, the resimulation
+//!   path's time to analysis-ready contexts)
 //! - `ingest.*` — encode/ingest/clean stages
 //! - `analysis.<pass>.*` — per-pass `rows_s`, `cols_s` and their
 //!   `ratio` (= `cols_s / rows_s`)
 //! - `live.*` — streaming engine stages
 //! - `world_scan.*` — per-call scan/replay micro-timings
+//! - `pool.*` — `.mtpool` persistence (`save_s`, `load_s`, `analyze_s`;
+//!   the pool's exit criterion is `pool.load_s + pool.analyze_s <
+//!   sim.total_s`)
+//! - `json.*` — JSON dataset persistence (`save_s`, `load_s`,
+//!   `analyze_s`), the baseline the pool replaces
 //!
 //! # What the gate tracks
 //!

@@ -211,6 +211,7 @@ fn main() {
         "bench" => run_pipeline_bench(&args),
         "chaos" => run_chaos(&args),
         "live" => run_live(&args),
+        "pool" => run_pool(&args),
         _ => {
             println!(
                 "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
@@ -223,7 +224,10 @@ fn main() {
                  [--compare BASELINE.jsonl] [--tolerance X] [--history HIST.jsonl]\n          \
                  [--label NAME]\n  \
                  mobitrace chaos [--quick] [--scale S] [--seed N]\n  \
-                 mobitrace live [--quick] [--chaos] [--scale S] [--seed N]\n\n\
+                 mobitrace live [--quick] [--chaos] [--scale S] [--seed N]\n  \
+                 mobitrace pool export --out FILE.mtpool [--scale S] [--seed N]\n  \
+                 mobitrace pool analyze --data FILE.mtpool [<id>...]\n  \
+                 mobitrace pool verify --data FILE.mtpool\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
                  `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
@@ -235,6 +239,9 @@ fn main() {
                  `live` streams a campaign through the incremental analysis engine\n\
                  and asserts bit-identity with the batch pipeline (exit 1 on\n\
                  divergence; `--chaos` layers a chaos schedule on top);\n\
+                 `pool` works with the single-file mmap `.mtpool` format:\n\
+                 `export` simulates and writes one, `analyze` serves experiments\n\
+                 zero-copy from it, `verify` checks every segment checksum;\n\
                  `--quick` caps the scale at 0.02 for CI smoke runs."
             );
         }
@@ -401,6 +408,93 @@ fn run_live(args: &Args) {
         stats.compactions,
         report.wall_s
     );
+}
+
+/// `mobitrace pool export|analyze|verify`: the single-file mmap `.mtpool`
+/// persistence path. `export` simulates the campaigns and writes one pool;
+/// `analyze` mmaps it and serves experiments from the stored index and
+/// columns (no clean, no re-index, no transpose); `verify` walks every
+/// segment checksum and prints the report. `analyze` and `verify` exit
+/// non-zero on any corruption — a pool never half-loads.
+fn run_pool(args: &Args) {
+    use mobitrace_pool::PoolReader;
+
+    let action = args.ids.first().map(String::as_str).unwrap_or("");
+    match action {
+        "export" => {
+            let path = args.out.clone().unwrap_or_else(|| "campaigns.mtpool".into());
+            let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+            eprintln!("simulating campaigns at scale {scale} (seed {}) into {path} ...", args.seed);
+            let set = CampaignSet::simulate(scale, args.seed);
+            if let Err(e) = set.save_pool(std::path::Path::new(&path)) {
+                eprintln!("error: cannot write pool {path}: {e}");
+                std::process::exit(1);
+            }
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            println!("wrote {path} ({bytes} bytes)");
+        }
+        "analyze" => {
+            let path = args.data.clone().unwrap_or_else(|| "campaigns.mtpool".into());
+            let t0 = std::time::Instant::now();
+            let (set, views) = match CampaignSet::load_pool(std::path::Path::new(&path)) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("error: cannot load pool {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let ctxs = set.contexts_with(views);
+            eprintln!("pool {path} analysis-ready in {:.2}s", t0.elapsed().as_secs_f64());
+            let ids: Vec<String> = if args.ids.len() > 1 {
+                args.ids[1..].to_vec()
+            } else {
+                all_experiment_ids().iter().map(|s| s.to_string()).collect()
+            };
+            for id in &ids {
+                match run_experiment(id, &set, &ctxs) {
+                    Some(r) => println!("{}", r.render()),
+                    None => {
+                        eprintln!("error: unknown experiment '{id}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+        "verify" => {
+            let path = args.data.clone().unwrap_or_else(|| "campaigns.mtpool".into());
+            let reader = match PoolReader::open(std::path::Path::new(&path)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: cannot open pool {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match reader.verify() {
+                Ok(rep) => {
+                    println!(
+                        "{path}: OK — epoch {}, {} segments, {} dataset streams, \
+                         {} bytes ({})",
+                        rep.epoch,
+                        rep.segments,
+                        rep.datasets,
+                        rep.bytes,
+                        if rep.mapped { "mmap" } else { "heap" }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: pool {path} failed verification: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "error: unknown pool action '{other}' \
+                 (expected export, analyze, or verify)"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Median-of-9 wall clock for one analysis pass. The median (rather than
@@ -573,7 +667,7 @@ fn run_pipeline_bench(args: &Args) {
     metrics.insert("sim.uncached_s".into(), simulate_uncached_s);
     metrics.insert("sim.speedup".into(), simulate_speedup);
 
-    let mut world_scan = world_scan_breakdown();
+    let world_scan = world_scan_breakdown();
     {
         let us = |key: &str| world_scan[key].as_f64().expect("breakdown field");
         let plan_build_us = us("plan_build_us");
@@ -699,6 +793,57 @@ fn run_pipeline_bench(args: &Args) {
     let context_s = t.elapsed().as_secs_f64();
     eprintln!("  contexts: {context_s:.2}s");
     metrics.insert("analysis.context_s".into(), context_s);
+    // Resimulation's total cost to reach analysis-ready contexts (cached
+    // sim + context build). The persistence paths below are timed to the
+    // same finish line, so `pool.load_s + pool.analyze_s < sim.total_s`
+    // is a like-for-like race.
+    metrics.insert("sim.total_s".into(), simulate_s + context_s);
+
+    // Persistence paths: the mmap pool vs the JSON datasets, each split
+    // into load (bytes → CampaignSet) and analyze (→ contexts). The pool
+    // ships the index and columns inside the file, so its analyze step
+    // skips the clean/index/transpose work the other two paths repeat.
+    let scratch = std::env::temp_dir().join(format!("mt-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("bench scratch dir");
+    let pool_path = scratch.join("campaigns.mtpool");
+    let t = std::time::Instant::now();
+    set.save_pool(&pool_path).expect("save pool");
+    let pool_save_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let (pool_set, views) = CampaignSet::load_pool(&pool_path).expect("load pool");
+    let pool_load_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let pool_ctxs = pool_set.contexts_with(views);
+    let pool_analyze_s = t.elapsed().as_secs_f64();
+    for (p, m) in pool_ctxs.iter().zip(ctxs.iter()) {
+        assert_eq!(p.cols, m.cols, "pool context diverged from in-memory context");
+    }
+    drop(pool_ctxs);
+    drop(pool_set);
+    let t = std::time::Instant::now();
+    set.save(&scratch).expect("save json");
+    let json_save_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let json_set = CampaignSet::load(&scratch).expect("load json");
+    let json_load_s = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    std::hint::black_box(json_set.contexts());
+    let json_analyze_s = t.elapsed().as_secs_f64();
+    drop(json_set);
+    std::fs::remove_dir_all(&scratch).ok();
+    metrics.insert("pool.save_s".into(), pool_save_s);
+    metrics.insert("pool.load_s".into(), pool_load_s);
+    metrics.insert("pool.analyze_s".into(), pool_analyze_s);
+    metrics.insert("json.save_s".into(), json_save_s);
+    metrics.insert("json.load_s".into(), json_load_s);
+    metrics.insert("json.analyze_s".into(), json_analyze_s);
+    eprintln!(
+        "  persistence to ready contexts: pool {:.2}s (load {pool_load_s:.2}s + analyze \
+         {pool_analyze_s:.2}s) vs json {:.2}s vs resimulate {:.2}s",
+        pool_load_s + pool_analyze_s,
+        json_load_s + json_analyze_s,
+        simulate_s + context_s
+    );
 
     // Per-pass timings on the 2015 campaign: each columnar hot pass vs the
     // retained row-scan reference it is property-tested against.
@@ -857,11 +1002,6 @@ fn run_pipeline_bench(args: &Args) {
     // timings above replay one plan; this is the campaign-wide hit rate).
     let (plan_hits, plan_misses) = (live_report.raw.plan_hits, live_report.raw.plan_misses);
     let plan_hit_rate = plan_hits as f64 / ((plan_hits + plan_misses) as f64).max(1.0);
-    world_scan["plan_cache"] = serde_json::json!({
-        "hits": plan_hits,
-        "misses": plan_misses,
-        "hit_rate": plan_hit_rate,
-    });
     metrics.insert("world_scan.plan_cache.hit_rate".into(), plan_hit_rate);
     eprintln!(
         "  scan-plan cache: {plan_hits} hits / {plan_misses} misses \
@@ -869,10 +1009,12 @@ fn run_pipeline_bench(args: &Args) {
         plan_hit_rate * 100.0
     );
 
-    // `metrics` is the canonical flat namespace (`sim.*`, `ingest.*`,
-    // `analysis.<pass>.*`, `live.*`, `world_scan.*`). The nested objects
-    // below (`stages`, `simulate`, `ingest`, `passes`, ...) are deprecated
-    // aliases kept for one release; new consumers should read `metrics`.
+    // `metrics` is the canonical (and only) namespace: flat dotted keys
+    // (`sim.*`, `ingest.*`, `analysis.<pass>.*`, `live.*`, `world_scan.*`,
+    // `pool.*`, `json.*`; see `benchhist`). The nested per-stage aliases
+    // PR 6 kept "for one release" are gone. Two structured extras that
+    // have no scalar form survive outside `metrics`: the per-snapshot
+    // live deltas and the per-pass rows/cols table.
     let metric_map: serde_json::Map =
         metrics.iter().map(|(k, &v)| (k.clone(), serde_json::json!(v))).collect();
     let doc = serde_json::json!({
@@ -880,33 +1022,8 @@ fn run_pipeline_bench(args: &Args) {
         "seed": args.seed,
         "quick": args.quick,
         "metrics": serde_json::Value::Object(metric_map),
-        "stages": {
-            "simulate_s": simulate_s,
-            "encode_s": encode_s,
-            "ingest_s": ingest_s,
-            "clean_s": clean_s,
-            "context_s": context_s,
-            "experiments_s": experiments_s,
-            "live_fold_s": ls.fold_nanos as f64 / 1e9,
-            "live_compact_s": ls.compact_nanos as f64 / 1e9,
-        },
-        "simulate": {
-            "cached_s": simulate_s,
-            "uncached_s": simulate_uncached_s,
-            "speedup": simulate_speedup,
-        },
-        "world_scan": world_scan,
-        "ingest": {
-            "frames": n_frames,
-            "threads": THREADS,
-            "shards": n_shards,
-            "sharded_s": ingest_s,
-            "single_shard_s": ingest_single_shard_s,
-            "speedup": speedup,
-            "stream_s": ingest_stream_s,
-        },
         "passes": passes,
-        "live": live,
+        "live_snapshots": live["snapshots"],
         "experiments": n_reports,
     });
     let json = serde_json::to_string_pretty(&doc).expect("serializable");

@@ -2,10 +2,24 @@
 
 use mobitrace_collector::{strip_update_days, CleanOptions};
 use mobitrace_core::AnalysisContext;
-use mobitrace_model::{Dataset, Year};
+use mobitrace_model::{Dataset, DatasetColumns, DatasetIndex, Year};
+use mobitrace_pool::{PoolError, PoolReader, PoolWriter};
 use mobitrace_sim::{campaign::run_campaign_opts, CampaignConfig};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+
+/// Pool stream id of each year's cleaned dataset (by year index); the
+/// update-retaining 2015 variant lives in stream [`UPDATE_STREAM`].
+const YEAR_STREAMS: [u16; 3] = [0, 1, 2];
+/// Pool stream id of the update-retaining 2015 dataset.
+const UPDATE_STREAM: u16 = 3;
+
+/// The index + columnar views of the three years as decoded from a pool
+/// — ready to feed [`AnalysisContext::from_parts`] without any rebuild
+/// (see [`CampaignSet::contexts_with`]).
+pub struct PoolViews {
+    views: [(DatasetIndex, DatasetColumns); 3],
+}
 
 /// The three simulated campaigns plus the 2015 variant that keeps the
 /// iOS-update days (needed by the §3.7 analysis).
@@ -103,17 +117,87 @@ impl CampaignSet {
             update_2015: slurp("campaign_2015_with_updates.json")?,
         })
     }
+
+    /// Persist the campaign set into a single `.mtpool` file: streams
+    /// 0–2 carry the cleaned years, stream 3 the update-retaining 2015
+    /// variant, each with its columnar view and index so a later
+    /// [`load_pool`](Self::load_pool) skips the transpose and re-index
+    /// entirely.
+    pub fn save_pool(&self, path: &Path) -> Result<(), PoolError> {
+        let mut w = PoolWriter::create(path)?;
+        for (i, ds) in self.years.iter().enumerate() {
+            let index = DatasetIndex::build(ds);
+            let cols = DatasetColumns::build(ds);
+            w.append_dataset(YEAR_STREAMS[i], ds, &index, &cols)?;
+        }
+        let index = DatasetIndex::build(&self.update_2015);
+        let cols = DatasetColumns::build(&self.update_2015);
+        w.append_dataset(UPDATE_STREAM, &self.update_2015, &index, &cols)?;
+        w.commit()?;
+        Ok(())
+    }
+
+    /// Load a campaign set from a pool written by
+    /// [`save_pool`](Self::save_pool), returning the decoded index +
+    /// column views alongside so analysis can start via
+    /// [`contexts_with`](Self::contexts_with) with no rebuild scans.
+    /// The three years decode concurrently off the shared map.
+    pub fn load_pool(path: &Path) -> Result<(CampaignSet, PoolViews), PoolError> {
+        let r = PoolReader::open(path)?;
+        let ((d0, d1, d2), update) = std::thread::scope(|scope| {
+            let h0 = scope.spawn(|| r.decode_dataset(YEAR_STREAMS[0]));
+            let h1 = scope.spawn(|| r.decode_dataset(YEAR_STREAMS[1]));
+            let h3 = scope.spawn(|| r.decode_dataset(UPDATE_STREAM));
+            let d2 = r.decode_dataset(YEAR_STREAMS[2]);
+            (
+                (h0.join().expect("2013 decode"), h1.join().expect("2014 decode"), d2),
+                h3.join().expect("2015-with-updates decode"),
+            )
+        });
+        let (d0, d1, d2, update) = (d0?, d1?, d2?, update?);
+        let set = CampaignSet { years: [d0.ds, d1.ds, d2.ds], update_2015: update.ds };
+        let views =
+            PoolViews { views: [(d0.index, d0.cols), (d1.index, d1.cols), (d2.index, d2.cols)] };
+        Ok((set, views))
+    }
+
+    /// Analysis contexts from pool-decoded views: the
+    /// [`contexts`](Self::contexts) twin that skips the index build and
+    /// columnar transpose because the pool already carried both. The
+    /// views must come from the same pool load as `self`.
+    pub fn contexts_with(&self, views: PoolViews) -> [AnalysisContext<'_>; 3] {
+        let [v0, v1, v2] = views.views;
+        std::thread::scope(|scope| {
+            let h0 = scope.spawn(|| AnalysisContext::from_parts(&self.years[0], v0.0, v0.1));
+            let h1 = scope.spawn(|| AnalysisContext::from_parts(&self.years[1], v1.0, v1.1));
+            let c2 = AnalysisContext::from_parts(&self.years[2], v2.0, v2.1);
+            [h0.join().expect("2013 context"), h1.join().expect("2014 context"), c2]
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A scratch dir unique to this process + thread, so parallel test
+    /// invocations (and concurrent CI jobs on one machine) never
+    /// collide on a shared fixed path.
+    fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mobitrace-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn save_load_roundtrip() {
         let set = CampaignSet::simulate(0.012, 5);
-        let dir = std::env::temp_dir().join("mobitrace-save-test");
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = unique_temp_dir("save-test");
         let written = set.save(&dir).unwrap();
         assert_eq!(written.len(), 4);
         let back = CampaignSet::load(&dir).unwrap();
@@ -121,6 +205,32 @@ mod tests {
             assert_eq!(set.year(y), back.year(y));
         }
         assert_eq!(set.update_2015, back.update_2015);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The pool path must round-trip real simulated campaigns — survey
+    /// and ground-truth payloads included — and hand back views that
+    /// build contexts identical to the from-scratch ones.
+    #[test]
+    fn pool_save_load_roundtrip() {
+        let set = CampaignSet::simulate(0.012, 5);
+        let dir = unique_temp_dir("pool-test");
+        let path = dir.join("campaigns.mtpool");
+        set.save_pool(&path).unwrap();
+        let (back, views) = CampaignSet::load_pool(&path).unwrap();
+        for y in Year::ALL {
+            assert_eq!(set.year(y), back.year(y));
+        }
+        assert_eq!(set.update_2015, back.update_2015);
+        let fresh = set.contexts();
+        let pooled = back.contexts_with(views);
+        for (a, b) in fresh.iter().zip(&pooled) {
+            assert_eq!(a.days, b.days);
+            assert_eq!(a.classes, b.classes);
+            assert_eq!(a.thresholds, b.thresholds);
+            assert_eq!(a.home_cell, b.home_cell);
+            assert_eq!(a.cols, b.cols);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

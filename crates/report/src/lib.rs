@@ -22,6 +22,6 @@ pub mod data;
 pub mod experiments;
 pub mod render;
 
-pub use data::CampaignSet;
+pub use data::{CampaignSet, PoolViews};
 pub use experiments::{all_experiment_ids, run_experiment, ExperimentReport, Metric};
 pub use render::{ascii_chart, sparkline, Table};

@@ -576,10 +576,13 @@ impl CollectionServer {
     /// survives a simulated [`crash`](CollectionServer::crash) — a pool
     /// checkpoint survives real process death:
     /// [`recover_from_pool`](CollectionServer::recover_from_pool)
-    /// rebuilds an equivalent server from the file alone. Returns the
-    /// published pool epoch.
+    /// rebuilds an equivalent server from the file alone. The new
+    /// checkpoint is staged in a temp file and atomically renamed over
+    /// `path`, so a crash *during* a checkpoint — the whole checkpoint
+    /// window — leaves the previous checkpoint at `path` untouched and
+    /// recoverable. Returns the published pool epoch.
     pub fn checkpoint_to_pool(&self, path: &std::path::Path) -> Result<u64, PoolError> {
-        let mut w = PoolWriter::create(path)?;
+        let mut w = PoolWriter::replace(path)?;
         let mut buf = bytes::BytesMut::new();
         for (k, shard) in self.shards.iter().enumerate() {
             let state = shard.read();
@@ -597,15 +600,27 @@ impl CollectionServer {
                 &buf,
             )?;
         }
-        w.commit()
+        w.finish()
     }
 
     /// Rebuild a journaled server from a pool checkpoint written by
     /// [`checkpoint_to_pool`](CollectionServer::checkpoint_to_pool).
     /// Frame corruption inside a (checksummed) segment surfaces as
-    /// [`PoolError::Corrupt`].
+    /// [`PoolError::Corrupt`]; a structurally valid pool that was never
+    /// published (no committed directory slot — the signature of a
+    /// checkpoint interrupted before publication) is rejected loudly
+    /// rather than recovered as an empty server, because every
+    /// checkpoint this module writes publishes at least epoch 1 even
+    /// when the server holds no records.
     pub fn recover_from_pool(path: &std::path::Path) -> Result<CollectionServer, PoolError> {
         let r = PoolReader::open(path)?;
+        if r.epoch() == 0 {
+            return Err(PoolError::Corrupt {
+                what: "checkpoint pool has no published directory \
+                       (checkpoint interrupted before publication?)"
+                    .into(),
+            });
+        }
         let server = CollectionServer::new().with_journal();
         for stream in r.raw_streams() {
             let (payload, rows) = r.raw_segment(stream)?;
@@ -678,9 +693,9 @@ mod tests {
     }
 
     /// A pool checkpoint must survive total process death: rebuild a
-    /// server from the file alone and get identical records back —
-    /// including after further ingest and a re-checkpoint (epoch bump
-    /// on the same file is fine because `create` truncates).
+    /// server from the file alone and get identical records back.
+    /// Re-checkpointing the same path replaces the file wholesale (via
+    /// temp + atomic rename), so each checkpoint starts at epoch 1.
     #[test]
     fn pool_checkpoint_survives_process_death() {
         let dir = std::env::temp_dir().join(format!(
@@ -716,6 +731,52 @@ mod tests {
         match CollectionServer::recover_from_pool(&path) {
             Err(PoolError::ChecksumMismatch { .. }) => {}
             other => panic!("expected checksum mismatch, got {:?}", other.map(|_| ())),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A crash *during* a checkpoint must leave the previous checkpoint
+    /// recoverable, and a checkpoint file that never reached publication
+    /// must be rejected loudly — never silently recovered as empty.
+    #[test]
+    fn interrupted_checkpoint_preserves_previous_and_is_loud() {
+        let dir = std::env::temp_dir().join(format!(
+            "mobitrace-ckpt-crash-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.mtpool");
+
+        let server = CollectionServer::new().with_journal();
+        for (d, s) in [(0u32, 0u32), (0, 1), (3, 0)] {
+            server.ingest(&encode_frame(&record(d, s))).unwrap();
+        }
+        server.checkpoint_to_pool(&path).unwrap();
+
+        // "Crash" mid-way through the next checkpoint: the staging temp
+        // dies before its atomic rename. The published checkpoint at
+        // `path` must be byte-for-byte what it was.
+        let before = std::fs::read(&path).unwrap();
+        {
+            let mut w = mobitrace_pool::PoolWriter::replace(&path).unwrap();
+            w.append_raw(mobitrace_pool::kind::RAW, 0, 1, b"unfinished").unwrap();
+            // Dropped without finish = the process died here.
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let revived = CollectionServer::recover_from_pool(&path).unwrap();
+        let got: Vec<(u32, u32)> =
+            revived.into_records().iter().map(|r| (r.device.0, r.seq)).collect();
+        assert_eq!(got, vec![(0, 0), (0, 1), (3, 0)]);
+
+        // A structurally valid pool with no publication (a checkpoint
+        // that died before its first commit under the old in-place
+        // scheme) recovers as an error, not as an empty server.
+        let unpublished = dir.join("unpublished.mtpool");
+        drop(mobitrace_pool::PoolWriter::create(&unpublished).unwrap());
+        match CollectionServer::recover_from_pool(&unpublished) {
+            Err(PoolError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

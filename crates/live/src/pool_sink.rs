@@ -8,6 +8,14 @@
 //! publication barrier. This is the "one serialized writer, many mmap
 //! readers" half of the pool's concurrency story; the sink holds the
 //! writer lock for its lifetime.
+//!
+//! Two costs of this shape are deliberate and worth knowing: every
+//! generation spools the *full* current dataset (not a delta), so the
+//! file grows roughly quadratically in the number of generations over a
+//! long run — size the compaction cadence accordingly — and generation
+//! stream ids are `u16`, so a sink persists at most 65 536 generations;
+//! past that it degrades exactly like a disk error (the error is
+//! reported in [`PoolSpoolStats`], earlier generations stay readable).
 
 use mobitrace_model::LiveSnapshot;
 use mobitrace_pool::{PoolError, PoolReader, PoolWriter};
@@ -18,6 +26,9 @@ pub struct SnapshotPoolSink {
     writer: PoolWriter,
     /// Next generation's stream id.
     next: u16,
+    /// Generations committed (tracked separately from `next` so the
+    /// count stays right when the id space is exhausted).
+    generations: u64,
     /// First append failure, if any; later appends are skipped so a
     /// mid-run disk problem degrades persistence, not the analysis run.
     error: Option<String>,
@@ -36,12 +47,18 @@ pub struct PoolSpoolStats {
 
 impl SnapshotPoolSink {
     /// Create (truncate) the pool at `path` and take the writer lock.
+    /// `path` must not be an existing pool that readers currently have
+    /// mapped (see [`PoolWriter::create`]); the sink's readers are
+    /// expected to open the file only after the sink exists.
     pub fn create(path: &Path) -> Result<SnapshotPoolSink, PoolError> {
-        Ok(SnapshotPoolSink { writer: PoolWriter::create(path)?, next: 0, error: None })
+        Ok(SnapshotPoolSink { writer: PoolWriter::create(path)?, next: 0, generations: 0, error: None })
     }
 
     /// Append one snapshot as the next generation and publish it.
     /// After a failure this becomes a no-op (the error is kept).
+    /// Exhausting the `u16` generation id space is treated like any
+    /// other persistence failure: the sink stops appending cleanly and
+    /// reports it, instead of overflowing the counter.
     pub fn append(&mut self, snap: &LiveSnapshot) {
         if self.error.is_some() {
             return;
@@ -52,7 +69,18 @@ impl SnapshotPoolSink {
             .append_dataset(stream, &snap.ds, &snap.index, &snap.cols)
             .and_then(|()| self.writer.commit());
         match result {
-            Ok(_) => self.next += 1,
+            Ok(_) => {
+                self.generations += 1;
+                match self.next.checked_add(1) {
+                    Some(n) => self.next = n,
+                    None => {
+                        self.error = Some(format!(
+                            "generation stream ids exhausted at {stream}; \
+                             later snapshots are not persisted"
+                        ));
+                    }
+                }
+            }
             Err(e) => self.error = Some(format!("generation {stream}: {e}")),
         }
     }
@@ -60,7 +88,7 @@ impl SnapshotPoolSink {
     /// Commit summary for the run report.
     pub fn stats(&self) -> PoolSpoolStats {
         PoolSpoolStats {
-            generations: u64::from(self.next),
+            generations: self.generations,
             epoch: self.writer.epoch(),
             error: self.error.clone(),
         }
@@ -74,5 +102,64 @@ pub fn latest_generation(path: &Path) -> Result<Option<mobitrace_pool::PoolDatas
     match r.dataset_streams().last() {
         Some(&stream) => Ok(Some(r.decode_dataset(stream)?)),
         None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobitrace_model::{CampaignMeta, Dataset, DatasetColumns, DatasetIndex, Year};
+
+    fn snapshot() -> LiveSnapshot {
+        let meta = CampaignMeta {
+            year: Year::Y2013,
+            start: Year::Y2013.campaign_start(),
+            days: 1,
+            seed: 0,
+        };
+        let empty = Dataset { meta, devices: vec![], aps: vec![], bins: vec![] };
+        LiveSnapshot {
+            index: DatasetIndex::build(&empty),
+            cols: DatasetColumns::build(&empty),
+            ds: empty,
+            compactions: 0,
+        }
+    }
+
+    /// Exhausting the `u16` generation id space must degrade like a disk
+    /// error — error recorded, appends become no-ops, everything already
+    /// committed stays readable — never an arithmetic overflow.
+    #[test]
+    fn generation_id_exhaustion_degrades_cleanly() {
+        let dir = std::env::temp_dir().join(format!(
+            "mtlive-sink-exhaust-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.mtpool");
+        let mut sink = SnapshotPoolSink::create(&path).unwrap();
+        // Jump straight to the last usable id; actually spooling 65 536
+        // full generations is the quadratic-growth caveat in the module
+        // docs, not a unit test.
+        sink.next = u16::MAX;
+        sink.generations = u64::from(u16::MAX);
+        let snap = snapshot();
+        sink.append(&snap);
+        let stats = sink.stats();
+        assert_eq!(stats.generations, u64::from(u16::MAX) + 1);
+        assert!(
+            stats.error.as_deref().unwrap_or("").contains("exhausted"),
+            "expected exhaustion error, got {:?}",
+            stats.error
+        );
+        // Further appends are clean no-ops.
+        sink.append(&snap);
+        assert_eq!(sink.stats().generations, u64::from(u16::MAX) + 1);
+        drop(sink);
+        // The final generation was committed and is the newest readable one.
+        let latest = latest_generation(&path).unwrap().expect("generation present");
+        assert_eq!(latest.ds, snap.ds);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,10 +3,14 @@
 //! The only `unsafe` in the crate lives here: a direct binding to the
 //! platform's `mmap`/`munmap` (the symbols are always available on Unix
 //! because std links the C library), wrapped so the rest of the crate
-//! sees nothing but a `&[u8]`. Non-Unix targets — and zero-length files,
-//! which `mmap` rejects — fall back to reading the file into an owned
-//! buffer; everything downstream is byte-slice access either way, so the
-//! two backings are indistinguishable to the decoder.
+//! sees nothing but a `&[u8]`. The binding declares the `offset`
+//! argument as `i64`, which matches `off_t` only on 64-bit targets (or
+//! LFS builds we cannot assume), so the mapped backing is gated on
+//! `target_pointer_width = "64"`. Other targets — non-Unix, 32-bit
+//! Unix, and zero-length files, which `mmap` rejects — fall back to
+//! reading the file into an owned buffer; everything downstream is
+//! byte-slice access either way, so the two backings are
+//! indistinguishable to the decoder.
 //!
 //! The map is `PROT_READ`/`MAP_SHARED`: many processes can map the same
 //! pool concurrently, and because published bytes of a pool are
@@ -25,7 +29,7 @@ pub struct PoolMap {
 }
 
 enum Backing {
-    #[cfg(unix)]
+    #[cfg(all(unix, target_pointer_width = "64"))]
     Mapped {
         ptr: *const u8,
         len: usize,
@@ -45,7 +49,7 @@ impl PoolMap {
         let len = file.metadata()?.len();
         let len_usize = usize::try_from(len)
             .map_err(|_| std::io::Error::other("pool file larger than address space"))?;
-        #[cfg(unix)]
+        #[cfg(all(unix, target_pointer_width = "64"))]
         {
             if len_usize > 0 {
                 if let Some(ptr) = sys::map_readonly(&file, len_usize) {
@@ -61,7 +65,7 @@ impl PoolMap {
     /// The file contents.
     pub fn bytes(&self) -> &[u8] {
         match &self.backing {
-            #[cfg(unix)]
+            #[cfg(all(unix, target_pointer_width = "64"))]
             // SAFETY: ptr/len came from a successful mmap of exactly this
             // length, unmapped only in Drop.
             Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
@@ -73,7 +77,7 @@ impl PoolMap {
     /// the heap fallback) — surfaced in `mobitrace pool verify` output.
     pub fn is_mapped(&self) -> bool {
         match &self.backing {
-            #[cfg(unix)]
+            #[cfg(all(unix, target_pointer_width = "64"))]
             Backing::Mapped { .. } => true,
             Backing::Owned(_) => false,
         }
@@ -82,7 +86,7 @@ impl PoolMap {
 
 impl Drop for PoolMap {
     fn drop(&mut self) {
-        #[cfg(unix)]
+        #[cfg(all(unix, target_pointer_width = "64"))]
         if let Backing::Mapped { ptr, len } = self.backing {
             // SAFETY: this is the unique owner of the mapping.
             unsafe { sys::unmap(ptr, len) };
@@ -114,6 +118,15 @@ mod sys {
     // Minimal direct bindings: std already links libc, so the symbols
     // resolve without a bindings crate (none is vendored offline).
     extern "C" {
+        fn flock(fd: core::ffi::c_int, operation: core::ffi::c_int) -> core::ffi::c_int;
+    }
+
+    // The mmap binding declares `offset: i64`, which matches the
+    // platform `off_t` only where off_t is 64-bit; on 32-bit Unix
+    // without `_FILE_OFFSET_BITS=64` the ABI would mismatch (UB). Gate
+    // the binding to 64-bit targets; everyone else takes the heap read.
+    #[cfg(target_pointer_width = "64")]
+    extern "C" {
         fn mmap(
             addr: *mut core::ffi::c_void,
             len: usize,
@@ -123,16 +136,18 @@ mod sys {
             offset: i64,
         ) -> *mut core::ffi::c_void;
         fn munmap(addr: *mut core::ffi::c_void, len: usize) -> core::ffi::c_int;
-        fn flock(fd: core::ffi::c_int, operation: core::ffi::c_int) -> core::ffi::c_int;
     }
 
+    #[cfg(target_pointer_width = "64")]
     const PROT_READ: core::ffi::c_int = 1;
+    #[cfg(target_pointer_width = "64")]
     const MAP_SHARED: core::ffi::c_int = 1;
     const LOCK_EX: core::ffi::c_int = 2;
     const LOCK_NB: core::ffi::c_int = 4;
 
     /// `mmap(NULL, len, PROT_READ, MAP_SHARED, fd, 0)`; `None` on failure
     /// (the caller falls back to a heap read).
+    #[cfg(target_pointer_width = "64")]
     pub fn map_readonly(file: &File, len: usize) -> Option<*const u8> {
         // SAFETY: fd is valid for the duration of the call; a NULL hint
         // with MAP_SHARED|PROT_READ has no further preconditions.
@@ -150,6 +165,7 @@ mod sys {
     /// # Safety
     /// `ptr`/`len` must denote exactly one live mapping returned by
     /// [`map_readonly`], not used after this call.
+    #[cfg(target_pointer_width = "64")]
     pub unsafe fn unmap(ptr: *const u8, len: usize) {
         let _ = munmap(ptr as *mut core::ffi::c_void, len);
     }
@@ -188,7 +204,7 @@ mod tests {
         std::fs::write(&p, [1u8, 2, 3, 4, 5]).unwrap();
         let m = PoolMap::open(&p).unwrap();
         assert_eq!(m.bytes(), &[1, 2, 3, 4, 5]);
-        #[cfg(unix)]
+        #[cfg(all(unix, target_pointer_width = "64"))]
         assert!(m.is_mapped());
         drop(m);
 

@@ -8,6 +8,13 @@
 //! slot to the new epoch and syncs again. A crash at any point leaves
 //! the previous epoch intact (unpublished tail bytes are simply
 //! overwritten by the next writer).
+//!
+//! To rewrite a pool from scratch — rather than append to it — use
+//! [`PoolWriter::replace`], which stages the new pool in a temp file and
+//! installs it with an atomic rename at [`finish`](PoolWriter::finish);
+//! the old file survives a crash mid-rewrite and stays mapped-valid for
+//! concurrent readers. [`create`](PoolWriter::create) truncates in place
+//! and is only safe for paths no reader has open.
 
 use crate::dscodec;
 use crate::err::PoolError;
@@ -35,10 +42,25 @@ pub struct PoolWriter {
     end: u64,
     /// Entries in `segs` already covered by a published directory.
     published: usize,
+    /// When set, the writer is building a temp file and
+    /// [`finish`](Self::finish) atomically renames it over this path.
+    replace_target: Option<PathBuf>,
 }
 
 impl PoolWriter {
     /// Create (or truncate) a pool at `path` and take the writer lock.
+    ///
+    /// **Truncates in place.** `path` must not be a pool that live
+    /// readers may currently have mapped: truncation shrinks the inode
+    /// under their mapping and the next page fault past the new EOF is
+    /// fatal (`SIGBUS`). The "readers stay safe alongside one writer"
+    /// guarantee only covers appends to an existing pool
+    /// ([`open_append`](Self::open_append)). To rewrite a pool other
+    /// processes may be reading — or to replace one that must stay
+    /// durable if this process dies mid-write — use
+    /// [`replace`](Self::replace) instead, which builds the new pool in
+    /// a temp file and atomically renames it into place (existing maps
+    /// keep referencing the old inode).
     pub fn create(path: &Path) -> Result<PoolWriter, PoolError> {
         // Truncation is deferred to the set_len below, *after* the writer
         // lock is held, so losing the lock race never clobbers the file.
@@ -55,6 +77,7 @@ impl PoolWriter {
             epoch: 0,
             end: HEADER_LEN,
             published: 0,
+            replace_target: None,
         };
         let mut header = vec![0u8; HEADER_LEN as usize];
         header[..8].copy_from_slice(&MAGIC);
@@ -90,7 +113,51 @@ impl PoolWriter {
             segs: parsed.segs,
             end: align_up(end),
             published,
+            replace_target: None,
         })
+    }
+
+    /// Build a pool that will *replace* whatever is at `path`, without
+    /// disturbing it until publication: writes go to a hidden temp
+    /// sibling, and [`finish`](Self::finish) syncs it and atomically
+    /// `rename`s it over `path`. A crash at any point — including while
+    /// this writer is mid-write — leaves the previous file at `path`
+    /// fully intact, and readers holding a map of the old file keep a
+    /// valid view of the old inode. Dropping the writer without calling
+    /// `finish` removes the temp file and leaves `path` untouched.
+    pub fn replace(path: &Path) -> Result<PoolWriter, PoolError> {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let tmp = path.with_file_name(format!(".{name}.tmp{}", std::process::id()));
+        let mut w = PoolWriter::create(&tmp)?;
+        w.replace_target = Some(path.to_path_buf());
+        Ok(w)
+    }
+
+    /// Publish everything appended so far and, for a
+    /// [`replace`](Self::replace) writer, atomically install the temp
+    /// file over the target path (syncing file and directory first).
+    /// For a plain [`create`](Self::create)/[`open_append`](Self::open_append)
+    /// writer this is just [`commit`](Self::commit) by value. Returns
+    /// the published epoch.
+    pub fn finish(mut self) -> Result<u64, PoolError> {
+        let epoch = self.commit()?;
+        if let Some(target) = self.replace_target.take() {
+            self.file.sync_all()?;
+            std::fs::rename(&self.path, &target)?;
+            // Make the rename itself durable: fsync the parent directory
+            // (best-effort; directories are not openable everywhere).
+            if let Some(dir) = target.parent() {
+                if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
+                    Path::new(".")
+                } else {
+                    dir
+                }) {
+                    let _ = d.sync_all();
+                }
+            }
+            self.path = target;
+        }
+        Ok(epoch)
     }
 
     /// The pool file path.
@@ -183,5 +250,16 @@ impl PoolWriter {
         self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(bytes)?;
         Ok(())
+    }
+}
+
+impl Drop for PoolWriter {
+    fn drop(&mut self) {
+        // An abandoned replace (finish never ran, or it failed before the
+        // rename) leaves its temp sibling behind; the target was never
+        // touched, so the temp is pure garbage — remove it.
+        if self.replace_target.is_some() {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }

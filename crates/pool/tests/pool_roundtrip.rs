@@ -243,6 +243,51 @@ fn multi_stream_append_and_reopen() {
 }
 
 #[test]
+fn replace_keeps_old_pool_until_finish() {
+    let dir = scratch("replace");
+    let path = dir.join("replace.mtpool");
+    {
+        let mut w = PoolWriter::create(&path).expect("create");
+        w.append_raw(mobitrace_pool::kind::RAW, 0, 1, b"old-payload").expect("append");
+        w.commit().expect("commit");
+    }
+    // A reader holds a live map of the original pool across the whole
+    // replacement — the rename must never invalidate its inode.
+    let old = PoolReader::open(&path).expect("open v1");
+    assert_eq!(old.raw_segment(0).expect("v1 raw").0, b"old-payload");
+
+    // Abandoned replace (a crash mid-rewrite, minus the crash): the
+    // target is untouched and the temp sibling is cleaned up.
+    {
+        let mut w = PoolWriter::replace(&path).expect("replace");
+        w.append_raw(mobitrace_pool::kind::RAW, 0, 1, b"half-written").expect("append");
+        // Dropped without finish.
+    }
+    let names: Vec<_> =
+        std::fs::read_dir(&dir).expect("ls").map(|e| e.expect("entry").file_name()).collect();
+    assert_eq!(names, vec![std::ffi::OsString::from("replace.mtpool")]);
+    assert_eq!(
+        PoolReader::open(&path).expect("reopen v1").raw_segment(0).expect("raw").0,
+        b"old-payload"
+    );
+
+    // Completed replace: new bytes at the path, old map still verifies.
+    {
+        let mut w = PoolWriter::replace(&path).expect("replace 2");
+        w.append_raw(mobitrace_pool::kind::RAW, 0, 1, b"new-payload").expect("append");
+        assert_eq!(w.finish().expect("finish"), 1);
+    }
+    assert_eq!(
+        PoolReader::open(&path).expect("open v2").raw_segment(0).expect("raw").0,
+        b"new-payload"
+    );
+    assert_eq!(old.raw_segment(0).expect("old map after replace").0, b"old-payload");
+    old.verify().expect("old map verifies after replace");
+    drop(old);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn second_writer_is_excluded_while_first_holds_lock() {
     let dir = scratch("lock");
     let path = dir.join("locked.mtpool");

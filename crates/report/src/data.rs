@@ -122,9 +122,12 @@ impl CampaignSet {
     /// 0–2 carry the cleaned years, stream 3 the update-retaining 2015
     /// variant, each with its columnar view and index so a later
     /// [`load_pool`](Self::load_pool) skips the transpose and re-index
-    /// entirely.
+    /// entirely. The pool is staged in a temp file and atomically
+    /// renamed over `path`, so re-exporting over a pool another process
+    /// is mmap-analyzing neither corrupts their view nor loses the old
+    /// pool if this process dies mid-export.
     pub fn save_pool(&self, path: &Path) -> Result<(), PoolError> {
-        let mut w = PoolWriter::create(path)?;
+        let mut w = PoolWriter::replace(path)?;
         for (i, ds) in self.years.iter().enumerate() {
             let index = DatasetIndex::build(ds);
             let cols = DatasetColumns::build(ds);
@@ -133,7 +136,7 @@ impl CampaignSet {
         let index = DatasetIndex::build(&self.update_2015);
         let cols = DatasetColumns::build(&self.update_2015);
         w.append_dataset(UPDATE_STREAM, &self.update_2015, &index, &cols)?;
-        w.commit()?;
+        w.finish()?;
         Ok(())
     }
 

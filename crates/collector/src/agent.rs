@@ -267,6 +267,40 @@ impl DeviceAgent {
         }
     }
 
+    /// Drain the whole pending cache into `out` as one contiguous upload
+    /// stream (back-to-back frames, the shape
+    /// [`CollectionServer::ingest_stream`] consumes), returning the frame
+    /// count — `0` when there is nothing to send or a backoff window is
+    /// still open (counted in `backoff_skips`, like
+    /// [`try_upload`](Self::try_upload)). The caller owns delivery:
+    /// fleet producers append into one per-thread scratch block and
+    /// `split()` it per agent, so a million agents share a handful of
+    /// allocations instead of building one buffer each. Handing the
+    /// frames over counts as an accepted upload round, closing any
+    /// backoff window; a caller that then cannot deliver must either
+    /// account the records itself (shed) or report the refusal via
+    /// [`note_server_reject`](Self::note_server_reject) *before* taking
+    /// the stream.
+    ///
+    /// [`CollectionServer::ingest_stream`]: crate::CollectionServer::ingest_stream
+    pub fn take_stream_into(&mut self, now: SimTime, out: &mut BytesMut) -> u32 {
+        if self.queue.is_empty() {
+            return 0;
+        }
+        if self.in_backoff(now) {
+            self.backoff_skips += 1;
+            return 0;
+        }
+        let mut frames = 0u32;
+        for frame in self.queue.drain(..) {
+            out.extend_from_slice(&frame);
+            frames += 1;
+        }
+        self.failure_streak = 0;
+        self.backoff_until = None;
+        frames
+    }
+
     /// The server refused the connection before any frame was sent
     /// (backpressure or a known outage). Counts the reject and feeds the
     /// same backoff policy as a visible transport failure.

@@ -286,18 +286,24 @@ impl CollectionServer {
     }
 
     /// Store one record into a locked shard. Returns `true` when new.
+    /// Duplicate check and insert share one walk of the per-device map
+    /// (vacant-entry insert), instead of a lookup followed by a second
+    /// probe-and-insert — the store half of ingest is two map walks per
+    /// record and this halves them.
     fn store_in(state: &mut ShardState, record: Record, journal: bool) -> bool {
-        let dup = state.live.get(&record.device).is_some_and(|m| m.contains_key(&record.seq));
-        if dup {
+        let per_device = state.live.entry(record.device).or_default();
+        let std::collections::btree_map::Entry::Vacant(slot) = per_device.entry(record.seq) else {
             return false;
+        };
+        if !journal {
+            slot.insert(record);
+            return true;
         }
-        if journal {
-            state.journal.push(record.clone());
-            if state.journal.len() >= JOURNAL_CHECKPOINT {
-                Self::checkpoint_shard(state);
-            }
+        slot.insert(record.clone());
+        state.journal.push(record);
+        if state.journal.len() >= JOURNAL_CHECKPOINT {
+            Self::checkpoint_shard(state);
         }
-        state.live.entry(record.device).or_default().insert(record.seq, record);
         true
     }
 
@@ -498,38 +504,45 @@ impl CollectionServer {
     }
 
     /// Store decoded records grouped by shard, taking each touched shard
-    /// lock once. Returns the number of newly stored records.
-    fn store_batch(&self, records: Vec<Record>) -> usize {
+    /// lock once. Grouping is a stable sort on the shard index — the batch
+    /// becomes contiguous per-shard runs (arrival order preserved within
+    /// each shard) without allocating one buffer per shard — and each run
+    /// commits under a single stripe-lock acquisition. This is the commit
+    /// half of the ingest boundary: decode happens before this call, so no
+    /// shard lock is ever held across codec work. Returns the number of
+    /// newly stored records.
+    pub fn store_batch(&self, mut records: Vec<Record>) -> usize {
         let tap = self.tap.get();
-        let n_shards = self.shards.len();
-        let mut by_shard: Vec<Vec<Record>> = (0..n_shards).map(|_| Vec::new()).collect();
-        for record in records {
-            by_shard[self.shard_index_of(record.device)].push(record);
+        if self.shards.len() > 1 {
+            records.sort_by_cached_key(|r| self.shard_index_of(r.device));
         }
         let mut stored = 0usize;
         let mut n_duplicates = 0u64;
-        for (k, records) in by_shard.into_iter().enumerate() {
-            if records.is_empty() {
-                continue;
-            }
+        let mut iter = records.into_iter().peekable();
+        while let Some(first) = iter.next() {
+            let k = self.shard_index_of(first.device);
             // Accepted records are cloned for the tap under the shard lock
             // (so acceptance and publication agree) but published after it
             // is released.
             let mut accepted: Vec<Record> = Vec::new();
-            {
-                let mut shard = self.shards[k].write();
-                for record in records {
-                    let copy = tap.map(|_| record.clone());
-                    if Self::store_in(&mut shard, record, self.journal_enabled) {
-                        stored += 1;
-                        if let Some(copy) = copy {
-                            accepted.push(copy);
-                        }
-                    } else {
-                        n_duplicates += 1;
+            let mut shard = self.shards[k].write();
+            let mut run_next = Some(first);
+            while let Some(record) = run_next {
+                let copy = tap.map(|_| record.clone());
+                if Self::store_in(&mut shard, record, self.journal_enabled) {
+                    stored += 1;
+                    if let Some(copy) = copy {
+                        accepted.push(copy);
                     }
+                } else {
+                    n_duplicates += 1;
                 }
+                run_next = match iter.peek() {
+                    Some(r) if self.shard_index_of(r.device) == k => iter.next(),
+                    _ => None,
+                };
             }
+            drop(shard);
             if let Some(tap) = tap {
                 tap.publish(k, accepted, false);
             }

@@ -1,0 +1,153 @@
+//! Admission control: token-bucket rate limits and the shed policy.
+//!
+//! Admission layers *in front of* the collection server's own
+//! [`accepting`](mobitrace_collector::CollectionServer::accepting)
+//! backpressure. The server signal is coarse (crashed / over the soft
+//! limit → everyone backs off); admission is graduated:
+//!
+//! 1. a per-cohort token bucket caps sustained record rate, turning
+//!    bursts into backoff instead of queue growth;
+//! 2. queue-depth shedding degrades gracefully under overload — traffic
+//!    of the *newest* cohorts (highest cohort ids) is dropped first, and
+//!    every shed record is accounted, so the oldest cohorts keep their
+//!    full history for as long as possible.
+//!
+//! Both mechanisms take time as an explicit parameter, so unit tests are
+//! exact rather than sleep-and-hope.
+
+/// A token bucket over *records*: refills continuously at `rate` records
+/// per second up to `burst` tokens. A non-positive rate disables limiting.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+}
+
+impl TokenBucket {
+    /// Bucket admitting `rate` records/s sustained, `burst` records peak.
+    /// `rate <= 0` builds an unlimited bucket.
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        TokenBucket { rate, burst: burst.max(1.0), tokens: burst.max(1.0), last_s: 0.0 }
+    }
+
+    /// Take `n` tokens at time `now_s` (seconds, any monotonic origin).
+    /// Returns whether the records are admitted; a refused take consumes
+    /// nothing.
+    pub fn try_take(&mut self, n: f64, now_s: f64) -> bool {
+        if self.rate <= 0.0 {
+            return true;
+        }
+        let dt = (now_s - self.last_s).max(0.0);
+        self.last_s = now_s;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after a refill to `now_s`).
+    pub fn available(&mut self, now_s: f64) -> f64 {
+        let dt = (now_s - self.last_s).max(0.0);
+        self.last_s = now_s;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.tokens
+    }
+}
+
+/// How many of the newest cohorts to shed at ingest-queue fill `fill`
+/// (0 = empty, 1 = full). Shedding starts at half-full and reaches every
+/// cohort as the queue saturates, so load maps linearly onto the shed
+/// frontier instead of cliff-dropping everyone at once.
+pub fn shed_level(n_cohorts: usize, fill: f64) -> usize {
+    if fill < 0.5 {
+        return 0;
+    }
+    let frac = ((fill - 0.5) / 0.5).clamp(0.0, 1.0);
+    ((frac * n_cohorts as f64).ceil() as usize).min(n_cohorts)
+}
+
+/// Whether `cohort` is inside the shed frontier at `level`: the `level`
+/// *newest* cohorts (highest ids) shed first.
+pub fn is_shed(cohort: usize, n_cohorts: usize, level: usize) -> bool {
+    cohort >= n_cohorts - level.min(n_cohorts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_refills_exactly() {
+        let mut b = TokenBucket::new(10.0, 20.0);
+        // Full burst available at t=0, then empty.
+        assert!(b.try_take(20.0, 0.0));
+        assert!(!b.try_take(1.0, 0.0));
+        // One second refills exactly rate tokens.
+        assert!(b.try_take(10.0, 1.0));
+        assert!(!b.try_take(0.5, 1.0));
+        // Refill clamps at burst, not unbounded credit.
+        assert!(b.try_take(20.0, 100.0));
+        assert!(!b.try_take(20.0, 100.5));
+        assert!((b.available(100.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refused_take_consumes_nothing() {
+        let mut b = TokenBucket::new(1.0, 5.0);
+        assert!(!b.try_take(6.0, 0.0));
+        assert!(b.try_take(5.0, 0.0), "the refused take left the bucket intact");
+    }
+
+    #[test]
+    fn zero_rate_means_unlimited() {
+        let mut b = TokenBucket::new(0.0, 1.0);
+        for _ in 0..1000 {
+            assert!(b.try_take(1e12, 0.0));
+        }
+    }
+
+    #[test]
+    fn time_going_backwards_is_tolerated() {
+        let mut b = TokenBucket::new(10.0, 10.0);
+        assert!(b.try_take(10.0, 5.0));
+        // A stale timestamp neither credits nor panics.
+        assert!(!b.try_take(1.0, 4.0));
+    }
+
+    #[test]
+    fn shed_starts_at_half_full_and_saturates() {
+        assert_eq!(shed_level(4, 0.0), 0);
+        assert_eq!(shed_level(4, 0.49), 0);
+        assert_eq!(shed_level(4, 0.5), 0);
+        assert!(shed_level(4, 0.6) >= 1);
+        assert_eq!(shed_level(4, 1.0), 4);
+        assert_eq!(shed_level(4, 2.0), 4);
+        // Monotone in fill.
+        let mut prev = 0;
+        for i in 0..=100 {
+            let l = shed_level(8, i as f64 / 100.0);
+            assert!(l >= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn newest_cohorts_shed_first() {
+        // Level 1 sheds only the newest cohort; level 2 the newest two.
+        assert!(is_shed(3, 4, 1));
+        assert!(!is_shed(2, 4, 1));
+        assert!(!is_shed(0, 4, 1));
+        assert!(is_shed(3, 4, 2));
+        assert!(is_shed(2, 4, 2));
+        assert!(!is_shed(1, 4, 2));
+        // Full level sheds everyone, including cohort 0.
+        assert!(is_shed(0, 4, 4));
+        // Over-level clamps rather than underflowing.
+        assert!(is_shed(0, 4, 9));
+    }
+}

@@ -1,0 +1,632 @@
+//! The thread-per-core ingest pipeline.
+//!
+//! [`FleetIngest`] fronts one [`CollectionServer`] per cohort with a pool
+//! of pinned ingest workers. Producers (device agents, or the driver
+//! threads standing in for a million of them) go through a two-step
+//! protocol:
+//!
+//! 1. [`admit`](FleetIngest::admit) — the admission decision:
+//!    server-level backpressure ([`accepting`]), the shed frontier
+//!    (queue-depth graduated, newest cohorts first), the per-cohort token
+//!    bucket, and a queue-full check, in that order;
+//! 2. [`submit`](FleetIngest::submit) — hand the encoded upload stream to
+//!    the cohort's worker over a bounded channel.
+//!
+//! Each worker owns its receive queue outright: it decodes streams with
+//! the zero-alloc [`decode_batch_into`] *outside* any shard lock and
+//! commits via [`store_batch`], which takes each stripe lock once per
+//! contiguous run. Cohort → worker assignment is static (`cohort mod
+//! workers`), so one cohort's batches are never reordered against each
+//! other — the per-device arrival order the dedup/journal path relies on
+//! survives the fan-out.
+//!
+//! [`CollectionServer`]: mobitrace_collector::CollectionServer
+//! [`accepting`]: mobitrace_collector::CollectionServer::accepting
+//! [`decode_batch_into`]: mobitrace_collector::decode_batch_into
+//! [`store_batch`]: mobitrace_collector::CollectionServer::store_batch
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use mobitrace_collector::{decode_batch_into, CollectionServer};
+use mobitrace_model::{DeviceId, Record};
+use parking_lot::Mutex;
+
+use crate::admission::{is_shed, shed_level, TokenBucket};
+use crate::router::CohortRouter;
+
+/// Fleet pipeline shape and admission policy.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Independent ingest domains (servers). At least 1.
+    pub cohorts: usize,
+    /// Ingest workers; 0 = one per available core (capped at 8).
+    pub workers: usize,
+    /// Bounded per-worker queue depth, in batches. At least 1.
+    pub queue_cap: usize,
+    /// Token-bucket sustained rate per cohort, records/s; <= 0 unlimited.
+    pub rate_per_cohort: f64,
+    /// Token-bucket burst per cohort, records.
+    pub burst: f64,
+    /// Per-cohort server soft record limit (0 disables) — the server-level
+    /// backpressure admission forwards to agents.
+    pub soft_limit: usize,
+    /// Journal cohort servers (required for crash/recover chaos).
+    pub journal: bool,
+    /// Shards per cohort server; 0 = server default.
+    pub server_shards: usize,
+    /// Pin worker threads to cores (best effort, Linux only).
+    pub pin_workers: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            cohorts: 4,
+            workers: 0,
+            queue_cap: 256,
+            rate_per_cohort: 0.0,
+            burst: 50_000.0,
+            soft_limit: 0,
+            journal: false,
+            server_shards: 0,
+            pin_workers: true,
+        }
+    }
+}
+
+/// Number of workers a config resolves to on this machine.
+pub fn resolve_workers(cfg_workers: usize) -> usize {
+    if cfg_workers > 0 {
+        cfg_workers
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(8)
+    }
+}
+
+/// The admission decision for one agent's pending upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueue via [`FleetIngest::submit`].
+    Admit,
+    /// Refuse and keep the data on the device: the agent must be told via
+    /// `note_server_reject` so its backoff opens.
+    Backpressure,
+    /// Drop the upload and account it via [`FleetIngest::account_shed`].
+    Shed,
+}
+
+/// One enqueued upload: a contiguous frame stream from a single device.
+struct Batch {
+    cohort: u32,
+    stream: Bytes,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    latencies_s: Vec<f32>,
+    committed: u64,
+    duplicates: u64,
+    lost_crash: u64,
+    rejected_streams: u64,
+    batches: u64,
+}
+
+/// The running fleet pipeline (see module docs).
+pub struct FleetIngest {
+    cfg: FleetConfig,
+    router: CohortRouter,
+    servers: Arc<Vec<Arc<CollectionServer>>>,
+    buckets: Vec<Mutex<TokenBucket>>,
+    shed: Vec<AtomicU64>,
+    txs: Vec<Sender<Batch>>,
+    depth: Vec<Arc<AtomicUsize>>,
+    paused: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<WorkerOut>>,
+    n_workers: usize,
+    backpressure_signals: AtomicU64,
+    enqueued_records: AtomicU64,
+}
+
+impl FleetIngest {
+    /// Build the servers and spawn the worker pool.
+    pub fn new(cfg: FleetConfig) -> FleetIngest {
+        assert!(cfg.cohorts >= 1 && cfg.queue_cap >= 1);
+        let router = CohortRouter::new(cfg.cohorts);
+        let servers: Arc<Vec<Arc<CollectionServer>>> = Arc::new(
+            (0..cfg.cohorts)
+                .map(|_| {
+                    let s = if cfg.server_shards > 0 {
+                        CollectionServer::with_shards(cfg.server_shards)
+                    } else {
+                        CollectionServer::new()
+                    };
+                    let s = if cfg.journal { s.with_journal() } else { s };
+                    s.set_soft_limit(cfg.soft_limit);
+                    Arc::new(s)
+                })
+                .collect(),
+        );
+        let buckets = (0..cfg.cohorts)
+            .map(|_| Mutex::new(TokenBucket::new(cfg.rate_per_cohort, cfg.burst)))
+            .collect();
+        let shed = (0..cfg.cohorts).map(|_| AtomicU64::new(0)).collect();
+        let n_workers = resolve_workers(cfg.workers);
+        let paused = Arc::new(AtomicBool::new(false));
+        let mut txs = Vec::with_capacity(n_workers);
+        let mut depth = Vec::with_capacity(n_workers);
+        let mut workers = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let (tx, rx) = bounded::<Batch>(cfg.queue_cap);
+            let d = Arc::new(AtomicUsize::new(0));
+            let servers = Arc::clone(&servers);
+            let depth_w = Arc::clone(&d);
+            let paused_w = Arc::clone(&paused);
+            let pin = cfg.pin_workers;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fleet-ingest-{w}"))
+                    .spawn(move || {
+                        if pin {
+                            // Best effort: on a smaller machine the core
+                            // may not exist, and that is fine.
+                            let _ = affinity::pin_to_core(w);
+                        }
+                        let mut out = WorkerOut::default();
+                        while let Ok(batch) = rx.recv() {
+                            while paused_w.load(Ordering::Relaxed) {
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                            depth_w.fetch_sub(1, Ordering::Relaxed);
+                            let server = &servers[batch.cohort as usize];
+                            let mut stream = batch.stream;
+                            let mut records: Vec<Record> = Vec::new();
+                            if decode_batch_into(&mut stream, &mut records).is_err() {
+                                out.rejected_streams += 1;
+                            }
+                            let n = records.len() as u64;
+                            if server.is_crashed() {
+                                // Admission pre-checks `accepting`, so this
+                                // is the crash landing mid-flight; the whole
+                                // delivery is lost and counted per record.
+                                out.lost_crash += n;
+                            } else {
+                                let stored = server.store_batch(records) as u64;
+                                out.committed += stored;
+                                out.duplicates += n - stored;
+                            }
+                            out.batches += 1;
+                            out.latencies_s.push(batch.enqueued.elapsed().as_secs_f32());
+                        }
+                        out
+                    })
+                    .expect("spawn fleet worker"),
+            );
+            txs.push(tx);
+            depth.push(d);
+        }
+        FleetIngest {
+            cfg,
+            router,
+            servers,
+            buckets,
+            shed,
+            txs,
+            depth,
+            paused,
+            workers,
+            n_workers,
+            backpressure_signals: AtomicU64::new(0),
+            enqueued_records: AtomicU64::new(0),
+        }
+    }
+
+    /// The router (for cohort lookups without an admission decision).
+    pub fn router(&self) -> &CohortRouter {
+        &self.router
+    }
+
+    /// The per-cohort servers, in cohort order (chaos controllers crash,
+    /// recover and squeeze them through this).
+    pub fn servers(&self) -> &[Arc<CollectionServer>] {
+        &self.servers
+    }
+
+    /// Ingest workers actually running.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    fn worker_of(&self, cohort: u32) -> usize {
+        cohort as usize % self.n_workers
+    }
+
+    /// Decide admission for `n_records` pending on `device` at `now_s`
+    /// (seconds on any monotonic clock; feeds the token buckets). Returns
+    /// the device's cohort alongside the decision; the caller completes
+    /// the protocol (`submit`, `account_shed`, or agent backoff +
+    /// [`note_backpressure`](FleetIngest::note_backpressure)).
+    pub fn admit(&self, device: DeviceId, n_records: u32, now_s: f64) -> (u32, Admission) {
+        let cohort = self.router.cohort_of(device);
+        if !self.servers[cohort as usize].accepting() {
+            return (cohort, Admission::Backpressure);
+        }
+        // The bucket is the cohort's rate contract and is consulted
+        // before the queue-depth shed frontier: rate-limited traffic is
+        // *refused* (kept on the device, retried after backoff) so the
+        // bucket protects the queues, and shedding stays the emergency
+        // valve for load the contract admitted but the workers cannot
+        // absorb.
+        if self.cfg.rate_per_cohort > 0.0
+            && !self.buckets[cohort as usize].lock().try_take(f64::from(n_records), now_s)
+        {
+            return (cohort, Admission::Backpressure);
+        }
+        let w = self.worker_of(cohort);
+        let fill = self.depth[w].load(Ordering::Relaxed) as f64 / self.cfg.queue_cap as f64;
+        let level = shed_level(self.router.n_cohorts(), fill);
+        if is_shed(cohort as usize, self.router.n_cohorts(), level) {
+            return (cohort, Admission::Shed);
+        }
+        if self.depth[w].load(Ordering::Relaxed) >= self.cfg.queue_cap {
+            return (cohort, Admission::Backpressure);
+        }
+        (cohort, Admission::Admit)
+    }
+
+    /// Enqueue an admitted upload stream for `cohort`. May briefly block
+    /// if a race filled the queue after `admit` — the bounded channel is
+    /// the hard limit the depth check only approximates.
+    pub fn submit(&self, cohort: u32, n_records: u32, stream: Bytes) {
+        let w = self.worker_of(cohort);
+        self.depth[w].fetch_add(1, Ordering::Relaxed);
+        self.enqueued_records.fetch_add(u64::from(n_records), Ordering::Relaxed);
+        if self.txs[w].send(Batch { cohort, stream, enqueued: Instant::now() }).is_err() {
+            panic!("fleet worker alive");
+        }
+    }
+
+    /// Account `n_records` shed for `cohort`. Every record a producer
+    /// drops on a `Shed` decision must pass through here — the
+    /// reconciliation invariant counts on it.
+    pub fn account_shed(&self, cohort: u32, n_records: u32) {
+        self.shed[cohort as usize].fetch_add(u64::from(n_records), Ordering::Relaxed);
+    }
+
+    /// Count one backpressure refusal (paired with the agent's
+    /// `note_server_reject`).
+    pub fn note_backpressure(&self) {
+        self.backpressure_signals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stall the workers (simulated downstream hang): queues fill, the
+    /// shed frontier advances. Chaos/test hook.
+    pub fn pause_workers(&self) {
+        self.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Resume stalled workers.
+    pub fn resume_workers(&self) {
+        self.paused.store(false, Ordering::Relaxed);
+    }
+
+    /// Records shed so far, newest cohort included.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Close the intake, drain the queues, join the workers and fold
+    /// their counters.
+    pub fn finish(mut self) -> FleetStats {
+        self.resume_workers();
+        self.txs.clear(); // disconnect: workers drain and exit
+        let mut latencies_s = Vec::new();
+        let (mut committed, mut duplicates, mut lost_crash) = (0u64, 0u64, 0u64);
+        let (mut rejected_streams, mut batches) = (0u64, 0u64);
+        for h in self.workers.drain(..) {
+            let out = h.join().expect("fleet worker panicked");
+            latencies_s.extend_from_slice(&out.latencies_s);
+            committed += out.committed;
+            duplicates += out.duplicates;
+            lost_crash += out.lost_crash;
+            rejected_streams += out.rejected_streams;
+            batches += out.batches;
+        }
+        latencies_s.sort_unstable_by(f32::total_cmp);
+        let shed_by_cohort: Vec<u64> =
+            self.shed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let crashes = self.servers.iter().map(|s| s.stats().crashes).sum();
+        let servers = Arc::try_unwrap(std::mem::take(&mut self.servers))
+            .expect("workers joined; no other owner");
+        FleetStats {
+            committed,
+            duplicates,
+            lost_crash,
+            rejected_streams,
+            batches,
+            shed_records: shed_by_cohort.iter().sum(),
+            shed_by_cohort,
+            backpressure_signals: self.backpressure_signals.load(Ordering::Relaxed),
+            enqueued_records: self.enqueued_records.load(Ordering::Relaxed),
+            crashes,
+            latencies_s,
+            servers,
+        }
+    }
+}
+
+impl Drop for FleetIngest {
+    fn drop(&mut self) {
+        // `finish` drains these; a dropped-without-finish pipeline must
+        // not leave workers blocked on recv forever.
+        self.paused.store(false, Ordering::Relaxed);
+        self.txs.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Folded pipeline counters after [`FleetIngest::finish`].
+pub struct FleetStats {
+    /// Newly stored records across all cohorts.
+    pub committed: u64,
+    /// Records refused as duplicates by cohort servers.
+    pub duplicates: u64,
+    /// Records lost to a crash landing between admission and commit.
+    pub lost_crash: u64,
+    /// Streams that failed to decode (should be zero with healthy agents).
+    pub rejected_streams: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Records shed, total.
+    pub shed_records: u64,
+    /// Records shed, per cohort (newest cohorts shed first).
+    pub shed_by_cohort: Vec<u64>,
+    /// Backpressure refusals signalled to agents.
+    pub backpressure_signals: u64,
+    /// Records handed to `submit`.
+    pub enqueued_records: u64,
+    /// Server crash count (chaos).
+    pub crashes: u64,
+    /// Enqueue→commit latencies, seconds, sorted ascending.
+    pub latencies_s: Vec<f32>,
+    /// The cohort servers, for record extraction.
+    pub servers: Vec<Arc<CollectionServer>>,
+}
+
+impl FleetStats {
+    /// Latency quantile `q` in [0, 1], seconds; 0 when nothing committed.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let i = ((self.latencies_s.len() - 1) as f64 * q).round() as usize;
+        f64::from(self.latencies_s[i])
+    }
+
+    /// Drain every cohort server and merge into one (device, seq)-sorted
+    /// record vector — the shape [`clean`](mobitrace_collector::clean)
+    /// requires, and the basis of the fleet-vs-batch determinism proof.
+    pub fn into_records(self) -> Vec<Record> {
+        let mut all: Vec<Record> = Vec::new();
+        for server in self.servers {
+            let server = Arc::try_unwrap(server).expect("stats own the servers");
+            all.extend(server.into_records());
+        }
+        all.sort_unstable_by_key(|r| (r.device, r.seq));
+        all
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod affinity {
+    //! Best-effort CPU pinning via a direct syscall-wrapper binding (the
+    //! build has no libc crate; same pattern as the pool crate's mmap
+    //! bindings).
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    /// Pin the calling thread to `core`. Returns whether the kernel
+    /// accepted the mask.
+    pub fn pin_to_core(core: usize) -> bool {
+        let mut mask = [0u64; 16]; // cpu_set_t for up to 1024 CPUs
+        let (word, bit) = (core / 64, core % 64);
+        if word >= mask.len() {
+            return false;
+        }
+        mask[word] = 1u64 << bit;
+        // SAFETY: pid 0 targets the calling thread; the mask pointer and
+        // size describe a live, correctly sized buffer.
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod affinity {
+    pub fn pin_to_core(_core: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use mobitrace_collector::encode_batch;
+    use mobitrace_model::{CellId, CounterSnapshot, Record, ScanSummary, SimTime, WifiState};
+
+    fn record(device: u32, seq: u32) -> Record {
+        Record {
+            device: DeviceId(device),
+            seq,
+            time: SimTime::from_minutes(seq * 10),
+            boot_epoch: 0,
+            os: mobitrace_model::Os::Android,
+            os_version: mobitrace_model::OsVersion::new(4, 4),
+            counters: CounterSnapshot::default(),
+            wifi: WifiState::Off,
+            scan: ScanSummary::default(),
+            apps: Vec::new(),
+            geo: CellId::new(0, 0),
+            battery_pct: 80,
+            tethering: false,
+        }
+    }
+
+    fn stream_of(records: &[Record]) -> Bytes {
+        let mut buf = BytesMut::new();
+        encode_batch(records.iter(), &mut buf);
+        buf.freeze()
+    }
+
+    #[test]
+    fn commits_across_cohorts_and_workers() {
+        let fleet = FleetIngest::new(FleetConfig {
+            cohorts: 4,
+            workers: 3,
+            pin_workers: false,
+            ..FleetConfig::default()
+        });
+        let mut sent = 0u32;
+        for d in 0..200u32 {
+            let device = DeviceId(d);
+            let recs: Vec<Record> = (0..5).map(|s| record(d, s)).collect();
+            let (cohort, decision) = fleet.admit(device, 5, 0.0);
+            assert_eq!(decision, Admission::Admit, "unloaded fleet admits");
+            assert_eq!(cohort, fleet.router().cohort_of(device));
+            fleet.submit(cohort, 5, stream_of(&recs));
+            sent += 5;
+        }
+        let stats = fleet.finish();
+        assert_eq!(stats.committed, u64::from(sent));
+        assert_eq!(stats.duplicates, 0);
+        assert_eq!(stats.lost_crash, 0);
+        assert_eq!(stats.shed_records, 0);
+        assert_eq!(stats.latencies_s.len(), 200);
+        assert!(stats.latency_quantile(0.99) >= stats.latency_quantile(0.5));
+        let records = stats.into_records();
+        assert_eq!(records.len(), 1000);
+        assert!(records.windows(2).all(|w| (w[0].device, w[0].seq) < (w[1].device, w[1].seq)));
+    }
+
+    #[test]
+    fn duplicate_records_are_refused_and_counted() {
+        let fleet =
+            FleetIngest::new(FleetConfig { cohorts: 1, workers: 1, ..FleetConfig::default() });
+        let recs: Vec<Record> = (0..10).map(|s| record(7, s)).collect();
+        fleet.submit(0, 10, stream_of(&recs));
+        fleet.submit(0, 10, stream_of(&recs));
+        let stats = fleet.finish();
+        assert_eq!(stats.committed, 10);
+        assert_eq!(stats.duplicates, 10);
+    }
+
+    #[test]
+    fn stalled_workers_advance_the_shed_frontier_newest_first() {
+        let n_cohorts = 4usize;
+        let fleet = FleetIngest::new(FleetConfig {
+            cohorts: n_cohorts,
+            workers: 1,
+            queue_cap: 8,
+            pin_workers: false,
+            ..FleetConfig::default()
+        });
+        fleet.pause_workers();
+        // Representative device per cohort (router is stable, so scan).
+        let mut rep = vec![None; n_cohorts];
+        for d in 0..10_000u32 {
+            let c = fleet.router().cohort_of(DeviceId(d)) as usize;
+            if rep[c].is_none() {
+                rep[c] = Some(DeviceId(d));
+            }
+        }
+        let rep: Vec<DeviceId> = rep.into_iter().map(Option::unwrap).collect();
+        // Fill the single worker queue to just over half: the newest
+        // cohort sheds, cohort 0 still admits.
+        for i in 0..5u32 {
+            let c = fleet.router().cohort_of(rep[(i as usize) % n_cohorts]);
+            fleet.submit(c, 1, stream_of(&[record(1_000_000 + i, 0)]));
+        }
+        let (_, d_new) = fleet.admit(rep[n_cohorts - 1], 1, 0.0);
+        assert_eq!(d_new, Admission::Shed, "newest cohort sheds first");
+        let (_, d_old) = fleet.admit(rep[0], 1, 0.0);
+        assert_eq!(d_old, Admission::Admit, "oldest cohort keeps flowing");
+        fleet.account_shed(fleet.router().cohort_of(rep[n_cohorts - 1]), 1);
+        // Saturate the queue: now even cohort 0 is refused (backpressure,
+        // not shed — its data stays on the device).
+        for i in 5..8u32 {
+            fleet.submit(
+                fleet.router().cohort_of(rep[0]),
+                1,
+                stream_of(&[record(2_000_000 + i, 0)]),
+            );
+        }
+        let (_, d_full) = fleet.admit(rep[0], 1, 0.0);
+        assert_ne!(d_full, Admission::Admit, "full queue admits nothing");
+        fleet.resume_workers();
+        let stats = fleet.finish();
+        assert_eq!(stats.shed_records, 1);
+        assert_eq!(*stats.shed_by_cohort.last().unwrap(), 1);
+        assert_eq!(stats.shed_by_cohort[0], 0);
+        assert_eq!(stats.committed, 8);
+    }
+
+    #[test]
+    fn token_bucket_backpressure_is_per_cohort() {
+        let fleet = FleetIngest::new(FleetConfig {
+            cohorts: 2,
+            workers: 1,
+            rate_per_cohort: 100.0,
+            burst: 10.0,
+            pin_workers: false,
+            ..FleetConfig::default()
+        });
+        let (mut dev_a, mut dev_b) = (None, None);
+        for d in 0..1_000u32 {
+            match fleet.router().cohort_of(DeviceId(d)) {
+                0 if dev_a.is_none() => dev_a = Some(DeviceId(d)),
+                1 if dev_b.is_none() => dev_b = Some(DeviceId(d)),
+                _ => {}
+            }
+        }
+        let (a, b) = (dev_a.unwrap(), dev_b.unwrap());
+        assert_eq!(fleet.admit(a, 10, 0.0).1, Admission::Admit);
+        assert_eq!(fleet.admit(a, 10, 0.0).1, Admission::Backpressure, "cohort 0 budget spent");
+        fleet.note_backpressure();
+        assert_eq!(fleet.admit(b, 10, 0.0).1, Admission::Admit, "cohort 1 has its own bucket");
+        // Refill admits cohort 0 again.
+        assert_eq!(fleet.admit(a, 10, 0.1).1, Admission::Admit);
+        let stats = fleet.finish();
+        assert_eq!(stats.backpressure_signals, 1);
+    }
+
+    #[test]
+    fn crashed_cohort_backpressures_and_inflight_is_counted() {
+        let fleet = FleetIngest::new(FleetConfig {
+            cohorts: 1,
+            workers: 1,
+            journal: true,
+            pin_workers: false,
+            ..FleetConfig::default()
+        });
+        fleet.pause_workers();
+        fleet.submit(0, 3, stream_of(&[record(1, 0), record(1, 1), record(1, 2)]));
+        fleet.servers()[0].crash();
+        // New admissions are refused at the door...
+        assert_eq!(fleet.admit(DeviceId(2), 1, 0.0).1, Admission::Backpressure);
+        // ...and the in-flight batch is lost per record, not per stream.
+        fleet.resume_workers();
+        let stats = fleet.finish();
+        assert_eq!(stats.lost_crash, 3);
+        assert_eq!(stats.committed, 0);
+        assert_eq!(stats.crashes, 1);
+    }
+}

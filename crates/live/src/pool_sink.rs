@@ -51,7 +51,12 @@ impl SnapshotPoolSink {
     /// mapped (see [`PoolWriter::create`]); the sink's readers are
     /// expected to open the file only after the sink exists.
     pub fn create(path: &Path) -> Result<SnapshotPoolSink, PoolError> {
-        Ok(SnapshotPoolSink { writer: PoolWriter::create(path)?, next: 0, generations: 0, error: None })
+        Ok(SnapshotPoolSink {
+            writer: PoolWriter::create(path)?,
+            next: 0,
+            generations: 0,
+            error: None,
+        })
     }
 
     /// Append one snapshot as the next generation and publish it.

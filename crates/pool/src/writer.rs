@@ -147,11 +147,9 @@ impl PoolWriter {
             // Make the rename itself durable: fsync the parent directory
             // (best-effort; directories are not openable everywhere).
             if let Some(dir) = target.parent() {
-                if let Ok(d) = File::open(if dir.as_os_str().is_empty() {
-                    Path::new(".")
-                } else {
-                    dir
-                }) {
+                if let Ok(d) =
+                    File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir })
+                {
                     let _ = d.sync_all();
                 }
             }

@@ -42,6 +42,32 @@
 //! ratio up on any machine; tolerances are generous (default
 //! [`DEFAULT_TOLERANCE`] plus a per-key absolute slack) to absorb
 //! small-dataset noise at `--quick` scale.
+//!
+//! [`TRACKED_FLOOR`] keys are the mirror image: higher-is-better ratios
+//! (`ingest.speedup`, the scan-plan cache hit rate, fleet throughput)
+//! that fail when they fall below `baseline / tolerance - slack`.
+//!
+//! # Fleet keys are machine-sensitive
+//!
+//! The `fleet.*` keys are the exception to the dimensionless rule:
+//! `fleet.records_per_s` is raw wall-clock throughput and
+//! `fleet.enqueue_commit_p99_s` a raw latency, and both move with core
+//! count, scheduler behaviour and allocator pressure. They are gated
+//! anyway — an ingest-frontend regression shows up nowhere else — but
+//! with deliberately generous per-key slack (tens of thousands of
+//! records/s, hundreds of milliseconds), sized for cross-runner variance
+//! rather than micro-noise. When comparing entries from machines of
+//! different classes, expect the `moved >25%` advisory section to flag
+//! fleet keys even while the gate passes; that is working as intended.
+//!
+//! # Mixed histories and the lookback baseline
+//!
+//! `mobitrace fleet` appends entries whose metric map holds only
+//! `fleet.*` keys, interleaved in the same history file with full bench
+//! entries. Comparing against "the last entry" would therefore find no
+//! shared keys half the time; [`lookback_baseline`] merges the history
+//! newest-last so each key's baseline is *the most recent entry that has
+//! that key*, and the gate compares against the merge.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -71,6 +97,25 @@ pub const TRACKED: &[(&str, f64)] = &[
     ("analysis.apclass.ratio", 0.08),
     ("world_scan.into_ratio", 0.25),
     ("world_scan.replay_ratio", 0.25),
+    // Wall-clock latency, machine-sensitive (see module docs): the slack
+    // absorbs a slow runner, the ratio still catches a pipeline stall.
+    ("fleet.enqueue_commit_p99_s", 0.25),
+];
+
+/// Gated metrics that are *higher*-is-better, with per-key absolute
+/// slack: these fail when the current value falls below
+/// `baseline / tolerance - slack`.
+pub const TRACKED_FLOOR: &[(&str, f64)] = &[
+    // Sharded-vs-single-shard ingest speedup. On a single-core runner the
+    // two configurations are equal-cost (timeslicing), so the floor must
+    // admit ~1.0 even from a baseline comfortably above it.
+    ("ingest.speedup", 0.25),
+    // Effective scan-plan reuse rate (shared + per-device local); a drop
+    // means plan caching broke somewhere.
+    ("world_scan.plan_cache.hit_rate", 0.10),
+    // Raw fleet throughput — machine-sensitive, generous slack (module
+    // docs).
+    ("fleet.records_per_s", 50_000.0),
 ];
 
 /// One committed bench run: provenance plus the flat metric map.
@@ -254,14 +299,18 @@ impl fmt::Display for CompareReport {
             "tracked metric", "baseline", "current", "limit"
         )?;
         for r in &self.rows {
+            // Ceiling limits sit above their baseline, floor limits below;
+            // mark the floors so the table reads unambiguously.
+            let verdict = match (r.pass, r.limit < r.baseline) {
+                (true, false) => "pass",
+                (false, false) => "FAIL",
+                (true, true) => "pass (floor)",
+                (false, true) => "FAIL (floor)",
+            };
             writeln!(
                 f,
-                "  {:<34} {:>10.4} {:>10.4} {:>10.4}  {}",
-                r.key,
-                r.baseline,
-                r.current,
-                r.limit,
-                if r.pass { "pass" } else { "FAIL" }
+                "  {:<34} {:>10.4} {:>10.4} {:>10.4}  {verdict}",
+                r.key, r.baseline, r.current, r.limit
             )?;
         }
         for key in &self.missing {
@@ -281,8 +330,28 @@ impl fmt::Display for CompareReport {
     }
 }
 
+/// Merge a history into one synthetic baseline entry: each metric's
+/// value comes from the most recent entry that carries it (see "Mixed
+/// histories" in the module docs). Provenance fields come from the last
+/// entry overall.
+pub fn lookback_baseline(history: &[BenchEntry]) -> Option<BenchEntry> {
+    let last = history.last()?;
+    let mut merged = last.clone();
+    merged.label = format!("lookback[{}] {}", history.len(), last.label);
+    for entry in history {
+        // Oldest first: later entries override, so each key ends on its
+        // newest value.
+        for (k, &v) in &entry.metrics {
+            merged.metrics.insert(k.clone(), v);
+        }
+    }
+    Some(merged)
+}
+
 /// Gate a run against a baseline entry: every [`TRACKED`] metric present
-/// in both must stay within `baseline * tolerance + slack`.
+/// in both must stay within `baseline * tolerance + slack`, and every
+/// [`TRACKED_FLOOR`] metric must stay above `baseline / tolerance -
+/// slack`.
 pub fn compare(baseline: &BenchEntry, current: &BenchEntry, tolerance: f64) -> CompareReport {
     let mut rows = Vec::new();
     let mut missing = Vec::new();
@@ -301,7 +370,22 @@ pub fn compare(baseline: &BenchEntry, current: &BenchEntry, tolerance: f64) -> C
             _ => missing.push(key.to_string()),
         }
     }
-    let tracked_keys: Vec<&str> = TRACKED.iter().map(|&(k, _)| k).collect();
+    for &(key, slack) in TRACKED_FLOOR {
+        match (baseline.metrics.get(key), current.metrics.get(key)) {
+            (Some(&base), Some(&cur)) => {
+                let limit = (base / tolerance - slack).max(0.0);
+                rows.push(CompareRow {
+                    key: key.into(),
+                    baseline: base,
+                    current: cur,
+                    limit,
+                    pass: cur >= limit,
+                });
+            }
+            _ => missing.push(key.to_string()),
+        }
+    }
+    let tracked_keys: Vec<&str> = TRACKED.iter().chain(TRACKED_FLOOR).map(|&(k, _)| k).collect();
     let mut moved = Vec::new();
     for (key, &base) in &baseline.metrics {
         if tracked_keys.contains(&key.as_str()) {
@@ -385,6 +469,51 @@ mod tests {
         let report = compare(&base, &cur, DEFAULT_TOLERANCE);
         assert_eq!(report.moved.len(), 1);
         assert_eq!(report.moved[0].0, "sim.cached_s");
+    }
+
+    #[test]
+    fn floor_keys_fail_downward_not_upward() {
+        let base = entry(&[("ingest.speedup", 1.4)]);
+        // Falling within tolerance passes: 1.4 / 1.75 - 0.25 = 0.55.
+        let dip = entry(&[("ingest.speedup", 0.9)]);
+        assert!(!compare(&base, &dip, DEFAULT_TOLERANCE).regressed());
+        // Falling below the floor fails...
+        let collapse = entry(&[("ingest.speedup", 0.4)]);
+        let report = compare(&base, &collapse, DEFAULT_TOLERANCE);
+        assert!(report.regressed());
+        assert!(report.to_string().contains("FAIL (floor)"));
+        // ...and rising can never fail a floor key.
+        let faster = entry(&[("ingest.speedup", 100.0)]);
+        assert!(!compare(&base, &faster, DEFAULT_TOLERANCE).regressed());
+    }
+
+    #[test]
+    fn fleet_throughput_floor_has_absolute_slack() {
+        let base = entry(&[("fleet.records_per_s", 200_000.0)]);
+        // 200k / 1.75 - 50k ≈ 64.3k: a slower runner still passes.
+        let slower = entry(&[("fleet.records_per_s", 70_000.0)]);
+        assert!(!compare(&base, &slower, DEFAULT_TOLERANCE).regressed());
+        let collapsed = entry(&[("fleet.records_per_s", 10_000.0)]);
+        assert!(compare(&base, &collapsed, DEFAULT_TOLERANCE).regressed());
+    }
+
+    #[test]
+    fn lookback_merges_mixed_histories_per_key() {
+        let mut bench = entry(&[("analysis.overview.ratio", 0.40), ("ingest.speedup", 1.2)]);
+        bench.label = "bench".into();
+        let mut fleet = entry(&[("fleet.records_per_s", 150_000.0)]);
+        fleet.label = "fleet".into();
+        let mut newer_bench = entry(&[("analysis.overview.ratio", 0.45), ("ingest.speedup", 1.3)]);
+        newer_bench.label = "bench2".into();
+        let history = vec![bench, fleet, newer_bench];
+        let merged = lookback_baseline(&history).unwrap();
+        // Each key's baseline is its newest occurrence, regardless of the
+        // entry kinds interleaved after it.
+        assert_eq!(merged.metrics["fleet.records_per_s"], 150_000.0);
+        assert_eq!(merged.metrics["ingest.speedup"], 1.3);
+        assert_eq!(merged.metrics["analysis.overview.ratio"], 0.45);
+        assert!(merged.label.starts_with("lookback[3]"));
+        assert!(lookback_baseline(&[]).is_none());
     }
 
     #[test]

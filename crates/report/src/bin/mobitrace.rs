@@ -10,6 +10,7 @@
 //! mobitrace bench [--quick] [--scale S] [--seed N] [--json PATH]
 //! mobitrace chaos [--quick] [--scale S] [--seed N]
 //! mobitrace live [--quick] [--chaos] [--scale S] [--seed N]
+//! mobitrace fleet [--devices N[k|M]] [--cohorts K] [--duration S] [--chaos]
 //! ```
 
 use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
@@ -34,6 +35,26 @@ struct Args {
     history: Option<String>,
     label: Option<String>,
     tolerance: f64,
+    devices: usize,
+    cohorts: usize,
+    duration: f64,
+    workers: usize,
+    rate: f64,
+}
+
+/// Parse a device count, accepting `k`/`M` suffixes (`50k`, `1M`, `1.5M`).
+fn parse_count(s: &str) -> Result<usize, String> {
+    let t = s.trim();
+    let (digits, mult) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 1_000.0),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 1_000_000.0),
+        _ => (t, 1.0),
+    };
+    let n: f64 = digits.parse().map_err(|e| format!("bad count '{s}': {e}"))?;
+    if !(n >= 0.0 && n.is_finite()) {
+        return Err(format!("bad count '{s}'"));
+    }
+    Ok((n * mult).round() as usize)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +74,11 @@ fn parse_args() -> Result<Args, String> {
         history: None,
         label: None,
         tolerance: mobitrace_report::benchhist::DEFAULT_TOLERANCE,
+        devices: 50_000,
+        cohorts: 4,
+        duration: 5.0,
+        workers: 0,
+        rate: 0.0,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -97,6 +123,37 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
+            "--devices" => {
+                out.devices = parse_count(&args.next().ok_or("--devices needs a count")?)?;
+            }
+            "--cohorts" => {
+                out.cohorts = args
+                    .next()
+                    .ok_or("--cohorts needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cohorts: {e}"))?;
+            }
+            "--duration" => {
+                out.duration = args
+                    .next()
+                    .ok_or("--duration needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration: {e}"))?;
+            }
+            "--workers" => {
+                out.workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--rate" => {
+                out.rate = args
+                    .next()
+                    .ok_or("--rate needs records/s")?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?;
+            }
             other if !other.starts_with('-') => out.ids.push(other.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -106,6 +163,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.tolerance <= 0.0 {
         return Err(format!("--tolerance {} must be positive", out.tolerance));
+    }
+    if out.devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    if out.cohorts == 0 {
+        return Err("--cohorts must be at least 1".into());
+    }
+    if !(out.duration > 0.0 && out.duration.is_finite()) {
+        return Err(format!("--duration {} must be positive seconds", out.duration));
     }
     Ok(out)
 }
@@ -212,6 +278,7 @@ fn main() {
         "chaos" => run_chaos(&args),
         "live" => run_live(&args),
         "pool" => run_pool(&args),
+        "fleet" => run_fleet_cmd(&args),
         _ => {
             println!(
                 "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
@@ -227,7 +294,10 @@ fn main() {
                  mobitrace live [--quick] [--chaos] [--scale S] [--seed N]\n  \
                  mobitrace pool export --out FILE.mtpool [--scale S] [--seed N]\n  \
                  mobitrace pool analyze --data FILE.mtpool [<id>...]\n  \
-                 mobitrace pool verify --data FILE.mtpool\n\n\
+                 mobitrace pool verify --data FILE.mtpool\n  \
+                 mobitrace fleet [--devices N[k|M]] [--cohorts K] [--duration S]\n          \
+                 [--workers W] [--rate R/s] [--chaos] [--quick] [--json PATH]\n          \
+                 [--compare HIST.jsonl] [--history HIST.jsonl] [--label NAME]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
                  `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
@@ -242,7 +312,12 @@ fn main() {
                  `pool` works with the single-file mmap `.mtpool` format:\n\
                  `export` simulates and writes one, `analyze` serves experiments\n\
                  zero-copy from it, `verify` checks every segment checksum;\n\
-                 `--quick` caps the scale at 0.02 for CI smoke runs."
+                 `fleet` drives the thread-per-core ingest frontend at fleet\n\
+                 scale (`--devices 1M`), reporting sustained records/s, p50/p99\n\
+                 enqueue-to-commit latency and shed/backoff counts, merged into\n\
+                 BENCH_pipeline.json next to any existing bench metrics;\n\
+                 `--quick` caps the scale at 0.02 (and `fleet` at 50k devices)\n\
+                 for CI smoke runs."
             );
         }
     }
@@ -688,8 +763,12 @@ fn run_pipeline_bench(args: &Args) {
     // Contended ingest: 8 producers interleaved across devices, first into
     // the lock-striped server, then into a single-stripe one (the old
     // one-global-lock design).
+    // Big enough that one timed pass spans many scheduler quanta (~0.4s,
+    // not ~0.04s): the sharded-vs-single-lock difference is a lock-convoy
+    // effect that accumulates per preemption, and at 48k frames it was
+    // inside run-to-run noise on small machines.
     const N_DEVICES: u32 = 200;
-    const PER_DEVICE: u32 = 240;
+    const PER_DEVICE: u32 = 2400;
     const THREADS: usize = 8;
     let mut records_by_slot: Vec<Vec<Record>> = (0..THREADS).map(|_| Vec::new()).collect();
     for d in 0..N_DEVICES {
@@ -728,15 +807,34 @@ fn run_pipeline_bench(args: &Args) {
         });
         t.elapsed().as_secs_f64()
     };
-    let sharded = CollectionServer::new();
-    let ingest_s = timed(&sharded);
-    let single = CollectionServer::with_shards(1);
-    let ingest_single_shard_s = timed(&single);
+    // Whichever configuration runs first pays the allocator-growth and
+    // page-fault bill for both (the shard journals and dedup sets are
+    // built from cold heap), which once pushed the committed
+    // `ingest.speedup` below 1.0 simply because the sharded server was
+    // measured first. One discarded pass per configuration warms the
+    // allocator, then each is timed five times in alternating order and
+    // the minima are compared — min is the standard noise-floor
+    // estimator here, since scheduler preemption and co-tenants only
+    // ever add time.
+    timed(&CollectionServer::new());
+    timed(&CollectionServer::with_shards(1));
+    const ROUNDS: usize = 5;
+    let mut ingest_s = f64::INFINITY;
+    let mut ingest_single_shard_s = f64::INFINITY;
+    let mut sharded = None;
+    for _ in 0..ROUNDS {
+        let fresh = CollectionServer::new();
+        ingest_s = ingest_s.min(timed(&fresh));
+        sharded = Some(fresh);
+        ingest_single_shard_s = ingest_single_shard_s.min(timed(&CollectionServer::with_shards(1)));
+    }
+    let sharded = sharded.expect("timed rounds ran");
     let speedup = ingest_single_shard_s / ingest_s.max(1e-9);
     let n_shards = sharded.n_shards();
     eprintln!(
-        "  ingest ({THREADS} threads, {n_frames} frames): {n_shards} shards {ingest_s:.3}s \
-         vs single lock {ingest_single_shard_s:.3}s ({speedup:.1}x)"
+        "  ingest ({THREADS} threads, {n_frames} frames, best of {ROUNDS} warm runs): \
+         {n_shards} shards {ingest_s:.3}s vs single lock {ingest_single_shard_s:.3}s \
+         ({speedup:.2}x)"
     );
 
     // Same records as one contiguous upload buffer per producer: the
@@ -998,14 +1096,20 @@ fn run_pipeline_bench(args: &Args) {
         live_report.converged()
     );
 
-    // Scan-plan cache effectiveness in a real device loop (the micro
-    // timings above replay one plan; this is the campaign-wide hit rate).
+    // Scan-plan reuse in a real device loop (the micro timings above
+    // replay one plan; this is the campaign-wide rate). Revisits are
+    // usually absorbed by each device's plan-local cache before they ever
+    // reach the shared cache — counting shared hits alone reported a 0.0
+    // rate while the cache was doing its job — so the effective rate is
+    // (local + shared hits) over all plan lookups.
     let (plan_hits, plan_misses) = (live_report.raw.plan_hits, live_report.raw.plan_misses);
-    let plan_hit_rate = plan_hits as f64 / ((plan_hits + plan_misses) as f64).max(1.0);
+    let plan_local_hits = live_report.raw.net.plan_local_hits;
+    let plan_lookups = plan_local_hits + plan_hits + plan_misses;
+    let plan_hit_rate = (plan_local_hits + plan_hits) as f64 / (plan_lookups as f64).max(1.0);
     metrics.insert("world_scan.plan_cache.hit_rate".into(), plan_hit_rate);
     eprintln!(
-        "  scan-plan cache: {plan_hits} hits / {plan_misses} misses \
-         ({:.1}% hit rate)",
+        "  scan-plan cache: {plan_local_hits} local + {plan_hits} shared hits / \
+         {plan_misses} misses ({:.1}% reuse)",
         plan_hit_rate * 100.0
     );
 
@@ -1059,8 +1163,11 @@ fn run_pipeline_bench(args: &Args) {
                 std::process::exit(2);
             }
         };
-        let baseline = history.last().expect("non-empty");
-        let report = benchhist::compare(baseline, &entry, args.tolerance);
+        // Lookback, not `last()`: fleet entries and bench entries share
+        // one history file but carry different key subsets, so the
+        // baseline for each key is the newest entry that has it.
+        let baseline = benchhist::lookback_baseline(&history).expect("non-empty");
+        let report = benchhist::compare(&baseline, &entry, args.tolerance);
         eprint!("{report}");
         if report.regressed() {
             eprintln!(
@@ -1079,5 +1186,182 @@ fn run_pipeline_bench(args: &Args) {
             std::process::exit(1);
         }
         eprintln!("appended entry '{}' ({}) to {history_path}", entry.label, entry.git_sha);
+    }
+}
+
+/// `mobitrace fleet`: drive the thread-per-core fleet ingest frontend at
+/// fleet scale — pinned decode/commit workers fronting per-cohort
+/// collection servers, synthetic device agents producing against the
+/// admission controller — and report sustained throughput, enqueue→commit
+/// latency quantiles and every admission outcome. Metrics merge into
+/// `BENCH_pipeline.json` next to any existing bench document, and the
+/// `--compare`/`--history` gate works exactly as for `bench` (the
+/// lookback baseline composes fleet-only and bench-only entries). Exits
+/// non-zero if the per-record accounting fails to reconcile.
+fn run_fleet_cmd(args: &Args) {
+    use mobitrace_fleet::{run_fleet, FleetRunConfig};
+    use mobitrace_report::benchhist;
+
+    let devices = if args.quick { args.devices.min(50_000) } else { args.devices };
+    let duration_s = if args.quick { args.duration.min(2.0) } else { args.duration };
+    let cfg = FleetRunConfig {
+        devices,
+        cohorts: args.cohorts,
+        workers: args.workers,
+        duration_s,
+        chaos: args.chaos,
+        seed: args.seed,
+        rate_per_cohort: args.rate,
+        ..FleetRunConfig::default()
+    };
+    eprintln!(
+        "fleet ingest: {} devices over {} cohorts, {:.1}s sustained{}{} (seed {})...",
+        cfg.devices,
+        cfg.cohorts,
+        cfg.duration_s,
+        if cfg.workers == 0 { String::new() } else { format!(", {} workers", cfg.workers) },
+        if cfg.chaos { ", chaos on" } else { "" },
+        cfg.seed,
+    );
+    let report = run_fleet(&cfg);
+    println!(
+        "fleet: {:.0} records/s sustained over {:.2}s ({} committed / {} made; \
+         {} workers, {} producers, {} rounds)",
+        report.records_per_s,
+        report.elapsed_s,
+        report.committed,
+        report.records_made,
+        report.workers,
+        report.producers,
+        report.rounds
+    );
+    println!(
+        "  enqueue→commit latency: p50 {:.3}ms, p99 {:.3}ms",
+        report.enqueue_commit_p50_s * 1e3,
+        report.enqueue_commit_p99_s * 1e3
+    );
+    println!(
+        "  admission: {} shed, {} backpressure signals, {} server rejects, {} backoff skips",
+        report.shed_records,
+        report.backpressure_signals,
+        report.server_rejects,
+        report.backoff_skips
+    );
+    println!(
+        "  accounting: {} duplicates, {} lost to crashes ({} crashes), {} agent-dropped, \
+         {} pending",
+        report.duplicates, report.lost_crash, report.crashes, report.agent_dropped, report.pending
+    );
+
+    let mut metrics: std::collections::BTreeMap<String, f64> = Default::default();
+    metrics.insert("fleet.records_per_s".into(), report.records_per_s);
+    metrics.insert("fleet.enqueue_commit_p50_s".into(), report.enqueue_commit_p50_s);
+    metrics.insert("fleet.enqueue_commit_p99_s".into(), report.enqueue_commit_p99_s);
+    metrics.insert("fleet.records_made".into(), report.records_made as f64);
+    metrics.insert("fleet.committed".into(), report.committed as f64);
+    metrics.insert("fleet.duplicates".into(), report.duplicates as f64);
+    metrics.insert("fleet.shed_records".into(), report.shed_records as f64);
+    metrics.insert("fleet.lost_crash".into(), report.lost_crash as f64);
+    metrics.insert("fleet.agent_dropped".into(), report.agent_dropped as f64);
+    metrics.insert("fleet.backpressure_signals".into(), report.backpressure_signals as f64);
+    metrics.insert("fleet.server_rejects".into(), report.server_rejects as f64);
+    metrics.insert("fleet.backoff_skips".into(), report.backoff_skips as f64);
+    metrics.insert("fleet.crashes".into(), report.crashes as f64);
+    metrics.insert("fleet.devices".into(), report.devices as f64);
+    metrics.insert("fleet.rounds".into(), report.rounds as f64);
+    metrics.insert("fleet.elapsed_s".into(), report.elapsed_s);
+
+    // Merge into the bench document rather than clobbering it: `bench`
+    // and `fleet` share one metrics namespace, and the history gate's
+    // lookback baseline composes entries carrying different key subsets.
+    let out_path = args.json.clone().unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let mut doc = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .filter(|v| matches!(v, serde_json::Value::Object(_)))
+        .unwrap_or_else(|| serde_json::json!({ "seed": args.seed, "quick": args.quick }));
+    {
+        let slot = &mut doc["metrics"];
+        if !matches!(slot, serde_json::Value::Object(_)) {
+            *slot = serde_json::Value::Object(Default::default());
+        }
+        if let serde_json::Value::Object(map) = slot {
+            for (k, &v) in &metrics {
+                map.insert(k.clone(), serde_json::json!(v));
+            }
+        }
+    }
+    doc["fleet"] = serde_json::json!({
+        "devices": report.devices,
+        "cohorts": report.cohorts,
+        "workers": report.workers,
+        "producers": report.producers,
+        "rounds": report.rounds,
+        "chaos": args.chaos,
+        "reconciles": report.reconciles(),
+    });
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = benchhist::BenchEntry {
+        git_sha: benchhist::git_head_sha(),
+        timestamp: benchhist::utc_timestamp(unix_secs),
+        label: args.label.clone().unwrap_or_else(|| "fleet".into()),
+        scale: args.scale,
+        seed: args.seed,
+        quick: args.quick,
+        metrics,
+    };
+
+    if let Some(baseline_path) = &args.compare {
+        let history = match benchhist::load_history(std::path::Path::new(baseline_path)) {
+            Ok(h) if !h.is_empty() => h,
+            Ok(_) => {
+                eprintln!("error: baseline {baseline_path} has no entries");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = benchhist::lookback_baseline(&history).expect("non-empty");
+        let gate = benchhist::compare(&baseline, &entry, args.tolerance);
+        eprint!("{gate}");
+        if gate.regressed() {
+            eprintln!(
+                "regression gate FAILED. If this perf change is intentional, append a \
+                 fresh entry with `mobitrace fleet --history {baseline_path} --label <why>` \
+                 and commit the updated history."
+            );
+            std::process::exit(1);
+        }
+        eprintln!("regression gate passed");
+    }
+
+    if let Some(history_path) = &args.history {
+        if let Err(e) = benchhist::append_history(std::path::Path::new(history_path), &entry) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("appended entry '{}' ({}) to {history_path}", entry.label, entry.git_sha);
+    }
+
+    if !report.reconciles() {
+        eprintln!(
+            "error: fleet accounting does not reconcile: {} records made but {} accounted \
+             (committed + duplicates + shed + lost_crash + pending + agent_dropped)",
+            report.records_made,
+            report.accounted()
+        );
+        std::process::exit(1);
     }
 }

@@ -46,6 +46,11 @@ pub struct NetSummary {
     pub evicted: u64,
     /// Deepest pending queue any single agent reached.
     pub max_pending: usize,
+    /// Scan-plan requests served by per-device anchor caches. The shared
+    /// [`ScanPlanCache`] only counts requests that reach it, so the true
+    /// plan-reuse rate is `(plan_local_hits + shared hits) / (plan_local_hits
+    /// + shared hits + shared misses)`.
+    pub plan_local_hits: u64,
 }
 
 impl NetSummary {
@@ -64,6 +69,7 @@ impl NetSummary {
         self.server_rejects += dev.agent.server_rejects;
         self.evicted += dev.agent.dropped_records;
         self.max_pending = self.max_pending.max(dev.agent.max_pending);
+        self.plan_local_hits += dev.plan_local_hits;
     }
 
     /// Merge another aggregate (one worker thread's share) into this one.
@@ -81,6 +87,7 @@ impl NetSummary {
         self.server_rejects += other.server_rejects;
         self.evicted += other.evicted;
         self.max_pending = self.max_pending.max(other.max_pending);
+        self.plan_local_hits += other.plan_local_hits;
     }
 }
 

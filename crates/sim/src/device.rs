@@ -142,6 +142,10 @@ pub struct DeviceSim {
     /// Per-device plan cache for this device's anchor positions — hits
     /// skip even the shared cache's read lock.
     plan_local: HashMap<PlanKey, Arc<ScanPlan>>,
+    /// Plan requests served from `plan_local` (the shared cache's own
+    /// hit/miss counters never see these, so the campaign aggregates them
+    /// separately to report the true plan-reuse rate).
+    pub plan_local_hits: u64,
 }
 
 impl DeviceSim {
@@ -274,6 +278,7 @@ impl DeviceSim {
             gauss: GaussianPair::new(),
             scan_buf: Vec::new(),
             plan_local: HashMap::new(),
+            plan_local_hits: 0,
             persona,
             carrier,
             tech,
@@ -757,6 +762,7 @@ impl DeviceSim {
     fn plan_at(&mut self, shared: &SharedWorld<'_>, pos: GeoPoint) -> Arc<ScanPlan> {
         let key = shared.world.plan_key(pos);
         if let Some(p) = self.plan_local.get(&key) {
+            self.plan_local_hits += 1;
             return Arc::clone(p);
         }
         let p = shared.plans.plan(shared.world, key);

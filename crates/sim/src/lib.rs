@@ -19,7 +19,9 @@
 pub mod campaign;
 pub mod config;
 pub mod device;
+pub mod fleet;
 
 pub use campaign::{run_campaign, run_campaign_raw, NetSummary, RawCampaign, SimSummary};
 pub use config::CampaignConfig;
 pub use device::DeviceSim;
+pub use fleet::ObservationPool;

@@ -595,7 +595,20 @@ impl CollectionServer {
     /// window — leaves the previous checkpoint at `path` untouched and
     /// recoverable. Returns the published pool epoch.
     pub fn checkpoint_to_pool(&self, path: &std::path::Path) -> Result<u64, PoolError> {
-        let mut w = PoolWriter::replace(path)?;
+        self.checkpoint_to_pool_with(path, None)
+    }
+
+    /// [`checkpoint_to_pool`](Self::checkpoint_to_pool) with an optional
+    /// pool I/O fault shim (see [`mobitrace_pool::shim`]), so a fault
+    /// harness can fail the checkpoint at an exact write or sync. The
+    /// atomic-replace guarantee is unchanged: a failed checkpoint leaves
+    /// the previous file at `path` intact.
+    pub fn checkpoint_to_pool_with(
+        &self,
+        path: &std::path::Path,
+        shim: Option<std::sync::Arc<dyn mobitrace_pool::PoolIoShim>>,
+    ) -> Result<u64, PoolError> {
+        let mut w = PoolWriter::replace_with(path, shim)?;
         let mut buf = bytes::BytesMut::new();
         for (k, shard) in self.shards.iter().enumerate() {
             let state = shard.read();
@@ -655,6 +668,28 @@ impl CollectionServer {
             }
         }
         Ok(server)
+    }
+
+    /// Clone all records sorted by (device, time) without consuming the
+    /// server — the teardown fallback when another handle still holds a
+    /// reference (e.g. a worker that died without dropping its `Arc`),
+    /// and [`into_records`](Self::into_records) cannot take ownership.
+    pub fn clone_records(&self) -> Vec<Record> {
+        let mut devices: Vec<(DeviceId, Vec<Record>)> = Vec::new();
+        let mut total = 0usize;
+        for shard in self.shards.iter() {
+            let state = shard.read();
+            for (device, per_device) in &state.live {
+                total += per_device.len();
+                devices.push((*device, per_device.values().cloned().collect()));
+            }
+        }
+        devices.sort_by_key(|(d, _)| *d);
+        let mut out = Vec::with_capacity(total);
+        for (_, per_device) in devices {
+            out.extend(per_device);
+        }
+        out
     }
 
     /// Extract all records sorted by (device, time), consuming the server.

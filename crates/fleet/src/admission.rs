@@ -28,20 +28,49 @@ pub struct TokenBucket {
 impl TokenBucket {
     /// Bucket admitting `rate` records/s sustained, `burst` records peak.
     /// `rate <= 0` builds an unlimited bucket.
+    ///
+    /// Non-finite inputs are sanitized (the `FaultPlan` clamp-and-continue
+    /// convention): a NaN/±inf rate becomes 0 (unlimited — a poisoned
+    /// rate must not stall a cohort forever), an infinite burst clamps
+    /// to `f64::MAX`, a NaN burst to the 1-token floor. `tokens` and
+    /// `last_s` stay finite for the bucket's whole life.
     pub fn new(rate: f64, burst: f64) -> TokenBucket {
-        TokenBucket { rate, burst: burst.max(1.0), tokens: burst.max(1.0), last_s: 0.0 }
+        let rate = if rate.is_finite() { rate } else { 0.0 };
+        let burst = if burst.is_finite() {
+            burst.max(1.0)
+        } else if burst == f64::INFINITY {
+            f64::MAX
+        } else {
+            1.0
+        };
+        TokenBucket { rate, burst, tokens: burst, last_s: 0.0 }
     }
 
-    /// Take `n` tokens at time `now_s` (seconds, any monotonic origin).
-    /// Returns whether the records are admitted; a refused take consumes
-    /// nothing.
-    pub fn try_take(&mut self, n: f64, now_s: f64) -> bool {
-        if self.rate <= 0.0 {
-            return true;
+    /// Refill to `now_s`. A non-finite clock reading is ignored — no
+    /// credit, and `last_s` keeps its last sane value rather than being
+    /// poisoned (a NaN `last_s` would turn every future `dt` NaN).
+    fn refill(&mut self, now_s: f64) {
+        if !now_s.is_finite() {
+            return;
         }
         let dt = (now_s - self.last_s).max(0.0);
         self.last_s = now_s;
         self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+    }
+
+    /// Take `n` tokens at time `now_s` (seconds, any monotonic origin).
+    /// Returns whether the records are admitted; a refused take consumes
+    /// nothing. A non-finite `n` is refused (it cannot be accounted);
+    /// a negative `n` takes nothing (never mints credit).
+    pub fn try_take(&mut self, n: f64, now_s: f64) -> bool {
+        if self.rate <= 0.0 {
+            return true;
+        }
+        self.refill(now_s);
+        if !n.is_finite() {
+            return false;
+        }
+        let n = n.max(0.0);
         if self.tokens >= n {
             self.tokens -= n;
             true
@@ -52,9 +81,7 @@ impl TokenBucket {
 
     /// Tokens currently available (after a refill to `now_s`).
     pub fn available(&mut self, now_s: f64) -> f64 {
-        let dt = (now_s - self.last_s).max(0.0);
-        self.last_s = now_s;
-        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.refill(now_s);
         self.tokens
     }
 }
@@ -117,6 +144,36 @@ mod tests {
         assert!(b.try_take(10.0, 5.0));
         // A stale timestamp neither credits nor panics.
         assert!(!b.try_take(1.0, 4.0));
+    }
+
+    #[test]
+    fn non_finite_inputs_clamp_and_continue() {
+        // NaN rate: unlimited, never poisoned.
+        let mut b = TokenBucket::new(f64::NAN, 10.0);
+        assert!(b.try_take(1e9, 0.0));
+        // NaN clock reading: ignored (no credit, no poison), and the
+        // bucket keeps working with the next sane reading.
+        let mut b = TokenBucket::new(10.0, 10.0);
+        assert!(b.try_take(10.0, 0.0));
+        assert!(!b.try_take(1.0, f64::NAN), "empty bucket, NaN clock grants nothing");
+        assert!(b.available(f64::NAN).is_finite());
+        assert!(b.try_take(10.0, 1.0), "sane clock resumes exact refill");
+        // Infinite clock: same contract.
+        assert!(!b.try_take(1.0, f64::INFINITY));
+        assert!(b.try_take(5.0, 1.5), "last_s survived the inf reading");
+        // NaN/inf/negative n never mints credit or admits garbage.
+        let mut b = TokenBucket::new(10.0, 10.0);
+        assert!(!b.try_take(f64::NAN, 0.0));
+        assert!(!b.try_take(f64::INFINITY, 0.0));
+        assert!(b.try_take(-5.0, 0.0), "negative n takes nothing");
+        assert!(b.try_take(10.0, 0.0), "…and minted no credit");
+        assert!(!b.try_take(1.0, 0.0));
+        // Non-finite burst clamps instead of propagating.
+        let mut b = TokenBucket::new(1.0, f64::INFINITY);
+        assert!(b.try_take(1e18, 0.0));
+        let mut b = TokenBucket::new(1.0, f64::NAN);
+        assert!(b.try_take(1.0, 0.0));
+        assert!(!b.try_take(1.0, 0.0), "NaN burst fell back to the 1-token floor");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! [`decode_batch_into`]: mobitrace_collector::decode_batch_into
 //! [`store_batch`]: mobitrace_collector::CollectionServer::store_batch
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,12 +33,15 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender};
-use mobitrace_collector::{decode_batch_into, CollectionServer};
+use mobitrace_collector::CollectionServer;
 use mobitrace_model::{DeviceId, Record};
+use mobitrace_pool::PoolError;
 use parking_lot::Mutex;
 
 use crate::admission::{is_shed, shed_level, TokenBucket};
+use crate::faults::FaultInjector;
 use crate::router::CohortRouter;
+use crate::supervisor::{supervise, RestartPolicy, WorkerCtx, WorkerOut};
 
 /// Fleet pipeline shape and admission policy.
 #[derive(Debug, Clone)]
@@ -61,6 +65,10 @@ pub struct FleetConfig {
     pub server_shards: usize,
     /// Pin worker threads to cores (best effort, Linux only).
     pub pin_workers: bool,
+    /// Periodic per-cohort durable checkpointing (None disables).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Worker restart budget + backoff (see [`RestartPolicy`]).
+    pub restart: RestartPolicy,
 }
 
 impl Default for FleetConfig {
@@ -75,7 +83,41 @@ impl Default for FleetConfig {
             journal: false,
             server_shards: 0,
             pin_workers: true,
+            checkpoint: None,
+            restart: RestartPolicy::default(),
         }
+    }
+}
+
+/// Periodic durable checkpointing of cohort servers into `.mtpool`
+/// files, one per cohort, under a directory. Each checkpoint is an
+/// atomic replace: a crash at any point leaves the previous checkpoint
+/// intact, so the directory always holds the newest *valid* checkpoint
+/// per cohort. Resume via [`FleetIngest::resume`].
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding `cohort-<n>.mtpool` files (created if absent).
+    pub dir: PathBuf,
+    /// Checkpoint a cohort after every this-many batches committed for
+    /// it (minimum 1).
+    pub every_batches: u64,
+    /// Also checkpoint every cohort once during a graceful
+    /// [`finish`](FleetIngest::finish), making a clean shutdown
+    /// lossless on resume. Kill-9 tests turn this off to model a
+    /// process that never got to say goodbye.
+    pub final_checkpoint: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint everything under `dir`, every 64 batches per cohort,
+    /// with a final checkpoint on graceful shutdown.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> CheckpointConfig {
+        CheckpointConfig { dir: dir.into(), every_batches: 64, final_checkpoint: true }
+    }
+
+    /// The checkpoint file for one cohort.
+    pub fn cohort_path(&self, cohort: u32) -> PathBuf {
+        self.dir.join(format!("cohort-{cohort}.mtpool"))
     }
 }
 
@@ -101,20 +143,14 @@ pub enum Admission {
 }
 
 /// One enqueued upload: a contiguous frame stream from a single device.
-struct Batch {
-    cohort: u32,
-    stream: Bytes,
-    enqueued: Instant,
-}
-
-#[derive(Default)]
-struct WorkerOut {
-    latencies_s: Vec<f32>,
-    committed: u64,
-    duplicates: u64,
-    lost_crash: u64,
-    rejected_streams: u64,
-    batches: u64,
+pub(crate) struct Batch {
+    pub(crate) cohort: u32,
+    /// Records the producer says are in `stream` — carried alongside so
+    /// a supervisor can account a batch its worker died holding without
+    /// decoding it.
+    pub(crate) n_records: u32,
+    pub(crate) stream: Bytes,
+    pub(crate) enqueued: Instant,
 }
 
 /// The running fleet pipeline (see module docs).
@@ -123,39 +159,107 @@ pub struct FleetIngest {
     router: CohortRouter,
     servers: Arc<Vec<Arc<CollectionServer>>>,
     buckets: Vec<Mutex<TokenBucket>>,
-    shed: Vec<AtomicU64>,
+    shed: Arc<Vec<AtomicU64>>,
     txs: Vec<Sender<Batch>>,
     depth: Vec<Arc<AtomicUsize>>,
     paused: Arc<AtomicBool>,
     workers: Vec<JoinHandle<WorkerOut>>,
     n_workers: usize,
+    injector: Option<Arc<FaultInjector>>,
     backpressure_signals: AtomicU64,
     enqueued_records: AtomicU64,
+    resumed_records: u64,
 }
 
 impl FleetIngest {
     /// Build the servers and spawn the worker pool.
     pub fn new(cfg: FleetConfig) -> FleetIngest {
-        assert!(cfg.cohorts >= 1 && cfg.queue_cap >= 1);
-        let router = CohortRouter::new(cfg.cohorts);
-        let servers: Arc<Vec<Arc<CollectionServer>>> = Arc::new(
-            (0..cfg.cohorts)
-                .map(|_| {
-                    let s = if cfg.server_shards > 0 {
-                        CollectionServer::with_shards(cfg.server_shards)
-                    } else {
-                        CollectionServer::new()
-                    };
-                    let s = if cfg.journal { s.with_journal() } else { s };
-                    s.set_soft_limit(cfg.soft_limit);
-                    Arc::new(s)
-                })
-                .collect(),
+        FleetIngest::assemble(cfg, None, None)
+    }
+
+    /// [`new`](Self::new) with an armed [`FaultInjector`]: workers run
+    /// its schedule (kills, server crashes) and checkpoint writers wear
+    /// it as their pool I/O shim.
+    ///
+    /// # Panics
+    /// If the schedule crashes servers but `cfg.journal` is off —
+    /// recovery without a journal silently loses committed records,
+    /// which would break the very identity fault runs exist to prove.
+    pub fn with_faults(cfg: FleetConfig, injector: Arc<FaultInjector>) -> FleetIngest {
+        assert!(
+            !injector.spec().has_server_crashes() || cfg.journal,
+            "a fault schedule with server crashes requires cfg.journal"
         );
+        FleetIngest::assemble(cfg, Some(injector), None)
+    }
+
+    /// Rebuild a pipeline from the newest valid checkpoints in `dir`
+    /// (as written by a [`CheckpointConfig`]-enabled run) and continue
+    /// ingesting into the recovered state. Cohorts with no checkpoint
+    /// file start empty; a checkpoint that exists but fails validation
+    /// is a loud error — resuming past silent corruption is how
+    /// longitudinal datasets grow holes. Recovered servers are always
+    /// journaled. [`FleetStats::resumed_records`] reports what was
+    /// recovered.
+    pub fn resume(
+        cfg: FleetConfig,
+        dir: &Path,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<FleetIngest, PoolError> {
+        let mut servers = Vec::with_capacity(cfg.cohorts);
+        for cohort in 0..cfg.cohorts {
+            let path = dir.join(format!("cohort-{cohort}.mtpool"));
+            let server = if path.exists() {
+                CollectionServer::recover_from_pool(&path)?
+            } else {
+                CollectionServer::new().with_journal()
+            };
+            server.set_soft_limit(cfg.soft_limit);
+            servers.push(Arc::new(server));
+        }
+        Ok(FleetIngest::assemble(cfg, injector, Some(servers)))
+    }
+
+    fn assemble(
+        cfg: FleetConfig,
+        injector: Option<Arc<FaultInjector>>,
+        resumed: Option<Vec<Arc<CollectionServer>>>,
+    ) -> FleetIngest {
+        assert!(cfg.cohorts >= 1 && cfg.queue_cap >= 1);
+        if let Some(ckpt) = &cfg.checkpoint {
+            std::fs::create_dir_all(&ckpt.dir).expect("create checkpoint dir");
+        }
+        let router = CohortRouter::new(cfg.cohorts);
+        let resumed_records;
+        let servers: Arc<Vec<Arc<CollectionServer>>> = match resumed {
+            Some(existing) => {
+                assert_eq!(existing.len(), cfg.cohorts);
+                resumed_records = existing.iter().map(|s| s.len() as u64).sum();
+                Arc::new(existing)
+            }
+            None => {
+                resumed_records = 0;
+                Arc::new(
+                    (0..cfg.cohorts)
+                        .map(|_| {
+                            let s = if cfg.server_shards > 0 {
+                                CollectionServer::with_shards(cfg.server_shards)
+                            } else {
+                                CollectionServer::new()
+                            };
+                            let s = if cfg.journal { s.with_journal() } else { s };
+                            s.set_soft_limit(cfg.soft_limit);
+                            Arc::new(s)
+                        })
+                        .collect(),
+                )
+            }
+        };
         let buckets = (0..cfg.cohorts)
             .map(|_| Mutex::new(TokenBucket::new(cfg.rate_per_cohort, cfg.burst)))
             .collect();
-        let shed = (0..cfg.cohorts).map(|_| AtomicU64::new(0)).collect();
+        let shed: Arc<Vec<AtomicU64>> =
+            Arc::new((0..cfg.cohorts).map(|_| AtomicU64::new(0)).collect());
         let n_workers = resolve_workers(cfg.workers);
         let paused = Arc::new(AtomicBool::new(false));
         let mut txs = Vec::with_capacity(n_workers);
@@ -164,9 +268,16 @@ impl FleetIngest {
         for w in 0..n_workers {
             let (tx, rx) = bounded::<Batch>(cfg.queue_cap);
             let d = Arc::new(AtomicUsize::new(0));
-            let servers = Arc::clone(&servers);
-            let depth_w = Arc::clone(&d);
-            let paused_w = Arc::clone(&paused);
+            let ctx = WorkerCtx {
+                worker: w,
+                servers: Arc::clone(&servers),
+                depth: Arc::clone(&d),
+                paused: Arc::clone(&paused),
+                shed: Arc::clone(&shed),
+                injector: injector.clone(),
+                checkpoint: cfg.checkpoint.clone(),
+                policy: cfg.restart,
+            };
             let pin = cfg.pin_workers;
             workers.push(
                 std::thread::Builder::new()
@@ -177,33 +288,7 @@ impl FleetIngest {
                             // may not exist, and that is fine.
                             let _ = affinity::pin_to_core(w);
                         }
-                        let mut out = WorkerOut::default();
-                        while let Ok(batch) = rx.recv() {
-                            while paused_w.load(Ordering::Relaxed) {
-                                std::thread::sleep(std::time::Duration::from_millis(1));
-                            }
-                            depth_w.fetch_sub(1, Ordering::Relaxed);
-                            let server = &servers[batch.cohort as usize];
-                            let mut stream = batch.stream;
-                            let mut records: Vec<Record> = Vec::new();
-                            if decode_batch_into(&mut stream, &mut records).is_err() {
-                                out.rejected_streams += 1;
-                            }
-                            let n = records.len() as u64;
-                            if server.is_crashed() {
-                                // Admission pre-checks `accepting`, so this
-                                // is the crash landing mid-flight; the whole
-                                // delivery is lost and counted per record.
-                                out.lost_crash += n;
-                            } else {
-                                let stored = server.store_batch(records) as u64;
-                                out.committed += stored;
-                                out.duplicates += n - stored;
-                            }
-                            out.batches += 1;
-                            out.latencies_s.push(batch.enqueued.elapsed().as_secs_f32());
-                        }
-                        out
+                        supervise(ctx, rx)
                     })
                     .expect("spawn fleet worker"),
             );
@@ -221,14 +306,22 @@ impl FleetIngest {
             paused,
             workers,
             n_workers,
+            injector,
             backpressure_signals: AtomicU64::new(0),
             enqueued_records: AtomicU64::new(0),
+            resumed_records,
         }
     }
 
     /// The router (for cohort lookups without an admission decision).
     pub fn router(&self) -> &CohortRouter {
         &self.router
+    }
+
+    /// Records recovered from checkpoints at construction (0 unless this
+    /// ingest was built by [`FleetIngest::resume`]).
+    pub fn resumed_records(&self) -> u64 {
+        self.resumed_records
     }
 
     /// The per-cohort servers, in cohort order (chaos controllers crash,
@@ -281,13 +374,18 @@ impl FleetIngest {
 
     /// Enqueue an admitted upload stream for `cohort`. May briefly block
     /// if a race filled the queue after `admit` — the bounded channel is
-    /// the hard limit the depth check only approximates.
+    /// the hard limit the depth check only approximates. If the cohort's
+    /// worker is unrecoverably gone (supervision exhausted and the
+    /// receiver dropped — should not happen, but must not abort), the
+    /// records are accounted as shed rather than lost silently.
     pub fn submit(&self, cohort: u32, n_records: u32, stream: Bytes) {
         let w = self.worker_of(cohort);
         self.depth[w].fetch_add(1, Ordering::Relaxed);
         self.enqueued_records.fetch_add(u64::from(n_records), Ordering::Relaxed);
-        if self.txs[w].send(Batch { cohort, stream, enqueued: Instant::now() }).is_err() {
-            panic!("fleet worker alive");
+        let batch = Batch { cohort, n_records, stream, enqueued: Instant::now() };
+        if self.txs[w].send(batch).is_err() {
+            self.depth[w].fetch_sub(1, Ordering::Relaxed);
+            self.shed[cohort as usize].fetch_add(u64::from(n_records), Ordering::Relaxed);
         }
     }
 
@@ -321,32 +419,111 @@ impl FleetIngest {
     }
 
     /// Close the intake, drain the queues, join the workers and fold
-    /// their counters.
+    /// their counters. Worker failures never abort teardown: a panic
+    /// that somehow escaped supervision is folded into
+    /// [`FleetStats::worker_failures`] so the caller gets a full report
+    /// plus the failure, not an abort.
     pub fn finish(mut self) -> FleetStats {
         self.resume_workers();
+        // Heal injector-crashed servers before the queues drain, so the
+        // drain commits into recovered stores wherever the schedule's
+        // recovery never fired (run ended while a server was down).
+        if self.injector.is_some() {
+            for s in self.servers.iter() {
+                if s.is_crashed() {
+                    s.recover();
+                }
+            }
+        }
         self.txs.clear(); // disconnect: workers drain and exit
         let mut latencies_s = Vec::new();
-        let (mut committed, mut duplicates, mut lost_crash) = (0u64, 0u64, 0u64);
-        let (mut rejected_streams, mut batches) = (0u64, 0u64);
-        for h in self.workers.drain(..) {
-            let out = h.join().expect("fleet worker panicked");
-            latencies_s.extend_from_slice(&out.latencies_s);
-            committed += out.committed;
-            duplicates += out.duplicates;
-            lost_crash += out.lost_crash;
-            rejected_streams += out.rejected_streams;
-            batches += out.batches;
+        let (mut committed, mut duplicates, mut lost_crash, mut lost_worker) =
+            (0u64, 0u64, 0u64, 0u64);
+        let (mut rejected_streams, mut batches, mut restarts) = (0u64, 0u64, 0u64);
+        let (mut checkpoints, mut checkpoint_failures, mut degraded_workers) = (0u64, 0u64, 0u64);
+        let mut supervision_log: Vec<String> = Vec::new();
+        let mut worker_failures: Vec<String> = Vec::new();
+        for (w, h) in self.workers.drain(..).enumerate() {
+            match h.join() {
+                Ok(out) => {
+                    latencies_s.extend_from_slice(&out.latencies_s);
+                    committed += out.committed;
+                    duplicates += out.duplicates;
+                    lost_crash += out.lost_crash;
+                    lost_worker += out.lost_worker;
+                    rejected_streams += out.rejected_streams;
+                    batches += out.batches;
+                    restarts += out.restarts;
+                    checkpoints += out.checkpoints;
+                    checkpoint_failures += out.checkpoint_failures;
+                    degraded_workers += u64::from(out.degraded);
+                    supervision_log.extend(out.log);
+                }
+                Err(payload) => {
+                    // The supervisor itself died — count it loudly; its
+                    // in-flight accounting is unrecoverable.
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    worker_failures.push(format!("worker {w} supervisor died: {msg}"));
+                }
+            }
+        }
+        // A scheduled crash can fire *during* the drain, after the heal
+        // above. Heal again now that the workers are gone: teardown must
+        // never leave a journaled store un-replayed, or the final store
+        // (and any final checkpoint) would silently miss records an
+        // earlier periodic checkpoint already holds.
+        if self.injector.is_some() {
+            for s in self.servers.iter() {
+                if s.is_crashed() {
+                    s.recover();
+                }
+            }
+        }
+        // Graceful-shutdown checkpoints: with the queues drained and the
+        // workers gone, every cohort's live store is final — capture it.
+        if let Some(ckpt) = self.cfg.checkpoint.clone().filter(|c| c.final_checkpoint) {
+            let shim = self
+                .injector
+                .as_ref()
+                .map(|i| Arc::clone(i) as Arc<dyn mobitrace_pool::PoolIoShim>);
+            for (cohort, server) in self.servers.iter().enumerate() {
+                if server.is_crashed() {
+                    continue;
+                }
+                match server.checkpoint_to_pool_with(&ckpt.cohort_path(cohort as u32), shim.clone())
+                {
+                    Ok(_) => checkpoints += 1,
+                    Err(e) => {
+                        checkpoint_failures += 1;
+                        supervision_log.push(format!("final checkpoint cohort {cohort}: {e}"));
+                    }
+                }
+            }
         }
         latencies_s.sort_unstable_by(f32::total_cmp);
         let shed_by_cohort: Vec<u64> =
             self.shed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         let crashes = self.servers.iter().map(|s| s.stats().crashes).sum();
-        let servers = Arc::try_unwrap(std::mem::take(&mut self.servers))
-            .expect("workers joined; no other owner");
+        // A worker that died outside supervision may have leaked its
+        // server Arc; fall back to shared handles (record extraction
+        // then clones instead of consuming) rather than aborting.
+        let servers = match Arc::try_unwrap(std::mem::take(&mut self.servers)) {
+            Ok(owned) => owned,
+            Err(shared) => {
+                worker_failures
+                    .push("a dead worker leaked server handles; extracting by clone".into());
+                shared.iter().map(Arc::clone).collect()
+            }
+        };
         FleetStats {
             committed,
             duplicates,
             lost_crash,
+            lost_worker,
             rejected_streams,
             batches,
             shed_records: shed_by_cohort.iter().sum(),
@@ -354,6 +531,14 @@ impl FleetIngest {
             backpressure_signals: self.backpressure_signals.load(Ordering::Relaxed),
             enqueued_records: self.enqueued_records.load(Ordering::Relaxed),
             crashes,
+            restarts,
+            degraded_workers,
+            checkpoints,
+            checkpoint_failures,
+            resumed_records: self.resumed_records,
+            fault_stats: self.injector.as_ref().map(|i| i.stats()),
+            supervision_log,
+            worker_failures,
             latencies_s,
             servers,
         }
@@ -380,6 +565,9 @@ pub struct FleetStats {
     pub duplicates: u64,
     /// Records lost to a crash landing between admission and commit.
     pub lost_crash: u64,
+    /// Records a dying worker held in flight — claimed off its queue,
+    /// never committed (the supervision term of the identity).
+    pub lost_worker: u64,
     /// Streams that failed to decode (should be zero with healthy agents).
     pub rejected_streams: u64,
     /// Batches processed.
@@ -392,8 +580,29 @@ pub struct FleetStats {
     pub backpressure_signals: u64,
     /// Records handed to `submit`.
     pub enqueued_records: u64,
-    /// Server crash count (chaos).
+    /// Server crash count (chaos + injected).
     pub crashes: u64,
+    /// Worker respawns performed by supervision.
+    pub restarts: u64,
+    /// Workers that exhausted their restart budget and drained as shed.
+    pub degraded_workers: u64,
+    /// Successful durable checkpoints written.
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed (previous file left intact).
+    pub checkpoint_failures: u64,
+    /// Records recovered from checkpoints at startup
+    /// ([`FleetIngest::resume`]); 0 for a fresh pipeline.
+    pub resumed_records: u64,
+    /// Fired-fault counters when a [`FaultInjector`] was armed.
+    pub fault_stats: Option<crate::faults::FaultStats>,
+    /// Informational supervision messages: caught-and-restarted panics,
+    /// survived checkpoint failures. Expected under a fault schedule;
+    /// everything here was *handled* and is already in the counters.
+    pub supervision_log: Vec<String>,
+    /// Genuine teardown failures: a supervisor thread that died, leaked
+    /// server handles. Non-empty means the run needs operator attention
+    /// even if the identity balances; CLI runs exit non-zero on it.
+    pub worker_failures: Vec<String>,
     /// Enqueue→commit latencies, seconds, sorted ascending.
     pub latencies_s: Vec<f32>,
     /// The cohort servers, for record extraction.
@@ -416,8 +625,12 @@ impl FleetStats {
     pub fn into_records(self) -> Vec<Record> {
         let mut all: Vec<Record> = Vec::new();
         for server in self.servers {
-            let server = Arc::try_unwrap(server).expect("stats own the servers");
-            all.extend(server.into_records());
+            // Sole owner: consume. A leaked handle (dead worker) forces
+            // the clone path — slower, never an abort.
+            match Arc::try_unwrap(server) {
+                Ok(owned) => all.extend(owned.into_records()),
+                Err(shared) => all.extend(shared.clone_records()),
+            }
         }
         all.sort_unstable_by_key(|r| (r.device, r.seq));
         all
@@ -606,6 +819,120 @@ mod tests {
         assert_eq!(fleet.admit(a, 10, 0.1).1, Admission::Admit);
         let stats = fleet.finish();
         assert_eq!(stats.backpressure_signals, 1);
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fleet-ingest-{}-{:?}-{tag}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn killed_worker_respawns_and_accounts_its_inflight_batch() {
+        use crate::faults::{FaultSpec, WorkerKill, KILL_MARKER};
+        let injector = crate::faults::FaultInjector::new(FaultSpec {
+            worker_kills: vec![WorkerKill { worker: 0, at_batch: 2 }],
+            ..FaultSpec::default()
+        });
+        let fleet = FleetIngest::with_faults(
+            FleetConfig {
+                cohorts: 1,
+                workers: 1,
+                pin_workers: false,
+                restart: RestartPolicy { budget: 4, backoff_base_ms: 0 },
+                ..FleetConfig::default()
+            },
+            Arc::clone(&injector),
+        );
+        for d in 0..10u32 {
+            let recs: Vec<Record> = (0..5).map(|s| record(d, s)).collect();
+            fleet.submit(0, 5, stream_of(&recs));
+        }
+        let stats = fleet.finish();
+        assert_eq!(stats.lost_worker, 5, "exactly the killed batch is lost");
+        assert_eq!(stats.restarts, 1, "the worker respawned once");
+        assert_eq!(stats.committed, 45, "every other batch commits after respawn");
+        assert_eq!(stats.committed + stats.lost_worker, stats.enqueued_records);
+        assert_eq!(injector.stats().kills_fired, 1);
+        assert!(stats.worker_failures.is_empty(), "a handled kill is not a failure");
+        assert!(
+            stats.supervision_log.iter().any(|m| m.contains(KILL_MARKER)),
+            "the kill is visible in the supervision log: {:?}",
+            stats.supervision_log
+        );
+        assert_eq!(stats.degraded_workers, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_accounted_shed() {
+        use crate::faults::{FaultSpec, WorkerKill};
+        // A kill on every one of the first three batches with a budget
+        // of two: two respawns, then the third panic degrades the
+        // worker and the rest of the queue drains as shed.
+        let injector = crate::faults::FaultInjector::new(FaultSpec {
+            worker_kills: (1..=3).map(|at_batch| WorkerKill { worker: 0, at_batch }).collect(),
+            ..FaultSpec::default()
+        });
+        let fleet = FleetIngest::with_faults(
+            FleetConfig {
+                cohorts: 1,
+                workers: 1,
+                pin_workers: false,
+                restart: RestartPolicy { budget: 2, backoff_base_ms: 0 },
+                ..FleetConfig::default()
+            },
+            injector,
+        );
+        for d in 0..10u32 {
+            fleet.submit(0, 1, stream_of(&[record(d, 0)]));
+        }
+        let stats = fleet.finish();
+        assert_eq!(stats.lost_worker, 3, "one batch lost per kill");
+        assert_eq!(stats.restarts, 2, "budget bounds the respawns");
+        assert_eq!(stats.degraded_workers, 1);
+        assert_eq!(stats.committed, 0, "every pre-degrade batch was killed mid-flight");
+        assert_eq!(stats.shed_records, 7, "the degraded drain sheds the rest, accounted");
+        assert_eq!(
+            stats.lost_worker + stats.shed_records + stats.committed,
+            stats.enqueued_records,
+            "identity balances through degradation"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_recovers_committed_records() {
+        let dir = scratch("ckpt");
+        let cfg = FleetConfig {
+            cohorts: 2,
+            workers: 1,
+            pin_workers: false,
+            checkpoint: Some(CheckpointConfig {
+                dir: dir.clone(),
+                every_batches: 1,
+                final_checkpoint: false,
+            }),
+            ..FleetConfig::default()
+        };
+        let fleet = FleetIngest::new(cfg.clone());
+        for d in 0..20u32 {
+            let cohort = fleet.router().cohort_of(DeviceId(d));
+            fleet.submit(cohort, 3, stream_of(&(0..3).map(|s| record(d, s)).collect::<Vec<_>>()));
+        }
+        let stats = fleet.finish();
+        assert_eq!(stats.committed, 60);
+        assert!(stats.checkpoints > 0);
+        assert_eq!(stats.checkpoint_failures, 0);
+        drop(stats); // kill-9: only the checkpoint files survive
+
+        let fleet = FleetIngest::resume(cfg, &dir, None).expect("resume");
+        let stats = fleet.finish();
+        assert_eq!(stats.resumed_records, 60, "every committed record came back");
+        assert_eq!(stats.into_records().len(), 60);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

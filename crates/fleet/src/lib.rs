@@ -16,7 +16,13 @@
 //!   `store_batch`;
 //! - [`run`]: the stress driver feeding synthetic agents from an
 //!   inverted template campaign, with exact end-to-end record
-//!   reconciliation.
+//!   reconciliation;
+//! - [`supervisor`]: workers run under `catch_unwind` with budgeted
+//!   exponential-backoff respawn; a dead worker's in-flight batch is
+//!   accounted (`lost_worker`), never silently dropped;
+//! - [`faults`]: seeded deterministic fault schedules — worker kills,
+//!   server crashes, pool I/O failures — that the identity is proven
+//!   under.
 //!
 //! The load-bearing invariant, proven in `tests/determinism.rs`: a
 //! campaign ingested through the fleet frontend — any worker count, any
@@ -28,11 +34,17 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod faults;
 pub mod ingest;
 pub mod router;
 pub mod run;
+pub mod supervisor;
 
 pub use admission::{is_shed, shed_level, TokenBucket};
-pub use ingest::{Admission, FleetConfig, FleetIngest, FleetStats};
+pub use faults::{
+    FaultInjector, FaultSpec, FaultStats, PoolFault, PoolFaultKind, ServerCrash, WorkerKill,
+};
+pub use ingest::{Admission, CheckpointConfig, FleetConfig, FleetIngest, FleetStats};
 pub use router::CohortRouter;
-pub use run::{run_fleet, FleetRunConfig, FleetRunReport};
+pub use run::{run_fleet, try_run_fleet, FleetRunConfig, FleetRunReport};
+pub use supervisor::RestartPolicy;

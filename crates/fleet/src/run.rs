@@ -20,17 +20,22 @@
 //! queues, and the report reconciles every record the fleet ever made:
 //!
 //! ```text
-//! records_made = committed + duplicates + shed + lost_crash
+//! records_made = committed + duplicates + shed + lost_crash + lost_worker
 //!              + pending (still on devices) + agent_dropped (cache evictions)
 //! ```
 //!
 //! Chaos mode layers crash/recover cycles and soft-limit squeezes over
-//! the cohort servers (journaling on, so recoveries replay); the
-//! reconciliation must stay exact through all of it.
+//! the cohort servers (journaling on, so recoveries replay). A
+//! [`FaultSpec`] layers *deterministic* faults on top — worker kills
+//! (supervised respawn, `lost_worker` accounting), scheduled server
+//! crashes, checkpoint I/O failures. The reconciliation must stay exact
+//! through all of it, and `checkpoint_dir`/`resume` make the run
+//! restartable across process death.
 //!
 //! [`DeviceAgent`]: mobitrace_collector::DeviceAgent
 //! [`ObservationPool`]: mobitrace_sim::ObservationPool
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -41,7 +46,8 @@ use mobitrace_sim::ObservationPool;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::ingest::{resolve_workers, Admission, FleetConfig, FleetIngest};
+use crate::faults::{FaultInjector, FaultSpec, FaultStats};
+use crate::ingest::{resolve_workers, Admission, CheckpointConfig, FleetConfig, FleetIngest};
 
 /// Stress-run shape.
 #[derive(Debug, Clone)]
@@ -72,6 +78,17 @@ pub struct FleetRunConfig {
     pub agent_cache_cap: usize,
     /// Campaign year the templates are drawn from.
     pub year: Year,
+    /// Deterministic fault schedule (worker kills, server crashes,
+    /// checkpoint I/O faults). Forces journaling, composes with `chaos`.
+    pub faults: Option<FaultSpec>,
+    /// Durable per-cohort checkpoints under this directory during the
+    /// run (and once more at graceful shutdown).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint a cohort every this-many committed batches.
+    pub checkpoint_every_batches: u64,
+    /// Rebuild the cohort servers from the newest valid checkpoints in
+    /// `checkpoint_dir` before ingesting (the `--resume` path).
+    pub resume: bool,
 }
 
 impl Default for FleetRunConfig {
@@ -90,6 +107,10 @@ impl Default for FleetRunConfig {
             rate_per_cohort: 0.0,
             agent_cache_cap: DEFAULT_CACHE_CAP,
             year: Year::Y2015,
+            faults: None,
+            checkpoint_dir: None,
+            checkpoint_every_batches: 64,
+            resume: false,
         }
     }
 }
@@ -142,8 +163,27 @@ pub struct FleetRunReport {
     pub server_rejects: u64,
     /// Upload rounds agents skipped inside backoff windows.
     pub backoff_skips: u64,
-    /// Server crash/recover cycles (chaos).
+    /// Server crash/recover cycles (chaos + injected).
     pub crashes: u64,
+    /// Records a dying worker held in flight (supervision accounting).
+    pub lost_worker: u64,
+    /// Worker respawns performed by supervision.
+    pub restarts: u64,
+    /// Workers that exhausted their restart budget and drained as shed.
+    pub degraded_workers: u64,
+    /// Durable checkpoints written.
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed (previous file left intact).
+    pub checkpoint_failures: u64,
+    /// Records recovered from checkpoints at startup (`resume`).
+    pub resumed_records: u64,
+    /// Which scheduled faults actually fired (None without a schedule).
+    pub fault_stats: Option<FaultStats>,
+    /// Failures that survived to teardown: escaped worker panics, dead
+    /// producers, failed final checkpoints. Non-empty → the run needs
+    /// attention (and the counters may not reconcile); CLI exits
+    /// non-zero.
+    pub failures: Vec<String>,
     /// Sustained commit throughput, records/s.
     pub records_per_s: f64,
     /// Enqueue→commit latency, median, seconds.
@@ -160,6 +200,7 @@ impl FleetRunReport {
             + self.duplicates
             + self.shed_records
             + self.lost_crash
+            + self.lost_worker
             + self.pending
             + self.agent_dropped
     }
@@ -168,13 +209,30 @@ impl FleetRunReport {
     pub fn reconciles(&self) -> bool {
         self.accounted() == self.records_made
     }
+
+    /// A clean run: the identity balances and nothing failed during
+    /// supervision or teardown.
+    pub fn healthy(&self) -> bool {
+        self.reconciles() && self.failures.is_empty()
+    }
 }
 
 /// Run the fleet stress driver (see module docs).
+///
+/// # Panics
+/// On an invalid resume source; use [`try_run_fleet`] to handle that as
+/// an error (the CLI does).
 pub fn run_fleet(cfg: &FleetRunConfig) -> FleetRunReport {
+    try_run_fleet(cfg).expect("resume from checkpoint dir")
+}
+
+/// [`run_fleet`], with resume-source problems (missing/corrupt
+/// checkpoint pools) surfaced as a [`PoolError`] instead of a panic.
+pub fn try_run_fleet(cfg: &FleetRunConfig) -> Result<FleetRunReport, mobitrace_pool::PoolError> {
     assert!(cfg.devices >= 1);
     let pool = ObservationPool::build(cfg.year, cfg.templates, cfg.template_days, cfg.seed);
-    let fleet = FleetIngest::new(FleetConfig {
+    let injector = cfg.faults.clone().map(FaultInjector::new);
+    let fleet_cfg = FleetConfig {
         cohorts: cfg.cohorts,
         workers: cfg.workers,
         queue_cap: cfg.queue_cap,
@@ -186,16 +244,31 @@ pub fn run_fleet(cfg: &FleetRunConfig) -> FleetRunReport {
         } else {
             FleetConfig::default().burst
         },
-        journal: cfg.chaos,
+        // Any crash source — wall-clock chaos or a scheduled fault —
+        // needs the journal so recoveries replay committed records.
+        journal: cfg.chaos || cfg.faults.is_some(),
+        checkpoint: cfg.checkpoint_dir.clone().map(|dir| CheckpointConfig {
+            dir,
+            every_batches: cfg.checkpoint_every_batches,
+            final_checkpoint: true,
+        }),
         ..FleetConfig::default()
-    });
+    };
+    let fleet = match (cfg.resume, &cfg.checkpoint_dir) {
+        (true, Some(dir)) => FleetIngest::resume(fleet_cfg, dir, injector.clone())?,
+        (true, None) => panic!("resume requires a checkpoint dir"),
+        (false, _) => match injector.clone() {
+            Some(inj) => FleetIngest::with_faults(fleet_cfg, inj),
+            None => FleetIngest::new(fleet_cfg),
+        },
+    };
     let n_workers = fleet.n_workers();
     let n_producers = if cfg.producers > 0 { cfg.producers } else { resolve_workers(0) };
     let n_producers = n_producers.min(cfg.devices);
     let stop = AtomicBool::new(false);
     let start = Instant::now();
 
-    let outs: Vec<ProducerOut> = std::thread::scope(|scope| {
+    let scope_out: (Vec<ProducerOut>, Vec<String>) = std::thread::scope(|scope| {
         let chaos_handle = cfg.chaos.then(|| {
             let fleet = &fleet;
             let stop = &stop;
@@ -308,16 +381,32 @@ pub fn run_fleet(cfg: &FleetRunConfig) -> FleetRunReport {
                 }
             }));
         }
-        let outs: Vec<ProducerOut> =
-            handles.into_iter().map(|h| h.join().expect("producer panicked")).collect();
+        // A dead producer must not abort the run: its agents' counters
+        // are gone (the identity cannot balance), but the caller still
+        // gets a report naming the failure instead of a panic.
+        let mut outs: Vec<ProducerOut> = Vec::with_capacity(n_producers);
+        let mut failures: Vec<String> = Vec::new();
+        for (p, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => outs.push(out),
+                Err(_) => {
+                    stop.store(true, Ordering::Relaxed);
+                    failures.push(format!("producer {p} died; its agent counters are lost"));
+                }
+            }
+        }
         if let Some(h) = chaos_handle {
             // Producers set `stop`; the chaos thread heals and exits.
-            let _ = h.join().expect("chaos controller panicked");
+            if h.join().is_err() {
+                failures.push("chaos controller died".into());
+            }
         }
-        outs
+        (outs, failures)
     });
+    let (outs, mut failures) = scope_out;
 
     let stats = fleet.finish();
+    failures.extend(stats.worker_failures.iter().cloned());
     let elapsed_s = start.elapsed().as_secs_f64();
 
     let report = FleetRunReport {
@@ -338,17 +427,25 @@ pub fn run_fleet(cfg: &FleetRunConfig) -> FleetRunReport {
         server_rejects: outs.iter().map(|o| o.server_rejects).sum(),
         backoff_skips: outs.iter().map(|o| o.backoff_skips).sum(),
         crashes: stats.crashes,
+        lost_worker: stats.lost_worker,
+        restarts: stats.restarts,
+        degraded_workers: stats.degraded_workers,
+        checkpoints: stats.checkpoints,
+        checkpoint_failures: stats.checkpoint_failures,
+        resumed_records: stats.resumed_records,
+        fault_stats: stats.fault_stats,
+        failures,
         records_per_s: if elapsed_s > 0.0 { stats.committed as f64 / elapsed_s } else { 0.0 },
         enqueue_commit_p50_s: stats.latency_quantile(0.50),
         enqueue_commit_p99_s: stats.latency_quantile(0.99),
     };
     debug_assert!(
-        report.reconciles(),
+        !report.failures.is_empty() || report.reconciles(),
         "fleet accounting leaked: made {} != accounted {}",
         report.records_made,
         report.accounted()
     );
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -401,6 +498,72 @@ mod tests {
         assert!(
             report.reconciles(),
             "made {} != accounted {} ({report:?})",
+            report.records_made,
+            report.accounted()
+        );
+    }
+
+    #[test]
+    fn faulted_run_reconciles_exactly_and_fires_the_schedule() {
+        let dir = std::env::temp_dir().join(format!(
+            "fleet-faultrun-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_fleet(&FleetRunConfig {
+            devices: 600,
+            cohorts: 3,
+            workers: 2,
+            producers: 2,
+            duration_s: 0.8,
+            templates: 20,
+            template_days: 1,
+            faults: Some(FaultSpec::quick()),
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_batches: 8,
+            ..FleetRunConfig::default()
+        });
+        let fired = report.fault_stats.expect("fault stats present");
+        assert!(fired.kills_fired >= 2, "quick schedule kills at least twice: {fired:?}");
+        assert!(fired.pool_faults_fired >= 1, "at least one pool fault fires: {fired:?}");
+        assert!(report.restarts >= 2, "killed workers respawn: {report:?}");
+        assert!(report.lost_worker > 0, "a mid-batch kill loses its batch");
+        assert!(report.checkpoints > 0, "checkpointing ran");
+        assert!(report.checkpoint_failures >= 1, "the injected pool fault failed a checkpoint");
+        assert!(
+            report.failures.is_empty(),
+            "handled faults are not failures: {:?}",
+            report.failures
+        );
+        assert!(
+            report.reconciles(),
+            "made {} != accounted {} under faults ({report:?})",
+            report.records_made,
+            report.accounted()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_compose_with_chaos() {
+        let report = run_fleet(&FleetRunConfig {
+            devices: 400,
+            cohorts: 2,
+            workers: 2,
+            producers: 2,
+            duration_s: 0.8,
+            chaos: true,
+            templates: 20,
+            template_days: 1,
+            faults: Some(FaultSpec::quick()),
+            ..FleetRunConfig::default()
+        });
+        assert!(report.crashes > 0);
+        assert!(report.restarts >= 1);
+        assert!(
+            report.reconciles(),
+            "made {} != accounted {} under chaos+faults ({report:?})",
             report.records_made,
             report.accounted()
         );

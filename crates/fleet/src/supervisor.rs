@@ -1,0 +1,289 @@
+//! Worker supervision: catch, account, back off, respawn, degrade.
+//!
+//! Each ingest worker thread runs its batch loop under
+//! [`catch_unwind`]. A panic — organic, or a scheduled kill from
+//! [`crate::faults`] — never unwinds past the supervisor: the in-flight
+//! batch is accounted as `lost_worker` (the new term in the
+//! reconciliation identity), the worker backs off exponentially and a
+//! fresh incarnation resumes on the *same* queue, so no queued batch is
+//! ever dropped by a restart. A worker that exhausts its restart budget
+//! degrades to a shed-drain: it keeps receiving (the producers must
+//! never block on a dead queue) but accounts every record as shed.
+//!
+//! Safety of the catch: worker state is per-incarnation (counters are
+//! owned by the supervisor and updated between lock acquisitions), and
+//! every lock the body takes is `parking_lot` (no poisoning) and held
+//! only inside `CollectionServer` methods that restore their invariants
+//! before returning. The kill points in `FaultInjector::on_batch` fire
+//! *before* any lock is taken.
+//!
+//! [`catch_unwind`]: std::panic::catch_unwind
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use mobitrace_collector::{decode_batch_into, CollectionServer};
+use mobitrace_model::Record;
+
+use crate::faults::FaultInjector;
+use crate::ingest::{Batch, CheckpointConfig};
+
+/// Budgeted exponential-backoff restart policy for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restarts allowed per worker before it degrades to shed-drain.
+    pub budget: u32,
+    /// Base backoff before the first respawn; doubles per *consecutive*
+    /// failure (a respawn that processes at least one batch resets the
+    /// streak), capped at 64× the base.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> RestartPolicy {
+        RestartPolicy { budget: 8, backoff_base_ms: 5 }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff before respawn number `streak` (1-based) of a failure
+    /// streak: `base * 2^(streak-1)`, capped at `base * 64`.
+    pub fn backoff(&self, streak: u32) -> Duration {
+        let factor = 1u64 << streak.saturating_sub(1).min(6);
+        Duration::from_millis(self.backoff_base_ms.saturating_mul(factor))
+    }
+}
+
+/// Everything one supervised worker needs, shared with the pipeline.
+pub(crate) struct WorkerCtx {
+    pub worker: usize,
+    pub servers: Arc<Vec<Arc<CollectionServer>>>,
+    pub depth: Arc<AtomicUsize>,
+    pub paused: Arc<AtomicBool>,
+    /// Per-cohort shed counters, shared with `FleetIngest` so a
+    /// degraded worker's drain lands in the same ledger as admission
+    /// sheds.
+    pub shed: Arc<Vec<AtomicU64>>,
+    pub injector: Option<Arc<FaultInjector>>,
+    pub checkpoint: Option<CheckpointConfig>,
+    pub policy: RestartPolicy,
+}
+
+/// One worker's folded counters, returned when its thread joins.
+#[derive(Default)]
+pub(crate) struct WorkerOut {
+    pub latencies_s: Vec<f32>,
+    pub committed: u64,
+    pub duplicates: u64,
+    pub lost_crash: u64,
+    /// Records in flight when an incarnation died — claimed off the
+    /// queue but never committed.
+    pub lost_worker: u64,
+    pub rejected_streams: u64,
+    pub batches: u64,
+    /// Respawns performed (== panics caught while in budget).
+    pub restarts: u64,
+    /// The worker exhausted its restart budget and drained as shed.
+    pub degraded: bool,
+    pub checkpoints: u64,
+    pub checkpoint_failures: u64,
+    /// Panic / checkpoint-failure messages, capped — enough to report,
+    /// never unbounded. Informational: a caught-and-restarted panic or
+    /// a survived checkpoint failure is *handled*, not a run failure
+    /// (fault schedules inject both on purpose).
+    pub log: Vec<String>,
+}
+
+const MAX_LOG_MESSAGES: usize = 8;
+
+impl WorkerOut {
+    fn note(&mut self, msg: String) {
+        if self.log.len() < MAX_LOG_MESSAGES {
+            self.log.push(msg);
+        }
+    }
+}
+
+thread_local! {
+    static SUPERVISED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// panics on supervised worker threads — they are caught, accounted and
+/// reported through [`WorkerOut::failures`]; stderr noise would drown
+/// real failures — and delegates to the previous hook everywhere else.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPERVISED.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Supervise one worker queue to completion. Returns when the channel
+/// disconnects and the queue is drained (normally, or in degraded
+/// shed-drain mode).
+pub(crate) fn supervise(ctx: WorkerCtx, rx: Receiver<Batch>) -> WorkerOut {
+    install_quiet_hook();
+    SUPERVISED.with(|s| s.set(true));
+    let mut out = WorkerOut::default();
+    // The batch claimed by the current incarnation: set after recv,
+    // cleared after its records are accounted. On a panic in between,
+    // these records are the worker's loss.
+    let mut inflight: Option<(u32, u64)> = None;
+    let mut ckpt_batches = vec![0u64; ctx.servers.len()];
+    let mut streak = 0u32;
+    let mut batches_at_last_panic = 0u64;
+    loop {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_incarnation(&rx, &ctx, &mut out, &mut inflight, &mut ckpt_batches)
+        }));
+        match caught {
+            Ok(()) => break,
+            Err(payload) => {
+                out.note(format!(
+                    "worker {} incarnation died: {}",
+                    ctx.worker,
+                    panic_message(payload)
+                ));
+                if let Some((cohort, n)) = inflight.take() {
+                    out.lost_worker += n;
+                    let _ = cohort;
+                }
+                // A streak is consecutive failures with no progress in
+                // between; any committed batch since the last panic
+                // resets it (the respawn was healthy).
+                streak = if out.batches > batches_at_last_panic { 1 } else { streak + 1 };
+                batches_at_last_panic = out.batches;
+                if out.restarts >= u64::from(ctx.policy.budget) {
+                    out.degraded = true;
+                    shed_drain(&rx, &ctx, &mut out);
+                    break;
+                }
+                out.restarts += 1;
+                std::thread::sleep(ctx.policy.backoff(streak));
+            }
+        }
+    }
+    out
+}
+
+/// One incarnation's batch loop; exits cleanly on channel disconnect.
+fn run_incarnation(
+    rx: &Receiver<Batch>,
+    ctx: &WorkerCtx,
+    out: &mut WorkerOut,
+    inflight: &mut Option<(u32, u64)>,
+    ckpt_batches: &mut [u64],
+) {
+    while let Ok(batch) = rx.recv() {
+        while ctx.paused.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ctx.depth.fetch_sub(1, Ordering::Relaxed);
+        *inflight = Some((batch.cohort, u64::from(batch.n_records)));
+        if let Some(injector) = &ctx.injector {
+            // Scheduled server crashes/recoveries fire here; a scheduled
+            // kill for this worker panics out of this call, mid-batch.
+            injector.on_batch(ctx.worker, &ctx.servers);
+        }
+        let server = &ctx.servers[batch.cohort as usize];
+        let mut stream = batch.stream;
+        let mut records: Vec<Record> = Vec::new();
+        if decode_batch_into(&mut stream, &mut records).is_err() {
+            out.rejected_streams += 1;
+        }
+        let n = records.len() as u64;
+        if server.is_crashed() {
+            // Admission pre-checks `accepting`, so this is the crash
+            // landing mid-flight; the whole delivery is lost and counted
+            // per record.
+            out.lost_crash += n;
+        } else {
+            let stored = server.store_batch(records) as u64;
+            out.committed += stored;
+            out.duplicates += n - stored;
+        }
+        *inflight = None;
+        out.batches += 1;
+        out.latencies_s.push(batch.enqueued.elapsed().as_secs_f32());
+        maybe_checkpoint(ctx, batch.cohort, ckpt_batches, out);
+    }
+}
+
+/// Periodic per-cohort checkpoint. Cohort → worker assignment is static,
+/// so this worker is the only writer of its cohorts' checkpoint files —
+/// no cross-thread interleaving on a path. A crashed server is skipped
+/// (its live store is empty; checkpointing it would replace a good
+/// checkpoint with nothing). Failures are counted and reported, never
+/// fatal: the previous checkpoint file survives intact under the
+/// writer's atomic-replace protocol.
+fn maybe_checkpoint(ctx: &WorkerCtx, cohort: u32, ckpt_batches: &mut [u64], out: &mut WorkerOut) {
+    let Some(cfg) = &ctx.checkpoint else { return };
+    let c = cohort as usize;
+    ckpt_batches[c] += 1;
+    if !ckpt_batches[c].is_multiple_of(cfg.every_batches.max(1)) {
+        return;
+    }
+    let server = &ctx.servers[c];
+    if server.is_crashed() {
+        return;
+    }
+    let shim = ctx.injector.as_ref().map(|i| Arc::clone(i) as Arc<dyn mobitrace_pool::PoolIoShim>);
+    match server.checkpoint_to_pool_with(&cfg.cohort_path(cohort), shim) {
+        Ok(_) => out.checkpoints += 1,
+        Err(e) => {
+            out.checkpoint_failures += 1;
+            out.note(format!("cohort {cohort} checkpoint failed: {e}"));
+        }
+    }
+}
+
+/// Terminal degraded mode: receive until disconnect, accounting every
+/// record as shed so producers never block and the identity still
+/// balances.
+fn shed_drain(rx: &Receiver<Batch>, ctx: &WorkerCtx, out: &mut WorkerOut) {
+    while let Ok(batch) = rx.recv() {
+        ctx.depth.fetch_sub(1, Ordering::Relaxed);
+        ctx.shed[batch.cohort as usize].fetch_add(u64::from(batch.n_records), Ordering::Relaxed);
+        out.batches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RestartPolicy { budget: 8, backoff_base_ms: 5 };
+        assert_eq!(p.backoff(1), Duration::from_millis(5));
+        assert_eq!(p.backoff(2), Duration::from_millis(10));
+        assert_eq!(p.backoff(4), Duration::from_millis(40));
+        assert_eq!(p.backoff(7), Duration::from_millis(320));
+        assert_eq!(p.backoff(100), Duration::from_millis(320), "capped at 64x base");
+    }
+
+    #[test]
+    fn zero_base_means_no_sleep() {
+        let p = RestartPolicy { budget: 2, backoff_base_ms: 0 };
+        assert_eq!(p.backoff(5), Duration::ZERO);
+    }
+}

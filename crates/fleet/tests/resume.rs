@@ -1,0 +1,167 @@
+//! Checkpoint-resume correctness: a fleet run interrupted kill-9 style
+//! (periodic checkpoints only, no final flush) and resumed from its
+//! checkpoint directory must clean to a dataset **byte-identical** to
+//! the batch pipeline's, once the agents re-upload. This pins the resume
+//! protocol end to end: atomic per-cohort `.mtpool` replace, recovery
+//! through `recover_from_pool`, and dedup erasing the re-upload overlap.
+
+use bytes::{Bytes, BytesMut};
+use mobitrace_collector::{clean, encode_batch, CleanOptions};
+use mobitrace_fleet::{CheckpointConfig, FleetConfig, FleetIngest};
+use mobitrace_model::{Dataset, Record};
+use mobitrace_sim::{run_campaign_raw, CampaignConfig, RawCampaign};
+use std::path::PathBuf;
+
+fn small_campaign() -> RawCampaign {
+    let mut cfg = CampaignConfig::scaled(mobitrace_model::Year::Y2015, 40.0 / 1600.0);
+    cfg.days = 2;
+    cfg.seed = 1177;
+    run_campaign_raw(&cfg, |_| {})
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fleet-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The campaign as (cohort, n_records, encoded stream) upload chunks,
+/// chunked per device exactly like the determinism tests.
+fn upload_chunks(raw: &RawCampaign, fleet: &FleetIngest) -> Vec<(u32, u32, Bytes)> {
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    while i < raw.records.len() {
+        let device = raw.records[i].device;
+        let mut j = i;
+        while j < raw.records.len() && raw.records[j].device == device {
+            j += 1;
+        }
+        let cohort = fleet.router().cohort_of(device);
+        for chunk in raw.records[i..j].chunks(16) {
+            let mut buf = BytesMut::new();
+            let n = encode_batch(chunk.iter(), &mut buf);
+            chunks.push((cohort, n as u32, buf.freeze()));
+        }
+        i = j;
+    }
+    chunks
+}
+
+fn clean_of(raw: &RawCampaign, records: &[Record]) -> Dataset {
+    let (dataset, _) =
+        clean(raw.meta.clone(), raw.devices.clone(), records, CleanOptions::default());
+    dataset
+}
+
+#[test]
+fn interrupted_run_resumes_to_byte_identical_clean() {
+    let raw = small_campaign();
+    let reference = clean_of(&raw, &raw.records);
+    assert!(!reference.bins.is_empty());
+
+    let dir = scratch("kill9");
+    let cfg = FleetConfig {
+        cohorts: 3,
+        workers: 2,
+        pin_workers: false,
+        checkpoint: Some(CheckpointConfig {
+            dir: dir.clone(),
+            every_batches: 4,
+            // Kill-9 model: the process never reaches teardown, so only
+            // the periodic checkpoints survive — everything committed
+            // after a cohort's last checkpoint is lost.
+            final_checkpoint: false,
+        }),
+        ..FleetConfig::default()
+    };
+
+    // Phase 1: the run gets ~60% of the uploads in, then "dies".
+    let fleet = FleetIngest::new(cfg.clone());
+    let chunks = upload_chunks(&raw, &fleet);
+    let cut = chunks.len() * 3 / 5;
+    for (cohort, n, stream) in &chunks[..cut] {
+        fleet.submit(*cohort, *n, stream.clone());
+    }
+    let stats = fleet.finish();
+    assert!(stats.checkpoints > 0, "periodic checkpoints fired before the kill");
+    assert_eq!(stats.checkpoint_failures, 0);
+    let committed_before_kill = stats.committed;
+    drop(stats); // the in-memory stores die with the process
+
+    // Phase 2: resume from the checkpoint directory. Some committed tail
+    // is expected to be lost (that is what kill-9 means); the agents
+    // re-upload everything and dedup erases the overlap.
+    let fleet = FleetIngest::resume(cfg, &dir, None).expect("resume from checkpoints");
+    let resumed = fleet.resumed_records();
+    assert!(resumed > 0, "the checkpoints held real records");
+    assert!(resumed <= committed_before_kill, "a checkpoint can only hold what was committed");
+    for (cohort, n, stream) in &chunks {
+        fleet.submit(*cohort, *n, stream.clone());
+    }
+    let stats = fleet.finish();
+    assert_eq!(stats.resumed_records, resumed);
+    assert!(stats.duplicates > 0, "re-uploads overlapping the checkpoints are refused");
+    assert_eq!(
+        stats.resumed_records + stats.committed,
+        raw.records.len() as u64,
+        "resume + re-upload covers the campaign exactly once"
+    );
+
+    let records: Vec<Record> = stats.into_records();
+    assert_eq!(
+        clean_of(&raw, &records),
+        reference,
+        "resumed fleet diverged from the batch pipeline"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_partial_directory_starts_missing_cohorts_fresh() {
+    // Only some cohorts ever checkpointed (e.g. the process died before
+    // the others' first interval). Resume must recover what exists and
+    // start the rest empty — not fail, not invent records.
+    let dir = scratch("partial");
+    let cfg = FleetConfig {
+        cohorts: 4,
+        workers: 1,
+        pin_workers: false,
+        checkpoint: Some(CheckpointConfig {
+            dir: dir.clone(),
+            every_batches: 1,
+            final_checkpoint: false,
+        }),
+        ..FleetConfig::default()
+    };
+    let raw = small_campaign();
+    let fleet = FleetIngest::new(cfg.clone());
+    let chunks = upload_chunks(&raw, &fleet);
+    // Submit only chunks of one cohort, so the others never checkpoint.
+    let lone = chunks[0].0;
+    for (cohort, n, stream) in chunks.iter().filter(|(c, _, _)| *c == lone) {
+        fleet.submit(*cohort, *n, stream.clone());
+    }
+    let stats = fleet.finish();
+    assert!(stats.checkpoints > 0);
+    drop(stats);
+
+    // A stray temp file from an interrupted atomic replace must be
+    // ignored, not recovered from.
+    std::fs::write(dir.join("cohort-0.mtpool.tmp-dead"), b"half-written garbage").unwrap();
+
+    let fleet = FleetIngest::resume(cfg, &dir, None).expect("partial resume");
+    let stats = fleet.finish();
+    assert!(stats.resumed_records > 0, "the lone cohort's checkpoint recovered");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_fails_loudly_not_silently() {
+    let dir = scratch("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("cohort-0.mtpool"), b"not a pool file at all").unwrap();
+    let cfg = FleetConfig { cohorts: 2, workers: 1, pin_workers: false, ..FleetConfig::default() };
+    let err = FleetIngest::resume(cfg, &dir, None);
+    assert!(err.is_err(), "a corrupt checkpoint must refuse to resume, not drop data");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -43,11 +43,13 @@ pub mod format;
 pub mod le;
 pub mod mmap;
 pub mod reader;
+pub mod shim;
 pub mod writer;
 
 pub use err::PoolError;
 pub use format::{kind, SegDesc, VERSION};
 pub use reader::{PoolDataset, PoolReader, VerifyReport};
+pub use shim::{IoOp, PoolIoShim, Verdict};
 pub use writer::PoolWriter;
 
 // Doc-link anchors.

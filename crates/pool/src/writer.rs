@@ -24,10 +24,12 @@ use crate::format::{
 };
 use crate::mmap::try_lock_exclusive;
 use crate::reader::parse_pool;
+use crate::shim::{is_transient, IoOp, PoolIoShim, Verdict};
 use mobitrace_model::{Dataset, DatasetColumns, DatasetIndex};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Append-only writer over one `.mtpool` file.
 pub struct PoolWriter {
@@ -45,6 +47,8 @@ pub struct PoolWriter {
     /// When set, the writer is building a temp file and
     /// [`finish`](Self::finish) atomically renames it over this path.
     replace_target: Option<PathBuf>,
+    /// Optional fault shim consulted before every physical I/O op.
+    shim: Option<Arc<dyn PoolIoShim>>,
 }
 
 impl PoolWriter {
@@ -62,6 +66,16 @@ impl PoolWriter {
     /// a temp file and atomically renames it into place (existing maps
     /// keep referencing the old inode).
     pub fn create(path: &Path) -> Result<PoolWriter, PoolError> {
+        PoolWriter::create_with(path, None)
+    }
+
+    /// [`create`](Self::create) with an optional I/O fault shim (see
+    /// [`crate::shim`]) installed before the first header write, so a
+    /// fault schedule can hit every operation the writer performs.
+    pub fn create_with(
+        path: &Path,
+        shim: Option<Arc<dyn PoolIoShim>>,
+    ) -> Result<PoolWriter, PoolError> {
         // Truncation is deferred to the set_len below, *after* the writer
         // lock is held, so losing the lock race never clobbers the file.
         let file =
@@ -78,13 +92,14 @@ impl PoolWriter {
             end: HEADER_LEN,
             published: 0,
             replace_target: None,
+            shim,
         };
         let mut header = vec![0u8; HEADER_LEN as usize];
         header[..8].copy_from_slice(&MAGIC);
         header[8..12].copy_from_slice(&VERSION.to_le_bytes());
         header[12..16].copy_from_slice(&(HEADER_LEN as u32).to_le_bytes());
         w.write_at(0, &header)?;
-        w.file.sync_data()?;
+        w.sync(IoOp::SyncData)?;
         Ok(w)
     }
 
@@ -114,6 +129,7 @@ impl PoolWriter {
             end: align_up(end),
             published,
             replace_target: None,
+            shim: None,
         })
     }
 
@@ -126,9 +142,19 @@ impl PoolWriter {
     /// valid view of the old inode. Dropping the writer without calling
     /// `finish` removes the temp file and leaves `path` untouched.
     pub fn replace(path: &Path) -> Result<PoolWriter, PoolError> {
+        PoolWriter::replace_with(path, None)
+    }
+
+    /// [`replace`](Self::replace) with an optional I/O fault shim (see
+    /// [`crate::shim`]); fault injection harnesses use this to fail a
+    /// checkpoint rewrite at an exact write or sync.
+    pub fn replace_with(
+        path: &Path,
+        shim: Option<Arc<dyn PoolIoShim>>,
+    ) -> Result<PoolWriter, PoolError> {
         let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
         let tmp = path.with_file_name(format!(".{name}.tmp{}", std::process::id()));
-        let mut w = PoolWriter::create(&tmp)?;
+        let mut w = PoolWriter::create_with(&tmp, shim)?;
         w.replace_target = Some(path.to_path_buf());
         Ok(w)
     }
@@ -142,20 +168,36 @@ impl PoolWriter {
     pub fn finish(mut self) -> Result<u64, PoolError> {
         let epoch = self.commit()?;
         if let Some(target) = self.replace_target.take() {
-            self.file.sync_all()?;
-            std::fs::rename(&self.path, &target)?;
-            // Make the rename itself durable: fsync the parent directory
-            // (best-effort; directories are not openable everywhere).
-            if let Some(dir) = target.parent() {
-                if let Ok(d) =
-                    File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir })
-                {
-                    let _ = d.sync_all();
-                }
+            // Failing before the rename leaves the target untouched; put
+            // the replace marker back so Drop removes the temp file.
+            if let Err(e) = self.sync(IoOp::SyncAll) {
+                self.replace_target = Some(target);
+                return Err(e);
+            }
+            if let Err(e) = std::fs::rename(&self.path, &target) {
+                self.replace_target = Some(target);
+                return Err(e.into());
             }
             self.path = target;
+            // Make the rename itself durable: fsync the parent directory.
+            // The new file is already installed at this point, so a
+            // failure here is surfaced — the caller must treat the
+            // replace as not-yet-durable — but the target is readable
+            // and self-consistent either way.
+            self.dir_sync()?;
         }
         Ok(epoch)
+    }
+
+    /// Fsync the parent directory of the (post-rename) pool path. An
+    /// unopenable directory is tolerated (not every filesystem allows
+    /// `open` on directories); a *failed* fsync on an open directory
+    /// handle is a real durability signal and propagates.
+    fn dir_sync(&mut self) -> Result<(), PoolError> {
+        let parent = self.path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let dir = if parent.as_os_str().is_empty() { PathBuf::from(".") } else { parent };
+        let Ok(d) = File::open(&dir) else { return Ok(()) };
+        self.with_retry(IoOp::DirSync, |_| d.sync_all())
     }
 
     /// The pool file path.
@@ -225,7 +267,7 @@ impl PoolWriter {
         let dir_off = align_up(self.end);
         self.write_at(dir_off, &dir)?;
         self.end = dir_off + dir.len() as u64;
-        self.file.sync_data()?;
+        self.sync(IoOp::SyncData)?;
 
         let slot = DirSlot {
             epoch: self.epoch + 1,
@@ -238,13 +280,76 @@ impl PoolWriter {
         // current epoch depends on.
         let slot_off = SLOT_OFFSETS[((slot.epoch + 1) % 2) as usize];
         self.write_at(slot_off, &encode_slot(&slot))?;
-        self.file.sync_data()?;
+        self.sync(IoOp::SyncData)?;
         self.epoch = slot.epoch;
         self.published = self.segs.len();
         Ok(self.epoch)
     }
 
+    /// Run one shimmed I/O attempt, retrying exactly once on a transient
+    /// error (`Interrupted`/`WouldBlock`/`TimedOut`). The shim is
+    /// re-consulted on the retry, so a schedule can also inject
+    /// back-to-back failures.
+    fn with_retry(
+        &self,
+        op: IoOp,
+        mut f: impl FnMut(&File) -> std::io::Result<()>,
+    ) -> Result<(), PoolError> {
+        // Sync ops only ever Proceed or Fail; the write path (with its
+        // short-write handling) lives in `write_at_once`.
+        let mut once = |file: &File| -> std::io::Result<()> {
+            if let Some(s) = &self.shim {
+                match s.check(op) {
+                    Verdict::Proceed => {}
+                    Verdict::Fail(e) => return Err(e),
+                    Verdict::ShortWrite(_) => {
+                        return Err(std::io::Error::other("injected fault on sync op"))
+                    }
+                }
+            }
+            f(file)
+        };
+        match once(&self.file) {
+            Err(e) if is_transient(&e) => once(&self.file).map_err(PoolError::Io),
+            r => r.map_err(PoolError::Io),
+        }
+    }
+
+    /// A shimmed sync barrier on the pool file.
+    fn sync(&mut self, op: IoOp) -> Result<(), PoolError> {
+        self.with_retry(op, |file| match op {
+            IoOp::SyncAll => file.sync_all(),
+            _ => file.sync_data(),
+        })
+    }
+
     fn write_at(&mut self, off: u64, bytes: &[u8]) -> Result<(), PoolError> {
+        match self.write_at_once(off, bytes) {
+            Err(PoolError::Io(e)) if is_transient(&e) => self.write_at_once(off, bytes),
+            r => r,
+        }
+    }
+
+    /// One positioned-write attempt, routed through the shim. A
+    /// [`Verdict::ShortWrite`] persists a prefix then fails — the torn
+    /// write a crash between write and sync would leave behind.
+    fn write_at_once(&mut self, off: u64, bytes: &[u8]) -> Result<(), PoolError> {
+        if let Some(s) = &self.shim {
+            match s.check(IoOp::Write { off, len: bytes.len() }) {
+                Verdict::Proceed => {}
+                Verdict::Fail(e) => return Err(e.into()),
+                Verdict::ShortWrite(n) => {
+                    let n = n.min(bytes.len());
+                    self.file.seek(SeekFrom::Start(off))?;
+                    self.file.write_all(&bytes[..n])?;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        format!("injected short write: {n} of {} bytes", bytes.len()),
+                    )
+                    .into());
+                }
+            }
+        }
         self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(bytes)?;
         Ok(())

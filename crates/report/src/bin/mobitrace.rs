@@ -11,6 +11,7 @@
 //! mobitrace chaos [--quick] [--scale S] [--seed N]
 //! mobitrace live [--quick] [--chaos] [--scale S] [--seed N]
 //! mobitrace fleet [--devices N[k|M]] [--cohorts K] [--duration S] [--chaos]
+//!                 [--faults] [--checkpoint DIR] [--resume DIR]
 //! ```
 
 use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
@@ -40,6 +41,9 @@ struct Args {
     duration: f64,
     workers: usize,
     rate: f64,
+    faults: bool,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 /// Parse a device count, accepting `k`/`M` suffixes (`50k`, `1M`, `1.5M`).
@@ -79,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
         duration: 5.0,
         workers: 0,
         rate: 0.0,
+        faults: false,
+        checkpoint: None,
+        resume: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -146,6 +153,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--workers needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--faults" => out.faults = true,
+            "--checkpoint" => {
+                out.checkpoint = Some(args.next().ok_or("--checkpoint needs a directory")?);
+            }
+            "--resume" => {
+                out.resume = Some(args.next().ok_or("--resume needs a checkpoint directory")?);
             }
             "--rate" => {
                 out.rate = args
@@ -296,7 +310,8 @@ fn main() {
                  mobitrace pool analyze --data FILE.mtpool [<id>...]\n  \
                  mobitrace pool verify --data FILE.mtpool\n  \
                  mobitrace fleet [--devices N[k|M]] [--cohorts K] [--duration S]\n          \
-                 [--workers W] [--rate R/s] [--chaos] [--quick] [--json PATH]\n          \
+                 [--workers W] [--rate R/s] [--chaos] [--faults] [--quick]\n          \
+                 [--checkpoint DIR] [--resume DIR] [--json PATH]\n          \
                  [--compare HIST.jsonl] [--history HIST.jsonl] [--label NAME]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
@@ -315,7 +330,11 @@ fn main() {
                  `fleet` drives the thread-per-core ingest frontend at fleet\n\
                  scale (`--devices 1M`), reporting sustained records/s, p50/p99\n\
                  enqueue-to-commit latency and shed/backoff counts, merged into\n\
-                 BENCH_pipeline.json next to any existing bench metrics;\n\
+                 BENCH_pipeline.json next to any existing bench metrics\n\
+                 (`--faults` injects a seeded schedule of worker kills, server\n\
+                 crashes and pool I/O failures and requires the run to self-heal;\n\
+                 `--checkpoint DIR` checkpoints cohorts periodically and\n\
+                 `--resume DIR` restarts from those checkpoints);\n\
                  `--quick` caps the scale at 0.02 (and `fleet` at 50k devices)\n\
                  for CI smoke runs."
             );
@@ -1199,11 +1218,38 @@ fn run_pipeline_bench(args: &Args) {
 /// lookback baseline composes fleet-only and bench-only entries). Exits
 /// non-zero if the per-record accounting fails to reconcile.
 fn run_fleet_cmd(args: &Args) {
-    use mobitrace_fleet::{run_fleet, FleetRunConfig};
+    use mobitrace_fleet::{ingest::resolve_workers, try_run_fleet, FaultSpec, FleetRunConfig};
     use mobitrace_report::benchhist;
 
     let devices = if args.quick { args.devices.min(50_000) } else { args.devices };
     let duration_s = if args.quick { args.duration.min(2.0) } else { args.duration };
+    // `--resume DIR` restarts from DIR's checkpoints and (unless
+    // `--checkpoint` redirects it) keeps checkpointing into the same
+    // directory; `--faults` needs *some* checkpoint traffic for its pool
+    // faults to have I/O to fail, so it defaults to a scratch directory.
+    let mut checkpoint_dir: Option<std::path::PathBuf> =
+        args.checkpoint.clone().or_else(|| args.resume.clone()).map(std::path::PathBuf::from);
+    if args.faults && checkpoint_dir.is_none() {
+        checkpoint_dir =
+            Some(std::env::temp_dir().join(format!("mobitrace-faults-{}", std::process::id())));
+    }
+    if let Some(dir) = &args.resume {
+        let has_checkpoints = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries.flatten().any(|e| {
+                    e.file_name().to_string_lossy().ends_with(".mtpool")
+                        && e.file_name().to_string_lossy().starts_with("cohort-")
+                })
+            })
+            .unwrap_or(false);
+        if !has_checkpoints {
+            eprintln!("error: --resume {dir}: no cohort-*.mtpool checkpoint files found");
+            std::process::exit(1);
+        }
+    }
+    let faults = args
+        .faults
+        .then(|| FaultSpec::seeded(args.seed, resolve_workers(args.workers), args.cohorts));
     let cfg = FleetRunConfig {
         devices,
         cohorts: args.cohorts,
@@ -1212,18 +1258,30 @@ fn run_fleet_cmd(args: &Args) {
         chaos: args.chaos,
         seed: args.seed,
         rate_per_cohort: args.rate,
+        faults,
+        checkpoint_dir,
+        checkpoint_every_batches: if args.faults { 16 } else { 64 },
+        resume: args.resume.is_some(),
         ..FleetRunConfig::default()
     };
     eprintln!(
-        "fleet ingest: {} devices over {} cohorts, {:.1}s sustained{}{} (seed {})...",
+        "fleet ingest: {} devices over {} cohorts, {:.1}s sustained{}{}{}{} (seed {})...",
         cfg.devices,
         cfg.cohorts,
         cfg.duration_s,
         if cfg.workers == 0 { String::new() } else { format!(", {} workers", cfg.workers) },
         if cfg.chaos { ", chaos on" } else { "" },
+        if args.faults { ", fault injection on" } else { "" },
+        if cfg.resume { ", resuming" } else { "" },
         cfg.seed,
     );
-    let report = run_fleet(&cfg);
+    let report = match try_run_fleet(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: fleet run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "fleet: {:.0} records/s sustained over {:.2}s ({} committed / {} made; \
          {} workers, {} producers, {} rounds)",
@@ -1252,6 +1310,26 @@ fn run_fleet_cmd(args: &Args) {
          {} pending",
         report.duplicates, report.lost_crash, report.crashes, report.agent_dropped, report.pending
     );
+    println!(
+        "  supervision: {} restarts, {} lost to worker deaths, {} degraded workers, \
+         {} checkpoints ({} failed), {} records resumed",
+        report.restarts,
+        report.lost_worker,
+        report.degraded_workers,
+        report.checkpoints,
+        report.checkpoint_failures,
+        report.resumed_records
+    );
+    if let Some(fired) = &report.fault_stats {
+        println!(
+            "  faults fired: {} worker kills, {} server crashes ({} recoveries), \
+             {} pool I/O faults",
+            fired.kills_fired, fired.crashes_fired, fired.recoveries_fired, fired.pool_faults_fired
+        );
+    }
+    for failure in &report.failures {
+        eprintln!("  failure: {failure}");
+    }
 
     let mut metrics: std::collections::BTreeMap<String, f64> = Default::default();
     metrics.insert("fleet.records_per_s".into(), report.records_per_s);
@@ -1267,6 +1345,10 @@ fn run_fleet_cmd(args: &Args) {
     metrics.insert("fleet.server_rejects".into(), report.server_rejects as f64);
     metrics.insert("fleet.backoff_skips".into(), report.backoff_skips as f64);
     metrics.insert("fleet.crashes".into(), report.crashes as f64);
+    metrics.insert("fleet.lost_worker".into(), report.lost_worker as f64);
+    metrics.insert("fleet.restarts".into(), report.restarts as f64);
+    metrics.insert("fleet.checkpoints".into(), report.checkpoints as f64);
+    metrics.insert("fleet.checkpoint_failures".into(), report.checkpoint_failures as f64);
     metrics.insert("fleet.devices".into(), report.devices as f64);
     metrics.insert("fleet.rounds".into(), report.rounds as f64);
     metrics.insert("fleet.elapsed_s".into(), report.elapsed_s);
@@ -1298,7 +1380,10 @@ fn run_fleet_cmd(args: &Args) {
         "producers": report.producers,
         "rounds": report.rounds,
         "chaos": args.chaos,
+        "faults": args.faults,
+        "resumed": args.resume.is_some(),
         "reconciles": report.reconciles(),
+        "healthy": report.healthy(),
     });
     let json = serde_json::to_string_pretty(&doc).expect("serializable");
     if let Err(e) = std::fs::write(&out_path, json + "\n") {
@@ -1358,10 +1443,28 @@ fn run_fleet_cmd(args: &Args) {
     if !report.reconciles() {
         eprintln!(
             "error: fleet accounting does not reconcile: {} records made but {} accounted \
-             (committed + duplicates + shed + lost_crash + pending + agent_dropped)",
+             (committed + duplicates + shed + lost_crash + lost_worker + pending + \
+             agent_dropped)",
             report.records_made,
             report.accounted()
         );
         std::process::exit(1);
+    }
+    if !report.healthy() {
+        eprintln!("error: fleet run is unhealthy ({} failures above)", report.failures.len());
+        std::process::exit(1);
+    }
+    if args.faults {
+        // The seeded schedule guarantees this floor; a run that did not
+        // fire it proves nothing about self-healing.
+        let fired = report.fault_stats.as_ref().expect("--faults armed an injector");
+        if fired.kills_fired < 2 || fired.pool_faults_fired < 1 {
+            eprintln!(
+                "error: fault schedule underfired ({} kills, {} pool faults): the run \
+                 ended before the seeded faults landed — raise --duration",
+                fired.kills_fired, fired.pool_faults_fired
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -12,15 +12,23 @@
 //! — the same convergence contract the chaos harness proves for the batch
 //! pipeline, so chaos schedules and live analysis compose.
 
-use crate::engine::{check_convergence, FinishedLive, LiveEngine, LiveOptions};
+use crate::engine::{check_convergence, FinishedLive, LiveEngine, LiveOptions, LiveStats};
 use crate::pool_sink::{PoolSpoolStats, SnapshotPoolSink};
 use mobitrace_collector::CleanStats;
+use mobitrace_model::LiveSnapshot;
 use mobitrace_pool::PoolError;
 use mobitrace_sim::{run_campaign_raw, CampaignConfig, RawCampaign};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Callback invoked on every snapshot the engine publishes: each mid-run
+/// compaction (from the drain thread) and the finished snapshot (from the
+/// caller's thread, after the real device table is installed). The `Send`
+/// bound is what lets the drain thread carry it; callers that stream
+/// results share the output sink behind a mutex.
+pub type SnapshotObserver = Box<dyn FnMut(&Arc<LiveSnapshot>, &LiveStats) + Send>;
 
 /// One published snapshot observed during the run: how much the engine had
 /// folded and what the incremental maintenance had cost by then. The cost
@@ -82,7 +90,18 @@ const DRAIN_IDLE: Duration = Duration::from_millis(1);
 /// on drain timing (timing moves work between batches, not records
 /// between outcomes).
 pub fn run_live_campaign(config: &CampaignConfig, opts: LiveOptions) -> LiveRunReport {
-    run_live_campaign_inner(config, opts, None).0
+    run_live_campaign_inner(config, opts, None, None).0
+}
+
+/// [`run_live_campaign`], plus a [`SnapshotObserver`] invoked on every
+/// published snapshot generation — the hook `mobitrace serve` uses to
+/// re-evaluate registered queries mid-campaign without stopping ingest.
+pub fn run_live_campaign_observed(
+    config: &CampaignConfig,
+    opts: LiveOptions,
+    observer: SnapshotObserver,
+) -> LiveRunReport {
+    run_live_campaign_inner(config, opts, None, Some(observer)).0
 }
 
 /// [`run_live_campaign`], plus streaming persistence: every snapshot the
@@ -98,7 +117,7 @@ pub fn run_live_campaign_to_pool(
     path: &Path,
 ) -> Result<(LiveRunReport, PoolSpoolStats), PoolError> {
     let sink = SnapshotPoolSink::create(path)?;
-    let (report, stats) = run_live_campaign_inner(config, opts, Some(sink));
+    let (report, stats) = run_live_campaign_inner(config, opts, Some(sink), None);
     Ok((report, stats.expect("sink passed in is returned")))
 }
 
@@ -106,10 +125,12 @@ fn run_live_campaign_inner(
     config: &CampaignConfig,
     opts: LiveOptions,
     mut sink: Option<SnapshotPoolSink>,
+    mut observer: Option<SnapshotObserver>,
 ) -> (LiveRunReport, Option<PoolSpoolStats>) {
     let t0 = Instant::now();
     let stop = Arc::new(AtomicBool::new(false));
-    type WorkerOut = (LiveEngine, Vec<SnapshotMetric>, Option<SnapshotPoolSink>);
+    type WorkerOut =
+        (LiveEngine, Vec<SnapshotMetric>, Option<SnapshotPoolSink>, Option<SnapshotObserver>);
     let mut worker: Option<std::thread::JoinHandle<WorkerOut>> = None;
     let mut tap_handle = None;
 
@@ -128,6 +149,7 @@ fn run_live_campaign_inner(
             opts,
         );
         let mut sink = sink.take();
+        let mut observer = observer.take();
         worker = Some(std::thread::spawn(move || {
             let mut batches = Vec::new();
             let mut metrics = Vec::new();
@@ -149,6 +171,9 @@ fn run_live_campaign_inner(
                     if let Some(sink) = sink.as_mut() {
                         sink.append(&snap);
                     }
+                    if let Some(obs) = observer.as_mut() {
+                        obs(&snap, &s);
+                    }
                     metrics.push(SnapshotMetric {
                         compactions: s.compactions,
                         bins: snap.len(),
@@ -165,13 +190,13 @@ fn run_live_campaign_inner(
                     std::thread::sleep(DRAIN_IDLE);
                 }
             }
-            (engine, metrics, sink)
+            (engine, metrics, sink, observer)
         }));
     });
 
     // The campaign (and its last upload) is over; let the drainer finish.
     stop.store(true, Ordering::Release);
-    let (mut engine, mut snapshots, mut sink) =
+    let (mut engine, mut snapshots, mut sink, mut observer) =
         worker.expect("on_server hook ran").join().expect("live drain thread");
     let tap = tap_handle.expect("tap attached");
 
@@ -181,6 +206,9 @@ fn run_live_campaign_inner(
     let finished = engine.finish();
     if let Some(s) = sink.as_mut() {
         s.append(&finished.snapshot);
+    }
+    if let Some(obs) = observer.as_mut() {
+        obs(&finished.snapshot, &finished.stats);
     }
     snapshots.push(SnapshotMetric {
         compactions: finished.stats.compactions,

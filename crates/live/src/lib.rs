@@ -26,7 +26,10 @@ pub mod engine;
 pub mod group;
 pub mod pool_sink;
 
-pub use campaign::{run_live_campaign, run_live_campaign_to_pool, LiveRunReport, SnapshotMetric};
+pub use campaign::{
+    run_live_campaign, run_live_campaign_observed, run_live_campaign_to_pool, LiveRunReport,
+    SnapshotMetric, SnapshotObserver,
+};
 pub use engine::{
     batch_reference, check_convergence, placeholder_devices, FinishedLive, LiveEngine, LiveOptions,
     LiveStats,

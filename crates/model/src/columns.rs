@@ -323,6 +323,81 @@ impl DatasetColumns {
     pub fn apps_of(&self, i: usize) -> &[AppBin] {
         &self.apps[self.app_offsets[i] as usize..self.app_offsets[i + 1] as usize]
     }
+
+    /// Gather a row subset into a new, densely renumbered columnar view.
+    ///
+    /// `rows` are row indexes into `self` in strictly ascending order (a
+    /// selection vector, as produced by a filter compiler). Every column is
+    /// copied row by row, the CSR app table is re-flattened, and the
+    /// `sel_associated` / `sel_available` selection vectors are rebuilt in
+    /// the *new* row numbering — so the result is bit-identical to
+    /// [`build`](DatasetColumns::build) over a dataset holding exactly the
+    /// selected bins, and feeds
+    /// `AnalysisContext::from_parts` without any rebuild scan.
+    pub fn gather(&self, rows: &[u32]) -> DatasetColumns {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be ascending");
+        let n = rows.len();
+        let n_apps: usize = rows
+            .iter()
+            .map(|&r| {
+                let i = r as usize;
+                (self.app_offsets[i + 1] - self.app_offsets[i]) as usize
+            })
+            .sum();
+        let mut c = DatasetColumns {
+            device: Vec::with_capacity(n),
+            time: Vec::with_capacity(n),
+            rx_3g: Vec::with_capacity(n),
+            tx_3g: Vec::with_capacity(n),
+            rx_lte: Vec::with_capacity(n),
+            tx_lte: Vec::with_capacity(n),
+            rx_wifi: Vec::with_capacity(n),
+            tx_wifi: Vec::with_capacity(n),
+            wifi_tag: Vec::with_capacity(n),
+            assoc_ap: Vec::with_capacity(n),
+            assoc_band: Vec::with_capacity(n),
+            assoc_channel: Vec::with_capacity(n),
+            assoc_rssi: Vec::with_capacity(n),
+            scan: ScanColumns::with_capacity(n),
+            app_offsets: Vec::with_capacity(n + 1),
+            apps: Vec::with_capacity(n_apps),
+            geo: Vec::with_capacity(n),
+            os_version: Vec::with_capacity(n),
+            sel_associated: Vec::new(),
+            sel_available: Vec::new(),
+        };
+        c.app_offsets.push(0);
+        for (new_row, &r) in rows.iter().enumerate() {
+            let i = r as usize;
+            c.device.push(self.device[i]);
+            c.time.push(self.time[i]);
+            c.rx_3g.push(self.rx_3g[i]);
+            c.tx_3g.push(self.tx_3g[i]);
+            c.rx_lte.push(self.rx_lte[i]);
+            c.tx_lte.push(self.tx_lte[i]);
+            c.rx_wifi.push(self.rx_wifi[i]);
+            c.tx_wifi.push(self.tx_wifi[i]);
+            let tag = self.wifi_tag[i];
+            c.wifi_tag.push(tag);
+            match tag {
+                WifiTag::Associated => c.sel_associated.push(new_row as u32),
+                WifiTag::OnUnassociated => c.sel_available.push(new_row as u32),
+                WifiTag::Off => {}
+            }
+            c.assoc_ap.push(self.assoc_ap[i]);
+            c.assoc_band.push(self.assoc_band[i]);
+            c.assoc_channel.push(self.assoc_channel[i]);
+            c.assoc_rssi.push(self.assoc_rssi[i]);
+            c.scan.push(&self.scan.summary(i));
+            c.apps.extend_from_slice(
+                &self.apps[self.app_offsets[i] as usize..self.app_offsets[i + 1] as usize],
+            );
+            c.app_offsets.push(c.apps.len() as u32);
+            c.geo.push(self.geo[i]);
+            c.os_version.push(self.os_version[i]);
+        }
+        c
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +533,36 @@ mod tests {
             c.sel_associated.len() + c.sel_available.len(),
             c.wifi_tag.iter().filter(|t| t.is_on()).count()
         );
+    }
+
+    /// `gather` over any ascending subset must equal `build` over a
+    /// dataset holding exactly those bins — CSR and selection vectors
+    /// included.
+    #[test]
+    fn gather_matches_build_over_subset() {
+        let bins = vec![
+            bin(0, 0, WifiBinState::Off, vec![app(AppCategory::Social, 10)]),
+            bin(0, 10, assoc(), vec![app(AppCategory::Video, 20), app(AppCategory::Game, 30)]),
+            bin(0, 20, WifiBinState::OnUnassociated, vec![]),
+            bin(1, 0, assoc(), vec![app(AppCategory::Browser, 5)]),
+            bin(1, 10, WifiBinState::OnUnassociated, vec![]),
+            bin(1, 20, WifiBinState::Off, vec![]),
+        ];
+        let ds = dataset(bins);
+        let full = DatasetColumns::build(&ds);
+        let subsets: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 3],
+            vec![0, 2, 4, 5],
+            (0..ds.bins.len() as u32).collect(),
+        ];
+        for rows in subsets {
+            let gathered = full.gather(&rows);
+            let sub_ds = dataset(rows.iter().map(|&r| ds.bins[r as usize].clone()).collect());
+            let rebuilt = DatasetColumns::build(&sub_ds);
+            assert_eq!(gathered, rebuilt, "subset {rows:?}");
+        }
     }
 
     #[test]

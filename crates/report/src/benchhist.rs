@@ -100,6 +100,12 @@ pub const TRACKED: &[(&str, f64)] = &[
     // Wall-clock latency, machine-sensitive (see module docs): the slack
     // absorbs a slow runner, the ratio still catches a pipeline stall.
     ("fleet.enqueue_commit_p99_s", 0.25),
+    // Serve-layer per-query refresh latency (selection + gather + index
+    // rebuild + analysis passes per snapshot generation). Wall-clock and
+    // machine-sensitive like the fleet keys, so the slack is generous; a
+    // superlinear regression in the filter compiler or the gather path
+    // still trips it.
+    ("serve.query_refresh_p99_s", 0.25),
 ];
 
 /// Gated metrics that are *higher*-is-better, with per-key absolute

@@ -12,6 +12,9 @@
 //! mobitrace live [--quick] [--chaos] [--scale S] [--seed N]
 //! mobitrace fleet [--devices N[k|M]] [--cohorts K] [--duration S] [--chaos]
 //!                 [--faults] [--checkpoint DIR] [--resume DIR]
+//! mobitrace serve [--live | --data FILE.mtpool | --data DIR]
+//!                 [--where EXPR]... [--json PATH | --listen ADDR]
+//!                 [--interval S] [--duration S] [--min-generations N]
 //! ```
 
 use mobitrace_collector::{clean, encode_batch, encode_frame_into, CleanOptions, CollectionServer};
@@ -44,6 +47,11 @@ struct Args {
     faults: bool,
     checkpoint: Option<String>,
     resume: Option<String>,
+    wheres: Vec<String>,
+    listen: Option<String>,
+    interval: f64,
+    min_generations: u64,
+    live: bool,
 }
 
 /// Parse a device count, accepting `k`/`M` suffixes (`50k`, `1M`, `1.5M`).
@@ -86,6 +94,11 @@ fn parse_args() -> Result<Args, String> {
         faults: false,
         checkpoint: None,
         resume: None,
+        wheres: Vec::new(),
+        listen: None,
+        interval: 0.5,
+        min_generations: 0,
+        live: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -161,6 +174,27 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => {
                 out.resume = Some(args.next().ok_or("--resume needs a checkpoint directory")?);
             }
+            "--where" => {
+                out.wheres.push(args.next().ok_or("--where needs a filter expression")?);
+            }
+            "--listen" => {
+                out.listen = Some(args.next().ok_or("--listen needs host:port or a socket path")?);
+            }
+            "--interval" => {
+                out.interval = args
+                    .next()
+                    .ok_or("--interval needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?;
+            }
+            "--min-generations" => {
+                out.min_generations = args
+                    .next()
+                    .ok_or("--min-generations needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-generations: {e}"))?;
+            }
+            "--live" => out.live = true,
             "--rate" => {
                 out.rate = args
                     .next()
@@ -186,6 +220,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if !(out.duration > 0.0 && out.duration.is_finite()) {
         return Err(format!("--duration {} must be positive seconds", out.duration));
+    }
+    if !(out.interval > 0.0 && out.interval.is_finite()) {
+        return Err(format!("--interval {} must be positive seconds", out.interval));
     }
     Ok(out)
 }
@@ -293,6 +330,7 @@ fn main() {
         "live" => run_live(&args),
         "pool" => run_pool(&args),
         "fleet" => run_fleet_cmd(&args),
+        "serve" => run_serve(&args),
         _ => {
             println!(
                 "mobitrace — reproduce 'Tracking the Evolution and Diversity in Network \
@@ -306,13 +344,17 @@ fn main() {
                  [--label NAME]\n  \
                  mobitrace chaos [--quick] [--scale S] [--seed N]\n  \
                  mobitrace live [--quick] [--chaos] [--scale S] [--seed N]\n  \
-                 mobitrace pool export --out FILE.mtpool [--scale S] [--seed N]\n  \
+                 mobitrace pool export --out FILE.mtpool [--scale S] [--seed N]\n          \
+                 [--where EXPR]...\n  \
                  mobitrace pool analyze --data FILE.mtpool [<id>...]\n  \
                  mobitrace pool verify --data FILE.mtpool\n  \
                  mobitrace fleet [--devices N[k|M]] [--cohorts K] [--duration S]\n          \
                  [--workers W] [--rate R/s] [--chaos] [--faults] [--quick]\n          \
                  [--checkpoint DIR] [--resume DIR] [--json PATH]\n          \
-                 [--compare HIST.jsonl] [--history HIST.jsonl] [--label NAME]\n\n\
+                 [--compare HIST.jsonl] [--history HIST.jsonl] [--label NAME]\n  \
+                 mobitrace serve [--live | --data FILE.mtpool | --data DIR]\n          \
+                 [--where EXPR]... [--json PATH | --listen ADDR]\n          \
+                 [--interval S] [--duration S] [--min-generations N]\n\n\
                  scale 1.0 = the paper's full populations (~1600-1755 users/campaign);\n\
                  the default 0.15 reproduces every trend in a few seconds.\n\
                  `bench` times each pipeline stage and writes BENCH_pipeline.json;\n\
@@ -335,6 +377,13 @@ fn main() {
                  crashes and pool I/O failures and requires the run to self-heal;\n\
                  `--checkpoint DIR` checkpoints cohorts periodically and\n\
                  `--resume DIR` restarts from those checkpoints);\n\
+                 `serve` registers filter queries (`--where \"venue=home && day>=1\"`)\n\
+                 and re-evaluates them against every snapshot generation of a\n\
+                 running live campaign (`--live`), a growing `.mtpool` file\n\
+                 (`--data FILE.mtpool`, polled every `--interval` seconds for\n\
+                 `--duration`), or a one-shot batch dataset, streaming one JSONL\n\
+                 record per (query, generation) to stdout, `--json PATH`, or a\n\
+                 `--listen` TCP/unix socket;\n\
                  `--quick` caps the scale at 0.02 (and `fleet` at 50k devices)\n\
                  for CI smoke runs."
             );
@@ -518,9 +567,27 @@ fn run_pool(args: &Args) {
         "export" => {
             let path = args.out.clone().unwrap_or_else(|| "campaigns.mtpool".into());
             let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+            // Repeated `--where` flags are conjoined: the export keeps only
+            // rows matching all of them. Parse before simulating so a typo
+            // fails in milliseconds, not after the campaign runs.
+            let expr = match combined_filter(&args.wheres) {
+                Ok(e) => e,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(2);
+                }
+            };
             eprintln!("simulating campaigns at scale {scale} (seed {}) into {path} ...", args.seed);
             let set = CampaignSet::simulate(scale, args.seed);
-            if let Err(e) = set.save_pool(std::path::Path::new(&path)) {
+            let result = match &expr {
+                None => set.save_pool(std::path::Path::new(&path)),
+                Some(expr) => {
+                    eprintln!("exporting rows where: {expr}");
+                    let opts = mobitrace_query::CompileOptions { n_cohorts: args.cohorts as u32 };
+                    set.save_pool_filtered(std::path::Path::new(&path), expr, opts)
+                }
+            };
+            if let Err(e) = result {
                 eprintln!("error: cannot write pool {path}: {e}");
                 std::process::exit(1);
             }
@@ -589,6 +656,387 @@ fn run_pool(args: &Args) {
             std::process::exit(2);
         }
     }
+}
+
+/// Conjoin repeated `--where` flags into one filter. Each flag is
+/// parenthesized before joining so `--where "a||b" --where "c"` means
+/// `(a||b) && (c)`, not `a || (b && c)`. Returns a ready-to-print error
+/// message (with the parser's byte offset and expected-token hint) on the
+/// first flag that fails to parse.
+fn combined_filter(wheres: &[String]) -> Result<Option<mobitrace_query::FilterExpr>, String> {
+    if wheres.is_empty() {
+        return Ok(None);
+    }
+    // Parse each flag on its own first so the error's byte offset points
+    // into the string the user actually typed.
+    for src in wheres {
+        if let Err(e) = mobitrace_query::parse(src) {
+            return Err(format!("error: in --where {src:?}:\n  {e}"));
+        }
+    }
+    let joined = wheres.iter().map(|w| format!("({w})")).collect::<Vec<_>>().join(" && ");
+    match mobitrace_query::parse(&joined) {
+        Ok(e) => Ok(Some(e)),
+        Err(e) => Err(format!("error: in combined --where {joined:?}:\n  {e}")),
+    }
+}
+
+/// What the serve loop tallies across generations, shared between the
+/// snapshot observer (live mode runs it on the engine's drain thread) and
+/// the end-of-run gates.
+#[derive(Default)]
+struct ServeTally {
+    /// Generation number of every evaluated snapshot, in arrival order.
+    generations: Vec<u64>,
+    /// Per-(query, generation) evaluation latency, seconds.
+    latencies: Vec<f64>,
+}
+
+type ServeSink = std::sync::Arc<std::sync::Mutex<Box<dyn Write + Send>>>;
+
+/// Open the JSONL output stream: `--json PATH` wins, then `--listen ADDR`
+/// (TCP when the address contains `:`, unix socket otherwise; blocks until
+/// one consumer connects), else stdout.
+fn open_serve_sink(args: &Args) -> ServeSink {
+    let sink: Box<dyn Write + Send> = if let Some(path) = &args.json {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                eprintln!("serve: streaming JSONL to {path}");
+                Box::new(f)
+            }
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(addr) = &args.listen {
+        open_listener(addr)
+    } else {
+        Box::new(std::io::stdout())
+    };
+    std::sync::Arc::new(std::sync::Mutex::new(sink))
+}
+
+fn open_listener(addr: &str) -> Box<dyn Write + Send> {
+    let conn: std::io::Result<Box<dyn Write + Send>> = if addr.contains(':') {
+        std::net::TcpListener::bind(addr).and_then(|l| {
+            eprintln!("serve: listening on tcp {addr}, waiting for a consumer...");
+            l.accept().map(|(s, peer)| {
+                eprintln!("serve: consumer connected from {peer}");
+                Box::new(s) as Box<dyn Write + Send>
+            })
+        })
+    } else {
+        #[cfg(unix)]
+        {
+            // A stale socket file from a previous run would make bind fail.
+            let _ = std::fs::remove_file(addr);
+            std::os::unix::net::UnixListener::bind(addr).and_then(|l| {
+                eprintln!("serve: listening on unix socket {addr}, waiting for a consumer...");
+                l.accept().map(|(s, _)| {
+                    eprintln!("serve: consumer connected");
+                    Box::new(s) as Box<dyn Write + Send>
+                })
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Err(std::io::Error::other("unix sockets are not supported on this platform"))
+        }
+    };
+    match conn {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Write one generation's records as JSONL and flush, so a socket consumer
+/// sees each generation as soon as it is evaluated. A closed sink is fatal:
+/// silently streaming into the void would let every gate "pass" on a run
+/// nobody observed.
+fn emit_records(sink: &ServeSink, recs: &[mobitrace_query::ServeRecord]) {
+    let mut lines = String::new();
+    for r in recs {
+        lines.push_str(&serde_json::to_string(r).expect("serializable"));
+        lines.push('\n');
+    }
+    let mut w = sink.lock().expect("serve sink lock");
+    if let Err(e) = w.write_all(lines.as_bytes()).and_then(|()| w.flush()) {
+        eprintln!("error: output stream closed mid-run: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Stderr summary + the `--min-generations` gate, shared by every serve
+/// source. Distinct generations (not observer invocations) are what the
+/// gate counts: the live engine's final flush can republish the last
+/// compaction's generation number with the completed dataset.
+fn finish_serve(tally: &ServeTally, n_queries: usize, min_generations: u64) {
+    use mobitrace_core::stats::percentile;
+    let mut distinct = tally.generations.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let p50 = percentile(&tally.latencies, 50.0);
+    let p99 = percentile(&tally.latencies, 99.0);
+    eprintln!(
+        "serve: {} snapshot generations ({} distinct), {} queries, \
+         {} evaluations; refresh latency p50 {:.2}ms p99 {:.2}ms",
+        tally.generations.len(),
+        distinct.len(),
+        n_queries,
+        tally.latencies.len(),
+        p50 * 1e3,
+        p99 * 1e3
+    );
+    if (distinct.len() as u64) < min_generations {
+        eprintln!(
+            "error: only {} distinct snapshot generations streamed \
+             (--min-generations {min_generations})",
+            distinct.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `mobitrace serve`: register filter queries and re-evaluate them against
+/// snapshot generations from one of three sources — a live campaign run in
+/// process (`--live`, one generation per engine compaction), a `.mtpool`
+/// file another process is appending to (`--data FILE.mtpool`, re-opened on
+/// epoch change every `--interval` seconds until `--duration` elapses), or
+/// a one-shot batch dataset (`--data DIR` or a fresh simulation). Every
+/// (query, generation) evaluation streams one JSONL [`ServeRecord`].
+///
+/// The live source ends with the same convergence gates as `mobitrace
+/// live`, plus a serve-specific one: the final unfiltered query payload
+/// must be bit-identical to the batch pipeline's payload over the same
+/// records (exit 1 otherwise).
+///
+/// [`ServeRecord`]: mobitrace_query::ServeRecord
+fn run_serve(args: &Args) {
+    use mobitrace_query::{CompileOptions, Query, QuerySet};
+
+    // Parse every registered query up front: a typo is a fast exit 2 with
+    // a byte offset, never a mid-stream surprise.
+    let mut queries = vec![Query::unfiltered("all")];
+    for (i, src) in args.wheres.iter().enumerate() {
+        match Query::parse(format!("q{}", i + 1), src) {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                eprintln!("error: in --where {src:?}:\n  {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let set = QuerySet { queries, opts: CompileOptions { n_cohorts: args.cohorts as u32 } };
+    for q in &set.queries {
+        if q.source.is_empty() {
+            eprintln!("serve: registered '{}' (unfiltered)", q.id);
+        } else {
+            eprintln!("serve: registered '{}' where {}", q.id, q.source);
+        }
+    }
+    let sink = open_serve_sink(args);
+
+    let pool_path = args.data.as_deref().filter(|d| d.ends_with(".mtpool"));
+    if args.live {
+        serve_live(args, set, sink);
+    } else if let Some(path) = pool_path {
+        serve_pool_follow(args, set, sink, std::path::Path::new(path));
+    } else {
+        serve_batch(args, set, sink);
+    }
+}
+
+/// Live source: run a simulated campaign through the streaming engine and
+/// evaluate the query set on every published snapshot (the observer runs on
+/// the engine's drain thread, concurrent with ingest). Generation numbers
+/// are the engine's compaction counter.
+fn serve_live(args: &Args, set: mobitrace_query::QuerySet, sink: ServeSink) {
+    use mobitrace_core::AnalysisContext;
+    use mobitrace_live::{run_live_campaign_observed, LiveOptions, SnapshotObserver};
+    use mobitrace_query::{evaluate_payload, watermark_minute};
+    use mobitrace_sim::CampaignConfig;
+    use std::sync::{Arc, Mutex};
+
+    let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+    let mut cfg = CampaignConfig::scaled(Year::Y2015, scale).with_seed(args.seed);
+    if args.quick {
+        cfg.days = 3;
+    }
+    if args.chaos {
+        cfg = cfg.with_chaos(mobitrace_collector::ChaosProfile::flaky());
+    }
+    eprintln!(
+        "serve: live campaign, {} devices, {} days, seed {}{}...",
+        cfg.n_users,
+        cfg.days,
+        cfg.seed,
+        if args.chaos { " (chaos schedule on)" } else { "" }
+    );
+
+    let tally = Arc::new(Mutex::new(ServeTally::default()));
+    let observer: SnapshotObserver = {
+        let set = set.clone();
+        let sink = Arc::clone(&sink);
+        let tally = Arc::clone(&tally);
+        Box::new(move |snap, stats| {
+            let recs = set.evaluate(
+                &snap.ds,
+                &snap.index,
+                &snap.cols,
+                stats.compactions,
+                watermark_minute(&snap.cols),
+            );
+            {
+                let mut t = tally.lock().expect("serve tally lock");
+                t.generations.push(stats.compactions);
+                t.latencies.extend(recs.iter().map(|r| r.elapsed_s));
+            }
+            emit_records(&sink, &recs);
+        })
+    };
+    let report = run_live_campaign_observed(&cfg, LiveOptions::default(), observer);
+
+    if let Some(why) = &report.divergence {
+        eprintln!("error: live snapshot diverged from the batch pipeline: {why}");
+        std::process::exit(1);
+    }
+    // The serve gate proper: the last streamed unfiltered payload (computed
+    // from the final snapshot's prebuilt parts, exactly as the observer
+    // did) must equal the batch pipeline's payload over the same dataset.
+    let snap = &report.finished.snapshot;
+    let served = evaluate_payload(&AnalysisContext::from_parts(
+        &snap.ds,
+        snap.index.clone(),
+        snap.cols.clone(),
+    ));
+    let batch = evaluate_payload(&AnalysisContext::new(&snap.ds));
+    if served != batch {
+        eprintln!("error: final unfiltered query payload diverged from the batch pipeline");
+        std::process::exit(1);
+    }
+    let t = tally.lock().expect("serve tally lock");
+    finish_serve(&t, set.queries.len(), args.min_generations);
+    eprintln!(
+        "serve: converged — final unfiltered payload bit-identical to batch \
+         ({} bins, {} compactions) in {:.1}s",
+        snap.ds.bins.len(),
+        report.finished.stats.compactions,
+        report.wall_s
+    );
+}
+
+/// Pool source: follow a `.mtpool` file another process appends snapshot
+/// generations to (`mobitrace live` via its pool sink, or a fleet
+/// checkpoint). Every `--interval` seconds the file is re-opened; a changed
+/// epoch means a newly committed generation, which is decoded and
+/// evaluated. Generation numbers are the pool's publish epochs.
+fn serve_pool_follow(
+    args: &Args,
+    set: mobitrace_query::QuerySet,
+    sink: ServeSink,
+    path: &std::path::Path,
+) {
+    use mobitrace_pool::PoolReader;
+    use mobitrace_query::watermark_minute;
+
+    eprintln!(
+        "serve: following pool {} every {:.2}s for {:.1}s...",
+        path.display(),
+        args.interval,
+        args.duration
+    );
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(args.duration);
+    let mut tally = ServeTally::default();
+    let mut last_epoch = 0u64;
+    let mut last_error = String::new();
+    loop {
+        // Reopen rather than cache the reader: the writer replaces the
+        // mapping's committed slot in place, and open is one mmap + header
+        // probe. Open failures are expected while the writer is first
+        // creating the file, so they only warn (once per distinct cause).
+        match PoolReader::open(path) {
+            Ok(r) => {
+                let epoch = r.epoch();
+                if epoch != last_epoch {
+                    match r.dataset_streams().last() {
+                        Some(&stream) => match r.decode_dataset(stream) {
+                            Ok(pd) => {
+                                let recs = set.evaluate(
+                                    &pd.ds,
+                                    &pd.index,
+                                    &pd.cols,
+                                    epoch,
+                                    watermark_minute(&pd.cols),
+                                );
+                                tally.generations.push(epoch);
+                                tally.latencies.extend(recs.iter().map(|r| r.elapsed_s));
+                                emit_records(&sink, &recs);
+                                last_epoch = epoch;
+                            }
+                            Err(e) => {
+                                eprintln!("error: pool {} failed to decode: {e}", path.display());
+                                std::process::exit(1);
+                            }
+                        },
+                        None => last_epoch = epoch,
+                    }
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                if msg != last_error {
+                    eprintln!("serve: pool not readable yet ({msg}); retrying");
+                    last_error = msg;
+                }
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(args.interval));
+    }
+    finish_serve(&tally, set.queries.len(), args.min_generations);
+}
+
+/// Batch source: load (`--data DIR`) or simulate the campaign set and
+/// evaluate the query set once per campaign year, generation = campaign
+/// year. No cadence — this is the one-shot shape for piping query results
+/// into scripts.
+fn serve_batch(args: &Args, set: mobitrace_query::QuerySet, sink: ServeSink) {
+    use mobitrace_model::{DatasetColumns, DatasetIndex};
+    use mobitrace_query::watermark_minute;
+
+    let campaigns = match &args.data {
+        Some(dir) => match CampaignSet::load(std::path::Path::new(dir)) {
+            Ok(s) => {
+                eprintln!("serve: one-shot batch over {dir}");
+                s
+            }
+            Err(e) => {
+                eprintln!("error: cannot load datasets from {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let scale = if args.quick { args.scale.min(0.02) } else { args.scale };
+            eprintln!("serve: one-shot batch, simulating at scale {scale} (seed {})...", args.seed);
+            CampaignSet::simulate(scale, args.seed)
+        }
+    };
+    let mut tally = ServeTally::default();
+    for (ds, year) in campaigns.years.iter().zip([2013u64, 2014, 2015]) {
+        let index = DatasetIndex::build(ds);
+        let cols = DatasetColumns::build(ds);
+        let recs = set.evaluate(ds, &index, &cols, year, watermark_minute(&cols));
+        tally.generations.push(year);
+        tally.latencies.extend(recs.iter().map(|r| r.elapsed_s));
+        emit_records(&sink, &recs);
+    }
+    finish_serve(&tally, set.queries.len(), args.min_generations);
 }
 
 /// Median-of-9 wall clock for one analysis pass. The median (rather than
@@ -1131,6 +1579,71 @@ fn run_pipeline_bench(args: &Args) {
          {plan_misses} misses ({:.1}% reuse)",
         plan_hit_rate * 100.0
     );
+
+    // Serve layer: the `mobitrace serve --live` hot loop — a registered
+    // query set re-evaluated against every published snapshot generation.
+    // `serve.snapshot_eval_s` is the median cost of refreshing the whole
+    // set against one generation; the p50/p99 are per-query refresh
+    // latencies across the run (selection + gather + index rebuild +
+    // analysis passes for filtered queries, context rebuild for the
+    // unfiltered one).
+    {
+        use mobitrace_core::stats::percentile;
+        use mobitrace_live::run_live_campaign_observed;
+        use mobitrace_query::{watermark_minute, CompileOptions, Query, QuerySet};
+        use std::sync::{Arc, Mutex};
+
+        let qset = QuerySet {
+            queries: vec![
+                Query::unfiltered("all"),
+                Query::parse("home", "venue=home").expect("static expression"),
+                Query::parse("android-late", "os=android && day>=1").expect("static expression"),
+            ],
+            opts: CompileOptions::default(),
+        };
+        let n_queries = qset.queries.len();
+        // (per-generation full-set seconds, per-query seconds)
+        let tally: Arc<Mutex<(Vec<f64>, Vec<f64>)>> = Arc::default();
+        let observer = {
+            let tally = Arc::clone(&tally);
+            Box::new(
+                move |snap: &std::sync::Arc<mobitrace_model::LiveSnapshot>,
+                      stats: &mobitrace_live::LiveStats| {
+                    let t = std::time::Instant::now();
+                    let recs = qset.evaluate(
+                        &snap.ds,
+                        &snap.index,
+                        &snap.cols,
+                        stats.compactions,
+                        watermark_minute(&snap.cols),
+                    );
+                    let full_s = t.elapsed().as_secs_f64();
+                    let mut lock = tally.lock().expect("serve bench tally");
+                    lock.0.push(full_s);
+                    lock.1.extend(recs.iter().map(|r| r.elapsed_s));
+                },
+            )
+        };
+        let serve_report = run_live_campaign_observed(&live_cfg, LiveOptions::default(), observer);
+        assert!(serve_report.converged(), "serve bench campaign diverged");
+        let (mut snapshot_evals, per_query) =
+            std::mem::take(&mut *tally.lock().expect("serve bench tally"));
+        snapshot_evals.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let snapshot_eval_s = mobitrace_core::stats::percentile_sorted(&snapshot_evals, 50.0);
+        let refresh_p50_s = percentile(&per_query, 50.0);
+        let refresh_p99_s = percentile(&per_query, 99.0);
+        metrics.insert("serve.snapshot_eval_s".into(), snapshot_eval_s);
+        metrics.insert("serve.query_refresh_p50_s".into(), refresh_p50_s);
+        metrics.insert("serve.query_refresh_p99_s".into(), refresh_p99_s);
+        eprintln!(
+            "  serve: {n_queries} queries over {} generations, median set refresh \
+             {:.2}ms, per-query p50 {:.2}ms p99 {:.2}ms",
+            snapshot_evals.len(),
+            snapshot_eval_s * 1e3,
+            refresh_p50_s * 1e3,
+            refresh_p99_s * 1e3
+        );
+    }
 
     // `metrics` is the canonical (and only) namespace: flat dotted keys
     // (`sim.*`, `ingest.*`, `analysis.<pass>.*`, `live.*`, `world_scan.*`,

@@ -140,6 +140,35 @@ impl CampaignSet {
         Ok(())
     }
 
+    /// [`save_pool`](Self::save_pool) through a filter: every stream
+    /// (the three years and the update-retaining variant) is compiled
+    /// against the expression and only the selected bins are written,
+    /// with the gathered columns and rebuilt index — the `mobitrace pool
+    /// export --where` path. A later [`load_pool`](Self::load_pool) of
+    /// the result analyzes exactly as if the filter had been applied at
+    /// query time, which the round-trip test pins.
+    pub fn save_pool_filtered(
+        &self,
+        path: &Path,
+        expr: &mobitrace_query::FilterExpr,
+        opts: mobitrace_query::CompileOptions,
+    ) -> Result<(), PoolError> {
+        use mobitrace_query::{materialize, select_rows};
+        let mut w = PoolWriter::replace(path)?;
+        let mut write_filtered = |stream: u16, ds: &Dataset| -> Result<(), PoolError> {
+            let cols = DatasetColumns::build(ds);
+            let rows = select_rows(expr, ds, &cols, opts);
+            let view = materialize(ds, &cols, &rows);
+            w.append_dataset(stream, &view.ds, &view.index, &view.cols)
+        };
+        for (i, ds) in self.years.iter().enumerate() {
+            write_filtered(YEAR_STREAMS[i], ds)?;
+        }
+        write_filtered(UPDATE_STREAM, &self.update_2015)?;
+        w.finish()?;
+        Ok(())
+    }
+
     /// Load a campaign set from a pool written by
     /// [`save_pool`](Self::save_pool), returning the decoded index +
     /// column views alongside so analysis can start via
